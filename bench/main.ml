@@ -1,0 +1,169 @@
+(* Benchmark harness.
+
+   Phase 1 regenerates every experiment table of DESIGN.md /
+   EXPERIMENTS.md (the paper has no numeric tables of its own; the
+   theorem-indexed experiments E1..E9 play that role).
+
+   Phase 2 runs Bechamel micro-benchmarks of the hot kernels plus the
+   ablation pairs called out in DESIGN.md:
+   - sparse evolve vs dense matrix-vector product,
+   - lumped birth-death step vs full-chain step,
+   - deflated power iteration vs full Jacobi for lambda_2,
+   - logit transition-row construction and coupling steps.
+
+   Pass --quick to shrink the experiment sweeps; pass --skip-micro to
+   print only the tables. *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+
+(* --- Phase 2 fixtures ------------------------------------------------ *)
+
+let ring_desc =
+  Games.Graphical.create (Graphs.Generators.ring 10)
+    (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+
+let ring_game = Games.Graphical.to_game ring_desc
+let beta = 1.0
+let ring_chain = lazy (Logit.Logit_dynamics.chain ring_game ~beta)
+
+let ring_dense = lazy (Markov.Chain.to_dense (Lazy.force ring_chain))
+
+let clique_bd = lazy (Logit.Lumping.clique ~n:64 ~delta0:1.0 ~delta1:1.0 ~beta)
+let clique_bd_chain = lazy (Markov.Birth_death.to_chain (Lazy.force clique_bd))
+
+let small_desc =
+  Games.Graphical.create (Graphs.Generators.ring 6)
+    (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+
+let small_game = Games.Graphical.to_game small_desc
+let small_chain = lazy (Logit.Logit_dynamics.chain small_game ~beta)
+
+let small_pi =
+  lazy
+    (Logit.Gibbs.stationary (Games.Game.space small_game)
+       (Games.Graphical.potential small_desc)
+       ~beta)
+
+let tests =
+  let uniform_vector n = Array.make n (1. /. float_of_int n) in
+  [
+    Test.make ~name:"logit/transition-row"
+      (Staged.stage (fun () ->
+           ignore (Logit.Logit_dynamics.transition_row ring_game ~beta 511)));
+    Test.make ~name:"kernel/matvec-sparse"
+      (Staged.stage (fun () ->
+           let chain = Lazy.force ring_chain in
+           ignore (Markov.Chain.evolve chain (uniform_vector 1024))));
+    Test.make ~name:"kernel/matvec-dense"
+      (Staged.stage (fun () ->
+           let dense = Lazy.force ring_dense in
+           ignore (Linalg.Mat.vmul (uniform_vector 1024) dense)));
+    Test.make ~name:"kernel/lumping-bd-step"
+      (Staged.stage (fun () ->
+           let chain = Lazy.force clique_bd_chain in
+           ignore (Markov.Chain.evolve chain (uniform_vector 65))));
+    Test.make ~name:"kernel/lambda2-power"
+      (Staged.stage (fun () ->
+           let chain = Lazy.force small_chain in
+           ignore (Markov.Spectral.lambda2 ~tol:1e-9 chain (Lazy.force small_pi))));
+    Test.make ~name:"kernel/lambda2-jacobi"
+      (Staged.stage (fun () ->
+           let chain = Lazy.force small_chain in
+           ignore (Markov.Spectral.spectrum chain (Lazy.force small_pi))));
+    Test.make ~name:"logit/simulate-step"
+      (Staged.stage
+         (let rng = Prob.Rng.create 1 in
+          let state = ref 0 in
+          fun () -> state := Logit.Logit_dynamics.step rng ring_game ~beta !state));
+    Test.make ~name:"logit/coupling-step"
+      (Staged.stage
+         (let rng = Prob.Rng.create 2 in
+          let step = Logit.Dynamics.interval_coupling ring_game ~beta in
+          let pair = ref (0, 1023) in
+          fun () -> pair := step rng !pair));
+    Test.make ~name:"barrier/zeta-ring10"
+      (Staged.stage (fun () ->
+           ignore
+             (Logit.Barrier.zeta (Games.Game.space ring_game)
+                (Games.Graphical.potential ring_desc))));
+    Test.make ~name:"graphs/cutwidth-exact-n12"
+      (Staged.stage (fun () ->
+           ignore (Graphs.Cutwidth.exact (Graphs.Generators.ring 12))));
+    Test.make ~name:"logit/metropolis-step"
+      (Staged.stage
+         (let rng = Prob.Rng.create 3 in
+          let state = ref 0 in
+          fun () -> state := Logit.Metropolis.step rng ring_game ~beta !state));
+    Test.make ~name:"logit/cftp-exact-sample"
+      (Staged.stage
+         (let rng = Prob.Rng.create 4 in
+          fun () ->
+            ignore (Logit.Perfect_sampling.sample rng small_game ~beta)));
+    Test.make ~name:"logit/transfer-matrix-n1000"
+      (Staged.stage
+         (let phi =
+            Games.Coordination.edge_potential
+              (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+          in
+          fun () ->
+            let tm = Logit.Transfer_matrix.create ~strategies:2 ~beta:2.0 phi in
+            ignore (Logit.Transfer_matrix.log_partition tm ~n:1000)));
+    Test.make ~name:"kernel/tridiag-bd-n256"
+      (Staged.stage (fun () ->
+           let bd = Logit.Lumping.clique ~n:255 ~delta0:1.0 ~delta1:1.0 ~beta:0.01 in
+           ignore (Markov.Birth_death.decomposition bd)));
+  ]
+
+let run_micro () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"kernels" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, estimate, r2) :: acc)
+      results []
+  in
+  let table =
+    Experiments.Table.create ~title:"micro-benchmarks (Bechamel, OLS estimate)"
+      [
+        ("benchmark", Experiments.Table.Left);
+        ("ns/run", Experiments.Table.Right);
+        ("r^2", Experiments.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, ns, r2) ->
+      Experiments.Table.add_row table
+        [ name; Printf.sprintf "%.1f" ns; Printf.sprintf "%.4f" r2 ])
+    (List.sort compare rows);
+  Experiments.Table.print table
+
+let () =
+  Printf.printf "logitdyn benchmark harness%s\n"
+    (if quick then " (quick mode)" else "");
+  Printf.printf "phase 1: regenerating every experiment table (E1..E9, X1..X10)\n";
+  let t0 = Unix.gettimeofday () in
+  Experiments.Registry.run_all ~quick ();
+  Printf.printf "\nphase 1 elapsed: %.1fs\n" (Unix.gettimeofday () -. t0);
+  if not skip_micro then begin
+    Printf.printf "\nphase 2: micro-benchmarks\n%!";
+    run_micro ()
+  end

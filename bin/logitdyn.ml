@@ -1,0 +1,460 @@
+(* logitdyn — command-line front end.
+
+   Subcommands:
+     simulate    run a logit-dynamics trajectory on a named game
+     mixing      compute the exact mixing time of a named game
+     spectrum    print the spectrum of the logit chain
+     experiment  run a reproduction experiment (e1..e9, x1..x10, all)
+     list        list available games and experiments
+     zeta        potential-barrier quantities of a game
+     cutwidth    cutwidth of a topology (Thm 5.1 exponent)
+     hitting     expected hitting time of the potential minimum
+     anneal      compare annealing schedules
+     sample      exact stationary samples via coupling from the past *)
+
+open Cmdliner
+
+type game_spec = {
+  id : string;
+  doc : string;
+  build : n:int -> beta:float -> Games.Game.t * (int -> float) option;
+}
+
+let coordination_basic delta0 delta1 = Games.Coordination.of_deltas ~delta0 ~delta1
+
+let graphical graph_of_n ~n ~beta:_ =
+  let desc = Games.Graphical.create (graph_of_n n) (coordination_basic 1.0 1.0) in
+  (Games.Graphical.to_game desc, Some (Games.Graphical.potential desc))
+
+let with_potential game =
+  (game, (Games.Potential.recover game :> (int -> float) option))
+
+let game_specs =
+  [
+    {
+      id = "ring";
+      doc = "graphical coordination on a ring (delta0 = delta1 = 1)";
+      build = graphical Graphs.Generators.ring;
+    };
+    {
+      id = "clique";
+      doc = "graphical coordination on a clique (delta0 = delta1 = 1)";
+      build = graphical Graphs.Generators.clique;
+    };
+    {
+      id = "path";
+      doc = "graphical coordination on a path (delta0 = delta1 = 1)";
+      build = graphical Graphs.Generators.path;
+    };
+    {
+      id = "curve";
+      doc = "the Theorem 3.5 lower-bound potential family (l=1, g=n/4)";
+      build =
+        (fun ~n ~beta:_ ->
+          let global = Float.max 1. (float_of_int (n / 4)) in
+          let game =
+            Games.Curve_game.create ~players:n ~global ~local:1.0
+          in
+          ( Games.Curve_game.to_game game,
+            Some (Games.Curve_game.potential game) ));
+    };
+    {
+      id = "dominant";
+      doc = "the Theorem 4.3 dominant-strategy game (m = 2)";
+      build =
+        (fun ~n ~beta:_ ->
+          with_potential (Games.Dominant.lower_bound_game ~players:n ~strategies:2));
+    };
+    {
+      id = "pd";
+      doc = "prisoner's dilemma (2 players; n ignored)";
+      build = (fun ~n:_ ~beta:_ -> with_potential (Games.Dominant.prisoners_dilemma ()));
+    };
+    {
+      id = "matching-pennies";
+      doc = "matching pennies (2 players; n ignored; not a potential game)";
+      build = (fun ~n:_ ~beta:_ -> (Games.Zoo.matching_pennies, None));
+    };
+  ]
+
+let find_game id =
+  match List.find_opt (fun g -> g.id = id) game_specs with
+  | Some g -> g
+  | None ->
+      Printf.eprintf "unknown game %S; try `logitdyn list`\n" id;
+      exit 2
+
+let stationary_of game potential ~beta =
+  match potential with
+  | Some phi -> Logit.Gibbs.stationary (Games.Game.space game) phi ~beta
+  | None ->
+      let chain = Logit.Logit_dynamics.chain game ~beta in
+      Markov.Stationary.by_solve chain
+
+(* --- simulate --------------------------------------------------------- *)
+
+let simulate game_id n beta steps seed =
+  let spec = find_game game_id in
+  let game, potential = spec.build ~n ~beta in
+  let rng = Prob.Rng.create seed in
+  let space = Games.Game.space game in
+  let traj = Logit.Logit_dynamics.trajectory rng game ~beta ~start:0 ~steps in
+  Printf.printf "# %s, n=%d, beta=%g, %d steps (showing every %d)\n"
+    (Games.Game.name game) n beta steps
+    (Int.max 1 (steps / 20));
+  let stride = Int.max 1 (steps / 20) in
+  Array.iteri
+    (fun t idx ->
+      if t mod stride = 0 then begin
+        let profile = Games.Strategy_space.decode space idx in
+        let phi_cell =
+          match potential with
+          | Some phi -> Printf.sprintf "  Phi=%8.3f" (phi idx)
+          | None -> ""
+        in
+        Printf.printf "t=%6d  x=%s%s  welfare=%.3f\n" t
+          (Format.asprintf "%a" Games.Strategy_space.pp_profile profile)
+          phi_cell
+          (Games.Game.social_welfare game idx)
+      end)
+    traj;
+  0
+
+(* --- mixing ----------------------------------------------------------- *)
+
+let mixing game_id n beta eps =
+  let spec = find_game game_id in
+  let game, potential = spec.build ~n ~beta in
+  let size = Games.Game.size game in
+  if size > 1 lsl 16 then begin
+    Printf.eprintf "state space too large (%d); reduce n\n" size;
+    exit 2
+  end;
+  let chain = Logit.Logit_dynamics.chain game ~beta in
+  let pi = stationary_of game potential ~beta in
+  let reversible = Markov.Chain.is_reversible ~tol:1e-7 chain pi in
+  Printf.printf "game=%s n=%d |S|=%d beta=%g reversible=%b\n"
+    (Games.Game.name game) n size beta reversible;
+  let tmix =
+    if reversible && size <= 2048 then
+      Markov.Mixing.mixing_time_spectral ~eps chain pi
+        ~starts:(List.init size Fun.id)
+    else Markov.Mixing.mixing_time_all ~eps ~max_steps:5_000_000 chain pi
+  in
+  (match tmix with
+  | Some t -> Printf.printf "t_mix(%g) = %d\n" eps t
+  | None -> Printf.printf "t_mix(%g) > max_steps\n" eps);
+  (match potential with
+  | Some phi ->
+      let space = Games.Game.space game in
+      Printf.printf "dPhi = %g, dphi(local) = %g, zeta = %g\n"
+        (Games.Potential.delta_global space phi)
+        (Games.Potential.delta_local space phi)
+        (Logit.Barrier.zeta space phi)
+  | None -> ());
+  0
+
+(* --- spectrum --------------------------------------------------------- *)
+
+let spectrum game_id n beta count =
+  let spec = find_game game_id in
+  let game, potential = spec.build ~n ~beta in
+  let size = Games.Game.size game in
+  if size > 2048 then begin
+    Printf.eprintf "state space too large (%d) for dense spectra; reduce n\n" size;
+    exit 2
+  end;
+  let chain = Logit.Logit_dynamics.chain game ~beta in
+  let pi = stationary_of game potential ~beta in
+  if Markov.Chain.is_reversible ~tol:1e-7 chain pi then begin
+    let values = Markov.Spectral.spectrum chain pi in
+    Printf.printf "reversible chain; top eigenvalues:\n";
+    Array.iteri
+      (fun i v -> if i < count then Printf.printf "  lambda_%d = %.8f\n" (i + 1) v)
+      values;
+    Printf.printf "relaxation time = %.4f\n"
+      (Markov.Spectral.relaxation_time chain pi)
+  end
+  else begin
+    let values = Linalg.Eigen.general_spectrum (Markov.Chain.to_dense chain) in
+    Printf.printf "non-reversible chain; top eigenvalues (re, im):\n";
+    Array.iteri
+      (fun i (re, im) ->
+        if i < count then Printf.printf "  lambda_%d = %.8f %+.8fi\n" (i + 1) re im)
+      values
+  end;
+  0
+
+(* --- experiment -------------------------------------------------------- *)
+
+let experiment id quick =
+  if String.lowercase_ascii id = "all" then begin
+    Experiments.Registry.run_all ~quick ();
+    0
+  end
+  else
+    match Experiments.Registry.find id with
+    | e ->
+        Printf.printf "### %s — %s: %s\n\n" (String.uppercase_ascii e.id) e.theorem
+          e.title;
+        List.iter Experiments.Table.print (e.run ~quick);
+        0
+    | exception Not_found ->
+        Printf.eprintf "unknown experiment %S; try `logitdyn list`\n" id;
+        exit 2
+
+(* --- zeta --------------------------------------------------------------- *)
+
+let zeta game_id n =
+  let spec = find_game game_id in
+  let game, potential = spec.build ~n ~beta:1.0 in
+  match potential with
+  | None ->
+      Printf.eprintf "game %S is not a potential game; zeta is undefined\n" game_id;
+      exit 2
+  | Some phi ->
+      let space = Games.Game.space game in
+      if Games.Strategy_space.size space > 1 lsl 20 then begin
+        Printf.eprintf "state space too large; reduce n\n";
+        exit 2
+      end;
+      Printf.printf "game=%s n=%d\n" (Games.Game.name game) n;
+      Printf.printf "dPhi (global variation) = %g\n"
+        (Games.Potential.delta_global space phi);
+      Printf.printf "dphi (local variation)  = %g\n"
+        (Games.Potential.delta_local space phi);
+      Printf.printf "zeta (barrier)          = %g\n" (Logit.Barrier.zeta space phi);
+      Printf.printf
+        "Thms 3.8/3.9: log t_mix ~ beta * zeta for large beta; Thm 3.4 bound \
+         exponent is beta * dPhi.\n";
+      0
+
+(* --- cutwidth ------------------------------------------------------------ *)
+
+let cutwidth_cmd_impl kind n =
+  let graph =
+    match kind with
+    | "ring" -> Graphs.Generators.ring n
+    | "path" -> Graphs.Generators.path n
+    | "clique" -> Graphs.Generators.clique n
+    | "star" -> Graphs.Generators.star n
+    | "tree" -> Graphs.Generators.binary_tree n
+    | "grid" -> Graphs.Generators.grid 2 (n / 2)
+    | other ->
+        Printf.eprintf "unknown graph kind %S\n" other;
+        exit 2
+  in
+  if n <= 20 then begin
+    let chi, order = Graphs.Cutwidth.exact_with_ordering graph in
+    Printf.printf "%s(%d): cutwidth = %d (exact)\n" kind n chi;
+    Printf.printf "optimal ordering: %s\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int order)))
+  end
+  else
+    Printf.printf "%s(%d): cutwidth <= %d (local-search upper bound)\n" kind n
+      (Graphs.Cutwidth.heuristic graph);
+  0
+
+(* --- hitting -------------------------------------------------------------- *)
+
+let hitting game_id n beta =
+  let spec = find_game game_id in
+  let game, potential = spec.build ~n ~beta in
+  let size = Games.Game.size game in
+  if size > 4096 then begin
+    Printf.eprintf "state space too large (%d) for the dense solve; reduce n\n" size;
+    exit 2
+  end;
+  let chain = Logit.Logit_dynamics.chain game ~beta in
+  match potential with
+  | None ->
+      Printf.eprintf "hitting targets are defined via the potential; %S has none\n"
+        game_id;
+      exit 2
+  | Some phi ->
+      let space = Games.Game.space game in
+      let vmin, argmin, _, _ = Games.Potential.extrema space phi in
+      let target idx = phi idx <= vmin +. 1e-12 in
+      let times = Markov.Hitting.expected_times chain ~target in
+      let worst = Array.fold_left Float.max 0. times in
+      Printf.printf "game=%s n=%d beta=%g\n" (Games.Game.name game) n beta;
+      Printf.printf "potential minimiser: profile %d (Phi = %g)\n" argmin vmin;
+      Printf.printf "worst-case expected hitting time of the minimum: %.4g\n" worst;
+      let pi = stationary_of game potential ~beta in
+      (match Markov.Mixing.mixing_time_all ~max_steps:2_000_000 chain pi with
+      | Some t -> Printf.printf "mixing time (same chain):                  %d\n" t
+      | None -> Printf.printf "mixing time (same chain):                  >2e6\n");
+      0
+
+(* --- anneal --------------------------------------------------------------- *)
+
+let anneal game_id n steps seed =
+  let spec = find_game game_id in
+  let game, potential = spec.build ~n ~beta:1.0 in
+  match potential with
+  | None ->
+      Printf.eprintf "annealing quality is measured on the potential; %S has none\n"
+        game_id;
+      exit 2
+  | Some phi ->
+      let rng = Prob.Rng.create seed in
+      Printf.printf "game=%s n=%d, %d steps per run, 200 replicas\n"
+        (Games.Game.name game) n steps;
+      Printf.printf "%-28s  %14s\n" "schedule" "mean final Phi";
+      List.iter
+        (fun schedule ->
+          let quality =
+            Logit.Annealing.final_potential rng game phi schedule ~start:0
+              ~steps ~replicas:200
+          in
+          Printf.printf "%-28s  %14.4f\n"
+            (Format.asprintf "%a" Logit.Annealing.pp_schedule schedule)
+            quality)
+        [
+          Logit.Annealing.Constant 0.2;
+          Logit.Annealing.Constant 5.0;
+          Logit.Annealing.Linear { start = 0.; rate = 5. /. float_of_int steps };
+          Logit.Annealing.Logarithmic { scale = 1. };
+        ];
+      0
+
+(* --- sample (CFTP) -------------------------------------------------------- *)
+
+let sample_cmd_impl game_id n beta count seed =
+  let spec = find_game game_id in
+  let game, potential = spec.build ~n ~beta in
+  let space = Games.Game.space game in
+  let binary =
+    List.init (Games.Strategy_space.num_players space) (fun i ->
+        Games.Strategy_space.num_strategies space i)
+    |> List.for_all (( = ) 2)
+  in
+  if not binary then begin
+    Printf.eprintf "CFTP requires binary strategies; %S has more\n" game_id;
+    exit 2
+  end;
+  let rng = Prob.Rng.create seed in
+  Printf.printf
+    "# %d exact stationary samples (coupling from the past), beta=%g\n"
+    count beta;
+  let emp = Prob.Empirical.create (Games.Game.size game) in
+  let max_window = ref 0 in
+  for k = 1 to count do
+    let x, window = Logit.Perfect_sampling.coalescence_epoch rng game ~beta in
+    Prob.Empirical.add emp x;
+    if window > !max_window then max_window := window;
+    if k <= 10 then
+      Printf.printf "sample %2d: %s  (window %d)\n" k
+        (Format.asprintf "%a" Games.Strategy_space.pp_profile
+           (Games.Strategy_space.decode space x))
+        window
+  done;
+  Printf.printf "max backward window: %d steps\n" !max_window;
+  (match potential with
+  | Some phi when Games.Game.size game <= 1 lsl 16 ->
+      let pi = Logit.Gibbs.stationary space phi ~beta in
+      Printf.printf "TV(empirical, exact Gibbs) = %.4f over %d samples\n"
+        (Prob.Empirical.tv_against emp (Prob.Dist.of_weights pi))
+        count
+  | _ -> ());
+  0
+
+(* --- list --------------------------------------------------------------- *)
+
+let list_all () =
+  Printf.printf "games:\n";
+  List.iter (fun g -> Printf.printf "  %-18s %s\n" g.id g.doc) game_specs;
+  Printf.printf "\nexperiments:\n";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-4s %-24s %s\n" e.Experiments.Registry.id
+        e.Experiments.Registry.theorem e.Experiments.Registry.title)
+    Experiments.Registry.all;
+  0
+
+(* --- cmdliner wiring ----------------------------------------------------- *)
+
+let game_arg =
+  Arg.(value & pos 0 string "ring" & info [] ~docv:"GAME" ~doc:"Game id (see list).")
+
+let n_arg =
+  Arg.(value & opt int 6 & info [ "n"; "players" ] ~docv:"N" ~doc:"Number of players.")
+
+let beta_arg =
+  Arg.(value & opt float 1.0 & info [ "b"; "beta" ] ~docv:"BETA" ~doc:"Inverse noise.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let steps_arg =
+  Arg.(value & opt int 200 & info [ "steps" ] ~docv:"T" ~doc:"Trajectory length.")
+
+let eps_arg =
+  Arg.(value & opt float 0.25 & info [ "eps" ] ~docv:"EPS" ~doc:"TV threshold.")
+
+let count_arg =
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Eigenvalues to print.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shrink experiment sweeps.")
+
+let simulate_cmd =
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate a logit-dynamics trajectory")
+    Term.(const simulate $ game_arg $ n_arg $ beta_arg $ steps_arg $ seed_arg)
+
+let mixing_cmd =
+  Cmd.v (Cmd.info "mixing" ~doc:"Compute the exact mixing time")
+    Term.(const mixing $ game_arg $ n_arg $ beta_arg $ eps_arg)
+
+let spectrum_cmd =
+  Cmd.v (Cmd.info "spectrum" ~doc:"Print the spectrum of the logit chain")
+    Term.(const spectrum $ game_arg $ n_arg $ beta_arg $ count_arg)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"e1..e9 or all.")
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Run a reproduction experiment")
+    Term.(const experiment $ id_arg $ quick_arg)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List available games and experiments")
+    Term.(const list_all $ const ())
+
+let zeta_cmd =
+  Cmd.v (Cmd.info "zeta" ~doc:"Compute the potential barrier of a game")
+    Term.(const zeta $ game_arg $ n_arg)
+
+let cutwidth_cmd =
+  let kind_arg =
+    Arg.(value & pos 0 string "ring" & info [] ~docv:"GRAPH"
+           ~doc:"ring|path|clique|star|tree|grid")
+  in
+  Cmd.v (Cmd.info "cutwidth" ~doc:"Cutwidth of a topology (Thm 5.1 exponent)")
+    Term.(const cutwidth_cmd_impl $ kind_arg $ n_arg)
+
+let hitting_cmd =
+  Cmd.v
+    (Cmd.info "hitting" ~doc:"Expected hitting time of the potential minimum")
+    Term.(const hitting $ game_arg $ n_arg $ beta_arg)
+
+let sample_cmd =
+  let count_arg =
+    Arg.(value & opt int 1000 & info [ "count" ] ~docv:"K" ~doc:"Samples to draw.")
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Exact stationary samples via coupling from the past")
+    Term.(const sample_cmd_impl $ game_arg $ n_arg $ beta_arg $ count_arg $ seed_arg)
+
+let anneal_cmd =
+  let anneal_steps =
+    Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"T" ~doc:"Steps per run.")
+  in
+  Cmd.v (Cmd.info "anneal" ~doc:"Compare annealing schedules on a game")
+    Term.(const anneal $ game_arg $ n_arg $ anneal_steps $ seed_arg)
+
+let () =
+  let doc = "mixing-time toolkit for the logit dynamics of strategic games" in
+  let info = Cmd.info "logitdyn" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+       [ simulate_cmd; mixing_cmd; spectrum_cmd; experiment_cmd; list_cmd;
+         zeta_cmd; cutwidth_cmd; hitting_cmd; anneal_cmd; sample_cmd ]))

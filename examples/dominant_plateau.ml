@@ -1,0 +1,58 @@
+(* Dominant strategies cap the mixing time (Section 4).
+
+   For the Theorem 4.3 game the mixing time first grows with beta and
+   then saturates: unlike generic potential games, the noise can be
+   taken to zero without the dynamics losing ergodicity speed beyond
+   an absolute O(m^n n log n) ceiling. We contrast it with the
+   Theorem 3.5 potential family at the same sizes, whose mixing time
+   grows without bound.
+
+   Run with: dune exec examples/dominant_plateau.exe *)
+
+let () =
+  let players = 10 in
+  Printf.printf
+    "Mixing time vs beta: dominant-strategy game vs generic potential game\n\
+     (both n=%d, binary strategies; exact, via lumped chains)\n\n" players;
+  let curve = Games.Curve_game.create ~players ~global:2.5 ~local:0.5 in
+  Printf.printf "%6s  %22s  %22s\n" "beta" "dominant (Thm 4.3 game)"
+    "potential (Thm 3.5 game)";
+  List.iter
+    (fun beta ->
+      let dominant =
+        Logit.Lumping.dominant_lower_bound ~players ~strategies:2 ~beta
+      in
+      let generic = Logit.Lumping.curve ~game:curve ~beta in
+      let show bd =
+        match Markov.Birth_death.mixing_time_spectral bd with
+        | Some t -> string_of_int t
+        | None -> "huge"
+      in
+      Printf.printf "%6.1f  %22s  %22s\n" beta (show dominant) (show generic))
+    [ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ];
+  let lower = Logit.Bounds.thm43_tmix_lower ~n:players ~m:2 in
+  let upper = Logit.Bounds.thm42_tmix_upper ~n:players ~m:2 in
+  Printf.printf
+    "\nThe dominant game saturates inside [%.0f, %.0f] (Thms 4.3 / 4.2),\n\
+     while the potential game keeps growing like e^{beta * dPhi}.\n"
+    lower upper;
+
+  (* Best-response probability: why the plateau exists. With a dominant
+     profile, every player puts probability >= 1/m on the dominant
+     strategy at every beta (Observation 4.1). *)
+  let game = Games.Dominant.lower_bound_game ~players:4 ~strategies:2 in
+  Printf.printf
+    "\nObservation 4.1 check (n=4): min over profiles of sigma_i(0|x):\n";
+  List.iter
+    (fun beta ->
+      let worst = ref 1. in
+      Games.Strategy_space.iter (Games.Game.space game) (fun idx ->
+          for i = 0 to 3 do
+            let sigma =
+              Logit.Logit_dynamics.update_distribution game ~beta ~player:i idx
+            in
+            if sigma.(0) < !worst then worst := sigma.(0)
+          done);
+      Printf.printf "  beta=%5.1f  min sigma_i(0|x) = %.4f  (>= 1/m = 0.5)\n" beta
+        !worst)
+    [ 0.0; 1.0; 10.0 ]

@@ -1,0 +1,87 @@
+(* The Ising model as a graphical coordination game.
+
+   With delta0 = delta1 the coordination game has no risk-dominant
+   equilibrium and the logit dynamics coincides with single-site
+   Glauber dynamics on the Ising model (Section 1 and 5 of the paper).
+   We sweep the inverse temperature and watch (a) the stationary
+   magnetisation distribution and (b) the exact mixing time on a ring
+   versus the Theorem 5.6/5.7 envelope.
+
+   Run with: dune exec examples/ising_ring.exe *)
+
+let () =
+  let n = 10 in
+  let delta = 1.0 in
+  Printf.printf "Glauber/logit dynamics on the Ising ring, n=%d, delta=%g\n\n" n
+    delta;
+  let desc = Games.Graphical.ising ~delta (Graphs.Generators.ring n) in
+  let game = Games.Graphical.to_game desc in
+  let space = Games.Game.space game in
+  let phi = Games.Graphical.potential desc in
+  Printf.printf "%6s  %8s  %14s  %14s  %12s\n" "beta" "t_mix" "Thm 5.7 lower"
+    "Thm 5.6 upper" "E|magnetis.|";
+  List.iter
+    (fun beta ->
+      let chain = Logit.Logit_dynamics.chain game ~beta in
+      let pi = Logit.Gibbs.stationary space phi ~beta in
+      let tmix =
+        Markov.Mixing.mixing_time ~max_steps:1_000_000 chain pi
+          ~starts:[ Games.Graphical.all_zero desc; Games.Graphical.all_one desc ]
+      in
+      (* |magnetisation| = |#up - #down| / n under the Gibbs measure. *)
+      let mag = ref 0. in
+      Array.iteri
+        (fun idx p ->
+          let w = Games.Strategy_space.weight space idx in
+          mag :=
+            !mag
+            +. (p *. Float.abs (float_of_int ((2 * w) - n)) /. float_of_int n))
+        pi;
+      Printf.printf "%6.2f  %8s  %14.1f  %14.1f  %12.4f\n" beta
+        (match tmix with Some t -> string_of_int t | None -> ">1e6")
+        (Logit.Bounds.thm57_tmix_lower ~beta ~delta ())
+        (Logit.Bounds.thm56_tmix_upper ~n ~beta ~delta ())
+        !mag)
+    [ 0.0; 0.25; 0.5; 0.75; 1.0; 1.5; 2.0; 2.5 ];
+  Printf.printf
+    "\nMixing stays within the paper's e^{2*delta*beta} * n log n envelope;\n\
+     magnetisation rises towards 1 as beta grows (order without a phase\n\
+     transition: the ring is one-dimensional).\n";
+
+  (* Trajectory view: energy relaxation from the all-up start. *)
+  let rng = Prob.Rng.create 11 in
+  let beta = 1.5 in
+  let curve =
+    Logit.Dynamics.mean_potential_trajectory rng game phi ~beta
+      ~start:(Games.Graphical.all_one desc)
+      ~steps:400 ~replicas:50
+  in
+  let equilibrium = Logit.Gibbs.expected_potential space phi ~beta in
+  Printf.printf
+    "\nMean potential from the all-1 start at beta=%.1f (equilibrium %.3f):\n"
+    beta equilibrium;
+  List.iter
+    (fun t -> Printf.printf "  t=%4d  Phi = %8.3f\n" t curve.(t))
+    [ 0; 50; 100; 200; 400 ]
+
+(* Beyond enumeration: the transfer matrix gives exact equilibrium
+   observables for rings of any size. *)
+let () =
+  let delta = 1.0 in
+  let basic = Games.Coordination.of_deltas ~delta0:delta ~delta1:delta in
+  let phi a b = Games.Coordination.edge_potential basic a b in
+  Printf.printf
+    "\nTransfer-matrix exact equilibrium on the n=1000 ring (no enumeration):\n";
+  Printf.printf "%6s  %14s  %16s  %18s\n" "beta" "log Z / n"
+    "E[phi per edge]" "correlation length";
+  List.iter
+    (fun beta ->
+      let tm = Logit.Transfer_matrix.create ~strategies:2 ~beta phi in
+      Printf.printf "%6.2f  %14.6f  %16.6f  %18.3f\n" beta
+        (Logit.Transfer_matrix.log_partition tm ~n:1000 /. 1000.)
+        (Logit.Transfer_matrix.expected_edge_potential tm ~n:1000)
+        (Logit.Transfer_matrix.correlation_length tm))
+    [ 0.5; 1.0; 2.0; 3.0; 4.0 ];
+  Printf.printf
+    "\nThe correlation length stays finite at every beta: the 1-D system\n\
+     never orders, matching the slow-but-polynomial ring mixing of Thm 5.6.\n"

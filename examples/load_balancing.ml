@@ -1,0 +1,85 @@
+(* Load balancing as a congestion game under the logit dynamics.
+
+   n jobs each pick one of k identical links; the delay of a link is
+   its load. This is the singleton congestion game of Asadpour-Saberi
+   (cited in the paper's related work): a potential game via the
+   Rosenthal potential, whose equilibria are the balanced assignments.
+
+   We measure (a) the stationary expected social cost as a function of
+   beta - noise costs efficiency, and the gap closes as beta grows;
+   (b) the expected hitting time of a balanced configuration versus
+   the mixing time; and (c) autocorrelation of the social cost along
+   one trajectory, the practical convergence diagnostic.
+
+   Run with: dune exec examples/load_balancing.exe *)
+
+let () =
+  let players = 6 and links = 3 in
+  let cgame = Games.Congestion.linear_routing ~players ~links in
+  let game = Games.Congestion.to_game cgame in
+  let space = Games.Game.space game in
+  let phi = Games.Congestion.rosenthal cgame in
+  Printf.printf "Load balancing: %d jobs on %d identical links (delay = load)\n\n"
+    players links;
+
+  (* Optimal social cost: balanced loads of 2 -> each job pays 2. *)
+  let social_cost idx = -.Games.Game.social_welfare game idx in
+  let optimum =
+    let best = ref infinity in
+    Games.Strategy_space.iter space (fun idx ->
+        if social_cost idx < !best then best := social_cost idx);
+    !best
+  in
+  Printf.printf "optimal social cost = %g\n\n" optimum;
+
+  Printf.printf "%6s  %18s  %10s  %12s\n" "beta" "E_pi[social cost]" "t_mix"
+    "E[hit balanced]";
+  List.iter
+    (fun beta ->
+      let chain = Logit.Logit_dynamics.chain game ~beta in
+      let pi = Logit.Gibbs.stationary space phi ~beta in
+      let expected_cost =
+        let acc = ref 0. in
+        Array.iteri (fun idx p -> acc := !acc +. (p *. social_cost idx)) pi;
+        !acc
+      in
+      (* The slow mode is between BALANCED assignments (moving a job
+         between them costs a +1 imbalance), so a balanced profile is
+         the worst start; a monochromatic one covers the other
+         extreme. *)
+      let balanced =
+        Games.Strategy_space.encode space
+          (Array.init players (fun i -> i * links / players))
+      in
+      let monochromatic =
+        Games.Strategy_space.encode space (Array.make players 0)
+      in
+      let tmix =
+        Markov.Mixing.mixing_time ~max_steps:1_000_000 chain pi
+          ~starts:[ balanced; monochromatic ]
+      in
+      let hit =
+        Markov.Hitting.worst_expected_time chain ~target:(fun idx ->
+            social_cost idx <= optimum +. 1e-9)
+      in
+      Printf.printf "%6.2f  %18.4f  %10s  %12.2f\n" beta expected_cost
+        (match tmix with Some t -> string_of_int t | None -> ">1e6")
+        hit)
+    [ 0.0; 0.5; 1.0; 2.0; 4.0; 8.0 ];
+  Printf.printf
+    "\nThe equilibrium cost approaches the optimum as beta grows, and the\n\
+     balanced configurations are hit quickly at every beta: the barrier is\n\
+     only one migration step high, the mildest Thm 3.8 case.\n\n";
+
+  (* The barrier equals one unit of delay: moving between balanced
+     assignments costs a single +1 imbalance. *)
+  Printf.printf "zeta = %g = one migration step (t_mix ~ e^{beta*zeta})\n"
+    (Logit.Barrier.zeta space phi);
+  let rng = Prob.Rng.create 3 in
+  let traj = Logit.Logit_dynamics.trajectory rng game ~beta:2.0 ~start:0 ~steps:20_000 in
+  let costs = Array.map social_cost traj in
+  Printf.printf
+    "trajectory diagnostics at beta=2: tau_int = %.1f steps, ESS = %.0f of %d\n"
+    (Prob.Autocorr.integrated_time costs)
+    (Prob.Autocorr.effective_sample_size costs)
+    (Array.length costs)

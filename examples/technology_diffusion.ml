@@ -1,0 +1,66 @@
+(* Technology diffusion on a social network (the motivating application
+   of Section 5: Young 2003, Montanari & Saberi 2009).
+
+   Players on a graph play a coordination game with every neighbour;
+   strategy 1 is a new technology with a higher coordination payoff
+   (delta1 > delta0, so "everyone adopts" is the risk-dominant
+   equilibrium). Starting from nobody-adopts, we watch the logit
+   dynamics spread the technology and measure the adoption hitting
+   time on different network topologies — local interaction (ring)
+   adopts fast, global interaction (clique) is stuck behind an
+   energy barrier, exactly the clique-vs-ring contrast of the paper.
+
+   Run with: dune exec examples/technology_diffusion.exe *)
+
+let adoption_fraction space idx =
+  float_of_int (Games.Strategy_space.weight space idx)
+  /. float_of_int (Games.Strategy_space.num_players space)
+
+let diffusion_run ~name graph ~beta ~max_steps rng =
+  (* New technology (strategy 1) has the higher payoff: delta1 > delta0. *)
+  let basic = Games.Coordination.of_deltas ~delta0:0.6 ~delta1:1.0 in
+  let desc = Games.Graphical.create graph basic in
+  let game = Games.Graphical.to_game desc in
+  let space = Games.Game.space game in
+  let target = Games.Graphical.all_one desc in
+  let hit =
+    Logit.Dynamics.hitting_time rng game ~beta ~start:0
+      ~target:(fun idx -> idx = target)
+      ~max_steps
+  in
+  let updates_per_player t =
+    float_of_int t /. float_of_int (Graphs.Graph.num_vertices graph)
+  in
+  (match hit with
+  | Some t ->
+      Printf.printf "  %-12s full adoption after %7d steps (%.1f updates/player)\n"
+        name t (updates_per_player t)
+  | None ->
+      Printf.printf "  %-12s no full adoption within %d steps\n" name max_steps);
+  (* Mean adoption curve over replicas. *)
+  let curve =
+    Logit.Dynamics.mean_potential_trajectory rng game
+      (adoption_fraction space)
+      ~beta ~start:0 ~steps:2_000 ~replicas:20
+  in
+  Printf.printf "  %-12s mean adoption at t=0/500/1000/2000: %.2f %.2f %.2f %.2f\n"
+    name curve.(0) curve.(500) curve.(1000) curve.(2000)
+
+let () =
+  let rng = Prob.Rng.create 2026 in
+  let n = 12 in
+  let beta = 2.0 in
+  Printf.printf
+    "Technology diffusion, n=%d players, beta=%g, new technology favoured\n\
+     (delta1=1.0 vs delta0=0.6); start: nobody has adopted.\n\n" n beta;
+  List.iter
+    (fun (name, graph) -> diffusion_run ~name graph ~beta ~max_steps:300_000 rng)
+    [
+      ("ring", Graphs.Generators.ring n);
+      ("grid-3x4", Graphs.Generators.grid 3 4);
+      ("tree", Graphs.Generators.binary_tree n);
+      ("clique", Graphs.Generators.clique n);
+    ];
+  Printf.printf
+    "\nAs predicted (Ellison 93; Sec. 5 of the paper), sparse local graphs\n\
+     adopt quickly while the clique must jump a Theta(n^2)-deep barrier.\n"

@@ -1,0 +1,59 @@
+type schedule =
+  | Constant of float
+  | Linear of { start : float; rate : float }
+  | Exponential of { start : float; factor : float }
+  | Logarithmic of { scale : float }
+
+let beta_at schedule t =
+  if t < 0 then invalid_arg "Annealing.beta_at: negative time";
+  let tf = float_of_int t in
+  match schedule with
+  | Constant c ->
+      if c < 0. then invalid_arg "Annealing: negative beta";
+      c
+  | Linear { start; rate } ->
+      if start < 0. || rate < 0. then invalid_arg "Annealing: negative parameter";
+      start +. (rate *. tf)
+  | Exponential { start; factor } ->
+      if start < 0. || factor < 1. then
+        invalid_arg "Annealing: need start >= 0 and factor >= 1";
+      start *. (factor ** tf)
+  | Logarithmic { scale } ->
+      if scale <= 0. then invalid_arg "Annealing: need positive scale";
+      log (1. +. tf) /. scale
+
+let pp_schedule ppf = function
+  | Constant c -> Format.fprintf ppf "constant(%g)" c
+  | Linear { start; rate } -> Format.fprintf ppf "linear(%g + %g t)" start rate
+  | Exponential { start; factor } ->
+      Format.fprintf ppf "exponential(%g * %g^t)" start factor
+  | Logarithmic { scale } -> Format.fprintf ppf "log(1+t)/%g" scale
+
+let trajectory rng game schedule ~start ~steps =
+  if steps < 0 then invalid_arg "Annealing.trajectory: negative steps";
+  let out = Array.make (steps + 1) start in
+  for t = 1 to steps do
+    let beta = beta_at schedule (t - 1) in
+    out.(t) <- Logit_dynamics.step rng game ~beta out.(t - 1)
+  done;
+  out
+
+let hitting_minimum rng game phi schedule ~start ~max_steps =
+  let space = Games.Game.space game in
+  let vmin, _, _, _ = Games.Potential.extrema space phi in
+  let is_min idx = phi idx <= vmin +. 1e-12 in
+  let rec go state t =
+    if is_min state then Some t
+    else if t >= max_steps then None
+    else go (Logit_dynamics.step rng game ~beta:(beta_at schedule t) state) (t + 1)
+  in
+  go start 0
+
+let final_potential rng game phi schedule ~start ~steps ~replicas =
+  if replicas < 1 then invalid_arg "Annealing.final_potential";
+  let total = ref 0. in
+  for _ = 1 to replicas do
+    let traj = trajectory rng game schedule ~start ~steps in
+    total := !total +. phi traj.(steps)
+  done;
+  !total /. float_of_int replicas

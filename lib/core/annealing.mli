@@ -1,0 +1,40 @@
+(** Time-varying inverse noise ("learning process" variant from the
+    paper's conclusions): the logit dynamics with β = β(t).
+
+    With a logarithmic schedule this is classical simulated annealing;
+    the experiments compare schedules by their hitting time of the
+    potential minimiser and the quality of the final profile. *)
+
+type schedule =
+  | Constant of float  (** β(t) = c *)
+  | Linear of { start : float; rate : float }
+      (** β(t) = start + rate·t *)
+  | Exponential of { start : float; factor : float }
+      (** β(t) = start · factorᵗ, [factor >= 1] *)
+  | Logarithmic of { scale : float }
+      (** β(t) = log(1 + t)/scale — the classical SA guarantee shape *)
+
+(** [beta_at schedule t] is β(t) for step [t >= 0]. Raises
+    [Invalid_argument] on negative [t] or invalid parameters. *)
+val beta_at : schedule -> int -> float
+
+(** [pp_schedule] prints a schedule. *)
+val pp_schedule : Format.formatter -> schedule -> unit
+
+(** [trajectory rng game schedule ~start ~steps] runs the
+    inhomogeneous dynamics, applying β(t) at step t. *)
+val trajectory :
+  Prob.Rng.t -> Games.Game.t -> schedule -> start:int -> steps:int -> int array
+
+(** [hitting_minimum rng game phi schedule ~start ~max_steps] is the
+    first time a global potential minimiser is visited. *)
+val hitting_minimum :
+  Prob.Rng.t -> Games.Game.t -> (int -> float) -> schedule -> start:int ->
+  max_steps:int -> int option
+
+(** [final_potential rng game phi schedule ~start ~steps ~replicas] is
+    the mean of φ(X_steps) over replicas — the annealing quality
+    metric. *)
+val final_potential :
+  Prob.Rng.t -> Games.Game.t -> (int -> float) -> schedule -> start:int ->
+  steps:int -> replicas:int -> float

@@ -1,0 +1,43 @@
+(** Potential-barrier quantities (paper, Section 3.4).
+
+    For a path γ = (x₀, ..., x_k) in the Hamming graph with
+    Φ(x₀) ≥ Φ(x_k), ζ(γ) = max_i Φ(x_i) - Φ(x₀); ζ(x,y) is the
+    minimum over paths and ζ = max over pairs. Theorems 3.8/3.9 show
+    t_mix = exp(βζ(1±o(1))) for large β.
+
+    ζ is computed exactly by a watershed/merge-tree sweep: profiles
+    are processed in order of increasing potential while a union–find
+    structure tracks connected components of the sub-level sets, each
+    remembering its minimum; when two components merge at height h the
+    pair formed by their minima realises a barrier of
+    h - max(min₁, min₂), and ζ is the maximum such value over all
+    merges. This is O(|S| (log |S| + n·m α)) — exact and fast even
+    when the all-pairs definition looks quartic. A quadratic
+    widest-path (minimax Dijkstra) reference implementation is
+    provided for cross-validation. *)
+
+(** [zeta space phi] is ζ for the potential [phi] on [space]. Always
+    ≥ 0; equal to 0 exactly when every sub-level set is connected. *)
+val zeta : Games.Strategy_space.t -> (int -> float) -> float
+
+(** [widest_path_from space phi src] is, for every profile y, the
+    minimax height W(src, y) = min over paths of the maximum potential
+    along the path (including endpoints). Dijkstra with max-relaxation;
+    O(|S|·n·m·log|S|) per source. *)
+val widest_path_from :
+  Games.Strategy_space.t -> (int -> float) -> int -> float array
+
+(** [zeta_brute space phi] recomputes ζ from all-pairs widest paths —
+    O(|S|²·n·m·log|S|); test oracle only. *)
+val zeta_brute : Games.Strategy_space.t -> (int -> float) -> float
+
+(** [zeta_of_weight_potential ~players phi_of_weight] is ζ for a
+    weight-symmetric potential on the binary cube, computed on the
+    1-dimensional weight path: the cube's sub-level sets are unions of
+    weight shells, so the barrier structure collapses onto {0..n}. *)
+val zeta_of_weight_potential : players:int -> (int -> float) -> float
+
+(** [zeta_clique ~n ~delta0 ~delta1] is the closed-form
+    ζ = Φ_max - max(Φ(0), Φ(1)) of the clique game (Section 5.2);
+    with the paper's convention δ₀ ≥ δ₁ this is Φ_max - Φ(1). *)
+val zeta_clique : n:int -> delta0:float -> delta1:float -> float

@@ -1,0 +1,51 @@
+open Games
+
+let random_best_response rng game player idx =
+  let responses = Game.best_responses game player idx in
+  let k = List.length responses in
+  List.nth responses (if k = 1 then 0 else Prob.Rng.int rng k)
+
+let step rng game idx =
+  let space = Game.space game in
+  let player = Prob.Rng.int rng (Strategy_space.num_players space) in
+  let a = random_best_response rng game player idx in
+  Strategy_space.replace space idx player a
+
+let run_until_nash rng game ~start ~max_steps =
+  let rec go state steps =
+    if Game.is_pure_nash game state then Some (state, steps)
+    else if steps >= max_steps then None
+    else go (step rng game state) (steps + 1)
+  in
+  go start 0
+
+let absorption_histogram rng game ~start ~replicas ~max_steps =
+  if replicas < 1 then invalid_arg "Best_response.absorption_histogram";
+  let counts = Hashtbl.create 8 in
+  for _ = 1 to replicas do
+    match run_until_nash rng game ~start ~max_steps with
+    | Some (profile, _) ->
+        Hashtbl.replace counts profile
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts profile))
+    | None -> ()
+  done;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+
+let chain game =
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  let inv_n = 1. /. float_of_int n in
+  Markov.Chain.of_function (Game.size game) (fun idx ->
+      let self = ref 0. in
+      let entries = ref [] in
+      for i = 0 to n - 1 do
+        let responses = Game.best_responses game i idx in
+        let p = inv_n /. float_of_int (List.length responses) in
+        List.iter
+          (fun a ->
+            let target = Strategy_space.replace space idx i a in
+            if target = idx then self := !self +. p
+            else entries := (target, p) :: !entries)
+          responses
+      done;
+      if !self > 0. then (idx, !self) :: !entries else !entries)

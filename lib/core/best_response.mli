@@ -1,0 +1,32 @@
+(** Asynchronous best-response dynamics — the β = ∞ limit of the logit
+    dynamics (paper, Section 1; parallel version in [17]).
+
+    At each step a uniformly random player moves to a uniformly random
+    best response against the current profile. For potential games
+    this is an absorbing process on the pure Nash equilibria; for
+    games without PNE (matching pennies) it walks forever. Provided as
+    the classical baseline the logit dynamics generalises. *)
+
+(** [step rng game idx] performs one best-response update (the moving
+    player randomises uniformly over her best-response set, so she may
+    stay put when already best-responding). *)
+val step : Prob.Rng.t -> Games.Game.t -> int -> int
+
+(** [run_until_nash rng game ~start ~max_steps] iterates until a pure
+    Nash equilibrium is reached; [Some (profile, steps)] on success. *)
+val run_until_nash :
+  Prob.Rng.t -> Games.Game.t -> start:int -> max_steps:int -> (int * int) option
+
+(** [absorption_histogram rng game ~start ~replicas ~max_steps] counts
+    which PNE absorbs each replica — the β = ∞ analogue of the Gibbs
+    measure's equilibrium selection. Censored replicas are dropped;
+    the result maps profile index to absorption count. *)
+val absorption_histogram :
+  Prob.Rng.t -> Games.Game.t -> start:int -> replicas:int -> max_steps:int ->
+  (int * int) list
+
+(** [chain game] is the best-response Markov chain (uniform player,
+    uniform best response). Its absorbing classes are the PNE of
+    potential games; it is NOT ergodic in general — use the logit
+    chain for mixing questions. *)
+val chain : Games.Game.t -> Markov.Chain.t

@@ -1,0 +1,92 @@
+let check_game_dims name n m =
+  if n < 1 || m < 1 then invalid_arg ("Bounds." ^ name ^ ": need n, m >= 1")
+
+let check_beta name beta =
+  if beta < 0. then invalid_arg ("Bounds." ^ name ^ ": beta must be non-negative")
+
+let lemma33_trel_upper ~n ~m ~beta ~delta_phi =
+  check_game_dims "lemma33_trel_upper" n m;
+  check_beta "lemma33_trel_upper" beta;
+  2. *. float_of_int m *. float_of_int n *. exp (beta *. delta_phi)
+
+let thm34_log_tmix_upper ?(eps = 0.25) ~n ~m ~beta ~delta_phi () =
+  check_game_dims "thm34_log_tmix_upper" n m;
+  check_beta "thm34_log_tmix_upper" beta;
+  let nf = float_of_int n and mf = float_of_int m in
+  log (2. *. mf *. nf)
+  +. (beta *. delta_phi)
+  +. log (log (1. /. eps) +. (beta *. delta_phi) +. (nf *. log mf))
+
+let thm34_tmix_upper ?eps ~n ~m ~beta ~delta_phi () =
+  exp (thm34_log_tmix_upper ?eps ~n ~m ~beta ~delta_phi ())
+
+let thm36_beta_threshold ~c ~n ~delta_local =
+  if c <= 0. || c >= 1. then invalid_arg "Bounds.thm36_beta_threshold: need 0 < c < 1";
+  if delta_local <= 0. then invalid_arg "Bounds.thm36_beta_threshold: delta_local > 0";
+  c /. (float_of_int n *. delta_local)
+
+let thm36_tmix_upper ?(eps = 0.25) ~c ~n () =
+  if c <= 0. || c >= 1. then invalid_arg "Bounds.thm36_tmix_upper: need 0 < c < 1";
+  let nf = float_of_int n in
+  nf *. (log nf +. log (1. /. eps)) /. (1. -. c)
+
+let thm38_log_tmix_upper ~beta ~zeta =
+  check_beta "thm38_log_tmix_upper" beta;
+  beta *. zeta
+
+let lemma37_trel_upper ~n ~m ~beta ~zeta =
+  check_game_dims "lemma37_trel_upper" n m;
+  check_beta "lemma37_trel_upper" beta;
+  let nf = float_of_int n and mf = float_of_int m in
+  nf *. (mf ** ((2. *. nf) +. 1.)) *. exp (beta *. zeta)
+
+let thm39_log_tmix_lower ~beta ~zeta =
+  check_beta "thm39_log_tmix_lower" beta;
+  beta *. zeta
+
+let thm42_tmix_upper ~n ~m =
+  check_game_dims "thm42_tmix_upper" n m;
+  let nf = float_of_int n and mf = float_of_int m in
+  (2. *. (mf ** nf) *. log 4. *. ((2. *. nf *. log nf) +. 1.)) +. 1.
+
+let thm43_tmix_lower ~n ~m =
+  check_game_dims "thm43_tmix_lower" n m;
+  if m < 2 then invalid_arg "Bounds.thm43_tmix_lower: need m >= 2";
+  let mf = float_of_int m and nf = float_of_int n in
+  ((mf ** nf) -. 1.) /. (4. *. (mf -. 1.))
+
+let thm51_log_tmix_upper ~n ~beta ~cutwidth ~delta0 ~delta1 =
+  check_beta "thm51_log_tmix_upper" beta;
+  if n < 1 || cutwidth < 0 then invalid_arg "Bounds.thm51_log_tmix_upper";
+  let nf = float_of_int n in
+  log (2. *. (nf ** 3.))
+  +. (float_of_int cutwidth *. (delta0 +. delta1) *. beta)
+  +. log ((nf *. delta0 *. beta) +. 1.)
+
+let thm51_tmix_upper ~n ~beta ~cutwidth ~delta0 ~delta1 =
+  exp (thm51_log_tmix_upper ~n ~beta ~cutwidth ~delta0 ~delta1)
+
+let thm55_exponent ~n ~beta ~delta0 ~delta1 =
+  check_beta "thm55_exponent" beta;
+  if not (delta0 >= delta1) then
+    invalid_arg "Bounds.thm55_exponent: paper convention requires delta0 >= delta1";
+  beta *. Barrier.zeta_clique ~n ~delta0 ~delta1
+
+let thm56_tmix_upper ?(eps = 0.25) ~n ~beta ~delta () =
+  check_beta "thm56_tmix_upper" beta;
+  if n < 3 then invalid_arg "Bounds.thm56_tmix_upper: ring needs n >= 3";
+  let nf = float_of_int n in
+  (log nf +. log (1. /. eps)) *. nf *. (1. +. exp (2. *. delta *. beta)) /. 2.
+
+let thm57_tmix_lower ?(eps = 0.25) ~beta ~delta () =
+  check_beta "thm57_tmix_lower" beta;
+  (1. -. (2. *. eps)) *. (1. +. exp (2. *. delta *. beta)) /. 2.
+
+let tmix_of_trel_upper ~trel ~pi_min ~eps =
+  if trel <= 0. || pi_min <= 0. || eps <= 0. then
+    invalid_arg "Bounds.tmix_of_trel_upper";
+  trel *. log (1. /. (eps *. pi_min))
+
+let tmix_of_trel_lower ~trel ~eps =
+  if trel <= 0. || eps <= 0. then invalid_arg "Bounds.tmix_of_trel_lower";
+  Float.max 0. ((trel -. 1.) *. log (1. /. (2. *. eps)))

@@ -1,0 +1,88 @@
+(** Closed-form theorem bounds from the paper.
+
+    Every bound is implemented exactly as stated so that experiments
+    can print measured-vs-bound columns. Quantities that overflow
+    [float] for large β are also offered in log form. *)
+
+(** {1 Section 3 — potential games} *)
+
+(** [lemma33_trel_upper ~n ~m ~beta ~delta_phi] is the Lemma 3.3
+    relaxation-time bound 2mn·exp(βΔΦ). *)
+val lemma33_trel_upper : n:int -> m:int -> beta:float -> delta_phi:float -> float
+
+(** [thm34_tmix_upper ?eps ~n ~m ~beta ~delta_phi ()] is the Theorem
+    3.4 mixing-time bound
+    2mn·exp(βΔΦ)·(log(1/ε) + βΔΦ + n·log m), default ε = 1/4. *)
+val thm34_tmix_upper :
+  ?eps:float -> n:int -> m:int -> beta:float -> delta_phi:float -> unit -> float
+
+(** [thm34_log_tmix_upper ?eps ~n ~m ~beta ~delta_phi ()] is its
+    natural logarithm, safe for large β. *)
+val thm34_log_tmix_upper :
+  ?eps:float -> n:int -> m:int -> beta:float -> delta_phi:float -> unit -> float
+
+(** [thm36_beta_threshold ~c ~n ~delta_local] is the largest β covered
+    by Theorem 3.6, c/(n·δΦ) (requires 0 < c < 1). *)
+val thm36_beta_threshold : c:float -> n:int -> delta_local:float -> float
+
+(** [thm36_tmix_upper ?eps ~c ~n ()] is the explicit path-coupling
+    bound of Theorem 3.6, n·(log n + log(1/ε))/(1-c). *)
+val thm36_tmix_upper : ?eps:float -> c:float -> n:int -> unit -> float
+
+(** [thm38_log_tmix_upper ~beta ~zeta] is βζ — the log of the leading
+    factor of the Theorem 3.8 upper bound exp(βζ(1+o(1))). *)
+val thm38_log_tmix_upper : beta:float -> zeta:float -> float
+
+(** [lemma37_trel_upper ~n ~m ~beta ~zeta] is the Lemma 3.7 bound
+    n·m^(2n+1)·exp(βζ). *)
+val lemma37_trel_upper : n:int -> m:int -> beta:float -> zeta:float -> float
+
+(** [thm39_log_tmix_lower ~beta ~zeta] is βζ — the log of the leading
+    factor of the Theorem 3.9 lower bound exp(βζ(1-o(1))). *)
+val thm39_log_tmix_lower : beta:float -> zeta:float -> float
+
+(** {1 Section 4 — dominant strategies} *)
+
+(** [thm42_tmix_upper ~n ~m] is the β-independent upper bound
+    2·mⁿ·ln 4·(2n·ln n + 1) implied by the Theorem 4.2 proof (the
+    O(mⁿ·n log n) with its constants made explicit: k = 2mⁿ·ln 4
+    phases of t* = 2n·ln n steps, plus one step so the n = 1 edge case
+    stays positive). *)
+val thm42_tmix_upper : n:int -> m:int -> float
+
+(** [thm43_tmix_lower ~n ~m] is the Theorem 4.3 bound
+    (mⁿ - 1)/(4(m-1)). *)
+val thm43_tmix_lower : n:int -> m:int -> float
+
+(** {1 Section 5 — graphical coordination games} *)
+
+(** [thm51_tmix_upper ~n ~beta ~cutwidth ~delta0 ~delta1] is the
+    Theorem 5.1 bound 2n³·exp(χ(G)(δ₀+δ₁)β)·(nδ₀β + 1). *)
+val thm51_tmix_upper :
+  n:int -> beta:float -> cutwidth:int -> delta0:float -> delta1:float -> float
+
+(** [thm51_log_tmix_upper ~n ~beta ~cutwidth ~delta0 ~delta1]: its
+    logarithm. *)
+val thm51_log_tmix_upper :
+  n:int -> beta:float -> cutwidth:int -> delta0:float -> delta1:float -> float
+
+(** [thm55_exponent ~n ~beta ~delta0 ~delta1] is β(Φ_max - Φ(1)), the
+    common exponent of the Theorem 5.5 clique bounds. *)
+val thm55_exponent : n:int -> beta:float -> delta0:float -> delta1:float -> float
+
+(** [thm56_tmix_upper ?eps ~n ~beta ~delta ()] is the explicit
+    path-coupling bound of Theorem 5.6 for the ring,
+    (log n + log(1/ε))·n·(1 + exp(2δβ))/2. *)
+val thm56_tmix_upper : ?eps:float -> n:int -> beta:float -> delta:float -> unit -> float
+
+(** [thm57_tmix_lower ?eps ~beta ~delta ()] is the Theorem 5.7 ring
+    lower bound (1-2ε)·(1 + exp(2δβ))/2. *)
+val thm57_tmix_lower : ?eps:float -> beta:float -> delta:float -> unit -> float
+
+(** {1 Generic spectral/bottleneck conversions (Theorems 2.3, 2.7)} *)
+
+(** [tmix_of_trel_upper ~trel ~pi_min ~eps] is t_rel·log(1/(ε·π_min)). *)
+val tmix_of_trel_upper : trel:float -> pi_min:float -> eps:float -> float
+
+(** [tmix_of_trel_lower ~trel ~eps] is (t_rel - 1)·log(1/(2ε)). *)
+val tmix_of_trel_lower : trel:float -> eps:float -> float

@@ -1,0 +1,95 @@
+open Games
+
+let bit_fixing_family space ~order =
+  let n = Strategy_space.num_players space in
+  if Array.length order <> n then
+    invalid_arg "Comparison.bit_fixing_family: order length mismatch";
+  fun x y ->
+    if x = y then []
+    else begin
+      let path = ref [] in
+      let current = ref x in
+      Array.iter
+        (fun i ->
+          let target = Strategy_space.player_strategy space y i in
+          if Strategy_space.player_strategy space !current i <> target then begin
+            let next = Strategy_space.replace space !current i target in
+            path := (!current, next) :: !path;
+            current := next
+          end)
+        order;
+      List.rev !path
+    end
+
+let lemma54_congestion desc ~beta ~order =
+  let game = Graphical.to_game desc in
+  let space = Game.space game in
+  let chain = Logit_dynamics.chain game ~beta in
+  let pi = Gibbs.stationary space (Graphical.potential desc) ~beta in
+  let rho = Markov.Paths.congestion chain pi (bit_fixing_family space ~order) in
+  let n = Strategy_space.num_players space in
+  let chi = Graphs.Cutwidth.of_ordering (Graphical.graph desc) order in
+  let basic = Graphical.basic desc in
+  let d0 = Coordination.delta0 basic and d1 = Coordination.delta1 basic in
+  let bound =
+    2. *. float_of_int (n * n) *. exp (float_of_int chi *. (d0 +. d1) *. beta)
+  in
+  (rho, bound)
+
+let fiber_minimizer game phi idx player =
+  let space = Game.space game in
+  let m = Strategy_space.num_strategies space player in
+  let best = ref (Strategy_space.replace space idx player 0) in
+  for a = 1 to m - 1 do
+    let candidate = Strategy_space.replace space idx player a in
+    if phi candidate < phi !best then best := candidate
+  done;
+  !best
+
+let differing_player space x y =
+  let n = Strategy_space.num_players space in
+  let found = ref None in
+  for i = 0 to n - 1 do
+    if Strategy_space.player_strategy space x i <> Strategy_space.player_strategy space y i
+    then
+      match !found with
+      | None -> found := Some i
+      | Some _ -> invalid_arg "Comparison: pair differs in more than one player"
+  done;
+  match !found with
+  | Some i -> i
+  | None -> invalid_arg "Comparison: pair does not differ"
+
+let admissible_detour_family game phi =
+  let space = Game.space game in
+  fun x y ->
+    if x = y then []
+    else begin
+      let player = differing_player space x y in
+      let z = fiber_minimizer game phi x player in
+      if z = x || z = y then [ (x, y) ]
+      else [ (x, z); (z, y) ]
+    end
+
+let lemma33_comparison game phi ~beta =
+  let space = Game.space game in
+  let chain = Logit_dynamics.chain game ~beta in
+  let pi = Gibbs.stationary space phi ~beta in
+  let reference_chain = Logit_dynamics.chain game ~beta:0. in
+  let reference_pi =
+    Array.make (Game.size game) (1. /. float_of_int (Game.size game))
+  in
+  let alpha, gamma =
+    Markov.Paths.comparison_congestion chain pi
+      ~reference:(reference_chain, reference_pi)
+      (admissible_detour_family game phi)
+  in
+  (* Exact relaxation time of M^0 (Lemma 3.2 bounds it by n; the true
+     value is what the comparison actually transfers). *)
+  let trel0 = Markov.Spectral.relaxation_time reference_chain reference_pi in
+  let n = Game.num_players game and m = Game.max_strategies game in
+  let closed_form =
+    Bounds.lemma33_trel_upper ~n ~m ~beta
+      ~delta_phi:(Potential.delta_global space phi)
+  in
+  (alpha, gamma, alpha *. gamma *. trel0, closed_form)

@@ -1,0 +1,42 @@
+(** The concrete path families from the paper's proofs, evaluated
+    exactly.
+
+    Lemma 3.3 compares M^β against M^0 through 2-step detours via the
+    fiber's potential minimiser; Theorem 5.1 (via Lemma 5.4) uses
+    bit-fixing canonical paths along a vertex ordering ℓ, with
+    congestion controlled by the cutwidth χ(ℓ). Computing these
+    congestions exactly lets the experiment suite confirm not only the
+    theorem statements but the quantitative content of their proofs. *)
+
+(** [bit_fixing_family space ~order] is the canonical path family
+    Γ^ℓ of Theorem 5.1: the path from x to y rewrites the coordinates
+    in which they differ, in the order given by the permutation
+    [order]. Paths run along Hamming edges (valid for any logit
+    chain, whose support includes all unilateral deviations). *)
+val bit_fixing_family :
+  Games.Strategy_space.t -> order:int array -> Markov.Paths.family
+
+(** [lemma54_congestion desc ~beta ~order] is
+    [(rho, bound)] — the exact congestion of Γ^ℓ on the logit chain of
+    the graphical coordination game [desc], and the Lemma 5.4 bound
+    2n²·exp(χ(ℓ)(δ₀+δ₁)β). Lemma 5.4 asserts rho ≤ bound. *)
+val lemma54_congestion :
+  Games.Graphical.t -> beta:float -> order:int array -> float * float
+
+(** [admissible_detour_family game phi] is the Lemma 3.3 assignment:
+    for profiles x, y differing in one player's strategy, the direct
+    edge if it is {e admissible} (one endpoint minimises φ over the
+    shared fiber), otherwise the two admissible edges through the
+    fiber's minimiser. Defined exactly on the edges of M⁰ (unilateral
+    deviations); other pairs raise [Invalid_argument]. *)
+val admissible_detour_family :
+  Games.Game.t -> (int -> float) -> Markov.Paths.family
+
+(** [lemma33_comparison game phi ~beta] evaluates the Theorem 2.5
+    comparison of M^β against M^0 with the Lemma 3.3 paths: returns
+    [(alpha, gamma, implied, closed_form)] where [implied] =
+    α·γ·t⁰_rel is the relaxation-time bound produced by the argument
+    (using the exact t⁰_rel of M⁰) and [closed_form] is the Lemma 3.3
+    answer 2mn·exp(βΔΦ). *)
+val lemma33_comparison :
+  Games.Game.t -> (int -> float) -> beta:float -> float * float * float * float

@@ -1,0 +1,84 @@
+open Games
+
+let interval_coupling game ~beta rng (x, y) =
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  let player = Prob.Rng.int rng n in
+  if x = y then begin
+    let sigma = Logit_dynamics.update_distribution game ~beta ~player x in
+    let a = Prob.Rng.categorical rng sigma in
+    let z = Strategy_space.replace space x player a in
+    (z, z)
+  end
+  else begin
+    let sx = Logit_dynamics.update_distribution game ~beta ~player x in
+    let sy = Logit_dynamics.update_distribution game ~beta ~player y in
+    let m = Array.length sx in
+    let common = Array.init m (fun a -> Float.min sx.(a) sy.(a)) in
+    let overlap = Array.fold_left ( +. ) 0. common in
+    if overlap >= 1. -. 1e-12 || Prob.Rng.float rng < overlap then begin
+      let a = Prob.Rng.categorical rng common in
+      ( Strategy_space.replace space x player a,
+        Strategy_space.replace space y player a )
+    end
+    else begin
+      let residual s = Array.init m (fun a -> Float.max 0. (s.(a) -. common.(a))) in
+      let ax = Prob.Rng.categorical rng (residual sx) in
+      let ay = Prob.Rng.categorical rng (residual sy) in
+      ( Strategy_space.replace space x player ax,
+        Strategy_space.replace space y player ay )
+    end
+  end
+
+let threshold_coupling game ~beta rng (x, y) =
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  for i = 0 to n - 1 do
+    if Strategy_space.num_strategies space i <> 2 then
+      invalid_arg "Dynamics.threshold_coupling: binary strategies required"
+  done;
+  let player = Prob.Rng.int rng n in
+  let u = Prob.Rng.float rng in
+  let move state =
+    let sigma = Logit_dynamics.update_distribution game ~beta ~player state in
+    let a = if u <= sigma.(0) then 0 else 1 in
+    Strategy_space.replace space state player a
+  in
+  (move x, move y)
+
+let hitting_time rng game ~beta ~start ~target ~max_steps =
+  let rec go state step =
+    if target state then Some step
+    else if step >= max_steps then None
+    else go (Logit_dynamics.step rng game ~beta state) (step + 1)
+  in
+  go start 0
+
+let occupancy rng game ~beta ~start ~burn_in ~samples ~thin =
+  if burn_in < 0 || samples < 1 || thin < 1 then invalid_arg "Dynamics.occupancy";
+  let emp = Prob.Empirical.create (Game.size game) in
+  let state = ref start in
+  for _ = 1 to burn_in do
+    state := Logit_dynamics.step rng game ~beta !state
+  done;
+  for _ = 1 to samples do
+    for _ = 1 to thin do
+      state := Logit_dynamics.step rng game ~beta !state
+    done;
+    Prob.Empirical.add emp !state
+  done;
+  emp
+
+let mean_potential_trajectory rng game phi ~beta ~start ~steps ~replicas =
+  if steps < 0 || replicas < 1 then
+    invalid_arg "Dynamics.mean_potential_trajectory";
+  let acc = Array.make (steps + 1) 0. in
+  for _ = 1 to replicas do
+    let state = ref start in
+    acc.(0) <- acc.(0) +. phi !state;
+    for t = 1 to steps do
+      state := Logit_dynamics.step rng game ~beta !state;
+      acc.(t) <- acc.(t) +. phi !state
+    done
+  done;
+  Array.map (fun total -> total /. float_of_int replicas) acc

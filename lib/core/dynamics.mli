@@ -1,0 +1,42 @@
+(** Logit-specific couplings and trajectory statistics.
+
+    The couplings here implement the constructions used in the
+    paper's upper-bound proofs (Theorems 3.6, 4.2, 5.6) so that
+    coalescence experiments can estimate mixing-time upper bounds on
+    state spaces too large for exact evolution. *)
+
+(** [interval_coupling game ~beta] is the maximal ("interval")
+    coupling of Theorem 3.6 / 4.2: both chains select the same player
+    and share the update randomness so that they pick the same
+    strategy with the largest possible probability
+    ℓ_i = Σ_z min(σ_i(z|x), σ_i(z|y)); with the remaining probability
+    the two updates are drawn from the residual distributions.
+    Coalesced chains stay together. *)
+val interval_coupling : Games.Game.t -> beta:float -> Markov.Coupling.step
+
+(** [threshold_coupling game ~beta] is the monotone coupling of
+    Theorem 5.6 for binary-strategy games: same player i, same uniform
+    U, each chain plays 0 iff U ≤ σ_i(0|·). *)
+val threshold_coupling : Games.Game.t -> beta:float -> Markov.Coupling.step
+
+(** [hitting_time rng game ~beta ~start ~target ~max_steps] simulates
+    the logit dynamics until a profile satisfying [target] is reached;
+    [None] after [max_steps]. *)
+val hitting_time :
+  Prob.Rng.t -> Games.Game.t -> beta:float -> start:int -> target:(int -> bool) ->
+  max_steps:int -> int option
+
+(** [occupancy rng game ~beta ~start ~burn_in ~samples ~thin] records
+    the empirical distribution of the chain state over [samples]
+    observations taken every [thin] steps after [burn_in] steps. *)
+val occupancy :
+  Prob.Rng.t -> Games.Game.t -> beta:float -> start:int -> burn_in:int ->
+  samples:int -> thin:int -> Prob.Empirical.t
+
+(** [mean_potential_trajectory rng game phi ~beta ~start ~steps
+    ~replicas] averages φ(X_t) over independent replicas, returning
+    the array of length [steps + 1] — the observable used to
+    visualise convergence in the examples. *)
+val mean_potential_trajectory :
+  Prob.Rng.t -> Games.Game.t -> (int -> float) -> beta:float -> start:int ->
+  steps:int -> replicas:int -> float array

@@ -1,0 +1,26 @@
+open Games
+
+let log_weights space phi ~beta =
+  if beta < 0. then invalid_arg "Gibbs: beta must be non-negative";
+  Array.init (Strategy_space.size space) (fun idx -> -.beta *. phi idx)
+
+let stationary space phi ~beta =
+  Prob.Logspace.normalize_logs (log_weights space phi ~beta)
+
+let log_partition space phi ~beta =
+  Prob.Logspace.logsumexp (log_weights space phi ~beta)
+
+let pi_min space phi ~beta =
+  let pi = stationary space phi ~beta in
+  Array.fold_left Float.min infinity pi
+
+let of_game game ~beta =
+  match Potential.recover game with
+  | None -> None
+  | Some phi -> Some (stationary (Game.space game) phi ~beta)
+
+let expected_potential space phi ~beta =
+  let pi = stationary space phi ~beta in
+  let acc = ref 0. in
+  Array.iteri (fun idx p -> if p > 0. then acc := !acc +. (p *. phi idx)) pi;
+  !acc

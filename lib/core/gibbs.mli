@@ -1,0 +1,26 @@
+(** Gibbs stationary measures of potential games (paper, eq. (4)).
+
+    For a potential game with potential Φ the logit chain is
+    reversible with stationary distribution π(x) = exp(-βΦ(x))/Z. *)
+
+(** [stationary space phi ~beta] is the Gibbs measure as a dense
+    probability vector (log-domain normalisation). *)
+val stationary :
+  Games.Strategy_space.t -> (int -> float) -> beta:float -> float array
+
+(** [log_partition space phi ~beta] is log Z_β = log Σ_x exp(-βΦ(x)). *)
+val log_partition : Games.Strategy_space.t -> (int -> float) -> beta:float -> float
+
+(** [pi_min space phi ~beta] is the minimum stationary probability —
+    the quantity entering the spectral upper bound of Theorem 2.3. *)
+val pi_min : Games.Strategy_space.t -> (int -> float) -> beta:float -> float
+
+(** [of_game game ~beta] recovers the potential of [game] and returns
+    its Gibbs measure; [None] if [game] is not an exact potential
+    game. *)
+val of_game : Games.Game.t -> beta:float -> float array option
+
+(** [expected_potential space phi ~beta] is E_π[Φ], the equilibrium
+    expected potential (decreasing in β). *)
+val expected_potential :
+  Games.Strategy_space.t -> (int -> float) -> beta:float -> float

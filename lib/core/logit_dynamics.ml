@@ -1,0 +1,58 @@
+open Games
+
+let update_distribution game ~beta ~player idx =
+  if beta < 0. then invalid_arg "Logit_dynamics: beta must be non-negative";
+  let space = Game.space game in
+  let m = Strategy_space.num_strategies space player in
+  let log_weights =
+    Array.init m (fun a ->
+        beta *. Game.utility game player (Strategy_space.replace space idx player a))
+  in
+  Prob.Logspace.normalize_logs log_weights
+
+let transition_row game ~beta idx =
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  let inv_n = 1. /. float_of_int n in
+  let self = ref 0. in
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    let sigma = update_distribution game ~beta ~player:i idx in
+    let current = Strategy_space.player_strategy space idx i in
+    Array.iteri
+      (fun a p ->
+        if a = current then self := !self +. (inv_n *. p)
+        else if p > 0. then
+          entries := (Strategy_space.replace space idx i a, inv_n *. p) :: !entries)
+      sigma
+  done;
+  if !self > 0. then (idx, !self) :: !entries else !entries
+
+let chain game ~beta =
+  Markov.Chain.of_function (Game.size game) (fun idx -> transition_row game ~beta idx)
+
+let step rng game ~beta idx =
+  let space = Game.space game in
+  let player = Prob.Rng.int rng (Strategy_space.num_players space) in
+  let sigma = update_distribution game ~beta ~player idx in
+  let a = Prob.Rng.categorical rng sigma in
+  Strategy_space.replace space idx player a
+
+let trajectory rng game ~beta ~start ~steps =
+  if steps < 0 then invalid_arg "Logit_dynamics.trajectory: negative steps";
+  let out = Array.make (steps + 1) start in
+  for k = 1 to steps do
+    out.(k) <- step rng game ~beta out.(k - 1)
+  done;
+  out
+
+let best_response_probability game ~beta idx =
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let sigma = update_distribution game ~beta ~player:i idx in
+    let best = Game.best_responses game i idx in
+    List.iter (fun a -> acc := !acc +. sigma.(a)) best
+  done;
+  !acc /. float_of_int n

@@ -1,0 +1,40 @@
+(** The logit dynamics M^β(G) of a strategic game (paper, Section 2).
+
+    At every step a player i is selected uniformly at random and
+    updates her strategy to y with probability
+
+    {v σ_i(y | x) = exp(β·u_i(y, x₋ᵢ)) / Σ_z exp(β·u_i(z, x₋ᵢ)), v}
+
+    giving the ergodic Markov chain of eq. (3). All exponentials are
+    evaluated in the log domain so that arbitrarily large β is safe. *)
+
+(** [update_distribution game ~beta ~player idx] is σ_player(· | x)
+    for the profile with index [idx], as a probability vector over
+    [player]'s strategies. Requires [beta >= 0]. *)
+val update_distribution : Games.Game.t -> beta:float -> player:int -> int -> float array
+
+(** [transition_row game ~beta idx] is the sparse row P(x, ·) of
+    eq. (3): off-diagonal mass σ_i(y_i|x)/n to each unilateral
+    deviation, aggregated self-loop mass on the diagonal. *)
+val transition_row : Games.Game.t -> beta:float -> int -> (int * float) list
+
+(** [chain game ~beta] materialises the full logit chain (profile
+    space indexed as in {!Games.Strategy_space}). Memory is
+    Θ(size · n · m); guard with {!Games.Game.size} before calling on
+    big games. *)
+val chain : Games.Game.t -> beta:float -> Markov.Chain.t
+
+(** [step rng game ~beta idx] performs one logit-dynamics step by
+    direct simulation (no chain materialisation). *)
+val step : Prob.Rng.t -> Games.Game.t -> beta:float -> int -> int
+
+(** [trajectory rng game ~beta ~start ~steps] simulates and returns
+    [start = x₀, x₁, ..., x_steps]. *)
+val trajectory :
+  Prob.Rng.t -> Games.Game.t -> beta:float -> start:int -> steps:int -> int array
+
+(** [best_response_probability game ~beta idx] is the probability that
+    the next update is a best response: Σ_i (1/n)·Σ_{y ∈ BR_i(x)}
+    σ_i(y|x). Tends to 1 as β → ∞, to the fraction of best-response
+    strategies as β → 0. *)
+val best_response_probability : Games.Game.t -> beta:float -> int -> float

@@ -1,0 +1,77 @@
+let logistic x =
+  let e = exp (-.Float.abs x) in
+  if x >= 0. then e /. (1. +. e) else 1. /. (1. +. e)
+
+let weight_symmetric ~players ~beta phi_of_weight =
+  if players < 1 then invalid_arg "Lumping.weight_symmetric: need players";
+  if beta < 0. then invalid_arg "Lumping.weight_symmetric: beta must be non-negative";
+  let n = float_of_int players in
+  let up =
+    Array.init (players + 1) (fun k ->
+        if k = players then 0.
+        else
+          (* A 0-player is selected (prob (n-k)/n) and adopts 1 with the
+             two-point logit probability on φ(k) vs φ(k+1). *)
+          (n -. float_of_int k) /. n
+          *. logistic (beta *. (phi_of_weight (k + 1) -. phi_of_weight k)))
+  in
+  let down =
+    Array.init (players + 1) (fun k ->
+        if k = 0 then 0.
+        else
+          float_of_int k /. n
+          *. logistic (beta *. (phi_of_weight (k - 1) -. phi_of_weight k)))
+  in
+  Markov.Birth_death.create ~up ~down
+
+let log_binomial n k =
+  if k < 0 || k > n then invalid_arg "Lumping.log_binomial: k out of range";
+  let k = Int.min k (n - k) in
+  let acc = ref 0. in
+  for i = 1 to k do
+    acc := !acc +. log (float_of_int (n - k + i)) -. log (float_of_int i)
+  done;
+  !acc
+
+let stationary_weights ~players ~beta phi_of_weight =
+  let log_w =
+    Array.init (players + 1) (fun k ->
+        log_binomial players k -. (beta *. phi_of_weight k))
+  in
+  Prob.Logspace.normalize_logs log_w
+
+let clique ~n ~delta0 ~delta1 ~beta =
+  weight_symmetric ~players:n ~beta (fun k ->
+      Games.Graphical.clique_potential ~n ~delta0 ~delta1 k)
+
+let curve ~game ~beta =
+  let players = Games.Strategy_space.num_players (Games.Curve_game.space game) in
+  weight_symmetric ~players ~beta (fun k ->
+      Games.Curve_game.potential_of_weight game k)
+
+let dominant_lower_bound ~players ~strategies ~beta =
+  if players < 1 || strategies < 2 then
+    invalid_arg "Lumping.dominant_lower_bound: need players >= 1, strategies >= 2";
+  if beta < 0. then invalid_arg "Lumping.dominant_lower_bound: beta >= 0";
+  let n = float_of_int players in
+  let m1 = float_of_int (strategies - 1) in
+  (* At the origin a player sees all-zero opponents: strategy 0 pays 0,
+     the others pay -1; anywhere else every strategy pays -1, so
+     updates are uniform over the m strategies. *)
+  let stick = 1. /. (1. +. (m1 *. exp (-.beta))) in
+  (* 1 - stick computed without cancellation (it underflows to 0 for
+     beta around 40, breaking irreducibility). *)
+  let leave = m1 *. exp (-.beta) /. (1. +. (m1 *. exp (-.beta))) in
+  let up =
+    Array.init (players + 1) (fun k ->
+        if k = players then 0.
+        else if k = 0 then leave
+        else (n -. float_of_int k) /. n *. (m1 /. (m1 +. 1.)))
+  in
+  let down =
+    Array.init (players + 1) (fun k ->
+        if k = 0 then 0.
+        else if k = 1 then 1. /. n *. stick
+        else float_of_int k /. n /. (m1 +. 1.))
+  in
+  Markov.Birth_death.create ~up ~down

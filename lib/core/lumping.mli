@@ -1,0 +1,55 @@
+(** Exact lumping of weight-symmetric logit chains to birth–death
+    chains.
+
+    When an n-player binary-strategy potential game has a potential
+    that depends only on the Hamming weight w(x) — the clique
+    graphical coordination game (Section 5.2) and the Theorem 3.5
+    family — the weight process of the logit dynamics is itself a
+    Markov chain on {0, ..., n}: from weight k, a 1-player is selected
+    with probability k/n and flips to 0 with the two-point logit
+    probability determined by φ(k-1) - φ(k), and symmetrically for
+    0-players. This reduces exact mixing analysis from 2ⁿ states to
+    n+1 states; agreement with the full chain is validated in the test
+    suite.
+
+    The distribution of w(X_t) started from a weight-w₀ profile equals
+    the lumped chain's law started from w₀, and total variation can
+    only decrease under the projection, so lumped mixing times are
+    lower bounds on the full ones — and for these games the slow mode
+    {e is} the weight coordinate (the bottleneck sets of the paper's
+    lower bounds are weight level sets), so the lumped mixing time
+    captures the full chain's growth in β. *)
+
+(** [logistic x] is 1/(1+eˣ) computed stably for any magnitude. *)
+val logistic : float -> float
+
+(** [weight_symmetric ~players ~beta phi_of_weight] is the lumped
+    birth–death chain of the logit dynamics for the n-player binary
+    common-interest game with Φ(x) = [phi_of_weight (w x)]. *)
+val weight_symmetric :
+  players:int -> beta:float -> (int -> float) -> Markov.Birth_death.t
+
+(** [stationary_weights ~players ~beta phi_of_weight] is the exact
+    stationary law of the weight: π(k) ∝ C(n,k)·exp(-β·φ(k)),
+    computed in the log domain. Provided independently of
+    {!Markov.Birth_death.stationary} as a cross-check. *)
+val stationary_weights :
+  players:int -> beta:float -> (int -> float) -> float array
+
+(** [clique ~n ~delta0 ~delta1 ~beta] lumps the clique graphical
+    coordination game (Section 5.2). *)
+val clique :
+  n:int -> delta0:float -> delta1:float -> beta:float -> Markov.Birth_death.t
+
+(** [curve ~game ~beta] lumps a Theorem 3.5 game. *)
+val curve : game:Games.Curve_game.t -> beta:float -> Markov.Birth_death.t
+
+(** [dominant_lower_bound ~players ~strategies ~beta] lumps the
+    Theorem 4.3 game onto the number of players playing a non-zero
+    strategy. Unlike the binary lumpings this one is specific to that
+    game's utility structure (m strategies, flat off the origin). *)
+val dominant_lower_bound :
+  players:int -> strategies:int -> beta:float -> Markov.Birth_death.t
+
+(** [log_binomial n k] is log C(n,k) (stable for large n). *)
+val log_binomial : int -> int -> float

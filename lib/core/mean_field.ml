@@ -1,0 +1,48 @@
+let rates ~players ~beta phi k =
+  let bd = Lumping.weight_symmetric ~players ~beta phi in
+  (Markov.Birth_death.up bd k, Markov.Birth_death.down bd k)
+
+let drift ~players ~beta phi k =
+  if k < 0 || k > players then invalid_arg "Mean_field.drift: weight out of range";
+  let up, down = rates ~players ~beta phi k in
+  up -. down
+
+let fixed_points ~players ~beta phi =
+  let d = Array.init (players + 1) (fun k -> drift ~players ~beta phi k) in
+  let out = ref [] in
+  (* Endpoints: stable when the flow pushes into the boundary. *)
+  if d.(0) <= 0. then out := (0, `Stable) :: !out;
+  if d.(players) >= 0. then out := (players, `Stable) :: !out;
+  for k = 0 to players - 1 do
+    if d.(k) > 0. && d.(k + 1) < 0. then
+      (* Flow converges between k and k+1: attribute to the side with
+         the smaller drift magnitude. *)
+      out :=
+        ((if Float.abs d.(k) <= Float.abs d.(k + 1) then k else k + 1), `Stable)
+        :: !out
+    else if d.(k) < 0. && d.(k + 1) > 0. then
+      out :=
+        ((if Float.abs d.(k) <= Float.abs d.(k + 1) then k else k + 1), `Unstable)
+        :: !out
+    else if d.(k) = 0. && k > 0 && k < players then
+      out := (k, if d.(k - 1) > 0. && d.(k + 1) < 0. then `Stable else `Unstable) :: !out
+  done;
+  List.sort_uniq compare !out
+
+let trajectory ~players ~beta phi ~start ~steps =
+  if start < 0. || start > float_of_int players then
+    invalid_arg "Mean_field.trajectory: start out of range";
+  if steps < 0 then invalid_arg "Mean_field.trajectory: negative steps";
+  let out = Array.make (steps + 1) start in
+  for t = 1 to steps do
+    let x = out.(t - 1) in
+    let k = int_of_float (Float.round x) in
+    let k = Int.max 0 (Int.min players k) in
+    let next = x +. drift ~players ~beta phi k in
+    out.(t) <- Float.max 0. (Float.min (float_of_int players) next)
+  done;
+  out
+
+let clique_fixed_points ~n ~delta0 ~delta1 ~beta =
+  fixed_points ~players:n ~beta (fun k ->
+      Games.Graphical.clique_potential ~n ~delta0 ~delta1 k)

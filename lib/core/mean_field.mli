@@ -1,0 +1,43 @@
+(** Mean-field (fluid-limit) dynamics for weight-symmetric games.
+
+    For the lumped birth–death chains of {!Lumping}, one logit update
+    changes the 1-fraction k/n by ±1/n, so as n grows the rescaled
+    process concentrates on the deterministic flow
+
+    {v ẋ = up(x) - down(x), v}
+
+    whose stable fixed points are the metastable states and whose
+    unstable fixed points sit at the barrier top (the k* of
+    Section 5.2). This module evaluates the drift at the exact
+    finite-n rates, locates the fixed points, and integrates the flow
+    — the deterministic skeleton that the stochastic experiments
+    (E8, X6) decorate with exponential escape times. *)
+
+(** [drift ~players ~beta phi_of_weight k] is up(k) - down(k) of the
+    lumped chain at state [k] — the expected change of the weight per
+    step (in units of one strategy flip). *)
+val drift : players:int -> beta:float -> (int -> float) -> int -> float
+
+(** [fixed_points ~players ~beta phi_of_weight] scans k = 0..n and
+    returns the (k, kind) pairs where the drift changes sign or
+    vanishes; [`Stable] when the flow points inward from both sides,
+    [`Unstable] when it points outward. Endpoints count as stable when
+    the flow pushes into them. *)
+val fixed_points :
+  players:int -> beta:float -> (int -> float) -> (int * [ `Stable | `Unstable ]) list
+
+(** [trajectory ~players ~beta phi_of_weight ~start ~steps] integrates
+    the rescaled Euler flow k ← k + drift(k) from weight [start],
+    returning the (real-valued) weight after each step. The continuous
+    state is rounded to the nearest integer for rate evaluation. *)
+val trajectory :
+  players:int -> beta:float -> (int -> float) -> start:float -> steps:int ->
+  float array
+
+(** [clique_fixed_points ~n ~delta0 ~delta1 ~beta] specialises to the
+    clique game; for δ₀ = δ₁ and β above the critical noise the flow
+    has stable points near 0 and n and an unstable point at k*
+    (Section 5.2's potential maximiser). *)
+val clique_fixed_points :
+  n:int -> delta0:float -> delta1:float -> beta:float ->
+  (int * [ `Stable | `Unstable ]) list

@@ -1,0 +1,47 @@
+let slow_partition chain pi =
+  let n = Markov.Chain.size chain in
+  if n < 2 then invalid_arg "Metastability: trivial chain";
+  (* Deflated power iteration on A = D^{1/2} P D^{-1/2}: avoids a dense
+     O(n^3) eigensolve; only the second eigenpair is needed. The
+     corresponding eigenfunction of P is f = u / sqrt(pi), which has
+     the same signs as u since pi > 0. *)
+  let lambda2, vector =
+    Linalg.Eigen.second_eigenpair_reversible
+      (fun i -> Markov.Chain.row_list chain i)
+      pi n
+  in
+  let negative = ref [] and positive = ref [] in
+  for i = n - 1 downto 0 do
+    if vector.(i) < 0. then negative := i :: !negative
+    else positive := i :: !positive
+  done;
+  (!negative, !positive, lambda2)
+
+let escape_time_scale ~lambda2 =
+  if lambda2 >= 1. then invalid_arg "Metastability: lambda2 must be < 1";
+  1. /. (1. -. lambda2)
+
+let restricted_distribution pi subset =
+  let mass = ref 0. in
+  Array.iteri (fun i p -> if subset i then mass := !mass +. p) pi;
+  if !mass <= 0. then invalid_arg "Metastability: zero-mass basin";
+  Array.mapi (fun i p -> if subset i then p /. !mass else 0.) pi
+
+let basin_tv_curve chain pi ~basin ~start ~steps =
+  if steps < 0 then invalid_arg "Metastability.basin_tv_curve";
+  let n = Markov.Chain.size chain in
+  let restricted = restricted_distribution pi basin in
+  let mu = Array.make n 0. in
+  mu.(start) <- 1.;
+  let tv target mu =
+    let acc = ref 0. in
+    Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. target.(i))) mu;
+    0.5 *. !acc
+  in
+  let out = Array.make (steps + 1) (0., 0.) in
+  let current = ref mu in
+  for t = 0 to steps do
+    out.(t) <- (tv restricted !current, tv pi !current);
+    if t < steps then current := Markov.Chain.evolve chain !current
+  done;
+  out

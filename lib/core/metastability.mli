@@ -1,0 +1,38 @@
+(** Metastable structure of slow logit chains (paper conclusions;
+    follow-up work [2] = Auletta et al., SODA 2012).
+
+    When t_mix is exponential the interesting object is the transient
+    behaviour: the chain equilibrates quickly {e within} a metastable
+    basin and only crosses between basins on the exponential scale.
+    The second eigenvector of the (symmetrised) chain encodes that
+    structure: its sign partitions the state space into the two sets
+    whose exchange is the slow mode, and the associated eigenvalue
+    gives the escape scale. This module extracts both and provides
+    quasi-stationary evolution inside a basin. *)
+
+(** [slow_partition chain pi] is [(negative, positive, lambda2)]: the
+    sign partition of the second eigenvector (states with entry < 0 /
+    ≥ 0, each sorted) together with λ₂. For the paper's slow examples
+    the partition recovers the bottleneck sets used in the lower-bound
+    proofs (validated in the tests against the weight cut of the
+    Theorem 3.5 game and the clique). Requires a reversible chain. *)
+val slow_partition : Markov.Chain.t -> float array -> int list * int list * float
+
+(** [escape_time_scale ~lambda2] is 1/(1-λ₂), the relaxation scale of
+    the slow mode. *)
+val escape_time_scale : lambda2:float -> float
+
+(** [restricted_distribution pi subset] is π conditioned on the subset
+    — the metastable ("quasi-stationary") profile the chain reaches
+    inside a basin long before global mixing. Raises
+    [Invalid_argument] if the subset has zero mass. *)
+val restricted_distribution : float array -> (int -> bool) -> float array
+
+(** [basin_tv_curve chain pi ~basin ~start ~steps] evolves a point
+    mass from [start] and returns, for each time, the pair
+    (TV to the restricted distribution of [basin], TV to π). The
+    signature of metastability is the first coordinate collapsing
+    long before the second moves. *)
+val basin_tv_curve :
+  Markov.Chain.t -> float array -> basin:(int -> bool) -> start:int ->
+  steps:int -> (float * float) array

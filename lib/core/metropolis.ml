@@ -1,0 +1,71 @@
+open Games
+
+let update_distribution game ~beta ~player idx =
+  if beta < 0. then invalid_arg "Metropolis: beta must be non-negative";
+  let space = Game.space game in
+  let m = Strategy_space.num_strategies space player in
+  let current = Strategy_space.player_strategy space idx player in
+  if m = 1 then [| 1. |]
+  else begin
+    (* Propose uniformly among the OTHER m-1 strategies; accepting with
+       min(1, e^{beta du}) then Peskun-dominates the heat-bath rule on
+       every fiber. *)
+    let current_utility = Game.utility game player idx in
+    let proposal_mass = 1. /. float_of_int (m - 1) in
+    let out = Array.make m 0. in
+    let stay = ref 0. in
+    for a = 0 to m - 1 do
+      if a <> current then begin
+        let target = Strategy_space.replace space idx player a in
+        let delta = Game.utility game player target -. current_utility in
+        let accept = Float.min 1. (exp (beta *. delta)) in
+        out.(a) <- accept *. proposal_mass;
+        stay := !stay +. ((1. -. accept) *. proposal_mass)
+      end
+    done;
+    out.(current) <- !stay;
+    out
+  end
+
+let transition_row game ~beta idx =
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  let inv_n = 1. /. float_of_int n in
+  let self = ref 0. in
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    let sigma = update_distribution game ~beta ~player:i idx in
+    let current = Strategy_space.player_strategy space idx i in
+    Array.iteri
+      (fun a p ->
+        if a = current then self := !self +. (inv_n *. p)
+        else if p > 0. then
+          entries := (Strategy_space.replace space idx i a, inv_n *. p) :: !entries)
+      sigma
+  done;
+  if !self > 0. then (idx, !self) :: !entries else !entries
+
+let chain game ~beta =
+  Markov.Chain.of_function (Game.size game) (fun idx -> transition_row game ~beta idx)
+
+let step rng game ~beta idx =
+  let space = Game.space game in
+  let player = Prob.Rng.int rng (Strategy_space.num_players space) in
+  let m = Strategy_space.num_strategies space player in
+  if m = 1 then idx
+  else begin
+    let current = Strategy_space.player_strategy space idx player in
+    let draw = Prob.Rng.int rng (m - 1) in
+    let proposal = if draw >= current then draw + 1 else draw in
+    let target = Strategy_space.replace space idx player proposal in
+    let delta = Game.utility game player target -. Game.utility game player idx in
+    if delta >= 0. || Prob.Rng.float rng < exp (beta *. delta) then target else idx
+  end
+
+let trajectory rng game ~beta ~start ~steps =
+  if steps < 0 then invalid_arg "Metropolis.trajectory: negative steps";
+  let out = Array.make (steps + 1) start in
+  for k = 1 to steps do
+    out.(k) <- step rng game ~beta out.(k - 1)
+  done;
+  out

@@ -1,0 +1,26 @@
+(** Metropolis dynamics — the classical alternative to the logit
+    (heat-bath) update rule.
+
+    The selected player proposes a uniformly random {e other} strategy
+    and accepts it with probability min(1, e^{β·Δu}). For potential games
+    the chain is reversible with the {e same} Gibbs stationary
+    distribution as the logit dynamics, but the kernels differ: by
+    Peskun's ordering the Metropolis chain dominates the heat-bath
+    chain off the diagonal for two-strategy fibers, so its relaxation
+    time is at most the logit one's (and at least half of it).
+    Experiment X10 measures the actual ratio across games and β. *)
+
+(** [update_distribution game ~beta ~player idx] is the distribution
+    of [player]'s next strategy (including staying put via rejection). *)
+val update_distribution : Games.Game.t -> beta:float -> player:int -> int -> float array
+
+(** [transition_row game ~beta idx], [chain game ~beta], [step rng
+    game ~beta idx], [trajectory ...]: exactly parallel to
+    {!Logit_dynamics}. *)
+val transition_row : Games.Game.t -> beta:float -> int -> (int * float) list
+
+val chain : Games.Game.t -> beta:float -> Markov.Chain.t
+val step : Prob.Rng.t -> Games.Game.t -> beta:float -> int -> int
+
+val trajectory :
+  Prob.Rng.t -> Games.Game.t -> beta:float -> start:int -> steps:int -> int array

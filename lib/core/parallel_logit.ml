@@ -1,0 +1,36 @@
+open Games
+
+let player_updates game ~beta idx =
+  let n = Game.num_players game in
+  Array.init n (fun i -> Logit_dynamics.update_distribution game ~beta ~player:i idx)
+
+let transition_row game ~beta idx =
+  let space = Game.space game in
+  let sigmas = player_updates game ~beta idx in
+  let entries = ref [] in
+  (* P(x, y) = prod_i sigma_i(y_i | x): enumerate all profiles. *)
+  Strategy_space.iter_profiles space (fun target profile ->
+      let p = ref 1. in
+      Array.iteri (fun i s -> p := !p *. sigmas.(i).(s)) profile;
+      if !p > 0. then entries := (target, !p) :: !entries);
+  !entries
+
+let chain game ~beta =
+  if Game.size game > 4096 then
+    invalid_arg "Parallel_logit.chain: state space too large for a dense chain";
+  Markov.Chain.of_function (Game.size game) (fun idx -> transition_row game ~beta idx)
+
+let step rng game ~beta idx =
+  let space = Game.space game in
+  let sigmas = player_updates game ~beta idx in
+  let profile = Array.map (fun sigma -> Prob.Rng.categorical rng sigma) sigmas in
+  Strategy_space.encode space profile
+
+let stationary game ~beta = Markov.Stationary.by_solve (chain game ~beta)
+
+let gibbs_gap game phi ~beta =
+  let parallel = stationary game ~beta in
+  let gibbs = Gibbs.stationary (Game.space game) phi ~beta in
+  Prob.Dist.tv_distance
+    (Prob.Dist.of_weights parallel)
+    (Prob.Dist.of_weights gibbs)

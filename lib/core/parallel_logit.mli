@@ -1,0 +1,32 @@
+(** Simultaneous-update logit dynamics (paper, conclusions: "variations
+    of such dynamics where players are allowed to update their
+    strategies simultaneously").
+
+    Every player performs the logit update at once:
+    P(x, y) = Π_i σ_i(y_i | x). The chain remains ergodic for β < ∞
+    but is {e not} reversible w.r.t. the Gibbs measure in general —
+    its stationary distribution genuinely differs (experiment EX3
+    quantifies the gap), and for coordination games at large β it can
+    oscillate between mirror profiles, slowing convergence instead of
+    speeding it up. *)
+
+(** [transition_row game ~beta idx] is the (dense) row of the parallel
+    chain — every profile is reachable in one step. *)
+val transition_row : Games.Game.t -> beta:float -> int -> (int * float) list
+
+(** [chain game ~beta] materialises the parallel chain. Θ(size²)
+    memory: guarded to [size <= 4096]. *)
+val chain : Games.Game.t -> beta:float -> Markov.Chain.t
+
+(** [step rng game ~beta idx] simulates one simultaneous update. *)
+val step : Prob.Rng.t -> Games.Game.t -> beta:float -> int -> int
+
+(** [stationary game ~beta] is the exact stationary distribution (LU
+    solve on the dense chain). *)
+val stationary : Games.Game.t -> beta:float -> float array
+
+(** [gibbs_gap game phi ~beta] is the total variation distance between
+    the parallel chain's stationary distribution and the Gibbs measure
+    of the sequential dynamics — zero would mean the parallel variant
+    preserves the equilibrium; it generally does not. *)
+val gibbs_gap : Games.Game.t -> (int -> float) -> beta:float -> float

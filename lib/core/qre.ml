@@ -1,0 +1,103 @@
+open Games
+
+type mixed = float array array
+
+let uniform game =
+  let space = Game.space game in
+  Array.init (Strategy_space.num_players space) (fun i ->
+      let m = Strategy_space.num_strategies space i in
+      Array.make m (1. /. float_of_int m))
+
+let check_mixed game sigma =
+  let space = Game.space game in
+  if Array.length sigma <> Strategy_space.num_players space then
+    invalid_arg "Qre: wrong number of players";
+  Array.iteri
+    (fun i s ->
+      if Array.length s <> Strategy_space.num_strategies space i then
+        invalid_arg "Qre: wrong mixture length")
+    sigma
+
+let expected_utility game sigma ~player ~strategy =
+  check_mixed game sigma;
+  let space = Game.space game in
+  let acc = ref 0. in
+  Strategy_space.iter_profiles space (fun idx profile ->
+      if profile.(player) = strategy then begin
+        (* Probability of the opponents' sub-profile under the product
+           measure. *)
+        let p = ref 1. in
+        Array.iteri (fun i s -> if i <> player then p := !p *. sigma.(i).(s)) profile;
+        if !p > 0. then acc := !acc +. (!p *. Game.utility game player idx)
+      end);
+  !acc
+
+let logit_response game ~beta sigma player =
+  if beta < 0. then invalid_arg "Qre: beta must be non-negative";
+  let space = Game.space game in
+  let m = Strategy_space.num_strategies space player in
+  let log_weights =
+    Array.init m (fun strategy ->
+        beta *. expected_utility game sigma ~player ~strategy)
+  in
+  Prob.Logspace.normalize_logs log_weights
+
+let residual game ~beta sigma =
+  check_mixed game sigma;
+  let n = Game.num_players game in
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    let response = logit_response game ~beta sigma i in
+    Array.iteri
+      (fun a p -> worst := Float.max !worst (Float.abs (p -. sigma.(i).(a))))
+      response
+  done;
+  !worst
+
+let fixed_point ?(tol = 1e-12) ?(max_iter = 100_000) ?(damping = 0.5) game ~beta =
+  if damping <= 0. || damping > 1. then invalid_arg "Qre: damping in (0, 1]";
+  let n = Game.num_players game in
+  let sigma = ref (uniform game) in
+  let rec go iter =
+    if residual game ~beta !sigma <= tol then Some !sigma
+    else if iter >= max_iter then None
+    else begin
+      let next =
+        Array.init n (fun i ->
+            let response = logit_response game ~beta !sigma i in
+            Array.mapi
+              (fun a p -> ((1. -. damping) *. !sigma.(i).(a)) +. (damping *. p))
+              response)
+      in
+      sigma := next;
+      go (iter + 1)
+    end
+  in
+  go 0
+
+let product_distribution game sigma =
+  check_mixed game sigma;
+  let space = Game.space game in
+  let out = Array.make (Strategy_space.size space) 0. in
+  Strategy_space.iter_profiles space (fun idx profile ->
+      let p = ref 1. in
+      Array.iteri (fun i s -> p := !p *. sigma.(i).(s)) profile;
+      out.(idx) <- !p);
+  out
+
+let stationary_gap game ~beta =
+  match fixed_point game ~beta with
+  | None -> None
+  | Some qre ->
+      let stationary =
+        match Gibbs.of_game game ~beta with
+        | Some pi -> pi
+        | None ->
+            Markov.Stationary.by_solve (Logit_dynamics.chain game ~beta)
+      in
+      let tv =
+        Prob.Dist.tv_distance
+          (Prob.Dist.of_weights (product_distribution game qre))
+          (Prob.Dist.of_weights stationary)
+      in
+      Some (qre, tv)

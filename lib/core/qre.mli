@@ -1,0 +1,54 @@
+(** Logit quantal response equilibrium (McKelvey–Palfrey 1995).
+
+    The QRE is the static, mean-field counterpart of the logit
+    dynamics: a profile of {e mixed} strategies in which every player
+    logit-responds to the others' mixtures,
+
+    {v σ_i(a) ∝ exp(β·E_{σ₋ᵢ}[u_i(a, ·)]). v}
+
+    It is NOT the stationary distribution of the logit dynamics —
+    the Gibbs measure is generally correlated across players while
+    the QRE is a product measure — and experiment X7 quantifies the
+    gap, which vanishes at β = 0 and persists (or grows) with β. *)
+
+type mixed = float array array
+(** [mixed.(i)] is player i's mixed strategy (a probability vector
+    over her strategy set). *)
+
+(** [uniform game] is the uniform mixed profile. *)
+val uniform : Games.Game.t -> mixed
+
+(** [expected_utility game sigma ~player ~strategy] is
+    E_{σ₋ᵢ}[u_player(strategy, ·)] — the expectation over the product
+    of the other players' mixtures. O(|S|) per call. *)
+val expected_utility :
+  Games.Game.t -> mixed -> player:int -> strategy:int -> float
+
+(** [logit_response game ~beta sigma player] is player's logit best
+    response to [sigma]. *)
+val logit_response : Games.Game.t -> beta:float -> mixed -> int -> float array
+
+(** [residual game ~beta sigma] is the maximum absolute deviation
+    between every player's mixture and her logit response — 0 exactly
+    at a QRE. *)
+val residual : Games.Game.t -> beta:float -> mixed -> float
+
+(** [fixed_point ?tol ?max_iter ?damping game ~beta] iterates damped
+    simultaneous logit responses from the uniform profile until
+    [residual <= tol] (defaults: tol [1e-12], max_iter [100_000],
+    damping [0.5]). Returns [None] if it fails to converge (possible
+    at large β where the QRE correspondence folds). *)
+val fixed_point :
+  ?tol:float -> ?max_iter:int -> ?damping:float -> Games.Game.t -> beta:float ->
+  mixed option
+
+(** [product_distribution game sigma] is the induced distribution over
+    profile indices, Π_i σ_i(x_i). *)
+val product_distribution : Games.Game.t -> mixed -> float array
+
+(** [stationary_gap game ~beta] is [(qre, tv)] where [tv] is the total
+    variation distance between the QRE product measure and the exact
+    stationary distribution of the logit {e dynamics} (Gibbs for
+    potential games, LU solve otherwise). [None] if the QRE iteration
+    does not converge. State spaces up to a few thousand. *)
+val stationary_gap : Games.Game.t -> beta:float -> (mixed * float) option

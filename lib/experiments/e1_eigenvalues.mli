@@ -1,0 +1,9 @@
+(** E1 — Theorem 3.1: spectra of logit chains are real and non-negative exactly for potential games.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

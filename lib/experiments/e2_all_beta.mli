@@ -1,0 +1,9 @@
+(** E2 — Lemma 3.3 / Theorem 3.4: the all-beta relaxation- and mixing-time upper bounds dominate exact measurements.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

@@ -1,0 +1,74 @@
+(** E3 — Theorem 3.5: the potential family
+    Φ(x) = -l·min{c, |c - w(x)|} has t_mix ≥ e^{βΔΦ(1-o(1))}.
+
+    The game is weight-symmetric, so the logit chain lumps exactly to
+    a birth–death chain on {0..n}; we measure its exact mixing time
+    over a β sweep, fit the growth exponent of log t_mix in β, and
+    compare with ΔΦ = g. The bottleneck lower bound of the theorem
+    (through the shell w = c) is printed alongside. *)
+
+let run ~quick =
+  let players = if quick then 10 else 14 in
+  let global = 3. and local = 1. in
+  let game = Games.Curve_game.create ~players ~global ~local in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E3 (Thm 3.5): lower-bound family, n=%d, dPhi=g=%.0f, dphi=l=%.0f"
+           players global local)
+      [
+        ("beta", Table.Right);
+        ("t_mix (lumped)", Table.Right);
+        ("log t_mix", Table.Right);
+        ("beta*dPhi", Table.Right);
+        ("bottleneck LB", Table.Right);
+        ("spectral t_rel", Table.Right);
+      ]
+  in
+  let betas =
+    if quick then [ 1.0; 2.0; 3.0 ]
+    else [ 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 4.0; 5.0; 6.0; 8.0 ]
+  in
+  let logs = ref [] in
+  List.iter
+    (fun beta ->
+      let bd = Logit.Lumping.curve ~game ~beta in
+      let chain = Markov.Birth_death.to_chain bd in
+      let pi = Markov.Birth_death.stationary bd in
+      let tmix = Markov.Birth_death.mixing_time_spectral bd in
+      let bottleneck, _theta =
+        Markov.Bottleneck.best_sublevel_set chain pi (fun k -> float_of_int k)
+      in
+      let lower = Markov.Bottleneck.lower_bound_tmix bottleneck in
+      let trel = Markov.Birth_death.relaxation_time bd in
+      (match tmix with
+      | Some t when t > 0 -> logs := (beta, log (float_of_int t)) :: !logs
+      | _ -> ());
+      Table.add_row table
+        [
+          Table.cell_float beta;
+          Table.cell_opt_int tmix;
+          (match tmix with
+          | Some t when t > 0 -> Table.cell_log (log (float_of_int t))
+          | _ -> "-");
+          Table.cell_log (beta *. global);
+          Table.cell_sci lower;
+          Table.cell_sci trel;
+        ])
+    betas;
+  (match !logs with
+  | _ :: _ :: _ ->
+      let points = List.rev !logs in
+      let xs = Array.of_list (List.map fst points) in
+      let ys = Array.of_list (List.map snd points) in
+      let slope, _ = Prob.Stats.linear_fit xs ys in
+      Table.add_note table
+        (Printf.sprintf
+           "fitted d(log t_mix)/d(beta) = %.3f vs dPhi = %.3f (Thm 3.5 predicts \
+            convergence from below as beta grows)"
+           slope global)
+  | _ -> ());
+  Table.add_note table
+    "lumped birth-death chain is the exact weight projection of the 2^n chain";
+  [ table ]

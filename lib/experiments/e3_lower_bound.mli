@@ -1,0 +1,9 @@
+(** E3 — Theorem 3.5: the lower-bound potential family mixes in exp(beta*dPhi(1-o(1))).
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

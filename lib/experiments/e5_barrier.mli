@@ -1,0 +1,9 @@
+(** E5 — Theorems 3.8/3.9: the barrier zeta, not dPhi, governs large-beta mixing.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

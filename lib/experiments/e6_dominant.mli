@@ -1,0 +1,9 @@
+(** E6 — Theorems 4.2/4.3: beta-independent plateau for dominant-strategy games.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

@@ -1,0 +1,9 @@
+(** E7 — Theorem 5.1: cutwidth controls the relaxation-time exponent of graphical coordination games.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

@@ -1,0 +1,9 @@
+(** E8 — Theorem 5.5: the clique exponent beta*(Phimax - Phi(1)), including the large-n collapse.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

@@ -1,0 +1,9 @@
+(** E9 — Theorems 5.6/5.7: ring mixing within the e^{2*delta*beta} * n log n envelope; clique separation.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

@@ -1,0 +1,141 @@
+type t = {
+  id : string;
+  theorem : string;
+  title : string;
+  run : quick:bool -> Table.t list;
+}
+
+let all =
+  [
+    {
+      id = "e1";
+      theorem = "Theorem 3.1";
+      title = "non-negative spectra of potential-game logit chains";
+      run = E1_eigenvalues.run;
+    };
+    {
+      id = "e2";
+      theorem = "Lemma 3.3 / Theorem 3.4";
+      title = "all-beta upper bounds for potential games";
+      run = E2_all_beta.run;
+    };
+    {
+      id = "e3";
+      theorem = "Theorem 3.5";
+      title = "exp(beta*dPhi) lower-bound family";
+      run = E3_lower_bound.run;
+    };
+    {
+      id = "e4";
+      theorem = "Theorem 3.6";
+      title = "O(n log n) mixing at small beta";
+      run = E4_small_beta.run;
+    };
+    {
+      id = "e5";
+      theorem = "Theorems 3.8/3.9";
+      title = "the barrier zeta governs large-beta mixing";
+      run = E5_barrier.run;
+    };
+    {
+      id = "e6";
+      theorem = "Theorems 4.2/4.3";
+      title = "beta-independent mixing with dominant strategies";
+      run = E6_dominant.run;
+    };
+    {
+      id = "e7";
+      theorem = "Theorem 5.1";
+      title = "cutwidth bound for graphical coordination games";
+      run = E7_cutwidth.run;
+    };
+    {
+      id = "e8";
+      theorem = "Theorem 5.5";
+      title = "clique exponent beta*(Phimax - Phi(1))";
+      run = E8_clique.run;
+    };
+    {
+      id = "e9";
+      theorem = "Theorems 5.6/5.7";
+      title = "fast ring mixing and ring-vs-clique separation";
+      run = E9_ring.run;
+    };
+  ]
+
+let extensions =
+  [
+    {
+      id = "x1";
+      theorem = "Section 4 remark";
+      title = "dominance-solvable games plateau too";
+      run = X1_solvable.run;
+    };
+    {
+      id = "x2";
+      theorem = "related work [1,16]";
+      title = "hitting the risk-dominant profile vs mixing";
+      run = X2_hitting.run;
+    };
+    {
+      id = "x3";
+      theorem = "conclusions (parallel updates)";
+      title = "simultaneous-update logit dynamics vs Gibbs";
+      run = X3_parallel.run;
+    };
+    {
+      id = "x4";
+      theorem = "conclusions (learning beta)";
+      title = "annealing schedules on the Thm 3.5 potential";
+      run = X4_annealing.run;
+    };
+    {
+      id = "x5";
+      theorem = "Lemmas 3.3 / 5.4";
+      title = "exact congestion of the proofs' path families";
+      run = X5_canonical_paths.run;
+    };
+    {
+      id = "x6";
+      theorem = "conclusions (transient phase, [2])";
+      title = "metastability: the slow mode is the proof's bottleneck";
+      run = X6_metastability.run;
+    };
+    {
+      id = "x7";
+      theorem = "mean-field counterpart (QRE)";
+      title = "quantal response equilibrium vs the stationary law";
+      run = X7_qre.run;
+    };
+    {
+      id = "x8";
+      theorem = "Section 5 mirror (anti-coordination)";
+      title = "cut games: frustration flattens the barrier";
+      run = X8_frustration.run;
+    };
+    {
+      id = "x9";
+      theorem = "Section 5 heterogeneous (spin glasses)";
+      title = "random +-J couplings collapse the clique barrier";
+      run = X9_spin_glass.run;
+    };
+    {
+      id = "x10";
+      theorem = "update-rule ablation";
+      title = "heat-bath vs Metropolis; exact sampling by CFTP";
+      run = X10_update_rules.run;
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  match List.find_opt (fun e -> e.id = id) (all @ extensions) with
+  | Some e -> e
+  | None -> raise Not_found
+
+let run_one ~quick e =
+  Printf.printf "\n### %s — %s: %s\n\n" (String.uppercase_ascii e.id) e.theorem
+    e.title;
+  List.iter Table.print (e.run ~quick)
+
+let run_all ~quick () = List.iter (run_one ~quick) (all @ extensions)

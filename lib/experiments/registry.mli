@@ -1,0 +1,25 @@
+(** The experiment registry: one entry per theorem-experiment of
+    DESIGN.md / EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** short handle, e.g. ["e3"] *)
+  theorem : string;  (** the theorem(s) reproduced *)
+  title : string;
+  run : quick:bool -> Table.t list;
+      (** produce the result tables; [quick] shrinks sweeps for CI *)
+}
+
+(** The core reproduction experiments, in order E1..E9. *)
+val all : t list
+
+(** Extension experiments (X1..X5): the paper's remarks, related-work
+    comparisons, and proof-internal quantities. *)
+val extensions : t list
+
+(** [find id] looks an experiment up by its handle (case-insensitive).
+    Raises [Not_found]. *)
+val find : string -> t
+
+(** [run_all ~quick ()] runs every core and extension experiment and
+    prints the tables to stdout. *)
+val run_all : quick:bool -> unit -> unit

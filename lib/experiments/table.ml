@@ -1,0 +1,72 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list;  (* reversed *)
+  mutable notes : string list;      (* reversed *)
+}
+
+let create ~title columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  {
+    title;
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [];
+    notes = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong cell count";
+  t.rows <- cells :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w c -> Int.max w (String.length c)) widths row)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let render_row cells =
+    let parts =
+      List.map2
+        (fun (cell, align) width -> pad align width cell)
+        (List.combine cells t.aligns)
+        widths
+    in
+    Buffer.add_string buf (String.concat "  " parts);
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  let rule = List.map (fun w -> String.make w '-') widths in
+  Buffer.add_string buf (String.concat "  " rule);
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  List.iter
+    (fun note -> Buffer.add_string buf ("  note: " ^ note ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_int = string_of_int
+let cell_float x = Printf.sprintf "%.4g" x
+let cell_sci x = Printf.sprintf "%.3e" x
+let cell_log x = Printf.sprintf "%.2f" x
+let cell_bool b = if b then "yes" else "no"
+let cell_opt_int = function Some n -> string_of_int n | None -> ">max"

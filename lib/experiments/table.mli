@@ -1,0 +1,38 @@
+(** Fixed-width ASCII tables for experiment output. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title columns] starts a table with the given column
+    headers and alignments. *)
+val create : title:string -> (string * align) list -> t
+
+(** [add_row t cells] appends a row; the cell count must match the
+    column count. *)
+val add_row : t -> string list -> unit
+
+(** [add_note t note] appends a free-form footnote line. *)
+val add_note : t -> string -> unit
+
+(** [render t] lays the table out with column widths fitted to
+    content. *)
+val render : t -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit
+
+(** {1 Cell formatting helpers} *)
+
+(** [cell_int n] and friends format typical cell payloads; [cell_float]
+    uses [%.4g], [cell_sci] scientific notation [%.3e], [cell_log]
+    prints a natural-log value as itself with 2 decimals. *)
+val cell_int : int -> string
+
+val cell_float : float -> string
+val cell_sci : float -> string
+val cell_log : float -> string
+val cell_bool : bool -> string
+
+(** [cell_opt_int o] prints [>max] marker for [None]. *)
+val cell_opt_int : int option -> string

@@ -1,0 +1,11 @@
+(** X10 — update-rule ablation: heat-bath (the paper's logit rule) vs
+    Metropolis, plus exact-sampling certificates via coupling from the
+    past.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

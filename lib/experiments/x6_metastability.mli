@@ -1,0 +1,9 @@
+(** X6 — conclusions/[2]: the slow mode is the proofs' bottleneck; metastable basin equilibration.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

@@ -1,0 +1,83 @@
+(** X7 (extension) — the logit dynamics' stationary distribution
+    versus the logit quantal response equilibrium.
+
+    Both objects are parameterised by the same β and coincide at
+    β = 0 (everything is uniform). The QRE is the static mean-field
+    fixed point economists attach to the same choice rule; the chain's
+    stationary law is correlated across players. We measure the TV
+    gap over β for a potential game with two equilibria (the gap grows
+    — the product measure cannot represent the bimodal Gibbs
+    distribution), for matching pennies (the QRE stays uniform, which
+    IS the chain's stationary law, so the gap vanishes at all β), and
+    for a ring graphical game. *)
+
+open Games
+
+let run ~quick =
+  let table =
+    Table.create ~title:"X7: QRE product measure vs stationary distribution"
+      [
+        ("game", Table.Left);
+        ("beta", Table.Right);
+        ("QRE converged", Table.Right);
+        ("TV(QRE, stationary)", Table.Right);
+        ("max marginal gap", Table.Right);
+      ]
+  in
+  let games =
+    [
+      Coordination.to_game (Coordination.of_deltas ~delta0:1.0 ~delta1:1.0);
+      Zoo.matching_pennies;
+      Graphical.to_game
+        (Graphical.create
+           (Graphs.Generators.ring (if quick then 4 else 6))
+           (Coordination.of_deltas ~delta0:1.0 ~delta1:1.0));
+    ]
+  in
+  let betas = if quick then [ 0.0; 1.0 ] else [ 0.0; 0.5; 1.0; 1.5; 2.0; 3.0 ] in
+  List.iter
+    (fun game ->
+      let space = Game.space game in
+      List.iter
+        (fun beta ->
+          match Logit.Qre.stationary_gap game ~beta with
+          | None ->
+              Table.add_row table
+                [ Game.name game; Table.cell_float beta; "no"; "-"; "-" ]
+          | Some (qre, tv) ->
+              (* Largest per-player marginal discrepancy between the QRE
+                 mixture and the stationary marginal. *)
+              let stationary =
+                match Logit.Gibbs.of_game game ~beta with
+                | Some pi -> pi
+                | None ->
+                    Markov.Stationary.by_solve (Logit.Logit_dynamics.chain game ~beta)
+              in
+              let gap = ref 0. in
+              for i = 0 to Game.num_players game - 1 do
+                let m = Strategy_space.num_strategies space i in
+                let marginal = Array.make m 0. in
+                Array.iteri
+                  (fun idx p ->
+                    let s = Strategy_space.player_strategy space idx i in
+                    marginal.(s) <- marginal.(s) +. p)
+                  stationary;
+                Array.iteri
+                  (fun a p -> gap := Float.max !gap (Float.abs (p -. qre.(i).(a))))
+                  marginal
+              done;
+              Table.add_row table
+                [
+                  Game.name game;
+                  Table.cell_float beta;
+                  "yes";
+                  Printf.sprintf "%.4f" tv;
+                  Printf.sprintf "%.4f" !gap;
+                ])
+        betas)
+    games;
+  Table.add_note table
+    "matching pennies: QRE = uniform = stationary law at every beta; \
+     coordination games: the product QRE cannot carry the bimodal Gibbs \
+     correlation, so TV grows with beta even when the marginals agree.";
+  [ table ]

@@ -1,0 +1,10 @@
+(** X7 — quantal response equilibrium vs the dynamics' stationary law:
+    the mean-field product measure is not the Gibbs measure.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

@@ -1,0 +1,76 @@
+(** X8 (extension) — cut games (anti-coordination): the
+    antiferromagnetic mirror of Section 5.
+
+    On an even ring the cut game has exactly two maximum cuts (the two
+    alternating colourings) separated by a Θ(δ) barrier — the mirror
+    image of the ferromagnetic ring, with the same e^{2δβ}-type
+    slowdown. An odd ring is {e frustrated}: no perfect cut exists,
+    the ground states are the 2n rotations/reflections of a
+    one-defect colouring, they form a connected plateau under
+    single flips, and mixing is dramatically faster at the same β.
+    We measure exact mixing times and the barrier ζ for both parities
+    and for the bipartite complete graph (clique-like barrier). *)
+
+open Games
+
+let analyse name graph ~betas table =
+  let cut = Cut_game.create graph in
+  let game = Cut_game.to_game cut in
+  let space = Cut_game.space cut in
+  let phi idx = Cut_game.potential cut idx in
+  let zeta = Logit.Barrier.zeta space phi in
+  let ground_states =
+    List.length (Potential.global_minima space phi)
+  in
+  (* Extremal starts: the ground states (deep wells) and the two
+     monochromatic profiles (potential maxima) — the same start-set
+     reduction validated for coordination games in the test suite. *)
+  let starts =
+    0
+    :: (Strategy_space.size space - 1)
+    :: Potential.global_minima space phi
+  in
+  List.iter
+    (fun beta ->
+      let chain = Logit.Logit_dynamics.chain game ~beta in
+      let pi = Logit.Gibbs.stationary space phi ~beta in
+      let tmix = Markov.Mixing.mixing_time ~max_steps:2_000_000 chain pi ~starts in
+      Table.add_row table
+        [
+          name;
+          Table.cell_int (Cut_game.max_cut cut);
+          Table.cell_int ground_states;
+          Table.cell_float zeta;
+          Table.cell_float beta;
+          Table.cell_opt_int tmix;
+        ])
+    betas
+
+let run ~quick =
+  let table =
+    Table.create
+      ~title:"X8: anti-coordination (max-cut) games — frustration vs parity"
+      [
+        ("graph", Table.Left);
+        ("max cut", Table.Right);
+        ("#ground states", Table.Right);
+        ("zeta", Table.Right);
+        ("beta", Table.Right);
+        ("t_mix", Table.Right);
+      ]
+  in
+  let betas = if quick then [ 1.0; 2.0 ] else [ 0.5; 1.0; 2.0; 3.0 ] in
+  let n_even = if quick then 6 else 8 in
+  let n_odd = n_even + 1 in
+  analyse (Printf.sprintf "ring-%d (even)" n_even)
+    (Graphs.Generators.ring n_even) ~betas table;
+  analyse (Printf.sprintf "ring-%d (odd)" n_odd)
+    (Graphs.Generators.ring n_odd) ~betas table;
+  analyse "K_{3,3} (bipartite)"
+    (Graphs.Generators.complete_bipartite 3 3)
+    ~betas table;
+  Table.add_note table
+    "even ring: 2 ground states, barrier like the ferromagnet; odd ring: \
+     2n one-defect ground states forming a plateau (zeta drops by delta), \
+     faster mixing at equal beta.";
+  [ table ]

@@ -1,0 +1,11 @@
+(** X8 — anti-coordination (cut) games: frustration flattens the
+    barrier and speeds mixing, the antiferromagnetic counterpart of
+    the paper's Section 5.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

@@ -1,0 +1,75 @@
+(** X9 (extension) — spin glasses: heterogeneous graphical games.
+
+    Section 5 studies homogeneous coordination on a graph; the
+    polymatrix substrate lets every edge carry its own ±J coupling.
+    On a clique, the ferromagnet's barrier is Θ(n²δ) (Thm 5.5's worst
+    case) while random ±J instances are frustrated: their ground
+    states need not be consensus profiles, the barrier ζ collapses,
+    and the logit dynamics mixes orders of magnitude faster at the
+    same β — the physics intuition ("frustration destroys the
+    energy gap") expressed through the paper's own quantities ζ and
+    t_mix. *)
+
+let analyse table name game_desc ~couplings ~beta =
+  let game = Games.Polymatrix.to_game game_desc in
+  let space = Games.Polymatrix.space game_desc in
+  let phi idx = Games.Polymatrix.potential game_desc idx in
+  let zeta = Logit.Barrier.zeta space phi in
+  let frustrated =
+    match couplings with
+    | Some js -> Table.cell_int (Games.Polymatrix.frustrated_triangles game_desc ~couplings:js)
+    | None -> "0"
+  in
+  let chain = Logit.Logit_dynamics.chain game ~beta in
+  let pi = Logit.Gibbs.stationary space phi ~beta in
+  (* The ferromagnetic baseline mixes in ~e^{beta*Theta(n^2)} steps and
+     pi_min underflows the eigendecomposition, so exact repeated
+     squaring is the right engine for every instance here. *)
+  let tmix =
+    Markov.Mixing.mixing_time_squaring chain pi
+      ~starts:(List.init (Games.Strategy_space.size space) Fun.id)
+  in
+  Table.add_row table
+    [
+      name;
+      frustrated;
+      Table.cell_float zeta;
+      Table.cell_float beta;
+      Table.cell_opt_int tmix;
+      Table.cell_int (List.length (Games.Potential.global_minima space phi));
+    ]
+
+let run ~quick =
+  let n = if quick then 6 else 7 in
+  let beta = if quick then 1.0 else 1.2 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "X9: clique ferromagnet vs random +-J spin glasses, n=%d, beta=%g" n
+           beta)
+      [
+        ("instance", Table.Left);
+        ("frustrated triangles", Table.Right);
+        ("zeta", Table.Right);
+        ("beta", Table.Right);
+        ("t_mix", Table.Right);
+        ("#ground states", Table.Right);
+      ]
+  in
+  let graph = Graphs.Generators.clique n in
+  analyse table "ferromagnet (+J)" (Games.Polymatrix.ferromagnet graph ~coupling:1.0)
+    ~couplings:None ~beta;
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun seed ->
+      let rng = Prob.Rng.create (1000 + seed) in
+      let glass, js = Games.Polymatrix.spin_glass rng graph ~coupling:1.0 in
+      analyse table
+        (Printf.sprintf "glass seed %d" seed)
+        glass ~couplings:(Some js) ~beta)
+    seeds;
+  Table.add_note table
+    "same graph, same |J|, same beta: frustration (negative triangle \
+     products) collapses zeta and with it the exponential slowdown.";
+  [ table ]

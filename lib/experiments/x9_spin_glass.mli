@@ -1,0 +1,11 @@
+(** X9 — Ising spin glasses as heterogeneous graphical games: random
+    frustration lowers the barrier ζ and the mixing time relative to
+    the ferromagnetic instance on the same graph.
+
+    See DESIGN.md (per-experiment index) for workload, parameters and
+    the modules exercised; EXPERIMENTS.md records representative
+    output. *)
+
+(** [run ~quick] produces the result tables; [quick] shrinks every
+    sweep to CI scale. *)
+val run : quick:bool -> Table.t list

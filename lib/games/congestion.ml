@@ -1,0 +1,66 @@
+type t = {
+  resources : int;
+  delay : int -> int -> float;
+  bundles : int list array array;  (** player -> strategy -> sorted resource list *)
+  space : Strategy_space.t;
+}
+
+let create ~resources ~delay ~bundles =
+  if resources < 1 then invalid_arg "Congestion.create: need resources";
+  let check_bundle b =
+    if b = [] then invalid_arg "Congestion.create: empty bundle";
+    List.iter
+      (fun r ->
+        if r < 0 || r >= resources then
+          invalid_arg "Congestion.create: resource id out of range")
+      b;
+    List.sort_uniq compare b
+  in
+  let bundles =
+    Array.map
+      (fun per_player ->
+        if per_player = [] then invalid_arg "Congestion.create: player without bundles";
+        Array.of_list (List.map check_bundle per_player))
+      bundles
+  in
+  let counts = Array.map Array.length bundles in
+  { resources; delay; bundles; space = Strategy_space.create counts }
+
+let load t idx r =
+  let n = Strategy_space.num_players t.space in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let s = Strategy_space.player_strategy t.space idx i in
+    if List.mem r t.bundles.(i).(s) then incr total
+  done;
+  !total
+
+let cost t player idx =
+  let s = Strategy_space.player_strategy t.space idx player in
+  List.fold_left (fun acc r -> acc +. t.delay r (load t idx r)) 0.
+    t.bundles.(player).(s)
+
+let to_game t =
+  let g =
+    Game.create
+      ~name:(Printf.sprintf "congestion(n=%d,r=%d)"
+               (Strategy_space.num_players t.space) t.resources)
+      t.space
+      (fun player idx -> -.cost t player idx)
+  in
+  if Strategy_space.size t.space <= 1 lsl 18 then Game.tabulate g else g
+
+let rosenthal t idx =
+  let acc = ref 0. in
+  for r = 0 to t.resources - 1 do
+    for k = 1 to load t idx r do
+      acc := !acc +. t.delay r k
+    done
+  done;
+  !acc
+
+let linear_routing ~players ~links =
+  if players < 1 || links < 1 then invalid_arg "Congestion.linear_routing";
+  create ~resources:links
+    ~delay:(fun _r k -> float_of_int k)
+    ~bundles:(Array.make players (List.init links (fun r -> [ r ])))

@@ -1,0 +1,38 @@
+(** Congestion games (Rosenthal).
+
+    Players choose among explicit resource bundles; each resource [r]
+    has a delay function of its load, and a player pays the sum of the
+    delays of the resources she uses. Every congestion game is an
+    exact potential game with the Rosenthal potential
+
+    {v Φ(x) = Σ_r Σ_{k=1..load_r(x)} delay_r(k), v}
+
+    which matches the paper's sign convention (utilities are negated
+    costs). The class motivates the hitting-time comparison with
+    Asadpour–Saberi cited in the paper's related work. *)
+
+type t
+
+(** [create ~resources ~delay ~bundles] defines a congestion game:
+    [resources] is the number of resources, [delay r k] the delay of
+    resource [r] under load [k >= 1], and [bundles.(i)] the list of
+    resource subsets (as sorted lists) available to player [i]. Every
+    bundle must be non-empty with valid resource ids; every player
+    needs at least one bundle. *)
+val create : resources:int -> delay:(int -> int -> float) -> bundles:int list list array -> t
+
+(** [to_game t] is the strategic game (strategy [s] of player [i]
+    selects [List.nth bundles.(i) s]). *)
+val to_game : t -> Game.t
+
+(** [rosenthal t idx] is the Rosenthal potential at profile [idx]. *)
+val rosenthal : t -> int -> float
+
+(** [load t idx r] is the number of players using resource [r] in
+    profile [idx]. *)
+val load : t -> int -> int -> int
+
+(** [linear_routing ~players ~links] is a singleton congestion game:
+    each player picks one of [links] identical parallel links with
+    delay k on load k (the load-balancing game of Asadpour–Saberi). *)
+val linear_routing : players:int -> links:int -> t

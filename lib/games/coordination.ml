@@ -1,0 +1,38 @@
+type t = { a : float; b : float; c : float; d : float }
+
+let create ~a ~b ~c ~d =
+  if not (a -. d > 0. && b -. c > 0.) then
+    invalid_arg "Coordination.create: need delta0 = a-d > 0 and delta1 = b-c > 0";
+  { a; b; c; d }
+
+let of_deltas ~delta0 ~delta1 = create ~a:delta0 ~b:delta1 ~c:0. ~d:0.
+let delta0 t = t.a -. t.d
+let delta1 t = t.b -. t.c
+
+type risk_dominance = Zero_dominant | One_dominant | No_risk_dominant
+
+let risk_dominance t =
+  let d0 = delta0 t and d1 = delta1 t in
+  if d0 > d1 then Zero_dominant else if d0 < d1 then One_dominant else No_risk_dominant
+
+let payoff t mine theirs =
+  match (mine, theirs) with
+  | 0, 0 -> t.a
+  | 0, 1 -> t.c
+  | 1, 0 -> t.d
+  | 1, 1 -> t.b
+  | _ -> invalid_arg "Coordination.payoff: strategies must be 0 or 1"
+
+let edge_potential t x y =
+  match (x, y) with
+  | 0, 0 -> -.delta0 t
+  | 1, 1 -> -.delta1 t
+  | (0 | 1), (0 | 1) -> 0.
+  | _ -> invalid_arg "Coordination.edge_potential: strategies must be 0 or 1"
+
+let to_game t =
+  let space = Strategy_space.uniform ~players:2 ~strategies:2 in
+  Game.create ~name:"coordination-2x2" space (fun player idx ->
+      let mine = Strategy_space.player_strategy space idx player in
+      let theirs = Strategy_space.player_strategy space idx (1 - player) in
+      payoff t mine theirs)

@@ -1,0 +1,46 @@
+(** 2×2 coordination games (paper, Section 5, payoff matrix (10)).
+
+    Strategies are 0 and 1 with payoff matrix
+
+    {v            0       1
+         0 |  a, a  |  c, d  |
+         1 |  d, c  |  b, b  |  v}
+
+    and δ₀ = a - d, δ₁ = b - c. The game is a coordination game when
+    δ₀ > 0 and δ₁ > 0, in which case (0,0) and (1,1) are its pure
+    Nash equilibria and the one with the larger δ is risk dominant.
+    Its exact potential is φ(0,0) = -δ₀, φ(1,1) = -δ₁,
+    φ(0,1) = φ(1,0) = 0. *)
+
+type t = private { a : float; b : float; c : float; d : float }
+
+(** [create ~a ~b ~c ~d] validates δ₀ > 0 and δ₁ > 0 and packs the
+    parameters. Raises [Invalid_argument] otherwise. *)
+val create : a:float -> b:float -> c:float -> d:float -> t
+
+(** [of_deltas ~delta0 ~delta1] is the normalised game with
+    [a = delta0], [b = delta1], [c = d = 0]. *)
+val of_deltas : delta0:float -> delta1:float -> t
+
+(** [delta0 t] is a - d. *)
+val delta0 : t -> float
+
+(** [delta1 t] is b - c. *)
+val delta1 : t -> float
+
+type risk_dominance = Zero_dominant | One_dominant | No_risk_dominant
+
+(** [risk_dominance t] classifies the equilibria: (0,0) is risk
+    dominant when δ₀ > δ₁, (1,1) when δ₀ < δ₁. *)
+val risk_dominance : t -> risk_dominance
+
+(** [payoff t mine theirs] is the payoff of a player choosing [mine]
+    against an opponent choosing [theirs]; strategies are in {0,1}. *)
+val payoff : t -> int -> int -> float
+
+(** [edge_potential t x y] is the potential φ of the basic game on the
+    pair of strategies [(x, y)]. *)
+val edge_potential : t -> int -> int -> float
+
+(** [to_game t] is the two-player strategic game. *)
+val to_game : t -> Game.t

@@ -1,0 +1,40 @@
+type t = {
+  players : int;
+  local : float;
+  shell : int;
+  space : Strategy_space.t;
+}
+
+let create ~players ~global ~local =
+  if players < 2 then invalid_arg "Curve_game.create: need at least 2 players";
+  if not (local > 0. && global > 0.) then
+    invalid_arg "Curve_game.create: variations must be positive";
+  if local > global +. 1e-12 then
+    invalid_arg "Curve_game.create: need local <= global";
+  if local < (2. *. global /. float_of_int players) -. 1e-12 then
+    invalid_arg "Curve_game.create: need local >= 2*global/players";
+  let c = global /. local in
+  if Float.abs (c -. Float.round c) > 1e-9 then
+    invalid_arg "Curve_game.create: global/local must be an integer";
+  {
+    players;
+    local;
+    shell = int_of_float (Float.round c);
+    space = Strategy_space.uniform ~players ~strategies:2;
+  }
+
+let shell t = t.shell
+
+let potential_of_weight t w =
+  if w < 0 || w > t.players then invalid_arg "Curve_game.potential_of_weight";
+  let c = t.shell in
+  -.t.local *. float_of_int (Int.min c (abs (c - w)))
+
+let potential t idx = potential_of_weight t (Strategy_space.weight t.space idx)
+
+let to_game t =
+  Potential.common_interest
+    ~name:(Printf.sprintf "curve-game(n=%d,c=%d)" t.players t.shell)
+    t.space (potential t)
+
+let space t = t.space

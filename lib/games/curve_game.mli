@@ -1,0 +1,35 @@
+(** The Theorem 3.5 lower-bound family.
+
+    For target global variation g and local variation l with
+    2g/n ≤ l ≤ g, set c = g/l and define on {0,1}ⁿ
+
+    {v Φ(x) = -l · min { c, |c - w(x)| } v}
+
+    where w(x) is the Hamming weight. Then δΦ = l, ΔΦ = g, the
+    minimum is at the all-zero profile, the maximum (0) on the shell
+    w(x) = c, and the bottleneck through that shell forces
+    t_mix ≥ exp(βΔΦ(1-o(1))). *)
+
+type t
+
+(** [create ~players ~global ~local] validates the constraints
+    [2·global/players <= local <= global] and [global/local] integral
+    (within 1e-9) and packs the parameters. *)
+val create : players:int -> global:float -> local:float -> t
+
+(** [shell t] is c = g/l, the weight of the maximum-potential shell. *)
+val shell : t -> int
+
+(** [potential t idx] is Φ at profile index [idx] of the binary
+    space. *)
+val potential : t -> int -> float
+
+(** [potential_of_weight t w] is Φ of any profile of Hamming weight
+    [w] (the potential is symmetric). *)
+val potential_of_weight : t -> int -> float
+
+(** [to_game t] is the common-interest game realising Φ. *)
+val to_game : t -> Game.t
+
+(** [space t] is the binary profile space. *)
+val space : t -> Strategy_space.t

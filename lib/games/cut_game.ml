@@ -1,0 +1,54 @@
+type t = {
+  graph : Graphs.Graph.t;
+  weight : float;
+  space : Strategy_space.t;
+}
+
+let create ?(weight = 1.) graph =
+  if weight <= 0. then invalid_arg "Cut_game.create: weight must be positive";
+  let n = Graphs.Graph.num_vertices graph in
+  if n = 0 then invalid_arg "Cut_game.create: empty graph";
+  { graph; weight; space = Strategy_space.uniform ~players:n ~strategies:2 }
+
+let graph t = t.graph
+let weight t = t.weight
+let space t = t.space
+
+let cut_size t idx =
+  Graphs.Graph.fold_edges
+    (fun acc u v ->
+      if
+        Strategy_space.player_strategy t.space idx u
+        <> Strategy_space.player_strategy t.space idx v
+      then acc + 1
+      else acc)
+    0 t.graph
+
+let potential t idx = -.(t.weight *. float_of_int (cut_size t idx))
+
+let to_game t =
+  let utility player idx =
+    let mine = Strategy_space.player_strategy t.space idx player in
+    let differing =
+      List.fold_left
+        (fun acc v ->
+          if Strategy_space.player_strategy t.space idx v <> mine then acc + 1
+          else acc)
+        0
+        (Graphs.Graph.neighbors t.graph player)
+    in
+    t.weight *. float_of_int differing
+  in
+  let g =
+    Game.create
+      ~name:(Printf.sprintf "cut-game(n=%d)" (Graphs.Graph.num_vertices t.graph))
+      t.space utility
+  in
+  if Strategy_space.size t.space <= 1 lsl 22 then Game.tabulate g else g
+
+let max_cut t =
+  let best = ref 0 in
+  Strategy_space.iter t.space (fun idx ->
+      let c = cut_size t idx in
+      if c > !best then best := c);
+  !best

@@ -1,0 +1,39 @@
+(** Cut games — anti-coordination on a graph.
+
+    Each vertex picks a side in {0, 1} and earns [weight] for every
+    neighbour on the {e other} side; the exact potential is −weight
+    times the cut size, so the potential minimisers are the maximum
+    cuts and the logit dynamics is Glauber dynamics on the
+    {e antiferromagnetic} Ising model. The class complements the
+    paper's (ferromagnetic) graphical coordination games: on bipartite
+    graphs it has two mirror ground states and a clique-like barrier,
+    while odd cycles are {e frustrated} — many ground states, lower
+    barriers, faster mixing (experiment X8). *)
+
+type t
+
+(** [create ?weight graph] packs the game; [weight] (default 1) must
+    be positive. *)
+val create : ?weight:float -> Graphs.Graph.t -> t
+
+(** [graph t] and [weight t]: components. *)
+val graph : t -> Graphs.Graph.t
+
+val weight : t -> float
+
+(** [space t] is the binary profile space. *)
+val space : t -> Strategy_space.t
+
+(** [cut_size t idx] is the number of bichromatic edges in the profile
+    with index [idx]. *)
+val cut_size : t -> int -> int
+
+(** [potential t idx] is Φ(x) = -weight·cut(x). *)
+val potential : t -> int -> float
+
+(** [to_game t] is the strategic game (tabulated when small). *)
+val to_game : t -> Game.t
+
+(** [max_cut t] is the maximum cut size (exhaustive; the space is
+    binary so this is O(2ⁿ·|E|)). *)
+val max_cut : t -> int

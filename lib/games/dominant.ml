@@ -1,0 +1,28 @@
+let lower_bound_game ~players ~strategies =
+  if players < 1 || strategies < 2 then
+    invalid_arg "Dominant.lower_bound_game: need players >= 1, strategies >= 2";
+  let space = Strategy_space.uniform ~players ~strategies in
+  Game.create
+    ~name:(Printf.sprintf "dominant-lower-bound(n=%d,m=%d)" players strategies)
+    space
+    (fun _player idx -> if idx = 0 then 0. else -1.)
+
+let lower_bound_potential ~players:_ ~strategies:_ idx = if idx = 0 then 0. else 1.
+
+let prisoners_dilemma ?(temptation = 5.) ?(reward = 3.) ?(punishment = 1.)
+    ?(sucker = 0.) () =
+  if not (temptation > reward && reward > punishment && punishment > sucker) then
+    invalid_arg "Dominant.prisoners_dilemma: need T > R > P > S";
+  (* Strategy 0 = defect, 1 = cooperate; defection is strictly dominant. *)
+  Normal_form.symmetric ~name:"prisoners-dilemma"
+    [| [| punishment; temptation |]; [| sucker; reward |] |]
+
+let n_player_dilemma ~players =
+  if players < 2 then invalid_arg "Dominant.n_player_dilemma: need >= 2 players";
+  let space = Strategy_space.uniform ~players ~strategies:2 in
+  let cost = 1.5 in
+  Game.create ~name:(Printf.sprintf "public-goods(n=%d)" players) space
+    (fun player idx ->
+      let contributors = float_of_int (Strategy_space.weight space idx) in
+      let mine = Strategy_space.player_strategy space idx player in
+      contributors -. if mine = 1 then cost else 0.)

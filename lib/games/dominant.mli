@@ -1,0 +1,29 @@
+(** Games with dominant strategies (paper, Section 4).
+
+    Theorem 4.2 shows the mixing time of the logit dynamics for a game
+    with a dominant profile is O(mⁿ · n log n) {e independently of β};
+    Theorem 4.3 exhibits a matching Ω(m^{n-1}) lower-bound game. *)
+
+(** [lower_bound_game ~players ~strategies] is the Theorem 4.3 game:
+    every player has utility 0 at the all-zero profile and -1
+    everywhere else. Strategy 0 is (weakly) dominant for everyone, and
+    the game is a potential game with Φ(x) = [x ≠ 0]. *)
+val lower_bound_game : players:int -> strategies:int -> Game.t
+
+(** [lower_bound_potential ~players ~strategies idx] is the potential
+    of that game at profile [idx]: 0 at the all-zero profile, 1
+    elsewhere. *)
+val lower_bound_potential : players:int -> strategies:int -> int -> float
+
+(** [prisoners_dilemma ?temptation ?reward ?punishment ?sucker ()] is
+    the classic 2-player dilemma (defect = strategy 0 is strictly
+    dominant). Defaults: T=5, R=3, P=1, S=0. *)
+val prisoners_dilemma :
+  ?temptation:float -> ?reward:float -> ?punishment:float -> ?sucker:float ->
+  unit -> Game.t
+
+(** [n_player_dilemma ~players] is a linear public-goods dilemma:
+    contributing (strategy 1) costs 1.5 and pays 1 to every player
+    including self, so free-riding (strategy 0) is strictly
+    dominant. *)
+val n_player_dilemma : players:int -> Game.t

@@ -1,0 +1,101 @@
+type t = {
+  name : string;
+  space : Strategy_space.t;
+  utility : int -> int -> float;
+}
+
+let create ~name space utility = { name; space; utility }
+let name g = g.name
+let space g = g.space
+let utility g player idx = g.utility player idx
+let num_players g = Strategy_space.num_players g.space
+let size g = Strategy_space.size g.space
+let max_strategies g = Strategy_space.max_strategies g.space
+
+let tabulate g =
+  let n = num_players g and s = size g in
+  let table = Array.init n (fun i -> Array.init s (fun idx -> g.utility i idx)) in
+  { g with utility = (fun i idx -> table.(i).(idx)) }
+
+let best_responses g player idx =
+  let space = g.space in
+  let m = Strategy_space.num_strategies space player in
+  let payoff a = g.utility player (Strategy_space.replace space idx player a) in
+  let best = ref (payoff 0) in
+  for a = 1 to m - 1 do
+    let u = payoff a in
+    if u > !best then best := u
+  done;
+  let acc = ref [] in
+  for a = m - 1 downto 0 do
+    if payoff a = !best then acc := a :: !acc
+  done;
+  !acc
+
+let is_pure_nash g idx =
+  let space = g.space in
+  let n = Strategy_space.num_players space in
+  let ok = ref true in
+  let player = ref 0 in
+  while !ok && !player < n do
+    let i = !player in
+    let here = g.utility i idx in
+    let m = Strategy_space.num_strategies space i in
+    for a = 0 to m - 1 do
+      if g.utility i (Strategy_space.replace space idx i a) > here then ok := false
+    done;
+    incr player
+  done;
+  !ok
+
+let pure_nash_profiles g =
+  let acc = ref [] in
+  Strategy_space.iter g.space (fun idx -> if is_pure_nash g idx then acc := idx :: !acc);
+  List.rev !acc
+
+let is_dominant_strategy g player s =
+  let space = g.space in
+  let m = Strategy_space.num_strategies space player in
+  if s < 0 || s >= m then invalid_arg "Game.is_dominant_strategy: strategy out of range";
+  let dominant = ref true in
+  (* It suffices to check profiles in which [player] already plays [s]:
+     each such profile represents one opponent sub-profile. *)
+  Strategy_space.iter space (fun idx ->
+      if !dominant && Strategy_space.player_strategy space idx player = s then begin
+        let u_s = g.utility player idx in
+        for a = 0 to m - 1 do
+          if g.utility player (Strategy_space.replace space idx player a) > u_s then
+            dominant := false
+        done
+      end);
+  !dominant
+
+let dominant_profile g =
+  let space = g.space in
+  let n = Strategy_space.num_players space in
+  let choice = Array.make n (-1) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok then begin
+      let m = Strategy_space.num_strategies space i in
+      let s = ref 0 in
+      let found = ref false in
+      while (not !found) && !s < m do
+        if is_dominant_strategy g i !s then begin
+          found := true;
+          choice.(i) <- !s
+        end
+        else incr s
+      done;
+      if not !found then ok := false
+    end
+  done;
+  if !ok then Some (Strategy_space.encode space choice) else None
+
+let social_welfare g idx =
+  let n = num_players g in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. g.utility i idx
+  done;
+  !acc

@@ -1,0 +1,60 @@
+(** Finite strategic games.
+
+    A game is a profile space together with a utility function per
+    player. Utilities are addressed by profile {e index} (see
+    {!Strategy_space}) so that the Markov-chain layer can evaluate
+    payoffs without materialising profiles. *)
+
+type t
+
+(** [create ~name space utility] packs a game; [utility player idx] is
+    the payoff of [player] in the profile with index [idx]. *)
+val create : name:string -> Strategy_space.t -> (int -> int -> float) -> t
+
+(** [name g] is the human-readable name. *)
+val name : t -> string
+
+(** [space g] is the profile space. *)
+val space : t -> Strategy_space.t
+
+(** [utility g player idx] is the payoff of [player] at profile
+    [idx]. *)
+val utility : t -> int -> int -> float
+
+(** [num_players g], [size g], [max_strategies g]: shorthands into
+    {!Strategy_space}. *)
+val num_players : t -> int
+
+val size : t -> int
+val max_strategies : t -> int
+
+(** [tabulate g] precomputes every utility into a lookup table
+    ([num_players × size] floats) and returns an equivalent game with
+    O(1) utility evaluation. Worth it before building a transition
+    matrix when the utility involves a sum over graph neighbours. *)
+val tabulate : t -> t
+
+(** [best_responses g player idx] lists the strategies of [player]
+    maximising her payoff against the sub-profile [idx₋ᵢ] (ties are
+    all returned, in increasing order). *)
+val best_responses : t -> int -> int -> int list
+
+(** [is_pure_nash g idx] tests whether no player can strictly improve
+    by a unilateral deviation from profile [idx]. *)
+val is_pure_nash : t -> int -> bool
+
+(** [pure_nash_profiles g] lists the indices of all pure Nash
+    equilibria (exhaustive enumeration). *)
+val pure_nash_profiles : t -> int list
+
+(** [is_dominant_strategy g player s] tests whether [s] weakly
+    dominates every other strategy of [player] in every profile. *)
+val is_dominant_strategy : t -> int -> int -> bool
+
+(** [dominant_profile g] is [Some idx] for a profile in which every
+    player plays a dominant strategy, if one exists (the smallest such
+    index), [None] otherwise. *)
+val dominant_profile : t -> int option
+
+(** [social_welfare g idx] is the sum of all players' payoffs. *)
+val social_welfare : t -> int -> float

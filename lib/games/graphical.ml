@@ -1,0 +1,64 @@
+type t = {
+  graph : Graphs.Graph.t;
+  basic : Coordination.t;
+  space : Strategy_space.t;
+}
+
+let create graph basic =
+  let n = Graphs.Graph.num_vertices graph in
+  if n = 0 then invalid_arg "Graphical.create: empty social graph";
+  { graph; basic; space = Strategy_space.uniform ~players:n ~strategies:2 }
+
+let graph t = t.graph
+let basic t = t.basic
+let space t = t.space
+
+let potential t idx =
+  Graphs.Graph.fold_edges
+    (fun acc u v ->
+      let xu = Strategy_space.player_strategy t.space idx u in
+      let xv = Strategy_space.player_strategy t.space idx v in
+      acc +. Coordination.edge_potential t.basic xu xv)
+    0. t.graph
+
+let utility t player idx =
+  let mine = Strategy_space.player_strategy t.space idx player in
+  List.fold_left
+    (fun acc v ->
+      acc
+      +. Coordination.payoff t.basic mine (Strategy_space.player_strategy t.space idx v))
+    0.
+    (Graphs.Graph.neighbors t.graph player)
+
+let to_game t =
+  let g =
+    Game.create ~name:(Printf.sprintf "graphical-coordination(n=%d)"
+                         (Graphs.Graph.num_vertices t.graph))
+      t.space
+      (fun player idx -> utility t player idx)
+  in
+  if Strategy_space.size t.space <= 1 lsl 22 then Game.tabulate g else g
+
+let all_zero _t = 0
+
+let all_one t =
+  Strategy_space.encode t.space (Array.make (Strategy_space.num_players t.space) 1)
+
+let ising ~delta graph =
+  if delta <= 0. then invalid_arg "Graphical.ising: delta must be positive";
+  create graph (Coordination.of_deltas ~delta0:delta ~delta1:delta)
+
+let clique_potential ~n ~delta0 ~delta1 k =
+  if k < 0 || k > n then invalid_arg "Graphical.clique_potential: k out of range";
+  let pairs x = float_of_int (x * (x - 1)) /. 2. in
+  -.((pairs (n - k) *. delta0) +. (pairs k *. delta1))
+
+let clique_kstar ~n ~delta0 ~delta1 =
+  let best = ref 0 in
+  for k = 1 to n do
+    if
+      clique_potential ~n ~delta0 ~delta1 k
+      > clique_potential ~n ~delta0 ~delta1 !best
+    then best := k
+  done;
+  !best

@@ -1,0 +1,52 @@
+(** Graphical coordination games (paper, Section 5).
+
+    Each vertex of a social graph G is a player with strategies
+    {0, 1}; she plays the basic 2×2 coordination game with every
+    neighbour and collects the sum of the payoffs. The game is an
+    exact potential game whose potential is the sum over edges of the
+    basic game's potential: Φ(x) = Σ_{(u,v) ∈ E} φ(x_u, x_v). *)
+
+type t
+
+(** [create graph basic] is the graphical coordination game of [basic]
+    played on [graph]. *)
+val create : Graphs.Graph.t -> Coordination.t -> t
+
+(** [graph t], [basic t]: the components. *)
+val graph : t -> Graphs.Graph.t
+
+val basic : t -> Coordination.t
+
+(** [to_game t] is the n-player strategic game (n = vertices of the
+    graph), with tabulated utilities when the profile space is small
+    enough ([size <= 1 lsl 22]). *)
+val to_game : t -> Game.t
+
+(** [potential t idx] is Φ at the profile with index [idx]. *)
+val potential : t -> int -> float
+
+(** [space t] is the binary profile space of the game. *)
+val space : t -> Strategy_space.t
+
+(** [all_zero t] and [all_one t] are the indices of the consensus
+    profiles 0…0 and 1…1 (the pure Nash equilibria when the graph has
+    at least one edge). *)
+val all_zero : t -> int
+
+val all_one : t -> int
+
+(** [ising ~beta_is_half_delta:δ graph] is the special case δ₀ = δ₁ = δ
+    with zero off-diagonal payoffs — the Ising model on [graph] with
+    coupling δ/2 (no external field), for which the Glauber dynamics
+    coincides with the logit dynamics. *)
+val ising : delta:float -> Graphs.Graph.t -> t
+
+(** Closed-form potential for the {b clique} (paper, Section 5.2):
+    [clique_potential ~n ~delta0 ~delta1 k] is Φ of any profile with
+    [k] players playing 1 on K_n. *)
+val clique_potential : n:int -> delta0:float -> delta1:float -> int -> float
+
+(** [clique_kstar ~n ~delta0 ~delta1] is k*, the number of 1-players
+    maximising the clique potential: the integer in [0..n] closest to
+    ⌊(n-1)·δ₀/(δ₀+δ₁) + 1/2⌋ that maximises [clique_potential]. *)
+val clique_kstar : n:int -> delta0:float -> delta1:float -> int

@@ -1,0 +1,32 @@
+let check_matrix name m =
+  let rows = Array.length m in
+  if rows = 0 then invalid_arg (name ^ ": empty matrix");
+  let cols = Array.length m.(0) in
+  if cols = 0 then invalid_arg (name ^ ": empty rows");
+  Array.iter
+    (fun row -> if Array.length row <> cols then invalid_arg (name ^ ": ragged matrix"))
+    m;
+  (rows, cols)
+
+let bimatrix ~name a b =
+  let ra, ca = check_matrix "Normal_form.bimatrix" a in
+  let rb, cb = check_matrix "Normal_form.bimatrix" b in
+  if ra <> rb || ca <> cb then invalid_arg "Normal_form.bimatrix: dimension mismatch";
+  let space = Strategy_space.create [| ra; ca |] in
+  Game.create ~name space (fun player idx ->
+      let row = Strategy_space.player_strategy space idx 0 in
+      let column = Strategy_space.player_strategy space idx 1 in
+      match player with
+      | 0 -> a.(row).(column)
+      | 1 -> b.(row).(column)
+      | _ -> invalid_arg "Normal_form: player out of range")
+
+let symmetric ~name a =
+  let rows, cols = check_matrix "Normal_form.symmetric" a in
+  if rows <> cols then invalid_arg "Normal_form.symmetric: matrix must be square";
+  let transposed = Array.init cols (fun i -> Array.init rows (fun j -> a.(j).(i))) in
+  bimatrix ~name a transposed
+
+let zero_sum ~name a =
+  let negated = Array.map (Array.map (fun x -> -.x)) a in
+  bimatrix ~name a negated

@@ -1,0 +1,14 @@
+(** Two-player games in normal (bimatrix) form. *)
+
+(** [bimatrix ~name a b] is the two-player game where the row player
+    (player 0) choosing [i] and the column player (player 1) choosing
+    [j] yields payoffs [a.(i).(j)] and [b.(i).(j)]. The matrices must
+    be non-empty, rectangular, and of equal dimensions. *)
+val bimatrix : name:string -> float array array -> float array array -> Game.t
+
+(** [symmetric ~name a] is [bimatrix a aᵀ]: both players face the same
+    payoff structure. *)
+val symmetric : name:string -> float array array -> Game.t
+
+(** [zero_sum ~name a] is [bimatrix a (-a)]. *)
+val zero_sum : name:string -> float array array -> Game.t

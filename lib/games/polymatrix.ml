@@ -1,0 +1,87 @@
+type t = {
+  graph : Graphs.Graph.t;
+  space : Strategy_space.t;
+  edge_payoff : int -> int -> int -> int -> float;
+}
+
+let create graph ~strategies ~edge_payoff =
+  if strategies < 2 then invalid_arg "Polymatrix.create: need >= 2 strategies";
+  let n = Graphs.Graph.num_vertices graph in
+  if n = 0 then invalid_arg "Polymatrix.create: empty graph";
+  { graph; space = Strategy_space.uniform ~players:n ~strategies; edge_payoff }
+
+let graph t = t.graph
+let space t = t.space
+
+let shared_payoff t u v a b =
+  if u < v then t.edge_payoff u v a b else t.edge_payoff v u b a
+
+let potential t idx =
+  Graphs.Graph.fold_edges
+    (fun acc u v ->
+      acc
+      -. t.edge_payoff u v
+           (Strategy_space.player_strategy t.space idx u)
+           (Strategy_space.player_strategy t.space idx v))
+    0. t.graph
+
+let to_game t =
+  let utility player idx =
+    let mine = Strategy_space.player_strategy t.space idx player in
+    List.fold_left
+      (fun acc v ->
+        acc
+        +. shared_payoff t player v mine
+             (Strategy_space.player_strategy t.space idx v))
+      0.
+      (Graphs.Graph.neighbors t.graph player)
+  in
+  let g =
+    Game.create
+      ~name:(Printf.sprintf "polymatrix(n=%d)" (Graphs.Graph.num_vertices t.graph))
+      t.space utility
+  in
+  if Strategy_space.size t.space <= 1 lsl 22 then Game.tabulate g else g
+
+let edge_index_table graph =
+  let table = Hashtbl.create 64 in
+  List.iteri (fun k (u, v) -> Hashtbl.replace table (u, v) k) (Graphs.Graph.edges graph);
+  table
+
+let spin_glass rng graph ~coupling =
+  if coupling <= 0. then invalid_arg "Polymatrix.spin_glass: coupling > 0";
+  let edges = Graphs.Graph.edges graph in
+  let couplings =
+    Array.of_list
+      (List.map (fun _ -> if Prob.Rng.bool rng then coupling else -.coupling) edges)
+  in
+  let index = edge_index_table graph in
+  let edge_payoff u v a b =
+    let j = couplings.(Hashtbl.find index (u, v)) in
+    if a = b then j else -.j
+  in
+  (create graph ~strategies:2 ~edge_payoff, couplings)
+
+let ferromagnet graph ~coupling =
+  if coupling <= 0. then invalid_arg "Polymatrix.ferromagnet: coupling > 0";
+  create graph ~strategies:2 ~edge_payoff:(fun _u _v a b ->
+      if a = b then coupling else -.coupling)
+
+let frustrated_triangles t ~couplings =
+  let edges = Graphs.Graph.edges t.graph in
+  if Array.length couplings <> List.length edges then
+    invalid_arg "Polymatrix.frustrated_triangles: one coupling per edge";
+  let index = edge_index_table t.graph in
+  let j u v = couplings.(Hashtbl.find index (Int.min u v, Int.max u v)) in
+  let n = Graphs.Graph.num_vertices t.graph in
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Graphs.Graph.has_edge t.graph u v then
+        for w = v + 1 to n - 1 do
+          if Graphs.Graph.has_edge t.graph u w && Graphs.Graph.has_edge t.graph v w
+          then if j u v *. j u w *. j v w < 0. then incr count
+        done
+    done
+  done;
+  !count

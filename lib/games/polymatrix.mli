@@ -1,0 +1,52 @@
+(** Common-payoff polymatrix games on a graph.
+
+    Every edge (u, v) of a social graph carries a shared payoff
+    f_e(x_u, x_v) = f_e(x_v, x_u) paid to {e both} endpoints; a
+    player's utility is the sum over her incident edges. Such games
+    are exact potential games with Φ(x) = -Σ_e f_e(x_u, x_v), and they
+    generalise the homogeneous graphical coordination games of
+    Section 5 to heterogeneous, possibly frustrated interactions —
+    in particular Ising {e spin glasses} with random ±J couplings,
+    used by experiment X9 to probe how frustration reshapes the
+    barrier ζ. *)
+
+type t
+
+(** [create graph ~strategies ~edge_payoff] builds the game:
+    [strategies] is the common strategy count (≥ 2) and
+    [edge_payoff u v a b] the shared payoff of edge (u, v) — always
+    called with [u < v] — when u plays [a] and v plays [b]. The
+    function must be symmetric in the sense that the modeller intends
+    both endpoints to receive it; no symmetrisation is applied to the
+    [(a, b)] arguments. *)
+val create :
+  Graphs.Graph.t -> strategies:int -> edge_payoff:(int -> int -> int -> int -> float) ->
+  t
+
+(** [graph t] and [space t]: components. *)
+val graph : t -> Graphs.Graph.t
+
+val space : t -> Strategy_space.t
+
+(** [potential t idx] is Φ(x) = -Σ_e f_e(x_u, x_v). *)
+val potential : t -> int -> float
+
+(** [to_game t] is the strategic game (tabulated when small). *)
+val to_game : t -> Game.t
+
+(** [spin_glass rng graph ~coupling] draws an Ising spin glass: each
+    edge independently gets J_e = ±coupling with equal probability and
+    shared payoff J_e when the endpoints agree, -J_e when they differ
+    (binary strategies). Returns the game plus the drawn couplings in
+    the order of {!Graphs.Graph.edges}. *)
+val spin_glass : Prob.Rng.t -> Graphs.Graph.t -> coupling:float -> t * float array
+
+(** [ferromagnet graph ~coupling] is the all-(+J) instance — the
+    Ising/graphical-coordination special case, as a baseline. *)
+val ferromagnet : Graphs.Graph.t -> coupling:float -> t
+
+(** [frustrated_triangles t ~couplings] counts triangles of the graph
+    whose coupling product is negative — the standard frustration
+    measure for ±J glasses (couplings indexed like
+    {!Graphs.Graph.edges}). *)
+val frustrated_triangles : t -> couplings:float array -> int

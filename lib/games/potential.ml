@@ -1,0 +1,95 @@
+let verify ?(tol = 1e-9) g phi =
+  let space = Game.space g in
+  let n = Strategy_space.num_players space in
+  let ok = ref true in
+  Strategy_space.iter space (fun idx ->
+      if !ok then
+        for i = 0 to n - 1 do
+          let u_here = Game.utility g i idx in
+          let phi_here = phi idx in
+          let m = Strategy_space.num_strategies space i in
+          for a = 0 to m - 1 do
+            let other = Strategy_space.replace space idx i a in
+            if other <> idx then begin
+              let lhs = u_here -. Game.utility g i other in
+              let rhs = phi other -. phi_here in
+              if Float.abs (lhs -. rhs) > tol then ok := false
+            end
+          done
+        done);
+  !ok
+
+let integrate g =
+  let space = Game.space g in
+  let n = Strategy_space.num_players space in
+  let size = Strategy_space.size space in
+  let phi = Array.make size nan in
+  let scratch = Array.make n 0 in
+  Strategy_space.iter space (fun idx ->
+      (* Walk from the all-zero profile to [idx], flipping one
+         coordinate at a time; each step contributes the negated
+         utility difference of the moving player. *)
+      Array.fill scratch 0 n 0;
+      let current = ref 0 in
+      let value = ref 0. in
+      for i = 0 to n - 1 do
+        let target = Strategy_space.player_strategy space idx i in
+        if target <> 0 then begin
+          let next = Strategy_space.replace space !current i target in
+          value := !value -. (Game.utility g i next -. Game.utility g i !current);
+          current := next
+        end
+      done;
+      phi.(idx) <- !value);
+  phi
+
+let recover ?(tol = 1e-9) g =
+  let phi = integrate g in
+  let lookup idx = phi.(idx) in
+  if verify ~tol g lookup then Some lookup else None
+
+let is_potential_game ?(tol = 1e-9) g = recover ~tol g <> None
+
+let common_interest ~name space phi =
+  Game.create ~name space (fun _player idx -> -.phi idx)
+
+let tabulate space phi =
+  let table = Array.init (Strategy_space.size space) phi in
+  fun idx -> table.(idx)
+
+let extrema space phi =
+  let vmin = ref (phi 0) and imin = ref 0 in
+  let vmax = ref (phi 0) and imax = ref 0 in
+  Strategy_space.iter space (fun idx ->
+      let v = phi idx in
+      if v < !vmin then begin
+        vmin := v;
+        imin := idx
+      end;
+      if v > !vmax then begin
+        vmax := v;
+        imax := idx
+      end);
+  (!vmin, !imin, !vmax, !imax)
+
+let delta_global space phi =
+  let vmin, _, vmax, _ = extrema space phi in
+  vmax -. vmin
+
+let delta_local space phi =
+  let best = ref 0. in
+  Strategy_space.iter space (fun idx ->
+      let here = phi idx in
+      List.iter
+        (fun other ->
+          let d = Float.abs (phi other -. here) in
+          if d > !best then best := d)
+        (Strategy_space.neighbors space idx));
+  !best
+
+let global_minima ?(tol = 1e-12) space phi =
+  let vmin, _, _, _ = extrema space phi in
+  let acc = ref [] in
+  Strategy_space.iter space (fun idx ->
+      if phi idx <= vmin +. tol then acc := idx :: !acc);
+  List.rev !acc

@@ -1,0 +1,49 @@
+(** Potential functions of strategic games (paper, eq. (1)).
+
+    A function Φ : S → ℝ is an (exact) potential for game G when for
+    every player i, strategies a, b, and profile x,
+
+    {v u_i(a, x₋ᵢ) - u_i(b, x₋ᵢ) = Φ(b, x₋ᵢ) - Φ(a, x₋ᵢ). v}
+
+    With this sign convention the potential {e decreases} along
+    improving moves and the stationary distribution of the logit
+    dynamics is the Gibbs measure π(x) ∝ exp(-βΦ(x)). *)
+
+(** [verify ?tol g phi] checks eq. (1) exhaustively over all Hamming
+    edges of the profile space, up to absolute tolerance [tol]
+    (default [1e-9]). *)
+val verify : ?tol:float -> Game.t -> (int -> float) -> bool
+
+(** [recover ?tol g] reconstructs a potential by integrating utility
+    differences coordinate-by-coordinate from profile 0 (normalised so
+    Φ(0) = 0), then verifies it. [None] if [g] is not an exact
+    potential game. *)
+val recover : ?tol:float -> Game.t -> (int -> float) option
+
+(** [is_potential_game ?tol g] is [recover g <> None]. *)
+val is_potential_game : ?tol:float -> Game.t -> bool
+
+(** [common_interest ~name space phi] is the common-interest (identical
+    payoff) game with u_i = -Φ for all players, whose exact potential
+    is [phi]. This realises any prescribed potential as a game — the
+    construction used by Theorems 3.5 and 4.3. *)
+val common_interest : name:string -> Strategy_space.t -> (int -> float) -> Game.t
+
+(** [tabulate space phi] precomputes [phi] on the whole space. *)
+val tabulate : Strategy_space.t -> (int -> float) -> int -> float
+
+(** [extrema space phi] is [(min, argmin, max, argmax)] over the
+    space; the arg-extrema are the smallest attaining indices. *)
+val extrema : Strategy_space.t -> (int -> float) -> float * int * float * int
+
+(** [delta_global space phi] is ΔΦ = Φ_max - Φ_min. *)
+val delta_global : Strategy_space.t -> (int -> float) -> float
+
+(** [delta_local space phi] is δΦ = max over Hamming edges (x, y) of
+    |Φ(x) - Φ(y)| (the paper's maximum local variation). *)
+val delta_local : Strategy_space.t -> (int -> float) -> float
+
+(** [global_minima space phi] lists all indices attaining Φ_min (the
+    potential minimisers — for potential games these include all
+    profiles of maximal stationary probability). *)
+val global_minima : ?tol:float -> Strategy_space.t -> (int -> float) -> int list

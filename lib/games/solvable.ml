@@ -1,0 +1,125 @@
+let check_alive game alive =
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  if Array.length alive <> n then invalid_arg "Solvable: wrong alive length";
+  Array.iteri
+    (fun i l ->
+      if l = [] then invalid_arg "Solvable: empty strategy set";
+      List.iter
+        (fun s ->
+          if s < 0 || s >= Strategy_space.num_strategies space i then
+            invalid_arg "Solvable: strategy out of range")
+        l)
+    alive
+
+(* Iterate over all profiles whose entries come from [alive], calling
+   [f] with the profile as an int array (reused between calls). *)
+let iter_restricted alive f =
+  let n = Array.length alive in
+  let choices = Array.map Array.of_list alive in
+  let counters = Array.make n 0 in
+  let profile = Array.map (fun c -> c.(0)) choices in
+  let rec advance i =
+    if i < n then begin
+      counters.(i) <- counters.(i) + 1;
+      if counters.(i) = Array.length choices.(i) then begin
+        counters.(i) <- 0;
+        profile.(i) <- choices.(i).(0);
+        advance (i + 1)
+      end
+      else profile.(i) <- choices.(i).(counters.(i))
+    end
+  in
+  let total = Array.fold_left (fun acc c -> acc * Array.length c) 1 choices in
+  for _ = 1 to total do
+    f profile;
+    advance 0
+  done
+
+let strictly_dominates game alive player b a =
+  (* b strictly dominates a for [player] over the restricted profiles. *)
+  let space = Game.space game in
+  let dominated = ref true in
+  let restricted = Array.copy alive in
+  restricted.(player) <- [ a ];
+  iter_restricted restricted (fun profile ->
+      if !dominated then begin
+        let idx_a = Strategy_space.encode space profile in
+        let idx_b = Strategy_space.replace space idx_a player b in
+        if Game.utility game player idx_b <= Game.utility game player idx_a then
+          dominated := false
+      end);
+  !dominated
+
+let eliminate_once game alive =
+  check_alive game alive;
+  let n = Array.length alive in
+  let changed = ref false in
+  let next = Array.copy alive in
+  for i = 0 to n - 1 do
+    let survivors =
+      List.filter
+        (fun a ->
+          not
+            (List.exists
+               (fun b -> b <> a && strictly_dominates game alive i b a)
+               alive.(i)))
+        alive.(i)
+    in
+    (* Keep at least one strategy: if everything were eliminated (can
+       only happen through ties) retain the original set. *)
+    if survivors <> [] && List.length survivors < List.length next.(i) then begin
+      next.(i) <- survivors;
+      changed := true
+    end
+  done;
+  (next, !changed)
+
+let surviving_strategies game =
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  let alive =
+    Array.init n (fun i ->
+        List.init (Strategy_space.num_strategies space i) Fun.id)
+  in
+  let rec fixpoint alive =
+    let next, changed = eliminate_once game alive in
+    if changed then fixpoint next else next
+  in
+  fixpoint alive
+
+let is_dominance_solvable game =
+  Array.for_all (fun l -> List.length l = 1) (surviving_strategies game)
+
+let solution game =
+  let surviving = surviving_strategies game in
+  if Array.for_all (fun l -> List.length l = 1) surviving then
+    Some
+      (Strategy_space.encode (Game.space game)
+         (Array.map (function [ s ] -> s | _ -> assert false) surviving))
+  else None
+
+let second_price_auction ~bidders ~valuations ~bids =
+  if bidders < 2 then invalid_arg "Solvable.second_price_auction: need 2 bidders";
+  if Array.length valuations <> bidders then
+    invalid_arg "Solvable.second_price_auction: one valuation per bidder";
+  if Array.length bids < 2 then
+    invalid_arg "Solvable.second_price_auction: need at least two bid levels";
+  let space =
+    Strategy_space.create (Array.make bidders (Array.length bids))
+  in
+  Game.create ~name:(Printf.sprintf "second-price-auction(n=%d)" bidders) space
+    (fun player idx ->
+      let bid i = bids.(Strategy_space.player_strategy space idx i) in
+      let winner = ref 0 in
+      for i = 1 to bidders - 1 do
+        if bid i > bid !winner then winner := i
+      done;
+      if !winner <> player then 0.
+      else begin
+        let second = ref neg_infinity in
+        for i = 0 to bidders - 1 do
+          if i <> !winner && bid i > !second then second := bid i
+        done;
+        valuations.(player) -. !second
+      end)

@@ -1,0 +1,39 @@
+(** Dominance solvability — iterated elimination of strictly dominated
+    strategies.
+
+    The paper's Section 4 closes by noting that the β-independence
+    result extends beyond dominant-strategy games to max-solvable
+    games [Nisan–Schapira–Zohar 08] "with a much larger function"; as
+    the closest fully-specified classical class we implement
+    dominance-solvable games (iterated strict dominance by pure
+    strategies, which contains every game with strictly dominant
+    strategies) and the extension experiment EX1 measures the same
+    mixing-time plateau on them. *)
+
+(** [eliminate_once game alive] removes, for each player, the
+    strategies in [alive.(i)] strictly dominated (on profiles drawn
+    from [alive]) by another strategy in [alive.(i)]. Returns the new
+    sets and whether anything was removed. Every [alive.(i)] must be a
+    non-empty sorted subset of the player's strategies. *)
+val eliminate_once : Game.t -> int list array -> int list array * bool
+
+(** [surviving_strategies game] iterates elimination to a fixed point,
+    starting from the full strategy sets. *)
+val surviving_strategies : Game.t -> int list array
+
+(** [is_dominance_solvable game] tests whether iterated strict
+    dominance leaves exactly one strategy per player. *)
+val is_dominance_solvable : Game.t -> bool
+
+(** [solution game] is the surviving profile of a dominance-solvable
+    game, [None] otherwise. The profile is a PNE. *)
+val solution : Game.t -> int option
+
+(** [second_price_auction ~bidders ~valuations ~bids] builds a sealed-bid
+    second-price auction as a strategic game: player [i]'s strategy [s]
+    bids [bids.(s)], the highest bidder (lowest index breaks ties) wins
+    and pays the second-highest bid; her utility is
+    [valuations.(i) - price]. Truthful bidding is weakly dominant — a
+    standard dominance-solvable-style example for EX1. *)
+val second_price_auction :
+  bidders:int -> valuations:float array -> bids:float array -> Game.t

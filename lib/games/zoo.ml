@@ -1,0 +1,66 @@
+let matching_pennies =
+  Normal_form.zero_sum ~name:"matching-pennies" [| [| 1.; -1. |]; [| -1.; 1. |] |]
+
+let battle_of_sexes =
+  Normal_form.bimatrix ~name:"battle-of-sexes"
+    [| [| 2.; 0. |]; [| 0.; 1. |] |]
+    [| [| 1.; 0. |]; [| 0.; 2. |] |]
+
+let rock_paper_scissors =
+  Normal_form.zero_sum ~name:"rock-paper-scissors"
+    [| [| 0.; -1.; 1. |]; [| 1.; 0.; -1. |]; [| -1.; 1.; 0. |] |]
+
+let pure_coordination ~players ~strategies =
+  if players < 2 || strategies < 2 then
+    invalid_arg "Zoo.pure_coordination: need >= 2 players and strategies";
+  let space = Strategy_space.uniform ~players ~strategies in
+  Game.create
+    ~name:(Printf.sprintf "pure-coordination(n=%d,m=%d)" players strategies)
+    space
+    (fun _player idx ->
+      let first = Strategy_space.player_strategy space idx 0 in
+      let agree = ref true in
+      for i = 1 to players - 1 do
+        if Strategy_space.player_strategy space idx i <> first then agree := false
+      done;
+      if !agree then 1. else 0.)
+
+let random_potential rng ~players ~strategies =
+  let space = Strategy_space.uniform ~players ~strategies in
+  let table = Array.init (Strategy_space.size space) (fun _ -> Prob.Rng.float rng) in
+  let phi idx = table.(idx) in
+  (Potential.common_interest ~name:"random-potential" space phi, phi)
+
+let random_game rng ~players ~strategies =
+  let space = Strategy_space.uniform ~players ~strategies in
+  let table =
+    Array.init players (fun _ ->
+        Array.init (Strategy_space.size space) (fun _ -> Prob.Rng.float rng))
+  in
+  Game.create ~name:"random-game" space (fun player idx -> table.(player).(idx))
+
+let iterated_dominance_game =
+  (* Elimination order: P2's col 2 (dominated by col 1), then P1's
+     row 2 (by row 0), then P2's col 1 (by col 0), then P1's row 1 —
+     leaving (0,0). The 9 and 5 entries stop the eliminations from
+     being possible in round one. *)
+  Normal_form.bimatrix ~name:"iterated-dominance-3x3"
+    [| [| 3.; 2.; 0. |]; [| 2.; 3.; 5. |]; [| 1.; 1.; 9. |] |]
+    [| [| 3.; 2.; 0. |]; [| 1.; 0.5; 0. |]; [| 2.; 3.; 0. |] |]
+
+let beauty_contest ~players ~levels =
+  if players < 2 || levels < 2 then invalid_arg "Zoo.beauty_contest";
+  let space = Strategy_space.uniform ~players ~strategies:levels in
+  Game.create ~name:(Printf.sprintf "beauty-contest(n=%d,m=%d)" players levels)
+    space
+    (fun player idx ->
+      let total = ref 0 in
+      for i = 0 to players - 1 do
+        total := !total + Strategy_space.player_strategy space idx i
+      done;
+      let target = 2. /. 3. *. float_of_int !total /. float_of_int players in
+      let mine = float_of_int (Strategy_space.player_strategy space idx player) in
+      (* The tiny effort cost breaks the exact payoff ties of the
+         discrete game so that iterated STRICT dominance goes through
+         (the standard lexicographic refinement). *)
+      -.Float.abs (mine -. target) -. (0.001 *. mine))

@@ -1,0 +1,44 @@
+(** Classic example games used in tests, examples, and as
+    non-potential baselines. *)
+
+(** Matching pennies: two players, zero-sum, {e not} a potential game
+    (the canonical example where the logit chain is non-reversible). *)
+val matching_pennies : Game.t
+
+(** Battle of the sexes with payoffs (2,1)/(1,2) on coordination and 0
+    off-diagonal. A potential game. *)
+val battle_of_sexes : Game.t
+
+(** Rock-paper-scissors, zero-sum; not a potential game. *)
+val rock_paper_scissors : Game.t
+
+(** [pure_coordination ~players ~strategies] pays each player 1 when
+    all players choose the same strategy and 0 otherwise — a potential
+    game with [strategies] symmetric equilibria, useful for slow-mixing
+    sanity checks. *)
+val pure_coordination : players:int -> strategies:int -> Game.t
+
+(** [random_potential rng ~players ~strategies] draws a uniform random
+    potential in [[0, 1)] per profile and realises it as a
+    common-interest game; the returned function is the potential. *)
+val random_potential :
+  Prob.Rng.t -> players:int -> strategies:int -> Game.t * (int -> float)
+
+(** [random_game rng ~players ~strategies] draws independent uniform
+    payoffs in [[0, 1)] — almost surely not a potential game. *)
+val random_game : Prob.Rng.t -> players:int -> strategies:int -> Game.t
+
+(** A 3×3 two-player game solvable by three rounds of iterated strict
+    dominance to the profile (0,0), in which {e neither} player has a
+    dominant strategy at the outset — used by the EX1 extension
+    experiment on the paper's max-solvable-games remark. *)
+val iterated_dominance_game : Game.t
+
+(** [beauty_contest ~players ~levels] is a discrete Keynesian beauty
+    contest: strategies are {0,...,levels-1}, the target is 2/3 of the
+    average choice, and payoffs are the negated distance to the target
+    minus a lexicographic effort cost (0.001 per level) that breaks
+    the discrete game's exact ties. With two players, higher
+    strategies die round by round under iterated strict dominance;
+    with more players the discrete game may retain {0, 1}. *)
+val beauty_contest : players:int -> levels:int -> Game.t

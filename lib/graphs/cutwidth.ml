@@ -1,0 +1,117 @@
+let of_ordering g order =
+  let n = Graph.num_vertices g in
+  if Array.length order <> n then invalid_arg "Cutwidth.of_ordering: wrong length";
+  let position = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n || position.(v) >= 0 then
+        invalid_arg "Cutwidth.of_ordering: not a permutation";
+      position.(v) <- i)
+    order;
+  (* Sweep the ordering, maintaining the running cut: placing vertex v
+     closes the edges to already-placed neighbours and opens the rest. *)
+  let cut = ref 0 and best = ref 0 in
+  Array.iter
+    (fun v ->
+      let placed_before u = position.(u) < position.(v) in
+      List.iter
+        (fun u -> if placed_before u then decr cut else incr cut)
+        (Graph.neighbors g v);
+      if !cut > !best then best := !cut)
+    order;
+  !best
+
+let max_exact_vertices = 24
+
+let exact_dp g =
+  let n = Graph.num_vertices g in
+  if n > max_exact_vertices then
+    invalid_arg "Cutwidth.exact: graph too large for the subset DP";
+  if n = 0 then (0, [||])
+  else begin
+    let size = 1 lsl n in
+    let best = Array.make size max_int in
+    let choice = Array.make size (-1) in
+    (* cut.(s) = number of edges between subset s and its complement;
+       computed incrementally from s with one vertex removed. *)
+    let cut = Array.make size 0 in
+    best.(0) <- 0;
+    for s = 1 to size - 1 do
+      let v = ref 0 in
+      while s land (1 lsl !v) = 0 do
+        incr v
+      done;
+      let v = !v in
+      let prev = s lxor (1 lsl v) in
+      let internal =
+        List.fold_left
+          (fun acc u -> if prev land (1 lsl u) <> 0 then acc + 1 else acc)
+          0 (Graph.neighbors g v)
+      in
+      cut.(s) <- cut.(prev) + Graph.degree g v - (2 * internal);
+      (* best.(s): minimum over the last-placed vertex w of the max of
+         the prefix cutwidth and the cut of s itself. *)
+      for w = 0 to n - 1 do
+        if s land (1 lsl w) <> 0 then begin
+          let without = s lxor (1 lsl w) in
+          let candidate = Int.max best.(without) cut.(s) in
+          if candidate < best.(s) then begin
+            best.(s) <- candidate;
+            choice.(s) <- w
+          end
+        end
+      done
+    done;
+    let order = Array.make n 0 in
+    let s = ref (size - 1) in
+    for i = n - 1 downto 0 do
+      let w = choice.(!s) in
+      order.(i) <- w;
+      s := !s lxor (1 lsl w)
+    done;
+    (best.(size - 1), order)
+  end
+
+let exact g = fst (exact_dp g)
+let exact_with_ordering g = exact_dp g
+
+let heuristic ?(restarts = 20) ?(seed = 1) g =
+  let n = Graph.num_vertices g in
+  if n = 0 then 0
+  else begin
+    let rng = Prob.Rng.create seed in
+    let best_overall = ref max_int in
+    (* Steepest descent over the insertion neighbourhood (remove a
+       vertex, reinsert elsewhere) — strictly stronger than adjacent
+       transpositions, which stall on paths. *)
+    let insert order i j =
+      let v = order.(i) in
+      if i < j then Array.blit order (i + 1) order i (j - i)
+      else Array.blit order j order (j + 1) (i - j);
+      order.(j) <- v
+    in
+    for _ = 1 to restarts do
+      let order = Array.init n Fun.id in
+      Prob.Rng.shuffle rng order;
+      let current = ref (of_ordering g order) in
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j then begin
+              insert order i j;
+              let candidate = of_ordering g order in
+              if candidate < !current then begin
+                current := candidate;
+                improved := true
+              end
+              else insert order j i
+            end
+          done
+        done
+      done;
+      if !current < !best_overall then best_overall := !current
+    done;
+    !best_overall
+  end

@@ -1,0 +1,32 @@
+(** Cutwidth of a graph (Section 5.1, Theorem 5.1 of the paper).
+
+    For a linear ordering ℓ of the vertices, the cut after position
+    [i] is the number of edges with one endpoint among the first [i+1]
+    vertices and the other beyond; the cutwidth of ℓ is the maximum
+    cut, and the cutwidth χ(G) of the graph is the minimum over all
+    orderings. Theorem 5.1 bounds the mixing time of graphical
+    coordination games by an exponential in χ(G)·(δ₀+δ₁)·β.
+
+    Computing χ(G) is NP-hard in general; this module provides an
+    exact O(2ⁿ·n) dynamic program over vertex subsets (practical to
+    n ≈ 20, which covers every game whose chain we can analyse
+    exactly anyway) and a local-search heuristic upper bound for
+    larger graphs. *)
+
+(** [of_ordering g order] is the cutwidth of the specific ordering
+    [order] (a permutation of the vertices). Raises
+    [Invalid_argument] if [order] is not a permutation. *)
+val of_ordering : Graph.t -> int array -> int
+
+(** [exact g] is χ(G) by dynamic programming over subsets. Raises
+    [Invalid_argument] for graphs with more than 24 vertices (the DP
+    table would not fit in memory). *)
+val exact : Graph.t -> int
+
+(** [exact_with_ordering g] also returns an optimal ordering. *)
+val exact_with_ordering : Graph.t -> int * int array
+
+(** [heuristic ?restarts ?seed g] is an upper bound on χ(G) obtained
+    by steepest-descent local search over adjacent transpositions from
+    [restarts] random starts (default 20). *)
+val heuristic : ?restarts:int -> ?seed:int -> Graph.t -> int

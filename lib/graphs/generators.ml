@@ -1,0 +1,106 @@
+let empty n = Graph.create n
+
+let clique n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let path n =
+  Graph.of_edges n (List.init (Int.max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Generators.ring: need at least 3 vertices";
+  Graph.of_edges n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star: need at least 1 vertex";
+  Graph.of_edges n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Generators.grid: negative dimension";
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges (rows * cols) !edges
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then
+    invalid_arg "Generators.torus: need at least 3 rows and 3 columns";
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (idx r c, idx r ((c + 1) mod cols)) :: !edges;
+      edges := (idx r c, idx ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_edges (rows * cols) !edges
+
+let complete_bipartite a b =
+  if a < 0 || b < 0 then invalid_arg "Generators.complete_bipartite: negative side";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges (a + b) !edges
+
+let binary_tree n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    if (2 * i) + 1 < n then edges := (i, (2 * i) + 1) :: !edges;
+    if (2 * i) + 2 < n then edges := (i, (2 * i) + 2) :: !edges
+  done;
+  Graph.of_edges n !edges
+
+let erdos_renyi rng n p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prob.Rng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let random_regular rng n d =
+  if d < 0 || d >= n then invalid_arg "Generators.random_regular: need 0 <= d < n";
+  if n * d mod 2 <> 0 then invalid_arg "Generators.random_regular: n*d must be even";
+  if d = 0 then Graph.create n
+  else begin
+    (* Pairing model: shuffle n*d half-edge stubs, pair them up, and
+       restart whenever the pairing creates a loop or multi-edge. *)
+    let stubs = Array.init (n * d) (fun i -> i / d) in
+    let rec attempt remaining =
+      if remaining = 0 then
+        failwith "Generators.random_regular: too many restarts"
+      else begin
+        Prob.Rng.shuffle rng stubs;
+        let seen = Hashtbl.create (n * d) in
+        let ok = ref true in
+        let edges = ref [] in
+        let k = ref 0 in
+        while !ok && !k < Array.length stubs do
+          let u = stubs.(!k) and v = stubs.(!k + 1) in
+          let key = (Int.min u v, Int.max u v) in
+          if u = v || Hashtbl.mem seen key then ok := false
+          else begin
+            Hashtbl.add seen key ();
+            edges := (u, v) :: !edges;
+            k := !k + 2
+          end
+        done;
+        if !ok then Graph.of_edges n !edges else attempt (remaining - 1)
+      end
+    in
+    attempt 10_000
+  end

@@ -1,0 +1,44 @@
+(** Standard social-graph topologies.
+
+    The paper's Section 5 analyses graphical coordination games on a
+    clique and on a ring; the cutwidth bound (Theorem 5.1) applies to
+    arbitrary graphs, so a zoo of topologies is provided for the E7
+    experiment. *)
+
+(** [empty n] has no edges. *)
+val empty : int -> Graph.t
+
+(** [clique n] is the complete graph K_n. *)
+val clique : int -> Graph.t
+
+(** [path n] is the path 0-1-...-(n-1). *)
+val path : int -> Graph.t
+
+(** [ring n] is the cycle C_n; requires [n >= 3]. *)
+val ring : int -> Graph.t
+
+(** [star n] connects vertex 0 to all others; requires [n >= 1]. *)
+val star : int -> Graph.t
+
+(** [grid rows cols] is the rows×cols grid graph. *)
+val grid : int -> int -> Graph.t
+
+(** [torus rows cols] is the grid with wrap-around edges; requires
+    [rows >= 3] and [cols >= 3] to stay a simple graph. *)
+val torus : int -> int -> Graph.t
+
+(** [complete_bipartite a b] is K_{a,b}. *)
+val complete_bipartite : int -> int -> Graph.t
+
+(** [binary_tree n] is the complete binary tree on [n] vertices with
+    heap indexing (children of [i] are [2i+1], [2i+2]). *)
+val binary_tree : int -> Graph.t
+
+(** [erdos_renyi rng n p] includes each edge independently with
+    probability [p]. *)
+val erdos_renyi : Prob.Rng.t -> int -> float -> Graph.t
+
+(** [random_regular rng n d] samples a d-regular simple graph on [n]
+    vertices by the pairing model with restarts. Requires [n * d]
+    even, [0 <= d < n]. *)
+val random_regular : Prob.Rng.t -> int -> int -> Graph.t

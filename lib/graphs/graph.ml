@@ -1,0 +1,72 @@
+module IntSet = Set.Make (Int)
+
+type t = { n : int; adj : IntSet.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  { n; adj = Array.make n IntSet.empty }
+
+let check_vertex g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  let adj = Array.copy g.adj in
+  adj.(u) <- IntSet.add v adj.(u);
+  adj.(v) <- IntSet.add u adj.(v);
+  { g with adj }
+
+let of_edges n edge_list =
+  let g = create n in
+  (* Mutate the fresh adjacency array directly; the copy in [add_edge]
+     would make this quadratic in the number of edges. *)
+  List.iter
+    (fun (u, v) ->
+      check_vertex g u;
+      check_vertex g v;
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      g.adj.(u) <- IntSet.add v g.adj.(u);
+      g.adj.(v) <- IntSet.add u g.adj.(v))
+    edge_list;
+  g
+
+let num_vertices g = g.n
+
+let num_edges g =
+  let total = Array.fold_left (fun acc s -> acc + IntSet.cardinal s) 0 g.adj in
+  total / 2
+
+let neighbors g v =
+  check_vertex g v;
+  IntSet.elements g.adj.(v)
+
+let degree g v =
+  check_vertex g v;
+  IntSet.cardinal g.adj.(v)
+
+let max_degree g = Array.fold_left (fun acc s -> Int.max acc (IntSet.cardinal s)) 0 g.adj
+
+let has_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  IntSet.mem v g.adj.(u)
+
+let fold_edges f acc g =
+  let acc = ref acc in
+  for u = 0 to g.n - 1 do
+    IntSet.iter (fun v -> if u < v then acc := f !acc u v) g.adj.(u)
+  done;
+  !acc
+
+let edges g = List.rev (fold_edges (fun acc u v -> (u, v) :: acc) [] g)
+
+let equal g h = g.n = h.n && Array.for_all2 IntSet.equal g.adj h.adj
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d)@ {%a}" g.n (num_edges g)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges g)

@@ -1,0 +1,50 @@
+(** Simple undirected graphs on vertices [{0, ..., n-1}].
+
+    These are the social graphs of graphical coordination games
+    (Section 5 of the paper). The representation is an adjacency list
+    kept sorted, with no self-loops and no parallel edges. *)
+
+type t
+
+(** [create n] is the edgeless graph on [n] vertices, [n >= 0]. *)
+val create : int -> t
+
+(** [of_edges n edges] builds a graph on [n] vertices from an edge
+    list. Self-loops are rejected, duplicate edges (in either
+    orientation) are collapsed. Raises [Invalid_argument] on
+    out-of-range endpoints. *)
+val of_edges : int -> (int * int) list -> t
+
+(** [add_edge g u v] is [g] with edge [{u, v}] added (idempotent).
+    Raises [Invalid_argument] on self-loops or out-of-range vertices. *)
+val add_edge : t -> int -> int -> t
+
+(** [num_vertices g] is the number of vertices. *)
+val num_vertices : t -> int
+
+(** [num_edges g] is the number of edges. *)
+val num_edges : t -> int
+
+(** [neighbors g v] lists the neighbours of [v] in increasing order. *)
+val neighbors : t -> int -> int list
+
+(** [degree g v] is the degree of [v]. *)
+val degree : t -> int -> int
+
+(** [max_degree g] is the maximum degree ([0] for the empty graph). *)
+val max_degree : t -> int
+
+(** [has_edge g u v] tests edge membership. *)
+val has_edge : t -> int -> int -> bool
+
+(** [edges g] lists all edges as pairs [(u, v)] with [u < v], sorted. *)
+val edges : t -> (int * int) list
+
+(** [fold_edges f acc g] folds over edges [(u, v)], [u < v]. *)
+val fold_edges : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+
+(** [equal g h] tests structural equality. *)
+val equal : t -> t -> bool
+
+(** [pp] prints a summary with vertex and edge counts and edge list. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+let bfs_distances g src =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let is_connected g =
+  let n = Graph.num_vertices g in
+  n <= 1 || Array.for_all (fun d -> d >= 0) (bfs_distances g 0)
+
+let connected_components g =
+  let n = Graph.num_vertices g in
+  let seen = Array.make n false in
+  let components = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let dist = bfs_distances g v in
+      let comp = ref [] in
+      for u = n - 1 downto 0 do
+        if dist.(u) >= 0 then begin
+          seen.(u) <- true;
+          comp := u :: !comp
+        end
+      done;
+      components := !comp :: !components
+    end
+  done;
+  List.rev !components
+
+let diameter g =
+  let n = Graph.num_vertices g in
+  if n = 0 then invalid_arg "Props.diameter: empty graph";
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun d ->
+        if d < 0 then invalid_arg "Props.diameter: disconnected graph";
+        if d > !best then best := d)
+      (bfs_distances g v)
+  done;
+  !best
+
+let is_bipartite g =
+  let n = Graph.num_vertices g in
+  let colour = Array.make n (-1) in
+  let ok = ref true in
+  for start = 0 to n - 1 do
+    if colour.(start) < 0 then begin
+      colour.(start) <- 0;
+      let queue = Queue.create () in
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun v ->
+            if colour.(v) < 0 then begin
+              colour.(v) <- 1 - colour.(u);
+              Queue.add v queue
+            end
+            else if colour.(v) = colour.(u) then ok := false)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  !ok
+
+let triangle_count g =
+  (* For each edge (u, v) count common neighbours above v to count each
+     triangle exactly once. *)
+  Graph.fold_edges
+    (fun acc u v ->
+      let nu = Graph.neighbors g u in
+      acc + List.length (List.filter (fun w -> w > v && Graph.has_edge g v w) nu))
+    0 g
+
+let degree_histogram g =
+  let hist = Array.make (Graph.max_degree g + 1) 0 in
+  for v = 0 to Graph.num_vertices g - 1 do
+    let d = Graph.degree g v in
+    hist.(d) <- hist.(d) + 1
+  done;
+  hist

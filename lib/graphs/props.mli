@@ -1,0 +1,27 @@
+(** Structural graph properties. *)
+
+(** [is_connected g] tests connectivity ([true] for graphs with at
+    most one vertex). *)
+val is_connected : Graph.t -> bool
+
+(** [connected_components g] lists the components as sorted vertex
+    lists, ordered by smallest vertex. *)
+val connected_components : Graph.t -> int list list
+
+(** [bfs_distances g src] is the array of BFS distances from [src];
+    unreachable vertices get [-1]. *)
+val bfs_distances : Graph.t -> int -> int array
+
+(** [diameter g] is the maximum eccentricity. Raises
+    [Invalid_argument] if [g] is disconnected or empty. *)
+val diameter : Graph.t -> int
+
+(** [is_bipartite g] tests 2-colourability. *)
+val is_bipartite : Graph.t -> bool
+
+(** [triangle_count g] counts the triangles of [g]. *)
+val triangle_count : Graph.t -> int
+
+(** [degree_histogram g] maps degree [d] to the number of vertices of
+    degree [d] (array of length [max_degree + 1]). *)
+val degree_histogram : Graph.t -> int array

@@ -1,0 +1,363 @@
+let off_diagonal_mass m =
+  let n = fst (Mat.dims m) in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let x = Mat.get m i j in
+      acc := !acc +. (2. *. x *. x)
+    done
+  done;
+  sqrt !acc
+
+(* One Jacobi rotation annihilating entry (p, q), updating both the
+   working matrix [a] and the accumulated eigenvector matrix [v]. *)
+let rotate a v p q =
+  let apq = Mat.get a p q in
+  if apq <> 0. then begin
+    let app = Mat.get a p p and aqq = Mat.get a q q in
+    let theta = (aqq -. app) /. (2. *. apq) in
+    (* Stable formula for t = tan of the rotation angle. *)
+    let t =
+      let s = if theta >= 0. then 1. else -1. in
+      s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+    in
+    let c = 1. /. sqrt ((t *. t) +. 1.) in
+    let s = t *. c in
+    let n = fst (Mat.dims a) in
+    for k = 0 to n - 1 do
+      let akp = Mat.get a k p and akq = Mat.get a k q in
+      Mat.set a k p ((c *. akp) -. (s *. akq));
+      Mat.set a k q ((s *. akp) +. (c *. akq))
+    done;
+    for k = 0 to n - 1 do
+      let apk = Mat.get a p k and aqk = Mat.get a q k in
+      Mat.set a p k ((c *. apk) -. (s *. aqk));
+      Mat.set a q k ((s *. apk) +. (c *. aqk))
+    done;
+    for k = 0 to n - 1 do
+      let vkp = Mat.get v k p and vkq = Mat.get v k q in
+      Mat.set v k p ((c *. vkp) -. (s *. vkq));
+      Mat.set v k q ((s *. vkp) +. (c *. vkq))
+    done
+  end
+
+let jacobi ?(tol = 1e-12) ?(max_sweeps = 100) m =
+  if not (Mat.is_symmetric ~tol:1e-8 m) then
+    invalid_arg "Eigen.jacobi: matrix is not symmetric";
+  let n = fst (Mat.dims m) in
+  let a = Mat.copy m in
+  let v = Mat.identity n in
+  if n > 1 then begin
+    let sweep = ref 0 in
+    while off_diagonal_mass a > tol && !sweep < max_sweeps do
+      incr sweep;
+      for p = 0 to n - 2 do
+        for q = p + 1 to n - 1 do
+          rotate a v p q
+        done
+      done
+    done
+  end;
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> compare (Mat.get a j j) (Mat.get a i i)) order;
+  let values = Array.map (fun i -> Mat.get a i i) order in
+  let vectors = Mat.init n n (fun i k -> Mat.get v i order.(k)) in
+  (values, vectors)
+
+let eigenvalues m = fst (jacobi m)
+
+(* Deterministic pseudo-random starting vector; a fixed generator keeps
+   spectral computations reproducible without threading an RNG here. *)
+let starting_vector seed n =
+  let state = ref (Int64.of_int (seed lxor 0x9E3779B9)) in
+  let next () =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+  in
+  Array.init n (fun _ -> next () -. 0.5)
+
+let power_iteration ?(tol = 1e-12) ?(max_iter = 100_000) ?(seed = 42) av n =
+  if n <= 0 then invalid_arg "Eigen.power_iteration: empty dimension";
+  let x = ref (starting_vector seed n) in
+  let nrm = Vec.norm2 !x in
+  x := Vec.scale (1. /. nrm) !x;
+  let lambda = ref 0. in
+  let continue_ = ref true in
+  let iter = ref 0 in
+  while !continue_ && !iter < max_iter do
+    incr iter;
+    let y = av !x in
+    let ny = Vec.norm2 y in
+    if ny = 0. then begin
+      lambda := 0.;
+      continue_ := false
+    end
+    else begin
+      let y = Vec.scale (1. /. ny) y in
+      let new_lambda = Vec.dot y (av y) in
+      if Float.abs (new_lambda -. !lambda) < tol then continue_ := false;
+      lambda := new_lambda;
+      x := y
+    end
+  done;
+  (!lambda, !x)
+
+let second_eigenpair_reversible ?(tol = 1e-12) ?(max_iter = 100_000) row pi n =
+  if Array.length pi <> n then
+    invalid_arg "Eigen.second_eigenvalue_reversible: dimension mismatch";
+  let sqrt_pi = Array.map sqrt pi in
+  (* A = D^{1/2} P D^{-1/2}: A_{ij} = sqrt(pi_i) P_{ij} / sqrt(pi_j).
+     Its top eigenvector is sqrt_pi with eigenvalue 1; we project it
+     out of every iterate so the power method converges to λ★. *)
+  let top = Vec.scale (1. /. Vec.norm2 sqrt_pi) sqrt_pi in
+  let apply x =
+    let y = Array.make n 0. in
+    for i = 0 to n - 1 do
+      let xi_scaled = sqrt_pi.(i) in
+      List.iter
+        (fun (j, p) ->
+          if p <> 0. then y.(i) <- y.(i) +. (xi_scaled *. p *. x.(j) /. sqrt_pi.(j)))
+        (row i)
+    done;
+    let proj = Vec.dot y top in
+    Vec.axpy ~alpha:(-.proj) top y;
+    y
+  in
+  power_iteration ~tol ~max_iter apply n
+
+let second_eigenvalue_reversible ?tol ?max_iter row pi n =
+  fst (second_eigenpair_reversible ?tol ?max_iter row pi n)
+
+(* --- General real eigenvalues: Hessenberg reduction + Francis QR --- *)
+
+(* Reduce a square matrix (copied) to upper Hessenberg form by
+   elementary stabilised eliminations (the classic [elmhes]). Entries
+   below the first subdiagonal become the elimination multipliers and
+   are ignored by [hqr]. *)
+let hessenberg a =
+  let n = fst (Mat.dims a) in
+  for m = 1 to n - 2 do
+    let x = ref 0. and i = ref m in
+    for j = m to n - 1 do
+      if Float.abs (Mat.get a j (m - 1)) > Float.abs !x then begin
+        x := Mat.get a j (m - 1);
+        i := j
+      end
+    done;
+    if !i <> m then begin
+      for j = m - 1 to n - 1 do
+        let t = Mat.get a !i j in
+        Mat.set a !i j (Mat.get a m j);
+        Mat.set a m j t
+      done;
+      for j = 0 to n - 1 do
+        let t = Mat.get a j !i in
+        Mat.set a j !i (Mat.get a j m);
+        Mat.set a j m t
+      done
+    end;
+    if !x <> 0. then
+      for i = m + 1 to n - 1 do
+        let y = Mat.get a i (m - 1) in
+        if y <> 0. then begin
+          let y = y /. !x in
+          Mat.set a i (m - 1) y;
+          for j = m to n - 1 do
+            Mat.set a i j (Mat.get a i j -. (y *. Mat.get a m j))
+          done;
+          for j = 0 to n - 1 do
+            Mat.set a j m (Mat.get a j m +. (y *. Mat.get a j i))
+          done
+        end
+      done
+  done
+
+let sign_of a b = if b >= 0. then Float.abs a else -.Float.abs a
+
+(* Francis double-shift QR on an upper Hessenberg matrix ([hqr] of
+   Numerical Recipes, 0-indexed). Destroys [a]; fills [wr], [wi]. *)
+let hqr a wr wi =
+  let n = fst (Mat.dims a) in
+  let anorm = ref 0. in
+  for i = 0 to n - 1 do
+    for j = Int.max (i - 1) 0 to n - 1 do
+      anorm := !anorm +. Float.abs (Mat.get a i j)
+    done
+  done;
+  let t = ref 0. in
+  let nn = ref (n - 1) in
+  while !nn >= 0 do
+    let its = ref 0 in
+    let continue_outer = ref true in
+    while !continue_outer do
+      (* Find the smallest l with negligible subdiagonal a(l, l-1). *)
+      let l = ref !nn in
+      let searching = ref true in
+      while !searching && !l >= 1 do
+        let s =
+          let s = Float.abs (Mat.get a (!l - 1) (!l - 1)) +. Float.abs (Mat.get a !l !l) in
+          if s = 0. then !anorm else s
+        in
+        if Float.abs (Mat.get a !l (!l - 1)) +. s = s then begin
+          Mat.set a !l (!l - 1) 0.;
+          searching := false
+        end
+        else decr l
+      done;
+      let l = !l in
+      let x = ref (Mat.get a !nn !nn) in
+      if l = !nn then begin
+        (* One real root found. *)
+        wr.(!nn) <- !x +. !t;
+        wi.(!nn) <- 0.;
+        decr nn;
+        continue_outer := false
+      end
+      else begin
+        let y = ref (Mat.get a (!nn - 1) (!nn - 1)) in
+        let w = ref (Mat.get a !nn (!nn - 1) *. Mat.get a (!nn - 1) !nn) in
+        if l = !nn - 1 then begin
+          (* A 2x2 block: two roots (real pair or conjugate pair). *)
+          let p = 0.5 *. (!y -. !x) in
+          let q = (p *. p) +. !w in
+          let z = sqrt (Float.abs q) in
+          x := !x +. !t;
+          if q >= 0. then begin
+            let z = p +. sign_of z p in
+            wr.(!nn - 1) <- !x +. z;
+            wr.(!nn) <- wr.(!nn - 1);
+            if z <> 0. then wr.(!nn) <- !x -. (!w /. z);
+            wi.(!nn - 1) <- 0.;
+            wi.(!nn) <- 0.
+          end
+          else begin
+            wr.(!nn - 1) <- !x +. p;
+            wr.(!nn) <- !x +. p;
+            wi.(!nn - 1) <- -.z;
+            wi.(!nn) <- z
+          end;
+          nn := !nn - 2;
+          continue_outer := false
+        end
+        else begin
+          (* No root isolated yet: one double-shift QR sweep. *)
+          if !its = 30 then failwith "Eigen.general_spectrum: too many QR iterations";
+          if !its = 10 || !its = 20 then begin
+            (* Exceptional shift to break symmetry-induced stalls. *)
+            t := !t +. !x;
+            for i = 0 to !nn do
+              Mat.set a i i (Mat.get a i i -. !x)
+            done;
+            let s =
+              Float.abs (Mat.get a !nn (!nn - 1))
+              +. Float.abs (Mat.get a (!nn - 1) (!nn - 2))
+            in
+            y := 0.75 *. s;
+            x := !y;
+            w := -0.4375 *. s *. s
+          end;
+          incr its;
+          let p = ref 0. and q = ref 0. and r = ref 0. in
+          let m = ref (!nn - 2) in
+          let found = ref false in
+          while (not !found) && !m >= l do
+            let z = Mat.get a !m !m in
+            let rr = !x -. z in
+            let ss = !y -. z in
+            p := (((rr *. ss) -. !w) /. Mat.get a (!m + 1) !m) +. Mat.get a !m (!m + 1);
+            q := Mat.get a (!m + 1) (!m + 1) -. z -. rr -. ss;
+            r := Mat.get a (!m + 2) (!m + 1);
+            let s = Float.abs !p +. Float.abs !q +. Float.abs !r in
+            p := !p /. s;
+            q := !q /. s;
+            r := !r /. s;
+            if !m = l then found := true
+            else begin
+              let u = Float.abs (Mat.get a !m (!m - 1)) *. (Float.abs !q +. Float.abs !r) in
+              let v =
+                Float.abs !p
+                *. (Float.abs (Mat.get a (!m - 1) (!m - 1))
+                   +. Float.abs z
+                   +. Float.abs (Mat.get a (!m + 1) (!m + 1)))
+              in
+              if u +. v = v then found := true else decr m
+            end
+          done;
+          let m = !m in
+          for i = m + 2 to !nn do
+            Mat.set a i (i - 2) 0.
+          done;
+          for i = m + 3 to !nn do
+            Mat.set a i (i - 3) 0.
+          done;
+          for k = m to !nn - 1 do
+            if k <> m then begin
+              p := Mat.get a k (k - 1);
+              q := Mat.get a (k + 1) (k - 1);
+              r := if k <> !nn - 1 then Mat.get a (k + 2) (k - 1) else 0.;
+              x := Float.abs !p +. Float.abs !q +. Float.abs !r;
+              if !x <> 0. then begin
+                p := !p /. !x;
+                q := !q /. !x;
+                r := !r /. !x
+              end
+            end;
+            let s = sign_of (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p in
+            if s <> 0. then begin
+              if k = m then begin
+                if l <> m then Mat.set a k (k - 1) (-.Mat.get a k (k - 1))
+              end
+              else Mat.set a k (k - 1) (-.s *. !x);
+              p := !p +. s;
+              x := !p /. s;
+              y := !q /. s;
+              let z = !r /. s in
+              q := !q /. !p;
+              r := !r /. !p;
+              for j = k to !nn do
+                let pp = ref (Mat.get a k j +. (!q *. Mat.get a (k + 1) j)) in
+                if k <> !nn - 1 then begin
+                  pp := !pp +. (!r *. Mat.get a (k + 2) j);
+                  Mat.set a (k + 2) j (Mat.get a (k + 2) j -. (!pp *. z))
+                end;
+                Mat.set a (k + 1) j (Mat.get a (k + 1) j -. (!pp *. !y));
+                Mat.set a k j (Mat.get a k j -. (!pp *. !x))
+              done;
+              let mmin = Int.min !nn (k + 3) in
+              for i = l to mmin do
+                let pp = ref ((!x *. Mat.get a i k) +. (!y *. Mat.get a i (k + 1))) in
+                if k <> !nn - 1 then begin
+                  pp := !pp +. (z *. Mat.get a i (k + 2));
+                  Mat.set a i (k + 2) (Mat.get a i (k + 2) -. (!pp *. !r))
+                end;
+                Mat.set a i (k + 1) (Mat.get a i (k + 1) -. (!pp *. !q));
+                Mat.set a i k (Mat.get a i k -. !pp)
+              done
+            end
+          done
+        end
+      end
+    done
+  done
+
+let general_spectrum m =
+  if not (Mat.is_square m) then invalid_arg "Eigen.general_spectrum: non-square";
+  let n = fst (Mat.dims m) in
+  if n = 0 then [||]
+  else if n = 1 then [| (Mat.get m 0 0, 0.) |]
+  else begin
+    let a = Mat.copy m in
+    hessenberg a;
+    let wr = Array.make n 0. and wi = Array.make n 0. in
+    hqr a wr wi;
+    let values = Array.init n (fun i -> (wr.(i), wi.(i))) in
+    Array.sort (fun (r1, i1) (r2, i2) ->
+        let c = compare r2 r1 in
+        if c <> 0 then c else compare i2 i1)
+      values;
+    values
+  end

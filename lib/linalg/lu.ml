@@ -1,0 +1,90 @@
+exception Singular
+
+type factorization = { lu : Mat.t; perm : int array; sign : int }
+
+let pivot_tolerance = 1e-300
+
+let factorize m =
+  if not (Mat.is_square m) then invalid_arg "Lu.factorize: non-square matrix";
+  let n = fst (Mat.dims m) in
+  let lu = Mat.copy m in
+  let perm = Array.init n Fun.id in
+  let sign = ref 1 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest entry of column k to the
+       diagonal to keep the elimination numerically stable. *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !pivot_row k) then
+        pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let t = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !pivot_row j);
+        Mat.set lu !pivot_row j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- t;
+      sign := - !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if Float.abs pivot < pivot_tolerance then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_factorized { lu; perm; sign = _ } b =
+  let n = fst (Mat.dims lu) in
+  if Array.length b <> n then invalid_arg "Lu.solve_factorized: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with the unit lower factor. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with the upper factor. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.get lu i i
+  done;
+  x
+
+let solve a b = solve_factorized (factorize a) b
+
+let determinant a =
+  match factorize a with
+  | exception Singular -> 0.
+  | { lu; sign; _ } ->
+      let n = fst (Mat.dims lu) in
+      let det = ref (float_of_int sign) in
+      for i = 0 to n - 1 do
+        det := !det *. Mat.get lu i i
+      done;
+      !det
+
+let inverse a =
+  let f = factorize a in
+  let n = fst (Mat.dims a) in
+  let inv = Mat.create n n 0. in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+    let x = solve_factorized f e in
+    for i = 0 to n - 1 do
+      Mat.set inv i j x.(i)
+    done
+  done;
+  inv

@@ -1,0 +1,34 @@
+(** LU decomposition with partial pivoting, and linear solving.
+
+    Used by the Markov-chain substrate to compute stationary
+    distributions of non-reversible chains by solving the singular
+    system [πP = π, Σπ = 1] after substituting the normalisation
+    equation for one row. *)
+
+exception Singular
+(** Raised when a (numerically) singular matrix is factored or solved. *)
+
+type factorization = private {
+  lu : Mat.t;        (** packed L (unit lower) and U factors *)
+  perm : int array;  (** row permutation applied during pivoting *)
+  sign : int;        (** parity of the permutation: [+1] or [-1] *)
+}
+
+(** [factorize m] computes the pivoted LU factorization of the square
+    matrix [m]. Raises [Singular] if a pivot underflows, and
+    [Invalid_argument] if [m] is not square. *)
+val factorize : Mat.t -> factorization
+
+(** [solve_factorized f b] solves [A x = b] given [f = factorize a]. *)
+val solve_factorized : factorization -> Vec.t -> Vec.t
+
+(** [solve a b] solves the linear system [a x = b].
+    Raises [Singular] if [a] is singular. *)
+val solve : Mat.t -> Vec.t -> Vec.t
+
+(** [determinant a] is the determinant of [a], computed from the LU
+    factors ([0.] if [a] is singular). *)
+val determinant : Mat.t -> float
+
+(** [inverse a] is the matrix inverse. Raises [Singular]. *)
+val inverse : Mat.t -> Mat.t

@@ -1,0 +1,144 @@
+type t = { rows : int; cols : int; data : float array }
+
+let check_dims rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat: negative dimension"
+
+let create rows cols x =
+  check_dims rows cols;
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let init rows cols f =
+  check_dims rows cols;
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_rows rows =
+  let r = Array.length rows in
+  if r = 0 then invalid_arg "Mat.of_rows: empty";
+  let c = Array.length rows.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> c then invalid_arg "Mat.of_rows: ragged rows")
+    rows;
+  init r c (fun i j -> rows.(i).(j))
+
+let copy m = { m with data = Array.copy m.data }
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+let dims m = (m.rows, m.cols)
+let row m i = Array.sub m.data (i * m.cols) m.cols
+let col m j = Array.init m.rows (fun i -> get m i j)
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let check_same_dims name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: dimension mismatch" name)
+
+let add a b =
+  check_same_dims "add" a b;
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  check_same_dims "sub" a b;
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+  let c = create a.rows b.cols 0. in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          set c i j (get c i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  c
+
+let mulv m x =
+  if m.cols <> Array.length x then invalid_arg "Mat.mulv: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. x.(j))
+      done;
+      !acc)
+
+let vmul x m =
+  if m.rows <> Array.length x then invalid_arg "Mat.vmul: dimension mismatch";
+  Array.init m.cols (fun j ->
+      let acc = ref 0. in
+      for i = 0 to m.rows - 1 do
+        acc := !acc +. (x.(i) *. get m i j)
+      done;
+      !acc)
+
+let is_square m = m.rows = m.cols
+
+let pow m k =
+  if not (is_square m) then invalid_arg "Mat.pow: non-square matrix";
+  if k < 0 then invalid_arg "Mat.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+  in
+  go (identity m.rows) m k
+
+let trace m =
+  if not (is_square m) then invalid_arg "Mat.trace: non-square matrix";
+  let acc = ref 0. in
+  for i = 0 to m.rows - 1 do
+    acc := !acc +. get m i i
+  done;
+  !acc
+
+let is_symmetric ?(tol = 1e-9) m =
+  is_square m
+  &&
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      if Float.abs (get m i j -. get m j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+let max_abs_offdiag m =
+  if not (is_square m) || m.rows < 2 then
+    invalid_arg "Mat.max_abs_offdiag: need a square matrix of order >= 2";
+  let bi = ref 0 and bj = ref 1 and bv = ref (Float.abs (get m 0 1)) in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      let v = Float.abs (get m i j) in
+      if v > !bv then begin
+        bi := i;
+        bj := j;
+        bv := v
+      end
+    done
+  done;
+  (!bi, !bj, !bv)
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun k x -> if Float.abs (x -. b.data.(k)) > tol then ok := false)
+    a.data;
+  !ok
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.6g" (get m i j)
+    done;
+    Format.fprintf ppf "@]@,"
+  done

@@ -1,0 +1,84 @@
+(** Dense row-major matrices of floats. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major, length [rows * cols] *)
+}
+
+(** [create rows cols x] is a [rows]×[cols] matrix filled with [x]. *)
+val create : int -> int -> float -> t
+
+(** [init rows cols f] has entry [(i, j)] equal to [f i j]. *)
+val init : int -> int -> (int -> int -> float) -> t
+
+(** [identity n] is the n×n identity. *)
+val identity : int -> t
+
+(** [of_rows rows] builds a matrix from an array of equal-length rows.
+    Raises [Invalid_argument] on ragged input or an empty array. *)
+val of_rows : float array array -> t
+
+(** [copy m] is a deep copy. *)
+val copy : t -> t
+
+(** [get m i j] is entry [(i, j)]. *)
+val get : t -> int -> int -> float
+
+(** [set m i j x] writes entry [(i, j)] in place. *)
+val set : t -> int -> int -> float -> unit
+
+(** [dims m] is [(rows, cols)]. *)
+val dims : t -> int * int
+
+(** [row m i] is a fresh copy of row [i]. *)
+val row : t -> int -> float array
+
+(** [col m j] is a fresh copy of column [j]. *)
+val col : t -> int -> float array
+
+(** [transpose m] is the transpose. *)
+val transpose : t -> t
+
+(** [add a b] is the element-wise sum. Dimensions must agree. *)
+val add : t -> t -> t
+
+(** [sub a b] is the element-wise difference. Dimensions must agree. *)
+val sub : t -> t -> t
+
+(** [scale a m] multiplies every entry by [a]. *)
+val scale : float -> t -> t
+
+(** [mul a b] is the matrix product. Inner dimensions must agree. *)
+val mul : t -> t -> t
+
+(** [mulv m x] is the matrix-vector product [m x]. *)
+val mulv : t -> Vec.t -> Vec.t
+
+(** [vmul x m] is the vector-matrix product [xᵀ m] (a row vector). *)
+val vmul : Vec.t -> t -> Vec.t
+
+(** [pow m k] is [m] raised to the [k]-th power by repeated squaring.
+    [m] must be square and [k >= 0]. *)
+val pow : t -> int -> t
+
+(** [trace m] is the sum of the diagonal entries of a square matrix. *)
+val trace : t -> float
+
+(** [is_square m] tests whether [rows = cols]. *)
+val is_square : t -> bool
+
+(** [is_symmetric ?tol m] tests symmetry up to absolute tolerance
+    [tol] (default [1e-9]). *)
+val is_symmetric : ?tol:float -> t -> bool
+
+(** [max_abs_offdiag m] is [(i, j, v)] where [(i, j)], [i < j], carries
+    the off-diagonal entry of largest absolute value [v] of a square
+    matrix. Raises [Invalid_argument] if [m] is 1×1 or smaller. *)
+val max_abs_offdiag : t -> int * int * float
+
+(** [approx_equal ?tol a b] tests element-wise closeness. *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** [pp] prints the matrix one row per line. *)
+val pp : Format.formatter -> t -> unit

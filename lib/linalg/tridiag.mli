@@ -1,0 +1,21 @@
+(** Eigendecomposition of symmetric tridiagonal matrices (implicit QL
+    with Wilkinson shifts — the classical [tql2] routine).
+
+    Lumped birth–death chains symmetrise to tridiagonal matrices, so
+    this solver replaces the dense Jacobi method on the hot path of
+    the clique/curve-game experiments: O(n²) for values plus O(n³)
+    with a tiny constant for vectors, versus Jacobi's much larger
+    constant — large-n lumped spectra become interactive. DESIGN.md
+    lists this as an ablation pair; the benches measure both. *)
+
+(** [eigensystem ~diag ~off] decomposes the symmetric tridiagonal
+    matrix with diagonal [diag] (length n) and sub/super-diagonal
+    [off] (length n-1; an empty array for n = 1). Returns eigenvalues
+    sorted in non-increasing order and the matrix of eigenvectors
+    (column k pairs with eigenvalue k). Raises [Failure] on
+    non-convergence (more than 50 QL sweeps for one eigenvalue) and
+    [Invalid_argument] on mismatched lengths. *)
+val eigensystem : diag:float array -> off:float array -> float array * Mat.t
+
+(** [eigenvalues ~diag ~off] returns only the sorted eigenvalues. *)
+val eigenvalues : diag:float array -> off:float array -> float array

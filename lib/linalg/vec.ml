@@ -1,0 +1,80 @@
+type t = float array
+
+let create n x = Array.make n x
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_same_dim name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length x) (Array.length y))
+
+let add x y =
+  check_same_dim "add" x y;
+  Array.mapi (fun i xi -> xi +. y.(i)) x
+
+let sub x y =
+  check_same_dim "sub" x y;
+  Array.mapi (fun i xi -> xi -. y.(i)) x
+
+let scale a x = Array.map (fun xi -> a *. xi) x
+
+let axpy ~alpha x y =
+  check_same_dim "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let dot x y =
+  check_same_dim "dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm1 x =
+  let acc = ref 0. in
+  Array.iter (fun xi -> acc := !acc +. Float.abs xi) x;
+  !acc
+
+let norm_inf x = Array.fold_left (fun m xi -> Float.max m (Float.abs xi)) 0. x
+
+let sum x =
+  let acc = ref 0. in
+  Array.iter (fun xi -> acc := !acc +. xi) x;
+  !acc
+
+let normalize_l1 x =
+  let s = sum x in
+  if s <= 0. then invalid_arg "Vec.normalize_l1: non-positive total mass";
+  scale (1. /. s) x
+
+let extremum_index name better x =
+  if Array.length x = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector");
+  let best = ref 0 in
+  for i = 1 to Array.length x - 1 do
+    if better x.(i) x.(!best) then best := i
+  done;
+  !best
+
+let max_index x = extremum_index "max_index" (fun a b -> a > b) x
+let min_index x = extremum_index "min_index" (fun a b -> a < b) x
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  Array.iteri (fun i xi -> if Float.abs (xi -. y.(i)) > tol then ok := false) x;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "[@[<hov>%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%.6g" x))
+    v

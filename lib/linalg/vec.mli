@@ -1,0 +1,67 @@
+(** Dense vectors of floats.
+
+    A vector is a plain [float array]; this module collects the
+    numerical-kernel operations used throughout the library so that
+    callers never hand-roll loops (and so that the kernels can be
+    tuned in one place). All binary operations require operands of
+    equal length and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+(** [create n x] is a fresh vector of length [n] filled with [x]. *)
+val create : int -> float -> t
+
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+val init : int -> (int -> float) -> t
+
+(** [copy v] is a fresh copy of [v]. *)
+val copy : t -> t
+
+(** [dim v] is the length of [v]. *)
+val dim : t -> int
+
+(** [add x y] is the element-wise sum. *)
+val add : t -> t -> t
+
+(** [sub x y] is the element-wise difference. *)
+val sub : t -> t -> t
+
+(** [scale a x] multiplies every entry of [x] by [a]. *)
+val scale : float -> t -> t
+
+(** [axpy ~alpha x y] updates [y <- alpha * x + y] in place. *)
+val axpy : alpha:float -> t -> t -> unit
+
+(** [dot x y] is the inner product. *)
+val dot : t -> t -> float
+
+(** [norm2 x] is the Euclidean norm. *)
+val norm2 : t -> float
+
+(** [norm1 x] is the sum of absolute values. *)
+val norm1 : t -> float
+
+(** [norm_inf x] is the maximum absolute value, [0.] on empty input. *)
+val norm_inf : t -> float
+
+(** [sum x] is the sum of the entries. *)
+val sum : t -> float
+
+(** [normalize_l1 x] rescales [x] so that its entries sum to one.
+    Raises [Invalid_argument] if the sum is not strictly positive. *)
+val normalize_l1 : t -> t
+
+(** [max_index x] is the index of a maximal entry.
+    Raises [Invalid_argument] on the empty vector. *)
+val max_index : t -> int
+
+(** [min_index x] is the index of a minimal entry.
+    Raises [Invalid_argument] on the empty vector. *)
+val min_index : t -> int
+
+(** [approx_equal ?tol x y] tests element-wise closeness with absolute
+    tolerance [tol] (default [1e-9]). *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** [pp] prints a vector as [[v0; v1; ...]] with 6 significant digits. *)
+val pp : Format.formatter -> t -> unit

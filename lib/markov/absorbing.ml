@@ -1,0 +1,84 @@
+type t = {
+  absorbing : int array;
+  transient : int array;
+  expected_steps : float array;
+  absorption : Linalg.Mat.t;
+}
+
+let is_absorbing chain i =
+  Array.for_all (fun (j, p) -> j = i || p = 0.) (Chain.row chain i)
+
+let analyse chain =
+  let n = Chain.size chain in
+  let absorbing = ref [] and transient = ref [] in
+  for i = n - 1 downto 0 do
+    if is_absorbing chain i then absorbing := i :: !absorbing
+    else transient := i :: !transient
+  done;
+  let absorbing = Array.of_list !absorbing in
+  let transient = Array.of_list !transient in
+  if Array.length absorbing = 0 then
+    invalid_arg "Absorbing.analyse: chain has no absorbing state";
+  let k = Array.length transient in
+  let a_count = Array.length absorbing in
+  let t_index = Array.make n (-1) and a_index = Array.make n (-1) in
+  Array.iteri (fun pos i -> t_index.(i) <- pos) transient;
+  Array.iteri (fun pos i -> a_index.(i) <- pos) absorbing;
+  if k = 0 then
+    {
+      absorbing;
+      transient;
+      expected_steps = [||];
+      absorption = Linalg.Mat.identity a_count;
+    }
+  else begin
+    (* (I - Q) over the transient block. *)
+    let iq = Linalg.Mat.identity k in
+    let r = Linalg.Mat.create k a_count 0. in
+    Array.iteri
+      (fun row i ->
+        Array.iter
+          (fun (j, p) ->
+            if t_index.(j) >= 0 then
+              Linalg.Mat.set iq row t_index.(j)
+                (Linalg.Mat.get iq row t_index.(j) -. p)
+            else Linalg.Mat.set r row a_index.(j) p)
+          (Chain.row chain i))
+      transient;
+    let factorization = Linalg.Lu.factorize iq in
+    let expected_steps =
+      Linalg.Lu.solve_factorized factorization (Array.make k 1.)
+    in
+    let absorption = Linalg.Mat.create k a_count 0. in
+    for column = 0 to a_count - 1 do
+      let b = Linalg.Mat.col r column in
+      let x = Linalg.Lu.solve_factorized factorization b in
+      for row = 0 to k - 1 do
+        Linalg.Mat.set absorption row column x.(row)
+      done
+    done;
+    { absorbing; transient; expected_steps; absorption }
+  end
+
+let find_position label arr state =
+  let found = ref (-1) in
+  Array.iteri (fun pos i -> if i = state then found := pos) arr;
+  if !found < 0 then invalid_arg label;
+  !found
+
+let expected_absorption_time t state =
+  if Array.exists (( = ) state) t.absorbing then 0.
+  else
+    t.expected_steps.(find_position "Absorbing: unknown state" t.transient state)
+
+let absorption_probability t ~start ~target =
+  let target_pos =
+    find_position "Absorbing.absorption_probability: target not absorbing"
+      t.absorbing target
+  in
+  if Array.exists (( = ) start) t.absorbing then
+    if start = target then 1. else 0.
+  else
+    Linalg.Mat.get t.absorption
+      (find_position "Absorbing: unknown start" t.transient start)
+      target_pos

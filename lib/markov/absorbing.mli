@@ -1,0 +1,35 @@
+(** Absorbing-chain analysis via the fundamental matrix.
+
+    The best-response dynamics (β = ∞) of a potential game is an
+    absorbing chain whose absorbing classes contain the pure Nash
+    equilibria; the fundamental matrix N = (I - Q)⁻¹ over the
+    transient states yields exact expected absorption times and
+    absorption probabilities, the deterministic-limit counterparts of
+    the logit chain's hitting quantities. *)
+
+type t = private {
+  absorbing : int array;   (** the absorbing states, increasing *)
+  transient : int array;   (** the transient states, increasing *)
+  expected_steps : float array;
+      (** indexed like [transient]: expected steps to absorption *)
+  absorption : Linalg.Mat.t;
+      (** row = transient index, column = absorbing index:
+          probability of ending in that absorbing state *)
+}
+
+(** [analyse chain] classifies states and computes the fundamental
+    quantities. A state is treated as absorbing iff its only
+    transition is the self-loop. Raises [Invalid_argument] when there
+    is no absorbing state, and [Linalg.Lu.Singular] when some
+    transient state cannot reach any absorbing state (the chain then
+    has a closed transient class). Dense O(size³). *)
+val analyse : Chain.t -> t
+
+(** [expected_absorption_time t state] is the expected number of steps
+    to absorption from [state] (0 for absorbing states). *)
+val expected_absorption_time : t -> int -> float
+
+(** [absorption_probability t ~start ~target] is the probability that
+    the chain started at [start] is absorbed in [target]. Raises
+    [Invalid_argument] if [target] is not absorbing. *)
+val absorption_probability : t -> start:int -> target:int -> float

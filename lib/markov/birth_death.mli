@@ -1,0 +1,59 @@
+(** Birth–death chains on {0, ..., n}.
+
+    A birth–death chain moves at most one step at a time. These arise
+    here as exact lumpings of logit chains of weight-symmetric games
+    (clique graphical coordination games, the Theorem 3.5 family, the
+    Theorem 4.3 game): when the potential depends only on the Hamming
+    weight, the weight process is itself Markov, with state space n+1
+    instead of 2ⁿ — which lets experiments scale to hundreds of
+    players with exact numerics. *)
+
+type t
+
+(** [create ~up ~down] packs a chain on {0, ..., n} where
+    [n = Array.length up - 1]: from state k the chain moves to k+1
+    with probability [up.(k)], to k-1 with probability [down.(k)], and
+    stays otherwise. Requires equal lengths, [up.(n) = 0],
+    [down.(0) = 0], non-negative entries, [up.(k) + down.(k) <= 1]. *)
+val create : up:float array -> down:float array -> t
+
+(** [size t] is n+1, the number of states. *)
+val size : t -> int
+
+(** [up t k] and [down t k]: the transition probabilities. *)
+val up : t -> int -> float
+
+val down : t -> int -> float
+
+(** [to_chain t] is the generic sparse chain. *)
+val to_chain : t -> Chain.t
+
+(** [stationary t] is the stationary distribution, from the detailed
+    balance product formula computed in the log domain (immune to
+    overflow for very large β). Requires all interior [up]/[down]
+    probabilities strictly positive (irreducibility). *)
+val stationary : t -> float array
+
+(** [mixing_time ?eps ?max_steps t] is the exact mixing time using
+    every state as a start. *)
+val mixing_time : ?eps:float -> ?max_steps:int -> t -> int option
+
+(** [spectrum t] is the full real spectrum (birth–death chains are
+    always reversible). *)
+val spectrum : t -> float array
+
+(** [relaxation_time t] is 1/(1-λ★). *)
+val relaxation_time : t -> float
+
+(** [mixing_time_spectral ?eps ?max_steps t] computes the exact mixing
+    time via eigendecomposition (see {!Mixing.mixing_time_spectral}) —
+    O(n³ + n² log t_mix), usable even when t_mix is astronomically
+    large. *)
+val mixing_time_spectral : ?eps:float -> ?max_steps:int -> t -> int option
+
+(** [decomposition t] is the eigendecomposition of the symmetrised
+    chain computed with the tridiagonal QL solver: the symmetrisation
+    of a birth–death chain is tridiagonal with
+    A(k, k+1) = sqrt(up(k)·down(k+1)) — no stationary distribution
+    needed, hence no over/underflow at extreme β. *)
+val decomposition : t -> float array * Linalg.Mat.t

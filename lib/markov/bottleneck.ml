@@ -1,0 +1,50 @@
+let flow_and_mass t pi subset =
+  let n = Chain.size t in
+  let mass = ref 0. and flow = ref 0. in
+  for i = 0 to n - 1 do
+    if subset i then begin
+      mass := !mass +. pi.(i);
+      Array.iter
+        (fun (j, p) -> if not (subset j) then flow := !flow +. (pi.(i) *. p))
+        (Chain.row t i)
+    end
+  done;
+  (!flow, !mass)
+
+let ratio t pi subset =
+  let flow, mass = flow_and_mass t pi subset in
+  if mass <= 0. then invalid_arg "Bottleneck.ratio: empty or null set";
+  flow /. mass
+
+let ratio_checked t pi subset =
+  let flow, mass = flow_and_mass t pi subset in
+  if mass <= 0. then invalid_arg "Bottleneck.ratio_checked: empty or null set";
+  if mass > 0.5 +. 1e-12 then
+    invalid_arg "Bottleneck.ratio_checked: pi(R) exceeds 1/2";
+  flow /. mass
+
+let lower_bound_tmix ?(eps = 0.25) ratio =
+  if ratio <= 0. then invalid_arg "Bottleneck.lower_bound_tmix: non-positive ratio";
+  if eps < 0. || eps >= 0.5 then invalid_arg "Bottleneck.lower_bound_tmix: bad eps";
+  (1. -. (2. *. eps)) /. (2. *. ratio)
+
+let best_sublevel_set t pi score =
+  let n = Chain.size t in
+  let thresholds =
+    List.sort_uniq compare (List.init n score)
+  in
+  let best = ref None in
+  List.iter
+    (fun theta ->
+      let subset i = score i <= theta in
+      let flow, mass = flow_and_mass t pi subset in
+      if mass > 0. && mass <= 0.5 +. 1e-12 then begin
+        let b = flow /. mass in
+        match !best with
+        | Some (b0, _) when b0 <= b -> ()
+        | _ -> best := Some (b, theta)
+      end)
+    thresholds;
+  match !best with
+  | Some result -> result
+  | None -> invalid_arg "Bottleneck.best_sublevel_set: no valid sublevel set"

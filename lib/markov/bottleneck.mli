@@ -1,0 +1,27 @@
+(** Bottleneck-ratio lower bounds (paper, Theorem 2.7).
+
+    For R ⊆ Ω with π(R) ≤ 1/2, B(R) = Q(R, R̄)/π(R) and
+    t_mix(ε) ≥ (1-2ε)/(2·B(R)). *)
+
+(** [ratio t pi subset] is B(R) for [R = {i | subset i}]. Raises
+    [Invalid_argument] if R is empty or π(R) = 0. (The π(R) ≤ 1/2
+    side condition is the caller's responsibility; use
+    {!ratio_checked} to enforce it.) *)
+val ratio : Chain.t -> float array -> (int -> bool) -> float
+
+(** [ratio_checked t pi subset] additionally verifies π(R) ≤ 1/2 and
+    raises [Invalid_argument] otherwise. *)
+val ratio_checked : Chain.t -> float array -> (int -> bool) -> float
+
+(** [lower_bound_tmix ?eps ratio] is (1-2ε)/(2·ratio), the mixing-time
+    lower bound of Theorem 2.7 (default ε = 1/4). *)
+val lower_bound_tmix : ?eps:float -> float -> float
+
+(** [best_sublevel_set t pi score] scans the sublevel sets
+    R_θ = {i | score i ≤ θ} over all thresholds θ occurring as scores,
+    keeping those with 0 < π(R) ≤ 1/2, and returns
+    [(best_ratio, threshold)] minimising B(R_θ). For logit chains the
+    natural scores are the potential or the Hamming weight; this
+    automates the paper's bottleneck constructions. Raises
+    [Invalid_argument] when no threshold yields a valid set. *)
+val best_sublevel_set : Chain.t -> float array -> (int -> float) -> float * float

@@ -1,0 +1,222 @@
+type t = { size : int; rows : (int * float) array array }
+
+let row_sum_tolerance = 1e-9
+
+let normalize_row i entries =
+  (* Sum duplicates, validate, and renormalise the row to exact mass 1. *)
+  let table = Hashtbl.create (Array.length entries) in
+  Array.iter
+    (fun (j, p) ->
+      if p < 0. || Float.is_nan p then
+        invalid_arg (Printf.sprintf "Chain: negative probability in row %d" i);
+      if p > 0. then
+        Hashtbl.replace table j (p +. Option.value ~default:0. (Hashtbl.find_opt table j)))
+    entries;
+  let total = Hashtbl.fold (fun _ p acc -> acc +. p) table 0. in
+  if Float.abs (total -. 1.) > row_sum_tolerance then
+    invalid_arg (Printf.sprintf "Chain: row %d sums to %.12g, expected 1" i total);
+  let out = Hashtbl.fold (fun j p acc -> (j, p /. total) :: acc) table [] in
+  let out = Array.of_list out in
+  Array.sort (fun (a, _) (b, _) -> compare a b) out;
+  out
+
+let of_rows rows =
+  let size = Array.length rows in
+  if size = 0 then invalid_arg "Chain.of_rows: empty chain";
+  let checked =
+    Array.mapi
+      (fun i entries ->
+        Array.iter
+          (fun (j, _) ->
+            if j < 0 || j >= size then
+              invalid_arg (Printf.sprintf "Chain: column %d out of range in row %d" j i))
+          entries;
+        normalize_row i entries)
+      rows
+  in
+  { size; rows = checked }
+
+let of_function n row = of_rows (Array.init n (fun i -> Array.of_list (row i)))
+
+let of_dense m =
+  if not (Linalg.Mat.is_square m) then invalid_arg "Chain.of_dense: non-square";
+  let n = fst (Linalg.Mat.dims m) in
+  of_rows
+    (Array.init n (fun i ->
+         let entries = ref [] in
+         for j = n - 1 downto 0 do
+           let p = Linalg.Mat.get m i j in
+           if p <> 0. then entries := (j, p) :: !entries
+         done;
+         Array.of_list !entries))
+
+let size t = t.size
+let row t i = t.rows.(i)
+let row_list t i = Array.to_list t.rows.(i)
+
+let prob t i j =
+  let entries = t.rows.(i) in
+  let result = ref 0. in
+  Array.iter (fun (k, p) -> if k = j then result := p) entries;
+  !result
+
+let evolve t mu =
+  if Array.length mu <> t.size then invalid_arg "Chain.evolve: dimension mismatch";
+  let out = Array.make t.size 0. in
+  for i = 0 to t.size - 1 do
+    let mass = mu.(i) in
+    if mass > 0. then
+      Array.iter (fun (j, p) -> out.(j) <- out.(j) +. (mass *. p)) t.rows.(i)
+  done;
+  out
+
+let apply t f =
+  if Array.length f <> t.size then invalid_arg "Chain.apply: dimension mismatch";
+  Array.init t.size (fun i ->
+      let acc = ref 0. in
+      Array.iter (fun (j, p) -> acc := !acc +. (p *. f.(j))) t.rows.(i);
+      !acc)
+
+let to_dense t =
+  let m = Linalg.Mat.create t.size t.size 0. in
+  Array.iteri
+    (fun i entries -> Array.iter (fun (j, p) -> Linalg.Mat.set m i j p) entries)
+    t.rows;
+  m
+
+let sample_step rng t i =
+  let entries = t.rows.(i) in
+  let u = Prob.Rng.float rng in
+  let acc = ref 0. in
+  let result = ref (fst entries.(Array.length entries - 1)) in
+  let found = ref false in
+  Array.iter
+    (fun (j, p) ->
+      if not !found then begin
+        acc := !acc +. p;
+        if u < !acc then begin
+          result := j;
+          found := true
+        end
+      end)
+    entries;
+  !result
+
+let simulate rng t ~start ~steps =
+  if start < 0 || start >= t.size then invalid_arg "Chain.simulate: bad start";
+  if steps < 0 then invalid_arg "Chain.simulate: negative steps";
+  let trajectory = Array.make (steps + 1) start in
+  for k = 1 to steps do
+    trajectory.(k) <- sample_step rng t trajectory.(k - 1)
+  done;
+  trajectory
+
+let hitting_time rng t ~start ~target ~max_steps =
+  if start < 0 || start >= t.size then invalid_arg "Chain.hitting_time: bad start";
+  let rec go state step =
+    if target state then Some step
+    else if step >= max_steps then None
+    else go (sample_step rng t state) (step + 1)
+  in
+  go start 0
+
+let successors t i =
+  Array.to_list (Array.map fst t.rows.(i))
+
+let reachable_from neighbours size start =
+  let seen = Array.make size false in
+  seen.(start) <- true;
+  let queue = Queue.create () in
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      (neighbours u)
+  done;
+  seen
+
+let is_irreducible t =
+  let forward = reachable_from (successors t) t.size 0 in
+  if not (Array.for_all Fun.id forward) then false
+  else begin
+    (* Backward reachability needs the reversed adjacency. *)
+    let preds = Array.make t.size [] in
+    Array.iteri
+      (fun i entries ->
+        Array.iter (fun (j, p) -> if p > 0. then preds.(j) <- i :: preds.(j)) entries)
+      t.rows;
+    let backward = reachable_from (fun u -> preds.(u)) t.size 0 in
+    Array.for_all Fun.id backward
+  end
+
+let gcd_aux a b =
+  let rec go a b = if b = 0 then a else go b (a mod b) in
+  go (Stdlib.abs a) (Stdlib.abs b)
+
+let is_aperiodic t =
+  (* Any positive self-loop makes an irreducible chain aperiodic; this
+     is the common case for logit chains (the selected player may keep
+     her strategy). Otherwise compute the period as the gcd over edges
+     (u, v) of level(u) + 1 - level(v) for BFS levels from state 0. *)
+  let has_loop = ref false in
+  Array.iteri
+    (fun i entries ->
+      Array.iter (fun (j, p) -> if i = j && p > 0. then has_loop := true) entries)
+    t.rows;
+  if !has_loop then true
+  else begin
+    let level = Array.make t.size (-1) in
+    level.(0) <- 0;
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if level.(v) < 0 then begin
+            level.(v) <- level.(u) + 1;
+            Queue.add v queue
+          end)
+        (successors t u)
+    done;
+    let g = ref 0 in
+    Array.iteri
+      (fun u entries ->
+        if level.(u) >= 0 then
+          Array.iter
+            (fun (v, p) ->
+              if p > 0. && level.(v) >= 0 then
+                g := Stdlib.abs (gcd_aux !g (level.(u) + 1 - level.(v))))
+            entries)
+      t.rows;
+    !g = 1
+  end
+
+let is_reversible ?(tol = 1e-9) t pi =
+  if Array.length pi <> t.size then invalid_arg "Chain.is_reversible: dimension";
+  let ok = ref true in
+  Array.iteri
+    (fun i entries ->
+      Array.iter
+        (fun (j, p) ->
+          let flow = pi.(i) *. p in
+          let back = pi.(j) *. prob t j i in
+          if Float.abs (flow -. back) > tol then ok := false)
+        entries)
+    t.rows;
+  !ok
+
+let edge_measure t pi i j = pi.(i) *. prob t i j
+
+let lazy_version t =
+  of_rows
+    (Array.mapi
+       (fun i entries ->
+         let halved = Array.map (fun (j, p) -> (j, 0.5 *. p)) entries in
+         Array.append halved [| (i, 0.5) |])
+       t.rows)

@@ -1,0 +1,80 @@
+(** Finite Markov chains in sparse-row representation.
+
+    The logit dynamics on n players with m strategies each has mⁿ
+    states but only n(m-1)+1 non-zero transitions per state, so the
+    whole library works with sparse rows; dense matrices are
+    materialised only for small state spaces (spectral analysis). *)
+
+type t
+
+(** [of_rows rows] validates and packs a chain: [rows.(i)] lists the
+    non-zero transitions [(j, p)] out of state [i]. Requires every
+    probability non-negative, row sums within [1e-9] of one, and
+    column indices in range; duplicate columns within a row are
+    summed. Row sums are renormalised exactly to one. *)
+val of_rows : (int * float) array array -> t
+
+(** [of_function n row] tabulates [row i] for every state. *)
+val of_function : int -> (int -> (int * float) list) -> t
+
+(** [of_dense m] converts a dense stochastic matrix.
+    Raises [Invalid_argument] if [m] is not square/stochastic. *)
+val of_dense : Linalg.Mat.t -> t
+
+(** [size t] is the number of states. *)
+val size : t -> int
+
+(** [row t i] is the sparse row of state [i] (not to be mutated). *)
+val row : t -> int -> (int * float) array
+
+(** [row_list t i] is the row as a list. *)
+val row_list : t -> int -> (int * float) list
+
+(** [prob t i j] is P(i, j). *)
+val prob : t -> int -> int -> float
+
+(** [evolve t mu] is the push-forward μP of the distribution vector
+    [mu]. *)
+val evolve : t -> float array -> float array
+
+(** [apply t f] is the function application Pf,
+    [(Pf)(i) = Σ_j P(i,j) f(j)]. *)
+val apply : t -> float array -> float array
+
+(** [to_dense t] materialises the dense transition matrix. *)
+val to_dense : t -> Linalg.Mat.t
+
+(** [sample_step rng t i] draws the next state from P(i, ·). *)
+val sample_step : Prob.Rng.t -> t -> int -> int
+
+(** [simulate rng t ~start ~steps] returns the trajectory
+    [x₀ = start, x₁, ..., x_steps] (length [steps + 1]). *)
+val simulate : Prob.Rng.t -> t -> start:int -> steps:int -> int array
+
+(** [hitting_time rng t ~start ~target ~max_steps] simulates until the
+    chain first reaches a state satisfying [target]; [None] if not hit
+    within [max_steps]. A [start] already satisfying [target] hits at
+    time 0. *)
+val hitting_time :
+  Prob.Rng.t -> t -> start:int -> target:(int -> bool) -> max_steps:int ->
+  int option
+
+(** [is_irreducible t] tests strong connectivity of the transition
+    graph (two BFS passes, forward and backward). *)
+val is_irreducible : t -> bool
+
+(** [is_aperiodic t] tests aperiodicity (gcd of cycle lengths via BFS
+    levels; sufficient check: some state has a self-loop, otherwise a
+    full gcd computation on the strongly-connected chain). *)
+val is_aperiodic : t -> bool
+
+(** [is_reversible ?tol t pi] checks detailed balance
+    π(x)P(x,y) = π(y)P(y,x) for all edges. *)
+val is_reversible : ?tol:float -> t -> float array -> bool
+
+(** [edge_measure t pi i j] is Q(i,j) = π(i)·P(i,j). *)
+val edge_measure : t -> float array -> int -> int -> float
+
+(** [lazy_version t] is the chain ½(I + P) — aperiodic by
+    construction, same stationary distribution. *)
+val lazy_version : t -> t

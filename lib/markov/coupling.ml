@@ -1,0 +1,52 @@
+type step = Prob.Rng.t -> int * int -> int * int
+
+let coalescence_time rng step ~x0 ~y0 ~max_steps =
+  let rec go (x, y) t =
+    if x = y then Some t
+    else if t >= max_steps then None
+    else go (step rng (x, y)) (t + 1)
+  in
+  go (x0, y0) 0
+
+let coalescence_samples rng step ~x0 ~y0 ~max_steps ~replicas =
+  if replicas < 1 then invalid_arg "Coupling.coalescence_samples: need replicas";
+  Array.init replicas (fun _ ->
+      match coalescence_time rng step ~x0 ~y0 ~max_steps with
+      | Some t -> t
+      | None -> max_steps + 1)
+
+let tmix_upper_estimate rng step ~x0 ~y0 ~max_steps ~replicas =
+  let samples = coalescence_samples rng step ~x0 ~y0 ~max_steps ~replicas in
+  let censored = Array.fold_left (fun acc t -> if t > max_steps then acc + 1 else acc) 0 samples in
+  if 4 * censored > replicas then None
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    (* Index of the 75th percentile: the smallest t with at least 3/4 of
+       the mass at or below it. *)
+    let k = (3 * (replicas - 1)) / 4 in
+    Some sorted.(k)
+  end
+
+let independent_coupling chain rng (x, y) =
+  if x = y then
+    let z = Chain.sample_step rng chain x in
+    (z, z)
+  else
+    let x' = Chain.sample_step rng chain x in
+    let y' = Chain.sample_step rng chain y in
+    (x', y')
+
+let grand_coupling_check rng step ~size ~trials ~horizon =
+  if size < 1 then invalid_arg "Coupling.grand_coupling_check: empty space";
+  let violations = ref 0 in
+  for _ = 1 to trials do
+    let x = Prob.Rng.int rng size and y = Prob.Rng.int rng size in
+    let pair = ref (x, y) in
+    for _ = 1 to horizon do
+      let was_together = fst !pair = snd !pair in
+      pair := step rng !pair;
+      if was_together && fst !pair <> snd !pair then incr violations
+    done
+  done;
+  !violations

@@ -1,0 +1,47 @@
+(** Generic Markov-chain coupling simulation (paper, Theorem 2.1).
+
+    A coupling is any joint step function whose marginals follow the
+    chain; by the coupling theorem
+    ‖Pᵗ(x,·) - Pᵗ(y,·)‖_TV ≤ P(τ_couple > t), so empirical
+    coalescence-time quantiles yield upper-bound estimates of the
+    mixing time. The logit-specific interval coupling lives in the
+    core library; this module provides the driver machinery. *)
+
+type step = Prob.Rng.t -> int * int -> int * int
+(** One joint step of the coupled pair. Implementations must satisfy
+    the coupling property (each marginal follows the chain) and keep
+    coalesced pairs together. *)
+
+(** [coalescence_time rng step ~x0 ~y0 ~max_steps] simulates the
+    coupled pair until it coalesces; [None] if still apart after
+    [max_steps]. *)
+val coalescence_time :
+  Prob.Rng.t -> step -> x0:int -> y0:int -> max_steps:int -> int option
+
+(** [coalescence_samples rng step ~x0 ~y0 ~max_steps ~replicas] runs
+    independent replicas, returning the observed coalescence times
+    (censored replicas are recorded as [max_steps + 1]). *)
+val coalescence_samples :
+  Prob.Rng.t -> step -> x0:int -> y0:int -> max_steps:int -> replicas:int ->
+  int array
+
+(** [tmix_upper_estimate rng step ~x0 ~y0 ~max_steps ~replicas] is the
+    empirical 75th percentile of the coalescence time — an estimate of
+    a time t with P(τ > t) ≤ 1/4, hence of an upper bound on
+    t_mix(1/4) for this pair of start states. [None] when more than a
+    quarter of the replicas were censored. *)
+val tmix_upper_estimate :
+  Prob.Rng.t -> step -> x0:int -> y0:int -> max_steps:int -> replicas:int ->
+  int option
+
+(** [independent_coupling chain] is the trivial coupling that moves
+    the two copies independently until they happen to meet, then glues
+    them — a baseline for comparing against structured couplings. *)
+val independent_coupling : Chain.t -> step
+
+(** [grand_coupling_check rng step ~size ~trials ~horizon] exercises a
+    coupling from random start pairs and verifies the "stay together"
+    property along the way; returns the number of violations (0 for a
+    correct implementation). Used by the test suite. *)
+val grand_coupling_check :
+  Prob.Rng.t -> step -> size:int -> trials:int -> horizon:int -> int

@@ -1,0 +1,80 @@
+let interior_states t target =
+  let n = Chain.size t in
+  let interior = ref [] in
+  for i = n - 1 downto 0 do
+    if not (target i) then interior := i :: !interior
+  done;
+  if List.length !interior = n then invalid_arg "Hitting: empty target set";
+  Array.of_list !interior
+
+let expected_times t ~target =
+  let n = Chain.size t in
+  let interior = interior_states t target in
+  let k = Array.length interior in
+  let times = Array.make n 0. in
+  if k > 0 then begin
+    let index_of = Array.make n (-1) in
+    Array.iteri (fun pos i -> index_of.(i) <- pos) interior;
+    (* (I - P_interior) h = 1 over the non-target states. *)
+    let a = Linalg.Mat.identity k in
+    Array.iteri
+      (fun row i ->
+        Array.iter
+          (fun (j, p) ->
+            if index_of.(j) >= 0 then
+              Linalg.Mat.set a row index_of.(j)
+                (Linalg.Mat.get a row index_of.(j) -. p))
+          (Chain.row t i))
+      interior;
+    let h = Linalg.Lu.solve a (Array.make k 1.) in
+    Array.iteri (fun pos i -> times.(i) <- h.(pos)) interior
+  end;
+  times
+
+let expected_time t ~start ~target = (expected_times t ~target).(start)
+
+let worst_expected_time t ~target =
+  Array.fold_left Float.max 0. (expected_times t ~target)
+
+let probabilities t ~target ~avoid =
+  let n = Chain.size t in
+  let interior = ref [] in
+  for i = n - 1 downto 0 do
+    if not (target i || avoid i) then interior := i :: !interior
+  done;
+  let interior = Array.of_list !interior in
+  let k = Array.length interior in
+  let probs = Array.init n (fun i -> if target i then 1. else 0.) in
+  if k > 0 then begin
+    let index_of = Array.make n (-1) in
+    Array.iteri (fun pos i -> index_of.(i) <- pos) interior;
+    (* (I - P_interior) q = P(. , target) over states off both sets. *)
+    let a = Linalg.Mat.identity k in
+    let b = Array.make k 0. in
+    Array.iteri
+      (fun row i ->
+        Array.iter
+          (fun (j, p) ->
+            if target j then b.(row) <- b.(row) +. p
+            else if index_of.(j) >= 0 then
+              Linalg.Mat.set a row index_of.(j)
+                (Linalg.Mat.get a row index_of.(j) -. p))
+          (Chain.row t i))
+      interior;
+    let q = Linalg.Lu.solve a b in
+    Array.iteri (fun pos i -> probs.(i) <- q.(pos)) interior
+  end;
+  probs
+
+let simulated rng t ~start ~target ~replicas ~max_steps =
+  if replicas < 1 then invalid_arg "Hitting.simulated: need replicas";
+  let total = ref 0. in
+  for _ = 1 to replicas do
+    let steps =
+      match Chain.hitting_time rng t ~start ~target ~max_steps with
+      | Some s -> s
+      | None -> max_steps
+    in
+    total := !total +. float_of_int steps
+  done;
+  !total /. float_of_int replicas

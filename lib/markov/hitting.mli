@@ -1,0 +1,32 @@
+(** Exact hitting times by linear solve.
+
+    For a target set A, the expected hitting times h(x) = E_x[τ_A]
+    solve the linear system h(x) = 0 on A and
+    h(x) = 1 + Σ_y P(x,y) h(y) off A. The paper's related-work section
+    contrasts mixing times with the hitting times studied by
+    Asadpour–Saberi and Montanari–Saberi; this module lets experiments
+    compare both quantities exactly. *)
+
+(** [expected_times t ~target] is the vector of expected hitting times
+    of [{i | target i}] from every state (0 on the target). Raises
+    [Invalid_argument] if the target is empty, and [Linalg.Lu.Singular]
+    if some state cannot reach the target. Dense O(size³). *)
+val expected_times : Chain.t -> target:(int -> bool) -> float array
+
+(** [expected_time t ~start ~target] is [expected_times].(start). *)
+val expected_time : Chain.t -> start:int -> target:(int -> bool) -> float
+
+(** [worst_expected_time t ~target] is the maximum over start states. *)
+val worst_expected_time : Chain.t -> target:(int -> bool) -> float
+
+(** [probabilities t ~target ~avoid] is the vector of probabilities of
+    reaching [target] before [avoid] from each state (1 on the target,
+    0 on [avoid]). States in both sets count as [target]. *)
+val probabilities : Chain.t -> target:(int -> bool) -> avoid:(int -> bool) -> float array
+
+(** [simulated rng t ~start ~target ~replicas ~max_steps] estimates
+    the mean hitting time by simulation; censored replicas count as
+    [max_steps]. Useful beyond the dense-solve size limit. *)
+val simulated :
+  Prob.Rng.t -> Chain.t -> start:int -> target:(int -> bool) -> replicas:int ->
+  max_steps:int -> float

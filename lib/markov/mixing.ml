@@ -1,0 +1,207 @@
+let tv_against pi mu =
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. pi.(i))) mu;
+  0.5 *. !acc
+
+let point_mass n i =
+  let v = Array.make n 0. in
+  v.(i) <- 1.;
+  v
+
+let check_starts t starts =
+  if starts = [] then invalid_arg "Mixing: empty start set";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= Chain.size t then invalid_arg "Mixing: start out of range")
+    starts
+
+let tv_curve t pi ~starts ~steps =
+  check_starts t starts;
+  if steps < 0 then invalid_arg "Mixing.tv_curve: negative steps";
+  let n = Chain.size t in
+  let mus = Array.of_list (List.map (point_mass n) starts) in
+  let curve = Array.make (steps + 1) 0. in
+  let worst mus = Array.fold_left (fun acc mu -> Float.max acc (tv_against pi mu)) 0. mus in
+  curve.(0) <- worst mus;
+  for step = 1 to steps do
+    Array.iteri (fun k mu -> mus.(k) <- Chain.evolve t mu) mus;
+    curve.(step) <- worst mus
+  done;
+  curve
+
+let mixing_time ?(eps = 0.25) ?(max_steps = 1_000_000) t pi ~starts =
+  check_starts t starts;
+  let n = Chain.size t in
+  let mus = Array.of_list (List.map (point_mass n) starts) in
+  let worst () =
+    Array.fold_left (fun acc mu -> Float.max acc (tv_against pi mu)) 0. mus
+  in
+  let rec go step =
+    if worst () <= eps then Some step
+    else if step >= max_steps then None
+    else begin
+      Array.iteri (fun k mu -> mus.(k) <- Chain.evolve t mu) mus;
+      go (step + 1)
+    end
+  in
+  go 0
+
+let mixing_time_all ?eps ?max_steps t pi =
+  mixing_time ?eps ?max_steps t pi ~starts:(List.init (Chain.size t) Fun.id)
+
+let tv_at t pi ~start ~steps =
+  check_starts t [ start ];
+  let mu = ref (point_mass (Chain.size t) start) in
+  for _ = 1 to steps do
+    mu := Chain.evolve t !mu
+  done;
+  tv_against pi !mu
+
+let empirical_tv rng t pi ~start ~steps ~replicas =
+  if replicas < 1 then invalid_arg "Mixing.empirical_tv: need replicas";
+  let emp = Prob.Empirical.create (Chain.size t) in
+  for _ = 1 to replicas do
+    let state = ref start in
+    for _ = 1 to steps do
+      state := Chain.sample_step rng t !state
+    done;
+    Prob.Empirical.add emp !state
+  done;
+  Prob.Empirical.tv_against emp (Prob.Dist.of_weights pi)
+
+let upper_mixing_time_spectral ~gap ~pi_min ~eps =
+  if gap <= 0. || pi_min <= 0. || eps <= 0. then
+    invalid_arg "Mixing.upper_mixing_time_spectral";
+  (1. /. gap) *. log (1. /. (eps *. pi_min))
+
+let lower_mixing_time_spectral ~gap ~eps =
+  if gap <= 0. || eps <= 0. then invalid_arg "Mixing.lower_mixing_time_spectral";
+  ((1. /. gap) -. 1.) *. log (1. /. (2. *. eps))
+
+let decompose t pi = Linalg.Eigen.jacobi (Spectral.symmetrize t pi)
+
+(* λ^t with sign handling and underflow-to-zero for huge t. *)
+let eigen_pow lambda t =
+  if t = 0 then 1.
+  else if lambda = 0. then 0.
+  else begin
+    let magnitude = exp (float_of_int t *. log (Float.abs lambda)) in
+    if lambda < 0. && t land 1 = 1 then -.magnitude else magnitude
+  end
+
+let tv_at_spectral ~decomposition pi ~start ~steps =
+  let values, u = decomposition in
+  let n = Array.length pi in
+  if start < 0 || start >= n then invalid_arg "Mixing.tv_at_spectral: bad start";
+  if steps < 0 then invalid_arg "Mixing.tv_at_spectral: negative steps";
+  let k_count = Array.length values in
+  (* Pᵗ(x,y) = Σ_k λ_kᵗ U(x,k) U(y,k) √(π(y)/π(x)). *)
+  let powers = Array.map (fun lambda -> eigen_pow lambda steps) values in
+  let sqrt_pi = Array.map sqrt pi in
+  let acc = ref 0. in
+  for y = 0 to n - 1 do
+    let p = ref 0. in
+    for k = 0 to k_count - 1 do
+      if powers.(k) <> 0. then
+        p := !p +. (powers.(k) *. Linalg.Mat.get u start k *. Linalg.Mat.get u y k)
+    done;
+    let pt = !p *. sqrt_pi.(y) /. sqrt_pi.(start) in
+    acc := !acc +. Float.abs (pt -. pi.(y))
+  done;
+  0.5 *. !acc
+
+let mixing_time_from_decomposition ?(eps = 0.25) ?(max_steps = max_int / 4)
+    ~decomposition pi ~starts =
+  if starts = [] then invalid_arg "Mixing: empty start set";
+  let d steps =
+    List.fold_left
+      (fun acc start ->
+        Float.max acc (tv_at_spectral ~decomposition pi ~start ~steps))
+      0. starts
+  in
+  if d 0 <= eps then Some 0
+  else begin
+    (* Double to bracket, then binary search on the monotone d(·). *)
+    let rec bracket hi = if d hi <= eps then Some hi else if hi >= max_steps then None else bracket (Int.min max_steps (2 * hi)) in
+    match bracket 1 with
+    | None -> None
+    | Some hi ->
+        let rec search lo hi =
+          (* invariant: d(lo) > eps >= d(hi) *)
+          if hi - lo <= 1 then hi
+          else
+            let mid = lo + ((hi - lo) / 2) in
+            if d mid <= eps then search lo mid else search mid hi
+        in
+        Some (search (hi / 2) hi)
+  end
+
+let mixing_time_spectral ?eps ?max_steps t pi ~starts =
+  check_starts t starts;
+  mixing_time_from_decomposition ?eps ?max_steps ~decomposition:(decompose t pi)
+    pi ~starts
+
+let renormalize_rows m =
+  let n, _ = Linalg.Mat.dims m in
+  for i = 0 to n - 1 do
+    let s = ref 0. in
+    for j = 0 to n - 1 do
+      s := !s +. Linalg.Mat.get m i j
+    done;
+    if !s > 0. then
+      for j = 0 to n - 1 do
+        Linalg.Mat.set m i j (Linalg.Mat.get m i j /. !s)
+      done
+  done;
+  m
+
+let mixing_time_squaring ?(eps = 0.25) ?(max_steps = max_int / 4) t pi ~starts =
+  check_starts t starts;
+  let n = Chain.size t in
+  if n > 768 then invalid_arg "Mixing.mixing_time_squaring: state space too large";
+  let d_matrix m =
+    List.fold_left
+      (fun acc start ->
+        let tv = ref 0. in
+        for y = 0 to n - 1 do
+          tv := !tv +. Float.abs (Linalg.Mat.get m start y -. pi.(y))
+        done;
+        Float.max acc (0.5 *. !tv))
+      0. starts
+  in
+  let p = Chain.to_dense t in
+  if d_matrix (Linalg.Mat.identity n) <= eps then Some 0
+  else begin
+    (* Precompute P^(2^k) until the power alone has mixed or the step
+       budget is exceeded. *)
+    let powers = ref [ p ] in
+    let rec grow m k =
+      if d_matrix m <= eps then Some k
+      else if 1 lsl (k + 1) > max_steps || k >= 61 then None
+      else begin
+        let m2 = renormalize_rows (Linalg.Mat.mul m m) in
+        powers := m2 :: !powers;
+        grow m2 (k + 1)
+      end
+    in
+    match grow p 0 with
+    | None -> None
+    | Some top ->
+        let powers = Array.of_list (List.rev !powers) in
+        (* Find the largest t with d(t) > eps by fixing bits from the
+           top; the answer is that t plus one. *)
+        let accumulated = ref None in
+        let steps = ref 0 in
+        for k = top - 1 downto 0 do
+          let candidate =
+            match !accumulated with
+            | None -> Linalg.Mat.copy powers.(k)
+            | Some q -> renormalize_rows (Linalg.Mat.mul q powers.(k))
+          in
+          if d_matrix candidate > eps then begin
+            accumulated := Some candidate;
+            steps := !steps + (1 lsl k)
+          end
+        done;
+        Some (!steps + 1)
+  end

@@ -1,0 +1,96 @@
+(** Exact mixing-time computation.
+
+    The worst-case total variation distance at time t is
+
+    {v d(t) = max_x ‖Pᵗ(x,·) - π‖_TV, v}
+
+    computed by evolving the point masses of a set of start states in
+    lockstep. For modest state spaces all states can serve as starts;
+    for structured games it suffices to pass the profiles known to be
+    extremal (e.g. the potential minimisers), which is validated in the
+    test suite. The paper's convention t_mix = t_mix(1/4) is the
+    default. *)
+
+(** [tv_curve t pi ~starts ~steps] is the array [d(0); d(1); ...;
+    d(steps)] of worst-case (over [starts]) TV distances. *)
+val tv_curve : Chain.t -> float array -> starts:int list -> steps:int -> float array
+
+(** [mixing_time ?eps ?max_steps t pi ~starts] is the least t with
+    d(t) ≤ eps (default 1/4), or [None] if it exceeds [max_steps]
+    (default [1_000_000]). By monotonicity of d(·) the scan stops at
+    the first success. *)
+val mixing_time :
+  ?eps:float -> ?max_steps:int -> Chain.t -> float array -> starts:int list ->
+  int option
+
+(** [mixing_time_all ?eps ?max_steps t pi] uses every state as a start
+    (exact d(t), O(size²) memory traffic per step). *)
+val mixing_time_all :
+  ?eps:float -> ?max_steps:int -> Chain.t -> float array -> int option
+
+(** [tv_at t pi ~start ~steps] is ‖Pᵗ(start,·) - π‖_TV at [t = steps]
+    only. *)
+val tv_at : Chain.t -> float array -> start:int -> steps:int -> float
+
+(** [empirical_tv rng t pi ~start ~steps ~replicas] estimates the TV
+    distance at time [steps] by simulating [replicas] independent
+    chains and comparing the empirical law against π. The estimate is
+    positively biased by sampling noise ≈ √(size/replicas); it is used
+    only for state spaces too large for exact evolution. *)
+val empirical_tv :
+  Prob.Rng.t -> Chain.t -> float array -> start:int -> steps:int -> replicas:int ->
+  float
+
+(** [upper_mixing_time_spectral ~gap ~pi_min ~eps] is the spectral
+    upper bound t_rel·log(1/(ε·π_min)) of Theorem 2.3, with
+    [t_rel = 1/gap]. *)
+val upper_mixing_time_spectral : gap:float -> pi_min:float -> eps:float -> float
+
+(** [lower_mixing_time_spectral ~gap ~eps] is the spectral lower bound
+    (t_rel - 1)·log(1/2ε) of Theorem 2.3. *)
+val lower_mixing_time_spectral : gap:float -> eps:float -> float
+
+(** [mixing_time_spectral ?eps ?max_steps t pi ~starts] computes the
+    exact mixing time of a {e reversible} chain through its full
+    eigendecomposition: with A = D^{1/2} P D^{-1/2} = U Λ Uᵀ,
+    Pᵗ(x,y) = Σ_k λ_kᵗ u_k(x) u_k(y) √(π(y)/π(x)), so d(t) can be
+    evaluated at any t in O(|starts|·size²) without stepping the
+    chain. Since d(·) is non-increasing, the answer is found by
+    doubling + binary search — O(log t_mix) evaluations — which makes
+    exponentially large mixing times (large β) computable exactly.
+    Falls back on [None] when t_mix exceeds [max_steps] (default
+    [max_int / 4]). Requires reversibility (checked). *)
+val mixing_time_spectral :
+  ?eps:float -> ?max_steps:int -> Chain.t -> float array -> starts:int list ->
+  int option
+
+(** [tv_at_spectral t pi ~decomposition ~start ~steps] evaluates
+    ‖Pᵗ(start,·) - π‖_TV at [t = steps] from a precomputed
+    decomposition (see {!decompose}). *)
+val tv_at_spectral :
+  decomposition:float array * Linalg.Mat.t -> float array -> start:int ->
+  steps:int -> float
+
+(** [decompose t pi] is the eigendecomposition [(eigenvalues, U)] of
+    the symmetrised chain, for repeated {!tv_at_spectral} queries. *)
+val decompose : Chain.t -> float array -> float array * Linalg.Mat.t
+
+(** [mixing_time_from_decomposition ?eps ?max_steps ~decomposition pi
+    ~starts] is {!mixing_time_spectral} driven by a caller-supplied
+    eigendecomposition — e.g. the tridiagonal one of a birth–death
+    chain, which avoids the dense Jacobi solve entirely. *)
+val mixing_time_from_decomposition :
+  ?eps:float -> ?max_steps:int -> decomposition:float array * Linalg.Mat.t ->
+  float array -> starts:int list -> int option
+
+(** [mixing_time_squaring ?eps ?max_steps t pi ~starts] computes the
+    exact mixing time by repeated squaring of the dense transition
+    matrix: Pᵗ is assembled from precomputed P^(2^k) factors and the
+    monotone d(·) is binary-searched bit by bit. O(size³·log t_mix) —
+    slower than the spectral route but numerically robust even when
+    π_min underflows toward 1e-300 (products of stochastic matrices
+    stay stochastic; rows are renormalised after every multiply).
+    Guarded to [size <= 768]. *)
+val mixing_time_squaring :
+  ?eps:float -> ?max_steps:int -> Chain.t -> float array -> starts:int list ->
+  int option

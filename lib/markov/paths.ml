@@ -1,0 +1,106 @@
+type path = (int * int) list
+type family = int -> int -> path
+
+let path_connects path x y =
+  let rec walk last = function
+    | [] -> last = y
+    | (u, v) :: rest -> u = last && walk v rest
+  in
+  walk x path
+
+let validate t fam =
+  let n = Chain.size t in
+  let offending = ref None in
+  (try
+     for x = 0 to n - 1 do
+       for y = 0 to n - 1 do
+         if x <> y then begin
+           let path = fam x y in
+           let edges_ok =
+             List.for_all (fun (u, v) -> Chain.prob t u v > 0.) path
+           in
+           if (not edges_ok) || not (path_connects path x y) then begin
+             offending := Some (x, y);
+             raise Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  !offending
+
+let edge_loads t fam weight =
+  (* Accumulate Σ weight(x,y)·|Γ| over paths through each directed edge. *)
+  let n = Chain.size t in
+  let loads = Hashtbl.create (4 * n) in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if x <> y then begin
+        let path = fam x y in
+        let len = float_of_int (List.length path) in
+        let w = weight x y *. len in
+        List.iter
+          (fun (u, v) ->
+            if Chain.prob t u v <= 0. then
+              invalid_arg "Paths: path uses a non-edge of the chain";
+            let key = (u, v) in
+            Hashtbl.replace loads key
+              (w +. Option.value ~default:0. (Hashtbl.find_opt loads key)))
+          path
+      end
+    done
+  done;
+  loads
+
+let congestion t pi fam =
+  let loads = edge_loads t fam (fun x y -> pi.(x) *. pi.(y)) in
+  Hashtbl.fold
+    (fun (u, v) load acc ->
+      let q = pi.(u) *. Chain.prob t u v in
+      Float.max acc (load /. q))
+    loads 0.
+
+let relaxation_upper_bound ~congestion =
+  if congestion <= 0. then invalid_arg "Paths.relaxation_upper_bound";
+  congestion
+
+let comparison_congestion t pi ~reference:(that, that_pi) fam =
+  if Chain.size t <> Chain.size that then
+    invalid_arg "Paths.comparison_congestion: state spaces differ";
+  (* Only ordered pairs that are edges of the reference chain carry
+     weight Q̂(x,y) = π̂(x)·P̂(x,y). *)
+  let n = Chain.size t in
+  let loads = Hashtbl.create (4 * n) in
+  for x = 0 to n - 1 do
+    Array.iter
+      (fun (y, p_hat) ->
+        if x <> y && p_hat > 0. then begin
+          let path = fam x y in
+          let len = float_of_int (List.length path) in
+          let w = that_pi.(x) *. p_hat *. len in
+          List.iter
+            (fun (u, v) ->
+              if Chain.prob t u v <= 0. then
+                invalid_arg "Paths: path uses a non-edge of the chain";
+              let key = (u, v) in
+              Hashtbl.replace loads key
+                (w +. Option.value ~default:0. (Hashtbl.find_opt loads key)))
+            path
+        end)
+      (Chain.row that x)
+  done;
+  let alpha =
+    Hashtbl.fold
+      (fun (u, v) load acc ->
+        let q = pi.(u) *. Chain.prob t u v in
+        Float.max acc (load /. q))
+      loads 0.
+  in
+  let gamma =
+    let best = ref 0. in
+    Array.iteri
+      (fun x px -> if that_pi.(x) > 0. then best := Float.max !best (px /. that_pi.(x)))
+      pi;
+    !best
+  in
+  (alpha, gamma)

@@ -1,0 +1,49 @@
+(** Canonical paths and chain comparison (paper, Theorems 2.5 / 2.6).
+
+    For a reversible chain with edge measure Q(e) = π(x)P(x,y) and a
+    family Γ = {Γ_{x,y}} of chain paths, one per ordered pair of
+    states, the congestion
+
+    {v ρ = max_e (1/Q(e)) Σ_{(x,y): e ∈ Γ_{x,y}} π(x)π(y)|Γ_{x,y}| v}
+
+    upper-bounds the relaxation time: 1/(1-λ₂) ≤ ρ (Thm 2.6). The
+    comparison form (Thm 2.5) runs the paths of one chain through
+    another. These are the engines behind Lemma 3.3 and Theorem 5.1;
+    the experiment suite evaluates ρ exactly for the paper's path
+    families and checks it against the closed-form bounds. *)
+
+type path = (int * int) list
+(** A chain path as a list of directed edges [(u, v)], consecutive. *)
+
+(** [family f] wraps a path chooser: [f x y] must return a path from
+    [x] to [y] along edges of the chain whenever [x <> y]. *)
+type family = int -> int -> path
+
+(** [validate t fam] checks that every path of [fam] over all ordered
+    pairs uses only positive-probability edges of [t] and connects its
+    endpoints; returns the first offending pair if any. O(size²·len). *)
+val validate : Chain.t -> family -> (int * int) option
+
+(** [congestion t pi fam] is the exact congestion ρ of the family over
+    all ordered pairs [(x, y)], [x <> y], of the chain [t] with
+    stationary distribution [pi] (Theorem 2.6). Raises
+    [Invalid_argument] if a path uses a non-edge. *)
+val congestion : Chain.t -> float array -> family -> float
+
+(** [relaxation_upper_bound ~congestion] is the Theorem 2.6 relaxation
+    time bound (= ρ itself, since t_rel ≤ ρ for non-negative
+    spectra). *)
+val relaxation_upper_bound : congestion:float -> float
+
+(** [comparison_congestion t pi ~reference:(that, that_pi) fam] is the
+    Theorem 2.5 congestion: paths of [t] carry the edges of the
+    reference chain [that]:
+
+    {v A = max_e (1/Q(e)) Σ_{(x,y) edge of that: e ∈ Γ_{x,y}}
+                                   Q̂(x,y)|Γ_{x,y}|, v}
+
+    so that 1/(1-λ₂) ≤ A·γ·1/(1-λ̂₂) with
+    γ = max_x π(x)/π̂(x) (returned second). *)
+val comparison_congestion :
+  Chain.t -> float array -> reference:Chain.t * float array -> family ->
+  float * float

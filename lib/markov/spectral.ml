@@ -1,0 +1,46 @@
+let symmetrize t pi =
+  let n = Chain.size t in
+  if Array.length pi <> n then invalid_arg "Spectral.symmetrize: dimension mismatch";
+  if not (Chain.is_reversible ~tol:1e-7 t pi) then
+    invalid_arg "Spectral.symmetrize: chain is not reversible w.r.t. pi";
+  let sqrt_pi = Array.map sqrt pi in
+  let a = Linalg.Mat.create n n 0. in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun (j, p) ->
+        if p <> 0. then Linalg.Mat.set a i j (sqrt_pi.(i) *. p /. sqrt_pi.(j)))
+      (Chain.row t i)
+  done;
+  (* Symmetrise the round-off asymmetry exactly. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let avg = 0.5 *. (Linalg.Mat.get a i j +. Linalg.Mat.get a j i) in
+      Linalg.Mat.set a i j avg;
+      Linalg.Mat.set a j i avg
+    done
+  done;
+  a
+
+let spectrum t pi = Linalg.Eigen.eigenvalues (symmetrize t pi)
+
+let lambda2 ?tol ?max_iter t pi =
+  Linalg.Eigen.second_eigenvalue_reversible ?tol ?max_iter
+    (fun i -> Chain.row_list t i)
+    pi (Chain.size t)
+
+let relaxation_time_of_gap gap =
+  if gap <= 0. then invalid_arg "Spectral.relaxation_time_of_gap: non-positive gap";
+  1. /. gap
+
+let lambda_star_of_spectrum values =
+  if Array.length values < 2 then invalid_arg "Spectral: trivial chain";
+  Float.max values.(1) (Float.abs values.(Array.length values - 1))
+
+let relaxation_time t pi =
+  relaxation_time_of_gap (1. -. lambda_star_of_spectrum (spectrum t pi))
+
+let spectral_gap t pi = 1. -. lambda_star_of_spectrum (spectrum t pi)
+
+let min_eigenvalue t pi =
+  let values = spectrum t pi in
+  values.(Array.length values - 1)

@@ -1,0 +1,40 @@
+let by_power ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
+  let n = Chain.size t in
+  let mu = ref (Array.make n (1. /. float_of_int n)) in
+  let rec go iter =
+    if iter > max_iter then failwith "Stationary.by_power: did not converge";
+    let next = Chain.evolve t !mu in
+    let moved = ref 0. in
+    Array.iteri (fun i x -> moved := !moved +. Float.abs (x -. !mu.(i))) next;
+    mu := next;
+    if !moved > tol then go (iter + 1)
+  in
+  go 1;
+  !mu
+
+let by_solve t =
+  let n = Chain.size t in
+  (* Unknown: the column vector π. Equations: for each state j < n-1,
+     Σ_i π_i (P(i,j) - δ_ij) = 0; the last equation is Σ_i π_i = 1. *)
+  let a = Linalg.Mat.create n n 0. in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun (j, p) -> if j < n - 1 then Linalg.Mat.set a j i p)
+      (Chain.row t i);
+    if i < n - 1 then Linalg.Mat.set a i i (Linalg.Mat.get a i i -. 1.);
+    Linalg.Mat.set a (n - 1) i 1.
+  done;
+  let b = Array.init n (fun i -> if i = n - 1 then 1. else 0.) in
+  let pi = Linalg.Lu.solve a b in
+  (* Round-off can leave tiny negative entries; clamp and renormalise. *)
+  let pi = Array.map (fun x -> Float.max x 0.) pi in
+  let total = Array.fold_left ( +. ) 0. pi in
+  Array.map (fun x -> x /. total) pi
+
+let residual t pi =
+  let next = Chain.evolve t pi in
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. pi.(i))) next;
+  !acc
+
+let is_stationary ?(tol = 1e-8) t pi = residual t pi <= tol

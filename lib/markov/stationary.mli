@@ -1,0 +1,19 @@
+(** Stationary distributions of finite chains. *)
+
+(** [by_power ?tol ?max_iter t] iterates μ ↦ μP from the uniform
+    distribution until the L¹ movement per step drops below [tol]
+    (default [1e-12]); suitable for any ergodic chain. Raises
+    [Failure] if [max_iter] (default [10_000_000]) is exhausted. *)
+val by_power : ?tol:float -> ?max_iter:int -> Chain.t -> float array
+
+(** [by_solve t] computes π exactly (up to LU round-off) by solving
+    the linear system [πᵀ(P - I) = 0, Σπ = 1]. Dense O(n³); intended
+    for state spaces up to a few thousand states. *)
+val by_solve : Chain.t -> float array
+
+(** [residual t pi] is ‖πP - π‖₁, a cheap quality measure. *)
+val residual : Chain.t -> float array -> float
+
+(** [is_stationary ?tol t pi] is [residual t pi <= tol]
+    (default [1e-8]). *)
+val is_stationary : ?tol:float -> Chain.t -> float array -> bool

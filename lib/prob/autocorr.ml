@@ -1,0 +1,44 @@
+let autocovariance xs lag =
+  let n = Array.length xs in
+  if lag < 0 || lag >= n then invalid_arg "Autocorr: lag out of range";
+  let mean = Stats.mean xs in
+  let acc = ref 0. in
+  for i = 0 to n - 1 - lag do
+    acc := !acc +. ((xs.(i) -. mean) *. (xs.(i + lag) -. mean))
+  done;
+  !acc /. float_of_int n
+
+let autocorrelation xs lag =
+  let c0 = autocovariance xs 0 in
+  if c0 <= 0. then invalid_arg "Autocorr: constant series";
+  autocovariance xs lag /. c0
+
+let acf xs ~max_lag =
+  if max_lag < 0 || max_lag >= Array.length xs then
+    invalid_arg "Autocorr.acf: bad max_lag";
+  Array.init (max_lag + 1) (fun lag -> autocorrelation xs lag)
+
+let integrated_time xs =
+  let n = Array.length xs in
+  if n < 4 then invalid_arg "Autocorr.integrated_time: series too short";
+  let c0 = autocovariance xs 0 in
+  if c0 <= 0. then invalid_arg "Autocorr: constant series";
+  (* Geyer initial positive sequence: add rho(2k-1) + rho(2k) while the
+     pair sums stay positive. *)
+  let tau = ref 1. in
+  let k = ref 1 in
+  let continue_ = ref true in
+  while !continue_ && (2 * !k) < n - 1 do
+    let pair =
+      (autocovariance xs ((2 * !k) - 1) +. autocovariance xs (2 * !k)) /. c0
+    in
+    if pair > 0. then begin
+      tau := !tau +. (2. *. pair);
+      incr k
+    end
+    else continue_ := false
+  done;
+  !tau
+
+let effective_sample_size xs =
+  float_of_int (Array.length xs) /. integrated_time xs

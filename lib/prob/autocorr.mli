@@ -1,0 +1,23 @@
+(** Autocorrelation diagnostics for MCMC observables.
+
+    Used to quantify how fast scalar observables (potential, adoption
+    fraction, magnetisation) decorrelate along a logit trajectory —
+    the practical face of the mixing-time results. *)
+
+(** [autocorrelation xs lag] is the lag-[lag] sample autocorrelation of
+    the series (biased normalisation, standard for ACF plots). Raises
+    [Invalid_argument] if the lag is out of range or the series is
+    constant. *)
+val autocorrelation : float array -> int -> float
+
+(** [acf xs ~max_lag] is the autocorrelation function for lags
+    [0..max_lag]. *)
+val acf : float array -> max_lag:int -> float array
+
+(** [integrated_time xs] is the integrated autocorrelation time
+    τ_int = 1 + 2·Σ_k ρ(k), summed with Geyer's initial positive
+    sequence truncation (stop at the first non-positive pair sum). *)
+val integrated_time : float array -> float
+
+(** [effective_sample_size xs] is n/τ_int. *)
+val effective_sample_size : float array -> float

@@ -1,0 +1,97 @@
+type t = float array
+
+let of_weights w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Dist.of_weights: empty";
+  let total = ref 0. in
+  Array.iter
+    (fun x ->
+      if x < 0. || Float.is_nan x then invalid_arg "Dist.of_weights: negative weight";
+      total := !total +. x)
+    w;
+  if !total <= 0. then invalid_arg "Dist.of_weights: zero total mass";
+  Array.map (fun x -> x /. !total) w
+
+let of_log_weights lw =
+  if Array.length lw = 0 then invalid_arg "Dist.of_log_weights: empty";
+  Logspace.normalize_logs lw
+
+let uniform n =
+  if n < 1 then invalid_arg "Dist.uniform: need at least one point";
+  Array.make n (1. /. float_of_int n)
+
+let point n i =
+  if n < 1 then invalid_arg "Dist.point: need at least one point";
+  if i < 0 || i >= n then invalid_arg "Dist.point: index out of range";
+  Array.init n (fun j -> if j = i then 1. else 0.)
+
+let size = Array.length
+let prob d i = d.(i)
+let to_array = Array.copy
+
+let support d =
+  let acc = ref [] in
+  for i = Array.length d - 1 downto 0 do
+    if d.(i) > 0. then acc := i :: !acc
+  done;
+  !acc
+
+let check_same_size name p q =
+  if Array.length p <> Array.length q then
+    invalid_arg ("Dist." ^ name ^ ": size mismatch")
+
+let tv_distance p q =
+  check_same_size "tv_distance" p q;
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. Float.abs (pi -. q.(i))) p;
+  0.5 *. !acc
+
+let kl_divergence p q =
+  check_same_size "kl_divergence" p q;
+  let acc = ref 0. in
+  Array.iteri
+    (fun i pi ->
+      if pi > 0. then
+        if q.(i) > 0. then acc := !acc +. (pi *. log (pi /. q.(i)))
+        else acc := infinity)
+    p;
+  !acc
+
+let entropy d =
+  let acc = ref 0. in
+  Array.iter (fun p -> if p > 0. then acc := !acc -. (p *. log p)) d;
+  !acc
+
+let expect d f =
+  let acc = ref 0. in
+  Array.iteri (fun i p -> if p > 0. then acc := !acc +. (p *. f i)) d;
+  !acc
+
+let mass d pred =
+  let acc = ref 0. in
+  Array.iteri (fun i p -> if pred i then acc := !acc +. p) d;
+  !acc
+
+let sample rng d = Rng.categorical rng d
+
+let evolve d step =
+  let n = Array.length d in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let di = d.(i) in
+    if di > 0. then
+      List.iter (fun (j, p) -> out.(j) <- out.(j) +. (di *. p)) (step i)
+  done;
+  out
+
+let mix a p q =
+  check_same_size "mix" p q;
+  if a < 0. || a > 1. then invalid_arg "Dist.mix: coefficient out of [0,1]";
+  Array.mapi (fun i pi -> (a *. pi) +. ((1. -. a) *. q.(i))) p
+
+let pp ppf d =
+  Format.fprintf ppf "[@[<hov>%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%.6g" x))
+    d

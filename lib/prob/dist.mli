@@ -1,0 +1,62 @@
+(** Finite probability distributions over [{0, ..., n-1}].
+
+    The distribution is stored as a dense probability vector. All
+    constructors validate non-negativity and normalise mass to one. *)
+
+type t = private float array
+
+(** [of_weights w] normalises the non-negative weight vector [w].
+    Raises [Invalid_argument] on negative entries or zero total. *)
+val of_weights : float array -> t
+
+(** [of_log_weights lw] normalises log-domain weights stably. *)
+val of_log_weights : float array -> t
+
+(** [uniform n] is the uniform distribution on [n] points, [n >= 1]. *)
+val uniform : int -> t
+
+(** [point n i] is the Dirac mass at [i] in a space of size [n]. *)
+val point : int -> int -> t
+
+(** [size d] is the number of points. *)
+val size : t -> int
+
+(** [prob d i] is the mass at point [i]. *)
+val prob : t -> int -> float
+
+(** [to_array d] is a fresh copy of the probability vector. *)
+val to_array : t -> float array
+
+(** [support d] lists the points with strictly positive mass. *)
+val support : t -> int list
+
+(** [tv_distance p q] is the total variation distance
+    [1/2 Σ_i |p_i - q_i|]. Sizes must agree. *)
+val tv_distance : t -> t -> float
+
+(** [kl_divergence p q] is [Σ p_i log (p_i / q_i)], [infinity] when
+    [p] puts mass where [q] does not. *)
+val kl_divergence : t -> t -> float
+
+(** [entropy d] is the Shannon entropy in nats. *)
+val entropy : t -> float
+
+(** [expect d f] is [Σ_i d_i · f i]. *)
+val expect : t -> (int -> float) -> float
+
+(** [mass d pred] is the total mass of points satisfying [pred]. *)
+val mass : t -> (int -> bool) -> float
+
+(** [sample rng d] draws a point according to [d]. *)
+val sample : Rng.t -> t -> int
+
+(** [evolve d step] pushes [d] forward through the stochastic kernel
+    given as sparse rows: [step i] lists the transitions out of [i]. *)
+val evolve : t -> (int -> (int * float) list) -> t
+
+(** [mix a p q] is the convex combination [a·p + (1-a)·q],
+    [0 <= a <= 1]. *)
+val mix : float -> t -> t -> t
+
+(** [pp] prints the probability vector. *)
+val pp : Format.formatter -> t -> unit

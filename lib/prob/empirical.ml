@@ -1,0 +1,29 @@
+type t = { counts : int array; mutable total : int }
+
+let create n =
+  if n < 1 then invalid_arg "Empirical.create: need at least one point";
+  { counts = Array.make n 0; total = 0 }
+
+let add t i =
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let add_many t i k =
+  if k < 0 then invalid_arg "Empirical.add_many: negative count";
+  t.counts.(i) <- t.counts.(i) + k;
+  t.total <- t.total + k
+
+let count t i = t.counts.(i)
+let total t = t.total
+let size t = Array.length t.counts
+
+let to_dist t =
+  if t.total = 0 then invalid_arg "Empirical.to_dist: no observations";
+  Dist.of_weights (Array.map float_of_int t.counts)
+
+let tv_against t d = Dist.tv_distance (to_dist t) d
+
+let of_samples n xs =
+  let t = create n in
+  List.iter (fun i -> add t i) xs;
+  t

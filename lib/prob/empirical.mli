@@ -1,0 +1,36 @@
+(** Empirical measures over [{0, ..., n-1}] built from samples.
+
+    Used to estimate the law of a simulated chain at a fixed time and
+    compare it against the exact stationary distribution. *)
+
+type t
+
+(** [create n] is an empty empirical measure over [n] points. *)
+val create : int -> t
+
+(** [add t i] records one observation of point [i]. *)
+val add : t -> int -> unit
+
+(** [add_many t i k] records [k] observations of point [i]. *)
+val add_many : t -> int -> int -> unit
+
+(** [count t i] is the number of observations of [i] so far. *)
+val count : t -> int -> int
+
+(** [total t] is the number of observations recorded. *)
+val total : t -> int
+
+(** [size t] is the number of points of the underlying space. *)
+val size : t -> int
+
+(** [to_dist t] is the normalised empirical distribution.
+    Raises [Invalid_argument] when no observations were recorded. *)
+val to_dist : t -> Dist.t
+
+(** [tv_against t d] is the total variation distance between the
+    empirical distribution and [d]. *)
+val tv_against : t -> Dist.t -> float
+
+(** [of_samples n xs] builds the measure over [n] points from the
+    sample list [xs]. *)
+val of_samples : int -> int list -> t

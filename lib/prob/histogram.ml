@@ -1,0 +1,47 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  if bins < 1 then invalid_arg "Histogram.create: need at least one bin";
+  { lo; hi; bins = Array.make bins 0; total = 0 }
+
+let bin_index t x =
+  let nbins = Array.length t.bins in
+  let raw =
+    int_of_float (Float.floor ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int nbins))
+  in
+  Int.max 0 (Int.min (nbins - 1) raw)
+
+let add t x =
+  let i = bin_index t x in
+  t.bins.(i) <- t.bins.(i) + 1;
+  t.total <- t.total + 1
+
+let counts t = Array.copy t.bins
+let total t = t.total
+
+let bin_bounds t i =
+  let nbins = Array.length t.bins in
+  if i < 0 || i >= nbins then invalid_arg "Histogram.bin_bounds: out of range";
+  let w = (t.hi -. t.lo) /. float_of_int nbins in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let render ?(width = 40) t =
+  let maxc = Array.fold_left Int.max 1 t.bins in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      let bar = c * width / maxc in
+      Buffer.add_string buf (Printf.sprintf "[%8.3g, %8.3g) %6d " lo hi c);
+      for _ = 1 to bar do
+        Buffer.add_string buf "#"
+      done;
+      Buffer.add_char buf '\n')
+    t.bins;
+  Buffer.contents buf

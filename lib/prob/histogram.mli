@@ -1,0 +1,26 @@
+(** Fixed-width histograms over a real interval, with an ASCII
+    renderer used by the example programs to visualise trajectories. *)
+
+type t
+
+(** [create ~lo ~hi ~bins] covers [[lo, hi)] with [bins] equal-width
+    bins. Raises [Invalid_argument] unless [lo < hi] and [bins >= 1].
+    Observations outside the interval are clamped into the boundary
+    bins. *)
+val create : lo:float -> hi:float -> bins:int -> t
+
+(** [add t x] records observation [x]. *)
+val add : t -> float -> unit
+
+(** [counts t] is a fresh copy of the per-bin counts. *)
+val counts : t -> int array
+
+(** [total t] is the number of recorded observations. *)
+val total : t -> int
+
+(** [bin_bounds t i] is the half-open interval covered by bin [i]. *)
+val bin_bounds : t -> int -> float * float
+
+(** [render ?width t] draws the histogram with unicode block bars,
+    [width] characters for the fullest bin (default 40). *)
+val render : ?width:int -> t -> string

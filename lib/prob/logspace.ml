@@ -1,0 +1,23 @@
+let logsumexp xs =
+  let m = Array.fold_left Float.max neg_infinity xs in
+  if m = neg_infinity then neg_infinity
+  else if m = infinity then infinity
+  else begin
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. exp (x -. m)) xs;
+    m +. log !acc
+  end
+
+let logsumexp2 a b =
+  let m = Float.max a b in
+  if m = neg_infinity then neg_infinity
+  else m +. log (exp (a -. m) +. exp (b -. m))
+
+let normalize_logs xs =
+  let z = logsumexp xs in
+  if z = neg_infinity then invalid_arg "Logspace.normalize_logs: zero total mass";
+  Array.map (fun x -> exp (x -. z)) xs
+
+let log1mexp x =
+  if x >= 0. then invalid_arg "Logspace.log1mexp: argument must be negative";
+  if x > -.Float.log 2. then log (-.Float.expm1 x) else Float.log1p (-.exp x)

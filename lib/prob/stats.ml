@@ -1,0 +1,83 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty sample")
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else begin
+    let m = mean xs in
+    let acc = ref 0. in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+let standard_error xs = std xs /. sqrt (float_of_int (Array.length xs))
+
+let quantile xs q =
+  check_nonempty "quantile" xs;
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  let frac = pos -. float_of_int lo in
+  ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = quantile xs 0.5
+
+let min_max xs =
+  check_nonempty "min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let mean_ci95 xs =
+  let m = mean xs in
+  (m, 1.96 *. standard_error xs)
+
+let check_paired name xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg ("Stats." ^ name ^ ": sample size mismatch")
+
+let linear_fit xs ys =
+  check_paired "linear_fit" xs ys;
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0. and sxy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. (ys.(i) -. my))
+  done;
+  if !sxx = 0. then invalid_arg "Stats.linear_fit: degenerate abscissae";
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+let correlation xs ys =
+  check_paired "correlation" xs ys;
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stats.correlation: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy);
+    sxy := !sxy +. (dx *. dy)
+  done;
+  if !sxx = 0. || !syy = 0. then invalid_arg "Stats.correlation: zero variance";
+  !sxy /. sqrt (!sxx *. !syy)

@@ -1,0 +1,40 @@
+(** Summary statistics over float samples. *)
+
+(** [mean xs] is the sample mean. Raises [Invalid_argument] on empty
+    input. *)
+val mean : float array -> float
+
+(** [variance xs] is the unbiased (n-1) sample variance; [0.] for a
+    single observation. Raises [Invalid_argument] on empty input. *)
+val variance : float array -> float
+
+(** [std xs] is [sqrt (variance xs)]. *)
+val std : float array -> float
+
+(** [standard_error xs] is [std xs / sqrt n]. *)
+val standard_error : float array -> float
+
+(** [quantile xs q] is the [q]-th quantile ([0 <= q <= 1]) with linear
+    interpolation between order statistics. Raises [Invalid_argument]
+    on empty input or out-of-range [q]. *)
+val quantile : float array -> float -> float
+
+(** [median xs] is [quantile xs 0.5]. *)
+val median : float array -> float
+
+(** [min_max xs] is [(min, max)]. Raises [Invalid_argument] on empty
+    input. *)
+val min_max : float array -> float * float
+
+(** [mean_ci95 xs] is [(mean, halfwidth)] of the normal-approximation
+    95% confidence interval for the mean. *)
+val mean_ci95 : float array -> float * float
+
+(** [linear_fit xs ys] is [(slope, intercept)] of the least-squares
+    line through the points. Raises [Invalid_argument] if fewer than
+    two points or degenerate abscissae. Used by the experiments to
+    extract growth exponents from [(β, log t_mix)] series. *)
+val linear_fit : float array -> float array -> float * float
+
+(** [correlation xs ys] is the Pearson correlation coefficient. *)
+val correlation : float array -> float array -> float

@@ -1,0 +1,44 @@
+(* Shared test helpers. *)
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g (tol %.1e)" msg expected actual tol
+
+let check_true msg cond = Alcotest.(check bool) msg true cond
+let check_false msg cond = Alcotest.(check bool) msg false cond
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+let check_array ?(tol = 1e-9) msg expected actual =
+  check_int (msg ^ ": length") (Array.length expected) (Array.length actual);
+  Array.iteri
+    (fun i x -> check_float ~tol (Printf.sprintf "%s[%d]" msg i) x actual.(i))
+    expected
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* A deterministic RNG per test. *)
+let rng ?(seed = 42) () = Prob.Rng.create seed
+
+(* Random small reversible chain: a random-weight Gibbs-like chain via a
+   random potential on a small cube. *)
+let random_potential_game ?(players = 3) ?(strategies = 2) seed =
+  let r = Prob.Rng.create seed in
+  Games.Zoo.random_potential r ~players ~strategies
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to h - n do
+      if (not !found) && String.sub haystack i n = needle then found := true
+    done;
+    !found
+  end

@@ -1,0 +1,132 @@
+open Helpers
+open Experiments
+
+(* ----- Table ----- *)
+
+let table_render () =
+  let t = Table.create ~title:"demo" [ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  Table.add_note t "a note";
+  let s = Table.render t in
+  check_true "title" (String.length s > 0);
+  check_true "contains header"
+    (String.length s >= 2 && String.sub s 0 2 = "==");
+  check_true "contains note" (contains_substring s "a note")
+
+let table_validation () =
+  let t = Table.create ~title:"demo" [ ("a", Table.Left) ] in
+  check_raises_invalid "wrong arity" (fun () -> Table.add_row t [ "x"; "y" ]);
+  check_raises_invalid "no columns" (fun () -> ignore (Table.create ~title:"t" []))
+
+let table_cells () =
+  check_true "int" (Table.cell_int 42 = "42");
+  check_true "bool" (Table.cell_bool true = "yes");
+  check_true "opt none" (Table.cell_opt_int None = ">max");
+  check_true "opt some" (Table.cell_opt_int (Some 7) = "7");
+  check_true "sci" (String.length (Table.cell_sci 12345.6) > 0)
+
+(* ----- Registry ----- *)
+
+let registry_complete () =
+  check_int "nine experiments" 9 (List.length Registry.all);
+  List.iteri
+    (fun i e ->
+      check_true "id matches position"
+        (e.Registry.id = Printf.sprintf "e%d" (i + 1)))
+    Registry.all
+
+let registry_find () =
+  check_true "find e3" ((Registry.find "E3").Registry.id = "e3");
+  match Registry.find "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+(* Run the cheap experiments end-to-end in quick mode and sanity-check
+   their headline numbers. *)
+
+let e1_confirms_thm31 () =
+  let tables = (Registry.find "e1").Registry.run ~quick:true in
+  check_int "one table" 1 (List.length tables);
+  let rendered = Table.render (List.hd tables) in
+  check_true "mentions matching-pennies"
+    (contains_substring rendered "matching-pennies");
+  (* Every line flags agreement with the theorem: potential games end
+     in "yes", the non-potential baselines in "no". *)
+  let data_lines =
+    List.filter
+      (fun l -> contains_substring l "  yes  " || contains_substring l " no")
+      (String.split_on_char '\n' rendered)
+  in
+  check_true "has data rows" (List.length data_lines > 0)
+
+let e4_runs () =
+  let tables = (Registry.find "e4").Registry.run ~quick:true in
+  check_int "one table" 1 (List.length tables)
+
+let e6_runs () =
+  let tables = (Registry.find "e6").Registry.run ~quick:true in
+  check_int "three tables" 3 (List.length tables)
+
+let suites =
+  [
+    ( "experiments.table",
+      [
+        test "render" table_render;
+        test "validation" table_validation;
+        test "cells" table_cells;
+      ] );
+    ( "experiments.registry",
+      [
+        test "complete" registry_complete;
+        test "find" registry_find;
+        test "e1 runs & confirms Thm 3.1" e1_confirms_thm31;
+        test "e4 runs" e4_runs;
+        test "e6 runs" e6_runs;
+      ] );
+  ]
+
+(* Quick-mode smoke runs of every remaining experiment: each must
+   produce at least one non-empty table without raising. *)
+let smoke id expected_tables () =
+  let tables = (Registry.find id).Registry.run ~quick:true in
+  check_int (id ^ " table count") expected_tables (List.length tables);
+  List.iter
+    (fun t ->
+      let rendered = Table.render t in
+      check_true (id ^ " non-empty") (String.length rendered > 80))
+    tables
+
+let thm_shape_e3 () =
+  (* E3's quick table must show log t_mix increasing with beta. *)
+  let tables = (Registry.find "e3").Registry.run ~quick:true in
+  let rendered = Table.render (List.hd tables) in
+  check_true "has fitted slope note" (contains_substring rendered "fitted")
+
+let thm_shape_e6_plateau () =
+  (* E6a quick: t_mix at beta=8 should appear and the note mention
+     saturation. *)
+  let tables = (Registry.find "e6").Registry.run ~quick:true in
+  let rendered = Table.render (List.hd tables) in
+  check_true "mentions saturate" (contains_substring rendered "saturate")
+
+let suites =
+  suites
+  @ [
+      ( "experiments.smoke",
+        [
+          test "e2" (smoke "e2" 1);
+          test "e3" (smoke "e3" 1);
+          test "e5" (smoke "e5" 1);
+          test "e7" (smoke "e7" 1);
+          test "e8" (smoke "e8" 2);
+          test "e9" (smoke "e9" 3);
+          test "x1" (smoke "x1" 1);
+          test "x2" (smoke "x2" 1);
+          test "x3" (smoke "x3" 1);
+          test "x4" (smoke "x4" 1);
+          test "x5" (smoke "x5" 2);
+          test "e3 shape" thm_shape_e3;
+          test "e6 plateau note" thm_shape_e6_plateau;
+        ] );
+    ]

@@ -1,0 +1,484 @@
+open Helpers
+open Games
+
+(* ----- Best response dynamics ----- *)
+
+let br_converges_on_potential_games () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.5) in
+  let r = rng () in
+  for start = 0 to 3 do
+    match Logit.Best_response.run_until_nash r game ~start ~max_steps:1_000 with
+    | Some (profile, _) -> check_true "lands on a PNE" (Game.is_pure_nash game profile)
+    | None -> Alcotest.fail "BR dynamics must converge on a potential game"
+  done
+
+let br_never_settles_on_pennies () =
+  let r = rng () in
+  check_true "pennies never absorb"
+    (Logit.Best_response.run_until_nash r Zoo.matching_pennies ~start:0
+       ~max_steps:2_000
+    = None)
+
+let br_absorption_split () =
+  (* Pure coordination from a symmetric start splits between equilibria. *)
+  let game = Zoo.pure_coordination ~players:2 ~strategies:2 in
+  let r = rng () in
+  let hist =
+    Logit.Best_response.absorption_histogram r game ~start:1 ~replicas:400
+      ~max_steps:1_000
+  in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 hist in
+  check_int "no censoring" 400 total;
+  List.iter
+    (fun (profile, _) ->
+      check_true "absorbed at PNE" (Game.is_pure_nash game profile))
+    hist;
+  check_true "both equilibria reached" (List.length hist >= 2)
+
+let br_chain_fixes_nash () =
+  let game = Dominant.prisoners_dilemma () in
+  let chain = Logit.Best_response.chain game in
+  (* The dominant profile is absorbing. *)
+  check_float "absorbing" 1. (Markov.Chain.prob chain 0 0)
+
+(* ----- Parallel logit ----- *)
+
+let parallel_rows_stochastic () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.8) in
+  List.iter
+    (fun beta ->
+      Strategy_space.iter (Game.space game) (fun idx ->
+          let row = Logit.Parallel_logit.transition_row game ~beta idx in
+          let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. row in
+          check_float ~tol:1e-12 "row mass" 1. total))
+    [ 0.0; 1.5 ]
+
+let parallel_factorises () =
+  (* P(x,y) must be the product of the per-player update probabilities. *)
+  let game = Zoo.battle_of_sexes in
+  let beta = 1.1 in
+  let chain = Logit.Parallel_logit.chain game ~beta in
+  let space = Game.space game in
+  let s0 = Logit.Logit_dynamics.update_distribution game ~beta ~player:0 0 in
+  let s1 = Logit.Logit_dynamics.update_distribution game ~beta ~player:1 0 in
+  Strategy_space.iter space (fun target ->
+      let a = Strategy_space.player_strategy space target 0 in
+      let b = Strategy_space.player_strategy space target 1 in
+      check_float ~tol:1e-12 "product form" (s0.(a) *. s1.(b))
+        (Markov.Chain.prob chain 0 target))
+
+let parallel_beta_zero_matches_gibbs () =
+  (* At beta = 0 both dynamics have the uniform stationary law. *)
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.8) in
+  let phi = Option.get (Potential.recover game) in
+  check_float ~tol:1e-9 "no gap at beta 0" 0.
+    (Logit.Parallel_logit.gibbs_gap game phi ~beta:0.)
+
+let parallel_gap_grows () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.8) in
+  let phi = Option.get (Potential.recover game) in
+  let g1 = Logit.Parallel_logit.gibbs_gap game phi ~beta:0.5 in
+  let g2 = Logit.Parallel_logit.gibbs_gap game phi ~beta:2.0 in
+  check_true "gap positive" (g1 > 1e-6);
+  check_true "gap grows" (g2 > g1)
+
+let parallel_step_law () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.8) in
+  let beta = 0.9 in
+  let chain = Logit.Parallel_logit.chain game ~beta in
+  let r = rng () in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let next = Logit.Parallel_logit.step r game ~beta 2 in
+    counts.(next) <- counts.(next) + 1
+  done;
+  Array.iteri
+    (fun j c ->
+      check_float ~tol:0.012 "one-step law"
+        (Markov.Chain.prob chain 2 j)
+        (float_of_int c /. float_of_int n))
+    counts
+
+(* ----- Annealing ----- *)
+
+let annealing_schedules () =
+  let open Logit.Annealing in
+  check_float "constant" 2. (beta_at (Constant 2.) 100);
+  check_float "linear" 5. (beta_at (Linear { start = 1.; rate = 0.04 }) 100);
+  check_float ~tol:1e-9 "exponential" (0.5 *. (1.01 ** 10.))
+    (beta_at (Exponential { start = 0.5; factor = 1.01 }) 10);
+  check_float ~tol:1e-12 "log" (log 101. /. 2.)
+    (beta_at (Logarithmic { scale = 2. }) 100);
+  check_raises_invalid "negative time" (fun () ->
+      ignore (beta_at (Constant 1.) (-1)));
+  check_raises_invalid "bad factor" (fun () ->
+      ignore (beta_at (Exponential { start = 1.; factor = 0.5 }) 1))
+
+let annealing_trajectory_runs () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.5) in
+  let r = rng () in
+  let traj =
+    Logit.Annealing.trajectory r game
+      (Logit.Annealing.Linear { start = 0.; rate = 0.01 })
+      ~start:3 ~steps:200
+  in
+  check_int "length" 201 (Array.length traj);
+  check_int "start" 3 traj.(0)
+
+let annealing_finds_minimum () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:2. ~delta1:0.5) in
+  let phi = Option.get (Potential.recover game) in
+  let r = rng () in
+  match
+    Logit.Annealing.hitting_minimum r game phi
+      (Logit.Annealing.Logarithmic { scale = 1. })
+      ~start:3 ~max_steps:50_000
+  with
+  | Some t -> check_true "hits minimum" (t < 50_000)
+  | None -> Alcotest.fail "annealing should reach the potential minimum"
+
+let annealing_cold_beats_hot_on_quality () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:2. ~delta1:0.5) in
+  let phi = Option.get (Potential.recover game) in
+  let r = rng () in
+  let quality schedule =
+    Logit.Annealing.final_potential r game phi schedule ~start:3 ~steps:300
+      ~replicas:200
+  in
+  let hot = quality (Logit.Annealing.Constant 0.05) in
+  let annealed = quality (Logit.Annealing.Linear { start = 0.; rate = 0.02 }) in
+  check_true "annealing reaches lower potential" (annealed < hot)
+
+(* ----- Solvable ----- *)
+
+let solvable_pd () =
+  let game = Dominant.prisoners_dilemma () in
+  check_true "PD solvable" (Solvable.is_dominance_solvable game);
+  check_true "solution = defect/defect" (Solvable.solution game = Some 0)
+
+let solvable_iterated_game () =
+  let game = Zoo.iterated_dominance_game in
+  check_true "no dominant profile" (Game.dominant_profile game = None);
+  check_true "solvable" (Solvable.is_dominance_solvable game);
+  check_true "solution (0,0)" (Solvable.solution game = Some 0);
+  (* The solution must be a PNE. *)
+  check_true "solution is PNE"
+    (Game.is_pure_nash game (Option.get (Solvable.solution game)))
+
+let solvable_needs_iterations () =
+  let game = Zoo.iterated_dominance_game in
+  let space = Game.space game in
+  let full =
+    Array.init 2 (fun i -> List.init (Strategy_space.num_strategies space i) Fun.id)
+  in
+  let once, changed = Solvable.eliminate_once game full in
+  check_true "first round eliminates" changed;
+  (* After one round, the game is not yet solved. *)
+  check_true "not yet solved"
+    (Array.exists (fun l -> List.length l > 1) once)
+
+let solvable_rejects_coordination () =
+  check_false "coordination unsolvable"
+    (Solvable.is_dominance_solvable
+       (Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:1.)));
+  check_false "pennies unsolvable"
+    (Solvable.is_dominance_solvable Zoo.matching_pennies)
+
+let solvable_beauty_contest () =
+  let game = Zoo.beauty_contest ~players:2 ~levels:3 in
+  check_true "beauty contest solvable" (Solvable.is_dominance_solvable game);
+  check_true "all play 0" (Solvable.solution game = Some 0)
+
+let second_price_auction_truthful () =
+  let game =
+    Solvable.second_price_auction ~bidders:2 ~valuations:[| 2.; 1. |]
+      ~bids:[| 0.; 1.; 2.; 3. |]
+  in
+  (* Bidding one's valuation is weakly dominant: check it is a best
+     response in every profile. *)
+  let space = Game.space game in
+  Strategy_space.iter space (fun idx ->
+      check_true "truthful is BR for bidder 0"
+        (List.mem 2 (Game.best_responses game 0 idx));
+      check_true "truthful is BR for bidder 1"
+        (List.mem 1 (Game.best_responses game 1 idx)))
+
+(* ----- Comparison (path families from the proofs) ----- *)
+
+let bit_fixing_paths_valid () =
+  let game = Zoo.pure_coordination ~players:3 ~strategies:2 in
+  let chain = Logit.Logit_dynamics.chain game ~beta:1.0 in
+  let fam =
+    Logit.Comparison.bit_fixing_family (Game.space game) ~order:[| 2; 0; 1 |]
+  in
+  check_true "family valid" (Markov.Paths.validate chain fam = None)
+
+let lemma54_holds () =
+  List.iter
+    (fun graph ->
+      let _, order = Graphs.Cutwidth.exact_with_ordering graph in
+      let desc =
+        Graphical.create graph (Coordination.of_deltas ~delta0:0.5 ~delta1:0.5)
+      in
+      List.iter
+        (fun beta ->
+          let rho, bound = Logit.Comparison.lemma54_congestion desc ~beta ~order in
+          check_true "Lemma 5.4" (rho <= bound +. 1e-9))
+        [ 0.3; 1.0 ])
+    [ Graphs.Generators.ring 5; Graphs.Generators.path 5; Graphs.Generators.star 5 ]
+
+let lemma33_chain_of_inequalities () =
+  List.iter
+    (fun game ->
+      let phi = Option.get (Potential.recover game) in
+      List.iter
+        (fun beta ->
+          let _, _, implied, closed =
+            Logit.Comparison.lemma33_comparison game phi ~beta
+          in
+          let chain = Logit.Logit_dynamics.chain game ~beta in
+          let pi = Logit.Gibbs.stationary (Game.space game) phi ~beta in
+          let trel = Markov.Spectral.relaxation_time chain pi in
+          check_true "trel <= alpha*gamma*trel0" (trel <= implied +. 1e-6);
+          check_true "implied <= closed form" (implied <= closed +. 1e-6))
+        [ 0.5; 1.5 ])
+    [
+      Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.6);
+      Zoo.pure_coordination ~players:3 ~strategies:2;
+    ]
+
+let admissible_family_valid () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.6) in
+  let phi = Option.get (Potential.recover game) in
+  let fam = Logit.Comparison.admissible_detour_family game phi in
+  (* Paths exist and run along chain edges for all unilateral pairs. *)
+  let chain = Logit.Logit_dynamics.chain game ~beta:1.0 in
+  let space = Game.space game in
+  Strategy_space.iter space (fun x ->
+      List.iter
+        (fun y ->
+          let path = fam x y in
+          check_true "non-empty" (path <> []);
+          List.iter
+            (fun (u, v) ->
+              check_true "chain edge" (Markov.Chain.prob chain u v > 0.))
+            path)
+        (Strategy_space.neighbors space x))
+
+(* ----- Autocorrelation ----- *)
+
+let autocorr_basics () =
+  let xs = Array.init 100 (fun i -> float_of_int (i mod 2)) in
+  check_float ~tol:1e-9 "lag 0" 1. (Prob.Autocorr.autocorrelation xs 0);
+  check_true "alternating negative lag1" (Prob.Autocorr.autocorrelation xs 1 < 0.);
+  check_raises_invalid "constant series" (fun () ->
+      ignore (Prob.Autocorr.autocorrelation (Array.make 10 1.) 1))
+
+let autocorr_iid_tau_one () =
+  let r = rng () in
+  let xs = Array.init 20_000 (fun _ -> Prob.Rng.float r) in
+  check_float ~tol:0.1 "iid tau ~ 1" 1. (Prob.Autocorr.integrated_time xs);
+  check_true "ess near n"
+    (Prob.Autocorr.effective_sample_size xs > 15_000.)
+
+let autocorr_slow_chain_large_tau () =
+  (* An AR(1)-like sticky logit observable has tau >> 1. *)
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:1.) in
+  let r = rng () in
+  let traj = Logit.Logit_dynamics.trajectory r game ~beta:2.5 ~start:0 ~steps:20_000 in
+  let obs = Array.map (fun idx -> float_of_int (idx land 1)) traj in
+  check_true "sticky tau >> 1" (Prob.Autocorr.integrated_time obs > 5.)
+
+let acf_shape () =
+  let r = rng () in
+  let xs = Array.init 5_000 (fun _ -> Prob.Rng.float r) in
+  let acf = Prob.Autocorr.acf xs ~max_lag:5 in
+  check_int "length" 6 (Array.length acf);
+  check_float ~tol:1e-9 "acf(0)" 1. acf.(0)
+
+(* ----- Registry extensions ----- *)
+
+let registry_extensions () =
+  check_int "ten extensions" 10 (List.length Experiments.Registry.extensions);
+  check_true "find x3" ((Experiments.Registry.find "X3").Experiments.Registry.id = "x3")
+
+let suites =
+  [
+    ( "logit.best_response",
+      [
+        test "converges on potential games" br_converges_on_potential_games;
+        test "pennies never settle" br_never_settles_on_pennies;
+        test "absorption split" br_absorption_split;
+        test "chain absorbs at PNE" br_chain_fixes_nash;
+      ] );
+    ( "logit.parallel",
+      [
+        test "rows stochastic" parallel_rows_stochastic;
+        test "product form" parallel_factorises;
+        test "beta 0 matches gibbs" parallel_beta_zero_matches_gibbs;
+        test "gibbs gap grows" parallel_gap_grows;
+        test "step law" parallel_step_law;
+      ] );
+    ( "logit.annealing",
+      [
+        test "schedules" annealing_schedules;
+        test "trajectory" annealing_trajectory_runs;
+        test "finds minimum" annealing_finds_minimum;
+        test "annealed beats hot" annealing_cold_beats_hot_on_quality;
+      ] );
+    ( "games.solvable",
+      [
+        test "prisoner's dilemma" solvable_pd;
+        test "iterated-dominance game" solvable_iterated_game;
+        test "needs several rounds" solvable_needs_iterations;
+        test "rejects coordination & pennies" solvable_rejects_coordination;
+        test "beauty contest" solvable_beauty_contest;
+        test "second-price auction truthful" second_price_auction_truthful;
+      ] );
+    ( "logit.comparison",
+      [
+        test "bit-fixing paths valid" bit_fixing_paths_valid;
+        test "Lemma 5.4 holds" lemma54_holds;
+        test "Lemma 3.3 inequality chain" lemma33_chain_of_inequalities;
+        test "admissible detours valid" admissible_family_valid;
+      ] );
+    ( "prob.autocorr",
+      [
+        test "basics" autocorr_basics;
+        test "iid tau" autocorr_iid_tau_one;
+        test "sticky chain tau" autocorr_slow_chain_large_tau;
+        test "acf shape" acf_shape;
+      ] );
+    ("experiments.extensions", [ test "registry" registry_extensions ]);
+  ]
+
+(* ----- Cut games (appended) ----- *)
+
+let cut_game_basics () =
+  let cut = Cut_game.create (Graphs.Generators.ring 4) in
+  let space = Cut_game.space cut in
+  check_int "max cut even ring" 4 (Cut_game.max_cut cut);
+  let alternating = Strategy_space.encode space [| 0; 1; 0; 1 |] in
+  check_int "alternating cut" 4 (Cut_game.cut_size cut alternating);
+  check_int "monochromatic cut" 0 (Cut_game.cut_size cut 0);
+  check_float "potential" (-4.) (Cut_game.potential cut alternating);
+  check_raises_invalid "bad weight" (fun () ->
+      ignore (Cut_game.create ~weight:0. (Graphs.Generators.ring 4)))
+
+let cut_game_is_potential () =
+  let cut = Cut_game.create ~weight:0.7 (Graphs.Generators.ring 5) in
+  let game = Cut_game.to_game cut in
+  check_true "exact potential" (Potential.verify game (Cut_game.potential cut))
+
+let cut_game_odd_ring_frustrated () =
+  let even = Cut_game.create (Graphs.Generators.ring 6) in
+  let odd = Cut_game.create (Graphs.Generators.ring 7) in
+  check_int "even max cut" 6 (Cut_game.max_cut even);
+  check_int "odd max cut" 6 (Cut_game.max_cut odd);
+  (* Frustration: even ring has 2 perfect cuts; odd has 2n one-defect
+     ground states. *)
+  check_int "even ground states" 2
+    (List.length
+       (Potential.global_minima (Cut_game.space even) (Cut_game.potential even)));
+  check_int "odd ground states" 14
+    (List.length
+       (Potential.global_minima (Cut_game.space odd) (Cut_game.potential odd)));
+  (* Barrier collapses to 0 on the odd ring. *)
+  check_float "even zeta" 2.
+    (Logit.Barrier.zeta (Cut_game.space even) (Cut_game.potential even));
+  check_float "odd zeta" 0.
+    (Logit.Barrier.zeta (Cut_game.space odd) (Cut_game.potential odd))
+
+let cut_game_ground_states_are_nash () =
+  let cut = Cut_game.create (Graphs.Generators.ring 6) in
+  let game = Cut_game.to_game cut in
+  List.iter
+    (fun idx -> check_true "max cut is PNE" (Game.is_pure_nash game idx))
+    (Potential.global_minima (Cut_game.space cut) (Cut_game.potential cut))
+
+(* ----- QRE (appended) ----- *)
+
+let qre_matching_pennies_uniform () =
+  List.iter
+    (fun beta ->
+      match Logit.Qre.fixed_point Zoo.matching_pennies ~beta with
+      | None -> Alcotest.fail "QRE of pennies must converge"
+      | Some sigma ->
+          Array.iter
+            (fun s -> Array.iter (fun p -> check_float ~tol:1e-9 "uniform" 0.5 p) s)
+            sigma)
+    [ 0.0; 1.0; 4.0 ]
+
+let qre_beta_zero_uniform () =
+  let game = Zoo.rock_paper_scissors in
+  match Logit.Qre.fixed_point game ~beta:0. with
+  | None -> Alcotest.fail "beta 0 converges"
+  | Some sigma ->
+      Array.iter
+        (fun s ->
+          Array.iter (fun p -> check_float ~tol:1e-12 "uniform" (1. /. 3.) p) s)
+        sigma
+
+let qre_is_fixed_point () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:0.5) in
+  match Logit.Qre.fixed_point game ~beta:1.3 with
+  | None -> Alcotest.fail "should converge"
+  | Some sigma ->
+      check_true "residual ~ 0" (Logit.Qre.residual game ~beta:1.3 sigma < 1e-10)
+
+let qre_expected_utility_formula () =
+  (* PD: E[u_0(defect)] vs a 50/50 opponent = (P + T)/2 = 3. *)
+  let game = Dominant.prisoners_dilemma () in
+  let sigma = Logit.Qre.uniform game in
+  check_float ~tol:1e-12 "expected utility" 3.
+    (Logit.Qre.expected_utility game sigma ~player:0 ~strategy:0)
+
+let qre_product_distribution_sums () =
+  let game = Zoo.battle_of_sexes in
+  let sigma = Logit.Qre.uniform game in
+  let d = Logit.Qre.product_distribution game sigma in
+  check_float ~tol:1e-12 "sums to one" 1. (Array.fold_left ( +. ) 0. d);
+  check_float ~tol:1e-12 "uniform product" 0.25 d.(0)
+
+let qre_gap_zero_at_beta_zero () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:1.) in
+  match Logit.Qre.stationary_gap game ~beta:0. with
+  | Some (_, tv) -> check_float ~tol:1e-9 "no gap at beta 0" 0. tv
+  | None -> Alcotest.fail "should converge"
+
+let qre_gap_positive_for_coordination () =
+  let game = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:1.) in
+  match Logit.Qre.stationary_gap game ~beta:2. with
+  | Some (_, tv) -> check_true "correlated Gibbs vs product" (tv > 0.1)
+  | None -> Alcotest.fail "should converge"
+
+let x7_x8_smoke () =
+  List.iter
+    (fun id ->
+      let tables = (Experiments.Registry.find id).Experiments.Registry.run ~quick:true in
+      check_true (id ^ " non-empty") (tables <> []))
+    [ "x7"; "x8" ]
+
+let suites =
+  suites
+  @ [
+      ( "games.cut_game",
+        [
+          test "basics" cut_game_basics;
+          test "exact potential" cut_game_is_potential;
+          test "odd-ring frustration" cut_game_odd_ring_frustrated;
+          test "ground states are PNE" cut_game_ground_states_are_nash;
+        ] );
+      ( "logit.qre",
+        [
+          test "pennies uniform" qre_matching_pennies_uniform;
+          test "beta 0 uniform" qre_beta_zero_uniform;
+          test "fixed point residual" qre_is_fixed_point;
+          test "expected utility" qre_expected_utility_formula;
+          test "product distribution" qre_product_distribution_sums;
+          test "gap zero at beta 0" qre_gap_zero_at_beta_zero;
+          test "gap positive for coordination" qre_gap_positive_for_coordination;
+          test "x7/x8 smoke" x7_x8_smoke;
+        ] );
+    ]

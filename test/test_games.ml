@@ -1,0 +1,407 @@
+open Helpers
+open Games
+
+(* ----- Strategy_space ----- *)
+
+let space_encode_decode () =
+  let s = Strategy_space.create [| 2; 3; 2 |] in
+  check_int "size" 12 (Strategy_space.size s);
+  check_int "players" 3 (Strategy_space.num_players s);
+  check_int "max strategies" 3 (Strategy_space.max_strategies s);
+  Strategy_space.iter s (fun idx ->
+      let p = Strategy_space.decode s idx in
+      check_int "roundtrip" idx (Strategy_space.encode s p));
+  check_raises_invalid "bad profile" (fun () ->
+      ignore (Strategy_space.encode s [| 0; 3; 0 |]))
+
+let space_replace () =
+  let s = Strategy_space.create [| 2; 3 |] in
+  let idx = Strategy_space.encode s [| 1; 2 |] in
+  let idx' = Strategy_space.replace s idx 1 0 in
+  check_true "replace" (Strategy_space.decode s idx' = [| 1; 0 |]);
+  check_int "replace same" idx (Strategy_space.replace s idx 0 1);
+  check_int "player strategy" 2 (Strategy_space.player_strategy s idx 1)
+
+let space_neighbors () =
+  let s = Strategy_space.uniform ~players:3 ~strategies:2 in
+  let nbrs = Strategy_space.neighbors s 0 in
+  check_int "cube degree" 3 (List.length nbrs);
+  List.iter
+    (fun j -> check_int "distance 1" 1 (Strategy_space.hamming_distance s 0 j))
+    nbrs;
+  let s2 = Strategy_space.create [| 3; 2 |] in
+  check_int "mixed degree" 3 (List.length (Strategy_space.neighbors s2 0))
+
+let space_weight () =
+  let s = Strategy_space.uniform ~players:4 ~strategies:2 in
+  check_int "weight 0" 0 (Strategy_space.weight s 0);
+  check_int "weight full" 4
+    (Strategy_space.weight s (Strategy_space.encode s [| 1; 1; 1; 1 |]));
+  check_int "weight mid" 2
+    (Strategy_space.weight s (Strategy_space.encode s [| 1; 0; 1; 0 |]))
+
+let space_iter_profiles () =
+  let s = Strategy_space.create [| 2; 3 |] in
+  let seen = ref [] in
+  Strategy_space.iter_profiles s (fun idx p ->
+      seen := (idx, Array.copy p) :: !seen);
+  check_int "count" 6 (List.length !seen);
+  List.iter
+    (fun (idx, p) -> check_int "profile matches" idx (Strategy_space.encode s p))
+    !seen
+
+let space_invalid () =
+  check_raises_invalid "empty" (fun () -> ignore (Strategy_space.create [||]));
+  check_raises_invalid "zero strategies" (fun () ->
+      ignore (Strategy_space.create [| 2; 0 |]))
+
+(* ----- Game ----- *)
+
+let pd = Dominant.prisoners_dilemma ()
+
+let game_best_responses () =
+  (* In the PD, defect (0) is the unique best response everywhere. *)
+  let space = Game.space pd in
+  Strategy_space.iter space (fun idx ->
+      check_true "defect is BR" (Game.best_responses pd 0 idx = [ 0 ]);
+      check_true "defect is BR (p2)" (Game.best_responses pd 1 idx = [ 0 ]))
+
+let game_nash () =
+  check_true "PD nash = (0,0)" (Game.pure_nash_profiles pd = [ 0 ]);
+  let mp = Zoo.matching_pennies in
+  check_true "matching pennies has no PNE" (Game.pure_nash_profiles mp = []);
+  let coordination = Coordination.to_game (Coordination.of_deltas ~delta0:1. ~delta1:1.) in
+  check_int "coordination has 2 PNE" 2
+    (List.length (Game.pure_nash_profiles coordination))
+
+let game_dominant () =
+  check_true "PD: 0 dominant" (Game.is_dominant_strategy pd 0 0);
+  check_false "PD: 1 not dominant" (Game.is_dominant_strategy pd 0 1);
+  check_true "PD dominant profile" (Game.dominant_profile pd = Some 0);
+  check_true "pennies: no dominant profile"
+    (Game.dominant_profile Zoo.matching_pennies = None);
+  let lb = Dominant.lower_bound_game ~players:3 ~strategies:3 in
+  check_true "thm 4.3 game dominant profile" (Game.dominant_profile lb = Some 0)
+
+let game_welfare_tabulate () =
+  check_float "welfare" 2. (Game.social_welfare pd 0);
+  let t = Game.tabulate pd in
+  Strategy_space.iter (Game.space pd) (fun idx ->
+      check_float "tabulated equal" (Game.utility pd 0 idx) (Game.utility t 0 idx))
+
+(* ----- Potential ----- *)
+
+let potential_recover_coordination () =
+  let basic = Coordination.of_deltas ~delta0:1.0 ~delta1:0.5 in
+  let game = Coordination.to_game basic in
+  match Potential.recover game with
+  | None -> Alcotest.fail "coordination game must be potential"
+  | Some phi ->
+      check_true "verifies" (Potential.verify game phi);
+      (* Differences must match the canonical potential (up to constant). *)
+      let space = Game.space game in
+      let p00 = Strategy_space.encode space [| 0; 0 |] in
+      let p11 = Strategy_space.encode space [| 1; 1 |] in
+      let p01 = Strategy_space.encode space [| 0; 1 |] in
+      check_float ~tol:1e-12 "phi(01)-phi(00) = delta0" 1. (phi p01 -. phi p00);
+      check_float ~tol:1e-12 "phi(11)-phi(01) = -delta1" (-0.5) (phi p11 -. phi p01)
+
+let potential_rejects_pennies () =
+  check_false "matching pennies is not potential"
+    (Potential.is_potential_game Zoo.matching_pennies);
+  check_false "RPS is not potential" (Potential.is_potential_game Zoo.rock_paper_scissors)
+
+let potential_common_interest () =
+  let space = Strategy_space.uniform ~players:3 ~strategies:2 in
+  let phi idx = float_of_int (idx mod 3) in
+  let game = Potential.common_interest ~name:"ci" space phi in
+  check_true "phi is exact potential" (Potential.verify game phi);
+  match Potential.recover game with
+  | None -> Alcotest.fail "common interest must be potential"
+  | Some phi' ->
+      (* Recovered potential differs from phi by a constant. *)
+      let diff = phi' 0 -. phi 0 in
+      Strategy_space.iter space (fun idx ->
+          check_float ~tol:1e-9 "constant shift" diff (phi' idx -. phi idx))
+
+let potential_extrema () =
+  let space = Strategy_space.uniform ~players:2 ~strategies:2 in
+  let phi = function 0 -> -2. | 3 -> 1. | _ -> 0. in
+  let vmin, imin, vmax, imax = Potential.extrema space phi in
+  check_float "min" (-2.) vmin;
+  check_int "argmin" 0 imin;
+  check_float "max" 1. vmax;
+  check_int "argmax" 3 imax;
+  check_float "delta global" 3. (Potential.delta_global space phi);
+  (* local: edges of the square; max |diff| over Hamming edges. *)
+  check_float "delta local" 2. (Potential.delta_local space phi);
+  check_true "minima" (Potential.global_minima space phi = [ 0 ])
+
+let potential_random_games_recoverable =
+  QCheck.Test.make ~name:"random potential games recover & verify" ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let game, phi = random_potential_game ~players:3 ~strategies:2 seed in
+      match Potential.recover game with
+      | None -> false
+      | Some phi' ->
+          let space = Game.space game in
+          let shift = phi' 0 -. phi 0 in
+          let ok = ref true in
+          Strategy_space.iter space (fun idx ->
+              if Float.abs (phi' idx -. phi idx -. shift) > 1e-9 then ok := false);
+          !ok)
+
+let potential_random_nonpotential =
+  QCheck.Test.make ~name:"random generic games are not potential" ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Prob.Rng.create (seed + 17) in
+      let game = Zoo.random_game r ~players:2 ~strategies:2 in
+      (* With probability one a random 2x2x2 payoff tensor has no exact
+         potential. *)
+      not (Potential.is_potential_game game))
+
+(* ----- Coordination ----- *)
+
+let coordination_basics () =
+  let t = Coordination.create ~a:3. ~b:2. ~c:1. ~d:0. in
+  check_float "delta0" 3. (Coordination.delta0 t);
+  check_float "delta1" 1. (Coordination.delta1 t);
+  check_true "risk dominance"
+    (Coordination.risk_dominance t = Coordination.Zero_dominant);
+  check_true "no risk dominant"
+    (Coordination.risk_dominance (Coordination.of_deltas ~delta0:1. ~delta1:1.)
+    = Coordination.No_risk_dominant);
+  check_float "payoff" 1. (Coordination.payoff t 0 1);
+  check_float "edge potential 00" (-3.) (Coordination.edge_potential t 0 0);
+  check_float "edge potential 01" 0. (Coordination.edge_potential t 0 1);
+  check_raises_invalid "not coordination" (fun () ->
+      ignore (Coordination.create ~a:0. ~b:1. ~c:0. ~d:1.))
+
+let coordination_game_is_potential () =
+  let game = Coordination.to_game (Coordination.create ~a:3. ~b:2. ~c:1. ~d:0.) in
+  check_true "potential" (Potential.is_potential_game game);
+  check_int "2 PNE" 2 (List.length (Game.pure_nash_profiles game))
+
+(* ----- Graphical ----- *)
+
+let graphical_potential_is_exact () =
+  let desc =
+    Graphical.create (Graphs.Generators.ring 4)
+      (Coordination.of_deltas ~delta0:1.0 ~delta1:0.7)
+  in
+  let game = Graphical.to_game desc in
+  check_true "graphical potential verifies"
+    (Potential.verify game (Graphical.potential desc))
+
+let graphical_consensus_nash () =
+  let desc =
+    Graphical.create (Graphs.Generators.ring 5)
+      (Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+  in
+  let game = Graphical.to_game desc in
+  check_true "all-zero is PNE" (Game.is_pure_nash game (Graphical.all_zero desc));
+  check_true "all-one is PNE" (Game.is_pure_nash game (Graphical.all_one desc))
+
+let graphical_clique_closed_form () =
+  let n = 5 and delta0 = 1.3 and delta1 = 0.9 in
+  let desc =
+    Graphical.create (Graphs.Generators.clique n)
+      (Coordination.of_deltas ~delta0 ~delta1)
+  in
+  let space = Graphical.space desc in
+  Strategy_space.iter space (fun idx ->
+      let k = Strategy_space.weight space idx in
+      check_float ~tol:1e-9 "clique potential closed form"
+        (Graphical.clique_potential ~n ~delta0 ~delta1 k)
+        (Graphical.potential desc idx))
+
+let graphical_kstar () =
+  let n = 9 and delta0 = 1.0 and delta1 = 1.0 in
+  let kstar = Graphical.clique_kstar ~n ~delta0 ~delta1 in
+  (* Symmetric deltas: maximum near n/2. *)
+  check_true "kstar near middle" (kstar = 4 || kstar = 5);
+  (* kstar maximises the potential. *)
+  for k = 0 to n do
+    check_true "kstar is argmax"
+      (Graphical.clique_potential ~n ~delta0 ~delta1 k
+      <= Graphical.clique_potential ~n ~delta0 ~delta1 kstar +. 1e-12)
+  done
+
+let graphical_ising () =
+  let desc = Graphical.ising ~delta:2.0 (Graphs.Generators.ring 4) in
+  check_float "ising symmetric deltas" (Coordination.delta0 (Graphical.basic desc))
+    (Coordination.delta1 (Graphical.basic desc))
+
+(* ----- Dominant ----- *)
+
+let dominant_lower_bound_game () =
+  let g = Dominant.lower_bound_game ~players:3 ~strategies:2 in
+  check_float "origin payoff" 0. (Game.utility g 0 0);
+  check_float "elsewhere" (-1.) (Game.utility g 1 5);
+  check_true "potential" (Potential.is_potential_game g);
+  check_true "0 dominant for all" (Game.dominant_profile g = Some 0)
+
+let dominant_public_goods () =
+  let g = Dominant.n_player_dilemma ~players:4 in
+  check_true "free-riding dominant" (Game.is_dominant_strategy g 0 0);
+  check_true "dominant profile at 0" (Game.dominant_profile g = Some 0);
+  (* The dilemma: full cooperation has higher welfare than the equilibrium. *)
+  let space = Game.space g in
+  let full = Strategy_space.encode space [| 1; 1; 1; 1 |] in
+  check_true "dilemma" (Game.social_welfare g full > Game.social_welfare g 0)
+
+(* ----- Curve_game ----- *)
+
+let curve_shape () =
+  let c = Curve_game.create ~players:10 ~global:3. ~local:1. in
+  check_int "shell" 3 (Curve_game.shell c);
+  check_float "phi(0)" (-3.) (Curve_game.potential_of_weight c 0);
+  check_float "phi(shell)" 0. (Curve_game.potential_of_weight c 3);
+  check_float "phi(2 shell)" (-3.) (Curve_game.potential_of_weight c 6);
+  check_float "phi(n)" (-3.) (Curve_game.potential_of_weight c 10);
+  (* Paper's delta constraints. *)
+  let game = Curve_game.to_game c in
+  let space = Curve_game.space c in
+  check_float "global variation" 3.
+    (Potential.delta_global space (Curve_game.potential c));
+  check_float "local variation" 1.
+    (Potential.delta_local space (Curve_game.potential c));
+  check_true "is potential game" (Potential.verify game (Curve_game.potential c))
+
+let curve_invalid () =
+  check_raises_invalid "local too small" (fun () ->
+      ignore (Curve_game.create ~players:4 ~global:3. ~local:1.));
+  check_raises_invalid "non-integer shell" (fun () ->
+      ignore (Curve_game.create ~players:10 ~global:3. ~local:2.))
+
+(* ----- Congestion ----- *)
+
+let congestion_potential () =
+  let c = Congestion.linear_routing ~players:3 ~links:2 in
+  let game = Congestion.to_game c in
+  check_true "rosenthal is exact potential"
+    (Potential.verify game (Congestion.rosenthal c));
+  check_true "recoverable" (Potential.is_potential_game game)
+
+let congestion_loads () =
+  let c = Congestion.linear_routing ~players:3 ~links:2 in
+  let space = Game.space (Congestion.to_game c) in
+  let idx = Strategy_space.encode space [| 0; 0; 1 |] in
+  check_int "load link0" 2 (Congestion.load c idx 0);
+  check_int "load link1" 1 (Congestion.load c idx 1);
+  (* Cost of a player on link0 under load 2 is 2 -> utility -2. *)
+  check_float "utility" (-2.) (Game.utility (Congestion.to_game c) 0 idx)
+
+let congestion_nash_balanced () =
+  let c = Congestion.linear_routing ~players:4 ~links:2 in
+  let game = Congestion.to_game c in
+  let space = Game.space game in
+  List.iter
+    (fun idx ->
+      let l0 = Congestion.load c idx 0 in
+      let balanced = abs (l0 - 2) = 0 in
+      check_true "PNE iff balanced" (Game.is_pure_nash game idx = balanced))
+    (List.init (Strategy_space.size space) Fun.id)
+
+let congestion_invalid () =
+  check_raises_invalid "empty bundle" (fun () ->
+      ignore (Congestion.create ~resources:2 ~delay:(fun _ k -> float_of_int k)
+                ~bundles:[| [ [] ] |]));
+  check_raises_invalid "bad resource" (fun () ->
+      ignore (Congestion.create ~resources:2 ~delay:(fun _ k -> float_of_int k)
+                ~bundles:[| [ [ 5 ] ] |]))
+
+(* ----- Normal form / Zoo ----- *)
+
+let normal_form_payoffs () =
+  let g = Normal_form.bimatrix ~name:"test"
+      [| [| 1.; 2. |]; [| 3.; 4. |] |]
+      [| [| 5.; 6. |]; [| 7.; 8. |] |]
+  in
+  let space = Game.space g in
+  let idx = Strategy_space.encode space [| 1; 0 |] in
+  check_float "row payoff" 3. (Game.utility g 0 idx);
+  check_float "col payoff" 7. (Game.utility g 1 idx);
+  check_raises_invalid "dims" (fun () ->
+      ignore (Normal_form.bimatrix ~name:"x" [| [| 1. |] |] [| [| 1.; 2. |] |]))
+
+let zoo_zero_sum () =
+  let g = Zoo.matching_pennies in
+  let space = Game.space g in
+  Strategy_space.iter space (fun idx ->
+      check_float "zero sum" 0. (Game.social_welfare g idx))
+
+let zoo_pure_coordination () =
+  let g = Zoo.pure_coordination ~players:3 ~strategies:3 in
+  (* PNE: the 3 consensus profiles plus the 3! all-distinct profiles
+     (no unilateral deviation can create consensus there). *)
+  check_int "9 weak PNE" 9 (List.length (Game.pure_nash_profiles g));
+  let consensus = [ 0; 13; 26 ] in
+  List.iter
+    (fun idx -> check_true "consensus is PNE" (Game.is_pure_nash g idx))
+    consensus;
+  check_true "potential" (Potential.is_potential_game g)
+
+let suites =
+  [
+    ( "games.space",
+      [
+        test "encode/decode roundtrip" space_encode_decode;
+        test "replace" space_replace;
+        test "neighbors" space_neighbors;
+        test "weight" space_weight;
+        test "iter_profiles" space_iter_profiles;
+        test "invalid input" space_invalid;
+      ] );
+    ( "games.game",
+      [
+        test "best responses" game_best_responses;
+        test "pure nash" game_nash;
+        test "dominant strategies" game_dominant;
+        test "welfare & tabulate" game_welfare_tabulate;
+      ] );
+    ( "games.potential",
+      [
+        test "recover coordination" potential_recover_coordination;
+        test "rejects matching pennies" potential_rejects_pennies;
+        test "common interest" potential_common_interest;
+        test "extrema & variations" potential_extrema;
+        qcheck potential_random_games_recoverable;
+        qcheck potential_random_nonpotential;
+      ] );
+    ( "games.coordination",
+      [
+        test "basics" coordination_basics;
+        test "to_game potential" coordination_game_is_potential;
+      ] );
+    ( "games.graphical",
+      [
+        test "edge-sum potential is exact" graphical_potential_is_exact;
+        test "consensus profiles are PNE" graphical_consensus_nash;
+        test "clique closed form" graphical_clique_closed_form;
+        test "kstar" graphical_kstar;
+        test "ising" graphical_ising;
+      ] );
+    ( "games.dominant",
+      [
+        test "thm 4.3 game" dominant_lower_bound_game;
+        test "public goods" dominant_public_goods;
+      ] );
+    ( "games.curve",
+      [ test "thm 3.5 shape" curve_shape; test "invalid parameters" curve_invalid ] );
+    ( "games.congestion",
+      [
+        test "rosenthal potential" congestion_potential;
+        test "loads & costs" congestion_loads;
+        test "nash = balanced" congestion_nash_balanced;
+        test "invalid input" congestion_invalid;
+      ] );
+    ( "games.normal_form",
+      [
+        test "bimatrix payoffs" normal_form_payoffs;
+        test "zero sum" zoo_zero_sum;
+        test "pure coordination" zoo_pure_coordination;
+      ] );
+  ]

@@ -1,0 +1,167 @@
+open Helpers
+open Graphs
+
+(* ----- Graph ----- *)
+
+let graph_basic () =
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2); (1, 0) ] in
+  check_int "vertices" 4 (Graph.num_vertices g);
+  check_int "edges deduped" 2 (Graph.num_edges g);
+  check_true "has edge" (Graph.has_edge g 0 1);
+  check_true "symmetric" (Graph.has_edge g 1 0);
+  check_false "no edge" (Graph.has_edge g 0 3);
+  check_int "degree" 2 (Graph.degree g 1);
+  check_int "max degree" 2 (Graph.max_degree g);
+  check_true "neighbors sorted" (Graph.neighbors g 1 = [ 0; 2 ])
+
+let graph_add_edge () =
+  let g = Graph.create 3 in
+  let g = Graph.add_edge g 0 2 in
+  check_true "added" (Graph.has_edge g 0 2);
+  check_int "idempotent" 1 (Graph.num_edges (Graph.add_edge g 0 2));
+  check_raises_invalid "self-loop" (fun () -> ignore (Graph.add_edge g 1 1));
+  check_raises_invalid "range" (fun () -> ignore (Graph.add_edge g 0 5))
+
+let graph_edges_fold () =
+  let g = Graph.of_edges 3 [ (2, 0); (1, 2) ] in
+  check_true "edges sorted" (Graph.edges g = [ (0, 2); (1, 2) ]);
+  check_int "fold count" 2 (Graph.fold_edges (fun acc _ _ -> acc + 1) 0 g);
+  check_true "equal" (Graph.equal g (Graph.of_edges 3 [ (1, 2); (0, 2) ]));
+  check_false "not equal" (Graph.equal g (Graph.create 3))
+
+(* ----- Generators ----- *)
+
+let generators_counts () =
+  check_int "clique edges" 10 (Graph.num_edges (Generators.clique 5));
+  check_int "path edges" 4 (Graph.num_edges (Generators.path 5));
+  check_int "ring edges" 5 (Graph.num_edges (Generators.ring 5));
+  check_int "star edges" 4 (Graph.num_edges (Generators.star 5));
+  check_int "grid 2x3 edges" 7 (Graph.num_edges (Generators.grid 2 3));
+  check_int "torus 3x3 edges" 18 (Graph.num_edges (Generators.torus 3 3));
+  check_int "K23 edges" 6 (Graph.num_edges (Generators.complete_bipartite 2 3));
+  check_int "tree edges" 6 (Graph.num_edges (Generators.binary_tree 7));
+  check_raises_invalid "tiny ring" (fun () -> ignore (Generators.ring 2))
+
+let generators_regular () =
+  let r = rng () in
+  let g = Generators.random_regular r 10 3 in
+  for v = 0 to 9 do
+    check_int (Printf.sprintf "degree %d" v) 3 (Graph.degree g v)
+  done;
+  check_raises_invalid "odd product" (fun () ->
+      ignore (Generators.random_regular r 5 3))
+
+let generators_er () =
+  let r = rng () in
+  let g0 = Generators.erdos_renyi r 10 0. in
+  check_int "p=0" 0 (Graph.num_edges g0);
+  let g1 = Generators.erdos_renyi r 10 1. in
+  check_int "p=1" 45 (Graph.num_edges g1)
+
+(* ----- Props ----- *)
+
+let props_connectivity () =
+  check_true "ring connected" (Props.is_connected (Generators.ring 6));
+  check_false "empty disconnected" (Props.is_connected (Generators.empty 3));
+  let comps = Props.connected_components (Graph.of_edges 5 [ (0, 1); (3, 4) ]) in
+  check_int "3 components" 3 (List.length comps);
+  check_true "component content" (List.mem [ 3; 4 ] comps)
+
+let props_distances () =
+  let g = Generators.path 5 in
+  check_array ~tol:0. "bfs"
+    [| 0.; 1.; 2.; 3.; 4. |]
+    (Array.map float_of_int (Props.bfs_distances g 0));
+  check_int "path diameter" 4 (Props.diameter g);
+  check_int "ring diameter" 3 (Props.diameter (Generators.ring 6));
+  check_int "clique diameter" 1 (Props.diameter (Generators.clique 4));
+  check_raises_invalid "disconnected diameter" (fun () ->
+      ignore (Props.diameter (Generators.empty 2)))
+
+let props_bipartite_triangles () =
+  check_true "ring6 bipartite" (Props.is_bipartite (Generators.ring 6));
+  check_false "ring5 not bipartite" (Props.is_bipartite (Generators.ring 5));
+  check_true "tree bipartite" (Props.is_bipartite (Generators.binary_tree 7));
+  check_int "K4 triangles" 4 (Props.triangle_count (Generators.clique 4));
+  check_int "K5 triangles" 10 (Props.triangle_count (Generators.clique 5));
+  check_int "ring triangles" 0 (Props.triangle_count (Generators.ring 6));
+  check_int "triangle of C3" 1 (Props.triangle_count (Generators.ring 3))
+
+let props_degree_histogram () =
+  let h = Props.degree_histogram (Generators.star 5) in
+  check_int "leaves" 4 h.(1);
+  check_int "hub" 1 h.(4)
+
+(* ----- Cutwidth ----- *)
+
+let cutwidth_known () =
+  check_int "path" 1 (Cutwidth.exact (Generators.path 6));
+  check_int "ring" 2 (Cutwidth.exact (Generators.ring 6));
+  check_int "empty" 0 (Cutwidth.exact (Generators.empty 4));
+  (* Clique K_n has cutwidth floor(n^2/4). *)
+  check_int "K4" 4 (Cutwidth.exact (Generators.clique 4));
+  check_int "K5" 6 (Cutwidth.exact (Generators.clique 5));
+  check_int "K6" 9 (Cutwidth.exact (Generators.clique 6));
+  (* Star K_{1,n-1} has cutwidth ceil((n-1)/2). *)
+  check_int "star5" 2 (Cutwidth.exact (Generators.star 5));
+  check_int "star6" 3 (Cutwidth.exact (Generators.star 6))
+
+let cutwidth_ordering () =
+  let g = Generators.path 4 in
+  check_int "natural order" 1 (Cutwidth.of_ordering g [| 0; 1; 2; 3 |]);
+  check_int "bad order" 3 (Cutwidth.of_ordering g [| 0; 2; 1; 3 |]);
+  check_raises_invalid "not a permutation" (fun () ->
+      ignore (Cutwidth.of_ordering g [| 0; 0; 1; 2 |]))
+
+let cutwidth_optimal_ordering_consistent () =
+  let g = Generators.grid 2 3 in
+  let width, order = Cutwidth.exact_with_ordering g in
+  check_int "ordering realises value" width (Cutwidth.of_ordering g order)
+
+let cutwidth_heuristic_upper_bound =
+  QCheck.Test.make ~name:"heuristic >= exact cutwidth on random graphs" ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Prob.Rng.create seed in
+      let n = 4 + Prob.Rng.int r 5 in
+      let g = Generators.erdos_renyi r n 0.4 in
+      let exact = Cutwidth.exact g in
+      let heuristic = Cutwidth.heuristic ~restarts:10 ~seed g in
+      heuristic >= exact)
+
+let cutwidth_heuristic_often_tight () =
+  (* On small structured graphs the local search should find the optimum. *)
+  List.iter
+    (fun g -> check_int "heuristic tight" (Cutwidth.exact g) (Cutwidth.heuristic g))
+    [ Generators.path 7; Generators.ring 7; Generators.clique 6 ]
+
+let suites =
+  [
+    ( "graphs.graph",
+      [
+        test "basics" graph_basic;
+        test "add_edge" graph_add_edge;
+        test "edges & fold" graph_edges_fold;
+      ] );
+    ( "graphs.generators",
+      [
+        test "edge counts" generators_counts;
+        test "random regular" generators_regular;
+        test "erdos-renyi extremes" generators_er;
+      ] );
+    ( "graphs.props",
+      [
+        test "connectivity" props_connectivity;
+        test "distances & diameter" props_distances;
+        test "bipartite & triangles" props_bipartite_triangles;
+        test "degree histogram" props_degree_histogram;
+      ] );
+    ( "graphs.cutwidth",
+      [
+        test "known values" cutwidth_known;
+        test "of_ordering" cutwidth_ordering;
+        test "optimal ordering consistent" cutwidth_optimal_ordering_consistent;
+        test "heuristic tight on structured graphs" cutwidth_heuristic_often_tight;
+        qcheck cutwidth_heuristic_upper_bound;
+      ] );
+  ]

@@ -1,0 +1,145 @@
+open Helpers
+open Markov
+
+(* ----- Hitting ----- *)
+
+let two_state p q =
+  Chain.of_rows [| [| (0, 1. -. p); (1, p) |]; [| (0, q); (1, 1. -. q) |] |]
+
+let hitting_two_state () =
+  (* From 0, hitting {1} is geometric with success prob p: mean 1/p. *)
+  let c = two_state 0.25 0.1 in
+  check_float ~tol:1e-9 "mean hit" 4. (Hitting.expected_time c ~start:0 ~target:(fun i -> i = 1));
+  check_float "on target" 0. (Hitting.expected_time c ~start:1 ~target:(fun i -> i = 1));
+  check_float ~tol:1e-9 "worst" 10.
+    (Hitting.worst_expected_time c ~target:(fun i -> i = 0));
+  check_raises_invalid "empty target" (fun () ->
+      ignore (Hitting.expected_times c ~target:(fun _ -> false)))
+
+let hitting_random_walk () =
+  (* Symmetric walk on {0,1,2,3} with reflecting ends; E_0[hit 3] for the
+     lazy-at-ends chain below: classic gambler's values computed by the
+     solver must satisfy the recurrence h(i) = 1 + avg of neighbours. *)
+  let bd =
+    Birth_death.create ~up:[| 0.5; 0.5; 0.5; 0. |] ~down:[| 0.; 0.5; 0.5; 0.5 |]
+  in
+  let c = Birth_death.to_chain bd in
+  let h = Hitting.expected_times c ~target:(fun i -> i = 3) in
+  check_float ~tol:1e-9 "h(2)" (1. +. (0.5 *. h.(1))) h.(2);
+  check_float ~tol:1e-9 "h(0)" (1. +. (0.5 *. h.(0)) +. (0.5 *. h.(1))) h.(0);
+  check_float "h(3)" 0. h.(3)
+
+let hitting_probabilities () =
+  (* Gambler's ruin on {0..4}, absorbing at both ends: probability of
+     reaching 4 before 0 from i is i/4. *)
+  let rows =
+    Array.init 5 (fun i ->
+        if i = 0 || i = 4 then [| (i, 1.) |]
+        else [| (i - 1, 0.5); (i + 1, 0.5) |])
+  in
+  let c = Chain.of_rows rows in
+  let p = Hitting.probabilities c ~target:(fun i -> i = 4) ~avoid:(fun i -> i = 0) in
+  check_array ~tol:1e-9 "ruin probabilities" [| 0.; 0.25; 0.5; 0.75; 1. |] p
+
+let hitting_simulated_close () =
+  let c = two_state 0.25 0.1 in
+  let r = rng () in
+  let est =
+    Hitting.simulated r c ~start:0 ~target:(fun i -> i = 1) ~replicas:20_000
+      ~max_steps:10_000
+  in
+  check_float ~tol:0.15 "simulated mean" 4. est
+
+let hitting_matches_simulation_logit () =
+  (* Exact vs simulated on a logit chain. *)
+  let game = Games.Coordination.to_game (Games.Coordination.of_deltas ~delta0:1. ~delta1:0.6) in
+  let chain = Logit.Logit_dynamics.chain game ~beta:1.2 in
+  let exact = Hitting.expected_time chain ~start:3 ~target:(fun i -> i = 0) in
+  let r = rng () in
+  let sim =
+    Hitting.simulated r chain ~start:3 ~target:(fun i -> i = 0) ~replicas:20_000
+      ~max_steps:100_000
+  in
+  check_float ~tol:(0.05 *. exact) "logit hitting" exact sim
+
+(* ----- Paths ----- *)
+
+let line_chain =
+  (* 0 - 1 - 2 lazy walk. *)
+  Chain.of_rows
+    [|
+      [| (0, 0.5); (1, 0.5) |];
+      [| (0, 0.25); (1, 0.5); (2, 0.25) |];
+      [| (1, 0.5); (2, 0.5) |];
+    |]
+
+let line_pi = [| 0.25; 0.5; 0.25 |]
+
+let line_family x y =
+  (* monotone path through the line *)
+  let rec build u acc = if u = y then List.rev acc
+    else
+      let v = if y > u then u + 1 else u - 1 in
+      build v ((u, v) :: acc)
+  in
+  build x []
+
+let paths_validate () =
+  check_true "valid family" (Paths.validate line_chain line_family = None);
+  let broken x y = if x = 0 && y = 2 then [ (0, 2) ] else line_family x y in
+  check_true "broken detected" (Paths.validate line_chain broken = Some (0, 2))
+
+let paths_congestion_bounds_relaxation () =
+  let rho = Paths.congestion line_chain line_pi line_family in
+  let trel = Spectral.relaxation_time line_chain line_pi in
+  check_true "Thm 2.6: trel <= rho" (trel <= rho +. 1e-9);
+  check_float "relaxation_upper_bound is rho" rho
+    (Paths.relaxation_upper_bound ~congestion:rho)
+
+let paths_congestion_thm26_random =
+  QCheck.Test.make ~name:"Thm 2.6 on random logit chains (bit-fixing paths)"
+    ~count:10
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let game, phi = random_potential_game ~players:3 ~strategies:2 seed in
+      let beta = 1.0 in
+      let chain = Logit.Logit_dynamics.chain game ~beta in
+      let pi = Logit.Gibbs.stationary (Games.Game.space game) phi ~beta in
+      let fam =
+        Logit.Comparison.bit_fixing_family (Games.Game.space game)
+          ~order:[| 0; 1; 2 |]
+      in
+      let rho = Paths.congestion chain pi fam in
+      Spectral.relaxation_time chain pi <= rho +. 1e-9)
+
+let paths_comparison_identity () =
+  (* Comparing a chain against itself with single-edge paths gives
+     alpha >= max path length = 1 edge... more simply: bound must be
+     valid: trel <= alpha*gamma*trel. *)
+  let fam x y = [ (x, y) ] in
+  (* this family is only valid on edges of the reference = the chain itself *)
+  let alpha, gamma =
+    Paths.comparison_congestion line_chain line_pi
+      ~reference:(line_chain, line_pi) fam
+  in
+  check_float ~tol:1e-9 "alpha = 1 (each edge carries itself)" 1. alpha;
+  check_float ~tol:1e-9 "gamma = 1" 1. gamma
+
+let suites =
+  [
+    ( "markov.hitting",
+      [
+        test "two-state closed form" hitting_two_state;
+        test "random-walk recurrence" hitting_random_walk;
+        test "gambler's ruin probabilities" hitting_probabilities;
+        test "simulated close to exact" hitting_simulated_close;
+        test "logit exact vs simulated" hitting_matches_simulation_logit;
+      ] );
+    ( "markov.paths",
+      [
+        test "validate" paths_validate;
+        test "congestion bounds relaxation" paths_congestion_bounds_relaxation;
+        test "comparison identity" paths_comparison_identity;
+        qcheck paths_congestion_thm26_random;
+      ] );
+  ]

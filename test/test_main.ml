@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "logitdyn"
+    (Test_linalg.suites @ Test_prob.suites @ Test_graphs.suites
+   @ Test_games.suites @ Test_markov.suites @ Test_logit.suites
+   @ Test_hitting_paths.suites @ Test_extensions.suites
+   @ Test_numerics_ext.suites @ Test_polymatrix.suites
+   @ Test_experiments.suites)

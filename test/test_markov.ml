@@ -1,0 +1,419 @@
+open Helpers
+open Markov
+
+(* A two-state chain with transition probs p (0->1) and q (1->0):
+   closed forms pi = (q, p)/(p+q), lambda_2 = 1 - p - q. *)
+let two_state p q =
+  Chain.of_rows [| [| (0, 1. -. p); (1, p) |]; [| (0, q); (1, 1. -. q) |] |]
+
+let two_state_pi p q = [| q /. (p +. q); p /. (p +. q) |]
+
+(* Random reversible chain built as a logit chain of a random potential
+   game (the natural source of reversible chains in this library). *)
+let random_reversible seed =
+  let game, phi = random_potential_game ~players:3 ~strategies:2 seed in
+  let beta = 1.0 in
+  let chain = Logit.Logit_dynamics.chain game ~beta in
+  let pi = Logit.Gibbs.stationary (Games.Game.space game) phi ~beta in
+  (chain, pi)
+
+(* ----- Chain ----- *)
+
+let chain_validation () =
+  check_raises_invalid "row sum" (fun () ->
+      ignore (Chain.of_rows [| [| (0, 0.5) |] |]));
+  check_raises_invalid "negative" (fun () ->
+      ignore (Chain.of_rows [| [| (0, 1.5); (0, -0.5) |] |]));
+  check_raises_invalid "out of range" (fun () ->
+      ignore (Chain.of_rows [| [| (3, 1.0) |] |]));
+  (* duplicates collapse *)
+  let c = Chain.of_rows [| [| (0, 0.5); (0, 0.5) |] |] in
+  check_float "dup sum" 1. (Chain.prob c 0 0)
+
+let chain_evolve_apply () =
+  let c = two_state 0.3 0.2 in
+  let mu = Chain.evolve c [| 1.; 0. |] in
+  check_array ~tol:1e-12 "evolve" [| 0.7; 0.3 |] mu;
+  let f = Chain.apply c [| 0.; 1. |] in
+  check_array ~tol:1e-12 "apply" [| 0.3; 0.8 |] f;
+  let dense = Chain.to_dense c in
+  check_float "dense" 0.3 (Linalg.Mat.get dense 0 1);
+  let c2 = Chain.of_dense dense in
+  check_float "roundtrip" 0.3 (Chain.prob c2 0 1)
+
+let chain_structure () =
+  let c = two_state 0.3 0.2 in
+  check_true "irreducible" (Chain.is_irreducible c);
+  check_true "aperiodic" (Chain.is_aperiodic c);
+  (* A deterministic 2-cycle is periodic and irreducible. *)
+  let cycle = Chain.of_rows [| [| (1, 1.) |]; [| (0, 1.) |] |] in
+  check_true "cycle irreducible" (Chain.is_irreducible cycle);
+  check_false "cycle periodic" (Chain.is_aperiodic cycle);
+  let lazy_cycle = Chain.lazy_version cycle in
+  check_true "lazy aperiodic" (Chain.is_aperiodic lazy_cycle);
+  let absorbing = Chain.of_rows [| [| (0, 1.) |]; [| (0, 1.) |] |] in
+  check_false "absorbing not irreducible" (Chain.is_irreducible absorbing)
+
+let chain_reversibility () =
+  let c = two_state 0.3 0.2 in
+  check_true "2-state reversible" (Chain.is_reversible c (two_state_pi 0.3 0.2));
+  (* 3-cycle with asymmetric rates is not reversible. *)
+  let rot =
+    Chain.of_rows
+      [|
+        [| (0, 0.1); (1, 0.9) |];
+        [| (1, 0.1); (2, 0.9) |];
+        [| (2, 0.1); (0, 0.9) |];
+      |]
+  in
+  let pi = Stationary.by_solve rot in
+  check_false "cycle not reversible" (Chain.is_reversible rot pi);
+  let c2 = two_state 0.3 0.2 in
+  let pi2 = two_state_pi 0.3 0.2 in
+  check_float ~tol:1e-12 "edge measure" (pi2.(0) *. 0.3)
+    (Chain.edge_measure c2 pi2 0 1)
+
+let chain_simulate () =
+  let c = two_state 0.5 0.5 in
+  let r = rng () in
+  let traj = Chain.simulate r c ~start:0 ~steps:100 in
+  check_int "length" 101 (Array.length traj);
+  check_int "start" 0 traj.(0);
+  let hit = Chain.hitting_time r c ~start:0 ~target:(fun s -> s = 1) ~max_steps:1000 in
+  check_true "hit eventually" (hit <> None);
+  check_true "hit at 0"
+    (Chain.hitting_time r c ~start:0 ~target:(fun s -> s = 0) ~max_steps:10 = Some 0)
+
+let chain_sample_frequencies () =
+  let c = two_state 0.3 0.2 in
+  let r = rng () in
+  let ones = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Chain.sample_step r c 0 = 1 then incr ones
+  done;
+  check_float ~tol:0.01 "sample freq" 0.3 (float_of_int !ones /. float_of_int n)
+
+(* ----- Stationary ----- *)
+
+let stationary_two_state () =
+  let c = two_state 0.3 0.2 in
+  let expected = two_state_pi 0.3 0.2 in
+  check_array ~tol:1e-10 "power" expected (Stationary.by_power c);
+  check_array ~tol:1e-10 "solve" expected (Stationary.by_solve c);
+  check_true "is stationary" (Stationary.is_stationary c expected);
+  check_false "uniform is not" (Stationary.is_stationary c [| 0.5; 0.5 |])
+
+let stationary_solve_matches_power =
+  QCheck.Test.make ~name:"by_solve = by_power on random reversible chains"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, _ = random_reversible seed in
+      let a = Stationary.by_solve chain in
+      let b = Stationary.by_power chain in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-8) a b)
+
+let stationary_gibbs_is_stationary =
+  QCheck.Test.make ~name:"Gibbs measure is stationary for logit chains" ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      Stationary.residual chain pi < 1e-10)
+
+(* ----- Mixing ----- *)
+
+let mixing_two_state_exact () =
+  (* d(t) = (1-p-q)^t * max(pi0, pi1); with p=q=0.25, lambda=0.5,
+     d(t) = 0.5^(t+1). t_mix = min t with 0.5^(t+1) <= 1/4 -> t = 1. *)
+  let c = two_state 0.25 0.25 in
+  let pi = [| 0.5; 0.5 |] in
+  check_true "tmix" (Mixing.mixing_time_all c pi = Some 1);
+  let curve = Mixing.tv_curve c pi ~starts:[ 0; 1 ] ~steps:4 in
+  check_array ~tol:1e-12 "curve" [| 0.5; 0.25; 0.125; 0.0625; 0.03125 |] curve;
+  check_float ~tol:1e-12 "tv_at" 0.125 (Mixing.tv_at c pi ~start:0 ~steps:2)
+
+let mixing_monotone =
+  QCheck.Test.make ~name:"d(t) is non-increasing" ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      let starts = List.init (Chain.size chain) Fun.id in
+      let curve = Mixing.tv_curve chain pi ~starts ~steps:30 in
+      let ok = ref true in
+      for t = 1 to 30 do
+        if curve.(t) > curve.(t - 1) +. 1e-12 then ok := false
+      done;
+      !ok)
+
+let mixing_spectral_matches_evolution =
+  QCheck.Test.make ~name:"spectral t_mix = evolution t_mix" ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      let starts = List.init (Chain.size chain) Fun.id in
+      Mixing.mixing_time chain pi ~starts
+      = Mixing.mixing_time_spectral chain pi ~starts)
+
+let mixing_empirical_close () =
+  let c = two_state 0.3 0.2 in
+  let pi = two_state_pi 0.3 0.2 in
+  let r = rng () in
+  let tv = Mixing.empirical_tv r c pi ~start:0 ~steps:100 ~replicas:20_000 in
+  check_true "small empirical tv" (tv < 0.02)
+
+let mixing_spectral_bounds () =
+  check_float ~tol:1e-12 "upper" (2. *. log 8.)
+    (Mixing.upper_mixing_time_spectral ~gap:0.5 ~pi_min:0.5 ~eps:0.25);
+  check_float ~tol:1e-12 "lower" (1. *. log 2.)
+    (Mixing.lower_mixing_time_spectral ~gap:0.5 ~eps:0.25)
+
+(* ----- Spectral ----- *)
+
+let spectral_two_state () =
+  let c = two_state 0.3 0.2 in
+  let pi = two_state_pi 0.3 0.2 in
+  let values = Spectral.spectrum c pi in
+  check_array ~tol:1e-10 "spectrum" [| 1.; 0.5 |] values;
+  check_float ~tol:1e-9 "lambda2 power" 0.5 (Spectral.lambda2 c pi);
+  check_float ~tol:1e-9 "relaxation" 2. (Spectral.relaxation_time c pi);
+  check_float ~tol:1e-9 "gap" 0.5 (Spectral.spectral_gap c pi);
+  check_float ~tol:1e-9 "min eigenvalue" 0.5 (Spectral.min_eigenvalue c pi)
+
+let spectral_rejects_nonreversible () =
+  let rot =
+    Chain.of_rows
+      [|
+        [| (0, 0.1); (1, 0.9) |];
+        [| (1, 0.1); (2, 0.9) |];
+        [| (2, 0.1); (0, 0.9) |];
+      |]
+  in
+  let pi = Stationary.by_solve rot in
+  check_raises_invalid "symmetrize non-reversible" (fun () ->
+      ignore (Spectral.symmetrize rot pi))
+
+let spectral_lambda2_matches_jacobi =
+  QCheck.Test.make ~name:"power-iteration lambda2 = jacobi lambda2" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      let full = Spectral.spectrum chain pi in
+      let star = Float.max full.(1) (Float.abs full.(Array.length full - 1)) in
+      Float.abs (Spectral.lambda2 chain pi -. star) < 1e-6)
+
+let spectral_relaxation_brackets_tmix =
+  QCheck.Test.make ~name:"Thm 2.3: t_rel brackets t_mix" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      let trel = Spectral.relaxation_time chain pi in
+      let pi_min = Array.fold_left Float.min infinity pi in
+      match Mixing.mixing_time_all chain pi with
+      | None -> false
+      | Some t ->
+          let t = float_of_int t in
+          let upper = Mixing.upper_mixing_time_spectral ~gap:(1. /. trel) ~pi_min ~eps:0.25 in
+          let lower = Mixing.lower_mixing_time_spectral ~gap:(1. /. trel) ~eps:0.25 in
+          (* mixing_time is the first integer under 1/4, so allow one step slack *)
+          t >= lower -. 1. && t <= upper +. 1.)
+
+(* ----- Bottleneck ----- *)
+
+let bottleneck_two_state () =
+  let c = two_state 0.3 0.2 in
+  let pi = two_state_pi 0.3 0.2 in
+  (* R = {0}: Q(0,1) = pi0 * 0.3, B = 0.3. *)
+  check_float ~tol:1e-12 "ratio" 0.3 (Bottleneck.ratio c pi (fun i -> i = 0));
+  check_float ~tol:1e-12 "lower bound" (0.5 /. (2. *. 0.3))
+    (Bottleneck.lower_bound_tmix 0.3);
+  check_raises_invalid "empty set" (fun () ->
+      ignore (Bottleneck.ratio c pi (fun _ -> false)));
+  check_raises_invalid "too heavy" (fun () ->
+      ignore (Bottleneck.ratio_checked c pi (fun _ -> true)))
+
+let bottleneck_lower_bound_valid =
+  QCheck.Test.make ~name:"Thm 2.7: bottleneck bound <= t_mix" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      match Mixing.mixing_time_all chain pi with
+      | None -> false
+      | Some tmix ->
+          (* Try all sublevel sets of the stationary probability as scores. *)
+          let b, _ = Bottleneck.best_sublevel_set chain pi (fun i -> pi.(i)) in
+          Bottleneck.lower_bound_tmix b <= float_of_int tmix +. 1.)
+
+(* ----- Coupling ----- *)
+
+let coupling_independent_coalesces () =
+  let c = two_state 0.5 0.5 in
+  let step = Coupling.independent_coupling c in
+  let r = rng () in
+  (match Coupling.coalescence_time r step ~x0:0 ~y0:1 ~max_steps:10_000 with
+  | Some t -> check_true "coalesced" (t > 0)
+  | None -> Alcotest.fail "should coalesce");
+  check_int "already together"
+    0
+    (Option.get (Coupling.coalescence_time r step ~x0:1 ~y0:1 ~max_steps:10))
+
+let coupling_stays_together () =
+  let c = two_state 0.3 0.2 in
+  let step = Coupling.independent_coupling c in
+  let r = rng () in
+  check_int "no violations" 0
+    (Coupling.grand_coupling_check r step ~size:2 ~trials:200 ~horizon:50)
+
+let coupling_estimate_bounds_tmix () =
+  (* For the lazy random walk on 2 states the coupling bound must be a
+     valid upper bound on the mixing time. *)
+  let c = two_state 0.25 0.25 in
+  let pi = [| 0.5; 0.5 |] in
+  let step = Coupling.independent_coupling c in
+  let r = rng () in
+  match
+    ( Mixing.mixing_time_all c pi,
+      Coupling.tmix_upper_estimate r step ~x0:0 ~y0:1 ~max_steps:10_000
+        ~replicas:2_000 )
+  with
+  | Some t, Some est -> check_true "estimate >= tmix" (est >= t)
+  | _ -> Alcotest.fail "both should exist"
+
+let coupling_censoring () =
+  (* A coupling that never coalesces from distinct states. *)
+  let stuck _rng (x, y) = (x, y) in
+  let r = rng () in
+  check_true "censored -> None"
+    (Coupling.tmix_upper_estimate r stuck ~x0:0 ~y0:1 ~max_steps:100 ~replicas:50
+    = None)
+
+(* ----- Birth_death ----- *)
+
+let bd_validation () =
+  check_raises_invalid "up at n" (fun () ->
+      ignore (Birth_death.create ~up:[| 0.5; 0.5 |] ~down:[| 0.; 0.5 |]));
+  check_raises_invalid "down at 0" (fun () ->
+      ignore (Birth_death.create ~up:[| 0.5; 0. |] ~down:[| 0.5; 0.5 |]));
+  check_raises_invalid "sum > 1" (fun () ->
+      ignore (Birth_death.create ~up:[| 0.7; 0.7; 0. |] ~down:[| 0.; 0.7; 0.7 |]))
+
+let bd_stationary_closed_form () =
+  (* Symmetric walk: up = down = 1/4 inside; pi should be uniform-ish
+     with halved mass at the endpoints... compute directly instead:
+     detailed balance pi(k+1)/pi(k) = up(k)/down(k+1). *)
+  let up = [| 0.25; 0.25; 0.25; 0. |] in
+  let down = [| 0.; 0.25; 0.25; 0.25 |] in
+  let bd = Birth_death.create ~up ~down in
+  let pi = Birth_death.stationary bd in
+  check_array ~tol:1e-12 "uniform" (Array.make 4 0.25) pi;
+  (* Asymmetric: up twice the down -> pi(k) proportional to 2^k. *)
+  let up2 = [| 0.5; 0.5; 0. |] and down2 = [| 0.; 0.25; 0.25 |] in
+  let bd2 = Birth_death.create ~up:up2 ~down:down2 in
+  let pi2 = Birth_death.stationary bd2 in
+  check_array ~tol:1e-12 "geometric" [| 1. /. 7.; 2. /. 7.; 4. /. 7. |] pi2
+
+let bd_chain_consistent () =
+  let bd = Birth_death.create ~up:[| 0.3; 0.2; 0. |] ~down:[| 0.; 0.1; 0.4 |] in
+  let chain = Birth_death.to_chain bd in
+  check_float "up" 0.3 (Chain.prob chain 0 1);
+  check_float "stay" 0.7 (Chain.prob chain 0 0);
+  check_float "down" 0.4 (Chain.prob chain 2 1);
+  let pi = Birth_death.stationary bd in
+  check_true "stationary on chain" (Stationary.is_stationary chain pi);
+  check_true "reversible" (Chain.is_reversible chain pi)
+
+let bd_mixing_consistent () =
+  let bd = Birth_death.create ~up:[| 0.25; 0.25; 0. |] ~down:[| 0.; 0.25; 0.25 |] in
+  check_true "evolution = spectral"
+    (Birth_death.mixing_time bd = Birth_death.mixing_time_spectral bd);
+  let spectrum = Birth_death.spectrum bd in
+  check_float ~tol:1e-10 "top eigenvalue" 1. spectrum.(0);
+  check_true "relaxation positive" (Birth_death.relaxation_time bd > 0.)
+
+let mixing_squaring_matches_evolution =
+  QCheck.Test.make ~name:"squaring t_mix = evolution t_mix" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      let starts = List.init (Chain.size chain) Fun.id in
+      Mixing.mixing_time chain pi ~starts
+      = Mixing.mixing_time_squaring chain pi ~starts)
+
+let mixing_squaring_extreme_beta () =
+  (* The regime that defeats the eigendecomposition: pi_min ~ 1e-80. *)
+  let bd = Logit.Lumping.clique ~n:128 ~delta0:1.0 ~delta1:1.0 ~beta:0.003 in
+  let chain = Birth_death.to_chain bd in
+  let pi = Birth_death.stationary bd in
+  check_true "pi_min underflows the spectral route"
+    (Array.fold_left Float.min infinity pi < 1e-25);
+  let starts = List.init 129 Fun.id in
+  match
+    ( Mixing.mixing_time_squaring chain pi ~starts,
+      Mixing.mixing_time ~max_steps:100_000 chain pi ~starts )
+  with
+  | Some a, Some b ->
+      (* Squaring renormalisation can move the crossing by a step. *)
+      check_true "agree within 1 step" (abs (a - b) <= 1)
+  | _ -> Alcotest.fail "both methods should terminate"
+
+let mixing_squaring_size_guard () =
+  check_raises_invalid "size guard" (fun () ->
+      let rows = Array.make 800 [| (0, 1.) |] in
+      let rows = Array.mapi (fun i _ -> [| (i, 1.) |]) rows in
+      ignore
+        (Mixing.mixing_time_squaring (Chain.of_rows rows)
+           (Array.make 800 (1. /. 800.))
+           ~starts:[ 0 ]))
+
+let suites =
+  [
+    ( "markov.chain",
+      [
+        test "validation" chain_validation;
+        test "evolve & apply" chain_evolve_apply;
+        test "irreducible & aperiodic" chain_structure;
+        test "reversibility" chain_reversibility;
+        test "simulate & hitting" chain_simulate;
+        test "sample frequencies" chain_sample_frequencies;
+      ] );
+    ( "markov.stationary",
+      [
+        test "two-state closed form" stationary_two_state;
+        qcheck stationary_solve_matches_power;
+        qcheck stationary_gibbs_is_stationary;
+      ] );
+    ( "markov.mixing",
+      [
+        test "two-state exact" mixing_two_state_exact;
+        test "empirical tv" mixing_empirical_close;
+        test "spectral bound formulas" mixing_spectral_bounds;
+        test "squaring at extreme beta" mixing_squaring_extreme_beta;
+        test "squaring size guard" mixing_squaring_size_guard;
+        qcheck mixing_monotone;
+        qcheck mixing_spectral_matches_evolution;
+        qcheck mixing_squaring_matches_evolution;
+      ] );
+    ( "markov.spectral",
+      [
+        test "two-state" spectral_two_state;
+        test "rejects non-reversible" spectral_rejects_nonreversible;
+        qcheck spectral_lambda2_matches_jacobi;
+        qcheck spectral_relaxation_brackets_tmix;
+      ] );
+    ( "markov.bottleneck",
+      [ test "two-state" bottleneck_two_state; qcheck bottleneck_lower_bound_valid ] );
+    ( "markov.coupling",
+      [
+        test "independent coalesces" coupling_independent_coalesces;
+        test "stays together" coupling_stays_together;
+        test "estimate bounds tmix" coupling_estimate_bounds_tmix;
+        test "censoring" coupling_censoring;
+      ] );
+    ( "markov.birth_death",
+      [
+        test "validation" bd_validation;
+        test "stationary closed forms" bd_stationary_closed_form;
+        test "chain consistency" bd_chain_consistent;
+        test "mixing & spectrum" bd_mixing_consistent;
+      ] );
+  ]
