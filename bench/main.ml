@@ -11,6 +11,13 @@
    - deflated power iteration vs full Jacobi for lambda_2,
    - logit transition-row construction and coupling steps.
 
+   Phase 1.5 times the multicore execution layer against the serial
+   kernels it replaces (same inputs, results checked for agreement):
+   chain materialisation, the all-starts TV sweep, mixing_time_all,
+   Monte Carlo empirical TV, and CFTP replicas. --jobs N picks the
+   pool size (default: the machine's recommended domain count, at
+   least 2).
+
    Pass --quick to shrink the experiment sweeps; pass --skip-micro to
    print only the tables. *)
 
@@ -19,6 +26,16 @@ open Toolkit
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+
+let jobs =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  match find 1 with
+  | Some j when j >= 2 -> j
+  | _ -> Int.max 2 (Domain.recommended_domain_count ())
 
 (* --- Phase 2 fixtures ------------------------------------------------ *)
 
@@ -118,6 +135,122 @@ let tests =
            ignore (Markov.Birth_death.decomposition bd)));
   ]
 
+(* --- Phase 1.5: serial vs parallel ablation --------------------------- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let chain_equal a b =
+  Markov.Chain.size a = Markov.Chain.size b
+  && begin
+       let ok = ref true in
+       for i = 0 to Markov.Chain.size a - 1 do
+         if Markov.Chain.row a i <> Markov.Chain.row b i then ok := false
+       done;
+       !ok
+     end
+
+let max_abs_diff a b =
+  let d = ref 0. in
+  Array.iteri (fun i x -> d := Float.max !d (Float.abs (x -. b.(i)))) a;
+  !d
+
+let run_ablation () =
+  let n_ring = if quick then 8 else 10 in
+  let steps = if quick then 50 else 200 in
+  let replicas = if quick then 2_000 else 20_000 in
+  let cftp_count = if quick then 200 else 1_000 in
+  let desc =
+    Games.Graphical.create (Graphs.Generators.ring n_ring)
+      (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+  in
+  let game = Games.Graphical.to_game desc in
+  let size = Games.Game.size game in
+  let pi =
+    Logit.Gibbs.stationary (Games.Game.space game)
+      (Games.Graphical.potential desc)
+      ~beta
+  in
+  let starts = List.init size Fun.id in
+  Exec.Pool.with_pool ~domains:jobs @@ fun pool ->
+  let table =
+    Experiments.Table.create
+      ~title:
+        (Printf.sprintf
+           "exec ablation: serial vs %d domains (ring n=%d, |S|=%d, beta=%g)"
+           jobs n_ring size beta)
+      [
+        ("kernel", Experiments.Table.Left);
+        ("serial s", Experiments.Table.Right);
+        ("parallel s", Experiments.Table.Right);
+        ("speedup", Experiments.Table.Right);
+        ("agree", Experiments.Table.Right);
+      ]
+  in
+  let add name t_serial t_parallel agree =
+    Experiments.Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.3f" t_serial;
+        Printf.sprintf "%.3f" t_parallel;
+        Printf.sprintf "%.2fx" (t_serial /. t_parallel);
+        agree;
+      ]
+  in
+  let chain_s, t_s = time (fun () -> Logit.Logit_dynamics.chain game ~beta) in
+  let chain_p, t_p = time (fun () -> Logit.Logit_dynamics.chain ~pool game ~beta) in
+  add "chain materialise (sparse rows)" t_s t_p
+    (Experiments.Table.cell_bool (chain_equal chain_s chain_p));
+  let curve_s, t_s =
+    time (fun () -> Markov.Mixing.tv_curve chain_s pi ~starts ~steps)
+  in
+  let curve_p, t_p =
+    time (fun () -> Markov.Mixing.tv_curve ~pool chain_s pi ~starts ~steps)
+  in
+  add
+    (Printf.sprintf "tv_curve (all starts, %d steps)" steps)
+    t_s t_p
+    (Printf.sprintf "max|d| %.1e" (max_abs_diff curve_s curve_p));
+  let tmix_s, t_s = time (fun () -> Markov.Mixing.mixing_time_all chain_s pi) in
+  let tmix_p, t_p =
+    time (fun () -> Markov.Mixing.mixing_time_all ~pool chain_s pi)
+  in
+  add "mixing_time_all" t_s t_p (Experiments.Table.cell_bool (tmix_s = tmix_p));
+  let emp_s, t_s =
+    time (fun () ->
+        Markov.Mixing.empirical_tv (Prob.Rng.create 11) chain_s pi ~start:0
+          ~steps:100 ~replicas)
+  in
+  let emp_p, t_p =
+    time (fun () ->
+        Markov.Mixing.empirical_tv ~pool (Prob.Rng.create 11) chain_s pi ~start:0
+          ~steps:100 ~replicas)
+  in
+  add
+    (Printf.sprintf "empirical_tv (%d replicas)" replicas)
+    t_s t_p
+    (Experiments.Table.cell_bool (emp_s = emp_p));
+  let small = Games.Graphical.to_game small_desc in
+  let cftp_s, t_s =
+    time (fun () ->
+        Logit.Perfect_sampling.samples (Prob.Rng.create 12) small ~beta
+          ~count:cftp_count)
+  in
+  let cftp_p, t_p =
+    time (fun () ->
+        Logit.Perfect_sampling.samples ~pool (Prob.Rng.create 12) small ~beta
+          ~count:cftp_count)
+  in
+  add
+    (Printf.sprintf "CFTP samples (%d draws)" cftp_count)
+    t_s t_p
+    (Experiments.Table.cell_bool (cftp_s = cftp_p));
+  Experiments.Table.add_note table
+    "parallel runs reuse one pool; agreement is checked on the actual outputs.";
+  Experiments.Table.print table
+
 let run_micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -163,6 +296,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   Experiments.Registry.run_all ~quick ();
   Printf.printf "\nphase 1 elapsed: %.1fs\n" (Unix.gettimeofday () -. t0);
+  Printf.printf "\nphase 1.5: serial vs parallel ablation (%d domains)\n%!" jobs;
+  run_ablation ();
   if not skip_micro then begin
     Printf.printf "\nphase 2: micro-benchmarks\n%!";
     run_micro ()

@@ -84,6 +84,12 @@ let find_game id =
       Printf.eprintf "unknown game %S; try `logitdyn list`\n" id;
       exit 2
 
+(* [with_jobs jobs f] runs [f] with [Some pool] of [jobs] domains (and
+   guaranteed shutdown), or with [None] for jobs <= 1. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
 let stationary_of game potential ~beta =
   match potential with
   | Some phi -> Logit.Gibbs.stationary (Games.Game.space game) phi ~beta
@@ -122,7 +128,7 @@ let simulate game_id n beta steps seed =
 
 (* --- mixing ----------------------------------------------------------- *)
 
-let mixing game_id n beta eps =
+let mixing game_id n beta eps jobs =
   let spec = find_game game_id in
   let game, potential = spec.build ~n ~beta in
   let size = Games.Game.size game in
@@ -130,7 +136,8 @@ let mixing game_id n beta eps =
     Printf.eprintf "state space too large (%d); reduce n\n" size;
     exit 2
   end;
-  let chain = Logit.Logit_dynamics.chain game ~beta in
+  with_jobs jobs @@ fun pool ->
+  let chain = Logit.Logit_dynamics.chain ?pool game ~beta in
   let pi = stationary_of game potential ~beta in
   let reversible = Markov.Chain.is_reversible ~tol:1e-7 chain pi in
   Printf.printf "game=%s n=%d |S|=%d beta=%g reversible=%b\n"
@@ -139,7 +146,7 @@ let mixing game_id n beta eps =
     if reversible && size <= 2048 then
       Markov.Mixing.mixing_time_spectral ~eps chain pi
         ~starts:(List.init size Fun.id)
-    else Markov.Mixing.mixing_time_all ~eps ~max_steps:5_000_000 chain pi
+    else Markov.Mixing.mixing_time_all ?pool ~eps ~max_steps:5_000_000 chain pi
   in
   (match tmix with
   | Some t -> Printf.printf "t_mix(%g) = %d\n" eps t
@@ -187,7 +194,8 @@ let spectrum game_id n beta count =
 
 (* --- experiment -------------------------------------------------------- *)
 
-let experiment id quick =
+let experiment id quick jobs =
+  Experiments.Sweep.set_jobs jobs;
   if String.lowercase_ascii id = "all" then begin
     Experiments.Registry.run_all ~quick ();
     0
@@ -257,7 +265,7 @@ let cutwidth_cmd_impl kind n =
 
 (* --- hitting -------------------------------------------------------------- *)
 
-let hitting game_id n beta =
+let hitting game_id n beta jobs =
   let spec = find_game game_id in
   let game, potential = spec.build ~n ~beta in
   let size = Games.Game.size game in
@@ -265,7 +273,8 @@ let hitting game_id n beta =
     Printf.eprintf "state space too large (%d) for the dense solve; reduce n\n" size;
     exit 2
   end;
-  let chain = Logit.Logit_dynamics.chain game ~beta in
+  with_jobs jobs @@ fun pool ->
+  let chain = Logit.Logit_dynamics.chain ?pool game ~beta in
   match potential with
   | None ->
       Printf.eprintf "hitting targets are defined via the potential; %S has none\n"
@@ -281,7 +290,7 @@ let hitting game_id n beta =
       Printf.printf "potential minimiser: profile %d (Phi = %g)\n" argmin vmin;
       Printf.printf "worst-case expected hitting time of the minimum: %.4g\n" worst;
       let pi = stationary_of game potential ~beta in
-      (match Markov.Mixing.mixing_time_all ~max_steps:2_000_000 chain pi with
+      (match Markov.Mixing.mixing_time_all ?pool ~max_steps:2_000_000 chain pi with
       | Some t -> Printf.printf "mixing time (same chain):                  %d\n" t
       | None -> Printf.printf "mixing time (same chain):                  >2e6\n");
       0
@@ -397,13 +406,21 @@ let count_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shrink experiment sweeps.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of domains for the parallel kernels (1 = serial). Results \
+           are identical for every value; only the wall-clock changes.")
+
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a logit-dynamics trajectory")
     Term.(const simulate $ game_arg $ n_arg $ beta_arg $ steps_arg $ seed_arg)
 
 let mixing_cmd =
   Cmd.v (Cmd.info "mixing" ~doc:"Compute the exact mixing time")
-    Term.(const mixing $ game_arg $ n_arg $ beta_arg $ eps_arg)
+    Term.(const mixing $ game_arg $ n_arg $ beta_arg $ eps_arg $ jobs_arg)
 
 let spectrum_cmd =
   Cmd.v (Cmd.info "spectrum" ~doc:"Print the spectrum of the logit chain")
@@ -414,7 +431,7 @@ let experiment_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"e1..e9 or all.")
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run a reproduction experiment")
-    Term.(const experiment $ id_arg $ quick_arg)
+    Term.(const experiment $ id_arg $ quick_arg $ jobs_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available games and experiments")
@@ -435,7 +452,7 @@ let cutwidth_cmd =
 let hitting_cmd =
   Cmd.v
     (Cmd.info "hitting" ~doc:"Expected hitting time of the potential minimum")
-    Term.(const hitting $ game_arg $ n_arg $ beta_arg)
+    Term.(const hitting $ game_arg $ n_arg $ beta_arg $ jobs_arg)
 
 let sample_cmd =
   let count_arg =

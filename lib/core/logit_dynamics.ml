@@ -28,8 +28,9 @@ let transition_row game ~beta idx =
   done;
   if !self > 0. then (idx, !self) :: !entries else !entries
 
-let chain game ~beta =
-  Markov.Chain.of_function (Game.size game) (fun idx -> transition_row game ~beta idx)
+let chain ?pool game ~beta =
+  Markov.Chain.of_function ?pool (Game.size game) (fun idx ->
+      transition_row game ~beta idx)
 
 let step rng game ~beta idx =
   let space = Game.space game in

@@ -18,11 +18,12 @@ val update_distribution : Games.Game.t -> beta:float -> player:int -> int -> flo
     deviation, aggregated self-loop mass on the diagonal. *)
 val transition_row : Games.Game.t -> beta:float -> int -> (int * float) list
 
-(** [chain game ~beta] materialises the full logit chain (profile
+(** [chain ?pool game ~beta] materialises the full logit chain (profile
     space indexed as in {!Games.Strategy_space}). Memory is
     Θ(size · n · m); guard with {!Games.Game.size} before calling on
-    big games. *)
-val chain : Games.Game.t -> beta:float -> Markov.Chain.t
+    big games. Row construction is embarrassingly parallel: [?pool]
+    splits it across domains with identical results. *)
+val chain : ?pool:Exec.Pool.t -> Games.Game.t -> beta:float -> Markov.Chain.t
 
 (** [step rng game ~beta idx] performs one logit-dynamics step by
     direct simulation (no chain materialisation). *)

@@ -8,17 +8,31 @@ let transition_row game ~beta idx =
   let space = Game.space game in
   let sigmas = player_updates game ~beta idx in
   let entries = ref [] in
-  (* P(x, y) = prod_i sigma_i(y_i | x): enumerate all profiles. *)
+  (* P(x, y) = prod_i sigma_i(y_i | x): enumerate all profiles,
+     abandoning a profile at the first zero factor so unreachable
+     targets are never consed at all. *)
   Strategy_space.iter_profiles space (fun target profile ->
       let p = ref 1. in
-      Array.iteri (fun i s -> p := !p *. sigmas.(i).(s)) profile;
-      if !p > 0. then entries := (target, !p) :: !entries);
+      match
+        Array.iteri
+          (fun i s ->
+            let q = sigmas.(i).(s) in
+            if q = 0. then raise_notrace Exit;
+            p := !p *. q)
+          profile
+      with
+      | exception Exit -> ()
+      | () ->
+          (* The product can still underflow to zero with every factor
+             positive, so the filter stays. *)
+          if !p > 0. then entries := (target, !p) :: !entries);
   !entries
 
-let chain game ~beta =
+let chain ?pool game ~beta =
   if Game.size game > 4096 then
     invalid_arg "Parallel_logit.chain: state space too large for a dense chain";
-  Markov.Chain.of_function (Game.size game) (fun idx -> transition_row game ~beta idx)
+  Markov.Chain.of_function ?pool (Game.size game) (fun idx ->
+      transition_row game ~beta idx)
 
 let step rng game ~beta idx =
   let space = Game.space game in

@@ -14,9 +14,10 @@
     chain — every profile is reachable in one step. *)
 val transition_row : Games.Game.t -> beta:float -> int -> (int * float) list
 
-(** [chain game ~beta] materialises the parallel chain. Θ(size²)
-    memory: guarded to [size <= 4096]. *)
-val chain : Games.Game.t -> beta:float -> Markov.Chain.t
+(** [chain ?pool game ~beta] materialises the parallel chain. Θ(size²)
+    memory: guarded to [size <= 4096]. [?pool] builds the dense rows
+    across domains. *)
+val chain : ?pool:Exec.Pool.t -> Games.Game.t -> beta:float -> Markov.Chain.t
 
 (** [step rng game ~beta idx] simulates one simultaneous update. *)
 val step : Prob.Rng.t -> Games.Game.t -> beta:float -> int -> int

@@ -86,6 +86,10 @@ let coalescence_epoch ?max_epochs rng game ~beta =
 
 let sample ?max_epochs rng game ~beta = fst (run_cftp ?max_epochs rng game ~beta)
 
-let samples ?max_epochs rng game ~beta ~count =
+let samples ?max_epochs ?pool rng game ~beta ~count =
   if count < 1 then invalid_arg "Perfect_sampling.samples: need count >= 1";
-  Array.init count (fun _ -> sample ?max_epochs rng game ~beta)
+  (* One split stream per sample: sample k is a function of the seed
+     and k only, so the array is reproducible for any pool size. *)
+  let streams = Prob.Rng.split_n rng count in
+  Exec.Pool.init_opt pool ~n:count (fun k ->
+      sample ?max_epochs streams.(k) game ~beta)

@@ -28,10 +28,13 @@ val is_attractive : Games.Game.t -> beta:float -> bool
     doubling; raises [Failure] beyond it. *)
 val sample : ?max_epochs:int -> Prob.Rng.t -> Games.Game.t -> beta:float -> int
 
-(** [samples rng game ~beta ~count] draws independent exact samples. *)
+(** [samples ?pool rng game ~beta ~count] draws independent exact
+    samples, one {!Prob.Rng.split_n} stream per sample; [?pool] runs
+    the CFTP replicas across domains with bit-identical output for any
+    pool size. *)
 val samples :
-  ?max_epochs:int -> Prob.Rng.t -> Games.Game.t -> beta:float -> count:int ->
-  int array
+  ?max_epochs:int -> ?pool:Exec.Pool.t -> Prob.Rng.t -> Games.Game.t ->
+  beta:float -> count:int -> int array
 
 (** [coalescence_epoch rng game ~beta] runs one CFTP and also reports
     how far back it had to go: [(sample, steps)] where [steps] is the

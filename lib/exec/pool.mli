@@ -1,0 +1,71 @@
+(** A reusable domain pool for data-parallel kernels.
+
+    The pool owns [domains - 1] long-lived worker domains (OCaml 5
+    [Domain.t]) plus the calling domain, which always participates in
+    the work, so a pool of size 1 never spawns anything and degenerates
+    to the serial loop. Work is distributed by chunked
+    self-scheduling: every participant repeatedly claims the next
+    [chunk] indices from a shared atomic counter, so load imbalance
+    between rows/starts/replicas is absorbed without any static
+    partitioning. While waiting for its helpers, the submitting domain
+    drains other queued tasks, which makes nested [parallel_for] calls
+    safe (they serialize instead of deadlocking).
+
+    Determinism contract: [parallel_for] writes to disjoint slots, so
+    any pure body produces results identical to the serial loop
+    regardless of pool size; [reduce] combines per-chunk partials in
+    chunk order with a chunk size that depends only on [n] (never on
+    the pool size), so floating-point reductions are reproducible
+    across pool sizes — though associated differently from a
+    straight-line serial fold. *)
+
+type t
+
+(** [create ?domains ()] spawns a pool of [domains] total participants
+    (the caller plus [domains - 1] workers). Defaults to
+    [Domain.recommended_domain_count ()]. Raises [Invalid_argument] if
+    [domains < 1]. *)
+val create : ?domains:int -> unit -> t
+
+(** [size t] is the total number of participating domains (>= 1). *)
+val size : t -> int
+
+(** [shutdown t] terminates the worker domains and joins them.
+    Idempotent; subsequent [parallel_for]/[map] calls on [t] raise. *)
+val shutdown : t -> unit
+
+(** [with_pool ?domains f] runs [f pool] and guarantees [shutdown]. *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+
+(** [parallel_for ?chunk t ~n body] runs [body i] for every
+    [i] in [0 .. n-1], distributing chunks of [chunk] consecutive
+    indices (default: [n] split eight ways per participant) across the
+    pool. The call returns once every index has completed. The first
+    exception raised by any [body] aborts the remaining chunks and is
+    re-raised in the caller. Bodies for distinct indices must be safe
+    to run concurrently. *)
+val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+
+(** [map ?chunk t ~n f] is [[| f 0; f 1; ...; f (n-1) |]] computed in
+    parallel ([f 0] runs first, in the caller, to seed the result
+    array). *)
+val map : ?chunk:int -> t -> n:int -> (int -> 'a) -> 'a array
+
+(** [reduce ?chunk t ~n ~map ~combine ~init] folds [combine] over
+    [map 0 .. map (n-1)] by combining per-chunk partials in chunk
+    order. [combine] must be associative; the chunking (and hence the
+    association) depends only on [n] and [chunk], never on the pool
+    size, so results are reproducible across pool sizes. Returns
+    [init] when [n <= 0]. *)
+val reduce :
+  ?chunk:int -> t -> n:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) ->
+  init:'a -> 'a
+
+(** [iter_opt pool ~n body] is [parallel_for] when [pool] is [Some _]
+    and the plain serial loop when [None] — the idiom behind every
+    [?pool] parameter in the library. *)
+val iter_opt : t option -> n:int -> (int -> unit) -> unit
+
+(** [init_opt pool ~n f] is [Array.init n f] (serial, ascending order)
+    or [map pool ~n f]. *)
+val init_opt : t option -> n:int -> (int -> 'a) -> 'a array

@@ -14,17 +14,19 @@ let sweep_game table game phi betas =
   let n = Strategy_space.num_players space in
   let m = Strategy_space.max_strategies space in
   let delta_phi = Potential.delta_global space phi in
-  List.iter
-    (fun beta ->
-      let chain = Logit.Logit_dynamics.chain game ~beta in
-      let pi = Logit.Gibbs.stationary space phi ~beta in
-      let trel = Markov.Spectral.relaxation_time chain pi in
-      let tmix =
-        Markov.Mixing.mixing_time_all ~max_steps:2_000_000 chain pi
-      in
-      let trel_bound = Logit.Bounds.lemma33_trel_upper ~n ~m ~beta ~delta_phi in
-      let tmix_bound = Logit.Bounds.thm34_tmix_upper ~n ~m ~beta ~delta_phi () in
-      Table.add_row table
+  (* Each β grid point is independent: evaluate them on the sweep pool
+     and append the rows in β order afterwards. *)
+  let rows =
+    Sweep.map
+      (fun beta ->
+        let chain = Logit.Logit_dynamics.chain game ~beta in
+        let pi = Logit.Gibbs.stationary space phi ~beta in
+        let trel = Markov.Spectral.relaxation_time chain pi in
+        let tmix =
+          Markov.Mixing.mixing_time_all ~max_steps:2_000_000 chain pi
+        in
+        let trel_bound = Logit.Bounds.lemma33_trel_upper ~n ~m ~beta ~delta_phi in
+        let tmix_bound = Logit.Bounds.thm34_tmix_upper ~n ~m ~beta ~delta_phi () in
         [
           Game.name game;
           Table.cell_float beta;
@@ -38,7 +40,9 @@ let sweep_game table game phi betas =
           | Some _ -> "inf"
           | None -> "-");
         ])
-    betas
+      betas
+  in
+  List.iter (Table.add_row table) rows
 
 let run ~quick =
   let table =

@@ -42,10 +42,10 @@ let part_a ~quick =
   in
   let desc, game = ring_game n delta in
   let betas = if quick then [ 0.5; 1.5 ] else [ 0.25; 0.5; 1.0; 1.5; 2.0; 2.5 ] in
+  let results = Sweep.map (fun beta -> (beta, ring_tmix desc game beta)) betas in
   let logs = ref [] in
   List.iter
-    (fun beta ->
-      let tmix = ring_tmix desc game beta in
+    (fun (beta, tmix) ->
       (match tmix with
       | Some t when t > 0 -> logs := (beta, log (float_of_int t)) :: !logs
       | _ -> ());
@@ -60,7 +60,7 @@ let part_a ~quick =
           | _ -> "-");
           Table.cell_log (2. *. delta *. beta);
         ])
-    betas;
+    results;
   (match !logs with
   | _ :: _ :: _ ->
       let points = List.rev !logs in
@@ -87,10 +87,15 @@ let part_b ~quick =
       ]
   in
   let sizes = if quick then [ 4; 6 ] else [ 4; 6; 8; 10; 12 ] in
+  let results =
+    Sweep.map
+      (fun n ->
+        let desc, game = ring_game n delta in
+        (n, ring_tmix desc game beta))
+      sizes
+  in
   List.iter
-    (fun n ->
-      let desc, game = ring_game n delta in
-      let tmix = ring_tmix desc game beta in
+    (fun (n, tmix) ->
       let nlogn = float_of_int n *. log (float_of_int n) in
       Table.add_row table
         [
@@ -101,7 +106,7 @@ let part_b ~quick =
           | Some t -> Table.cell_float (float_of_int t /. nlogn)
           | None -> "-");
         ])
-    sizes;
+    results;
   table
 
 let part_c ~quick =
@@ -120,11 +125,17 @@ let part_c ~quick =
   in
   let desc, game = ring_game n delta in
   let betas = if quick then [ 1.0 ] else [ 0.5; 1.0; 1.5; 2.0 ] in
+  let results =
+    Sweep.map
+      (fun beta ->
+        let ring = ring_tmix desc game beta in
+        let clique_bd = Logit.Lumping.clique ~n ~delta0:delta ~delta1:delta ~beta in
+        let clique = Markov.Birth_death.mixing_time_spectral clique_bd in
+        (beta, ring, clique))
+      betas
+  in
   List.iter
-    (fun beta ->
-      let ring = ring_tmix desc game beta in
-      let clique_bd = Logit.Lumping.clique ~n ~delta0:delta ~delta1:delta ~beta in
-      let clique = Markov.Birth_death.mixing_time_spectral clique_bd in
+    (fun (beta, ring, clique) ->
       Table.add_row table
         [
           Table.cell_float beta;
@@ -135,7 +146,7 @@ let part_c ~quick =
               Table.cell_float (float_of_int c /. float_of_int r)
           | _ -> "-");
         ])
-    betas;
+    results;
   Table.add_note table
     "same local delta, same n: the clique's barrier is Theta(n^2 delta) \
      against the ring's 2*delta, so the gap explodes with beta.";

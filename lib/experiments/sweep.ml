@@ -1,0 +1,16 @@
+let pool : Exec.Pool.t option ref = ref None
+
+let set_jobs n =
+  (match !pool with Some p -> Exec.Pool.shutdown p | None -> ());
+  pool := if n <= 1 then None else Some (Exec.Pool.create ~domains:n ())
+
+let current_pool () = !pool
+
+let map f xs =
+  match !pool with
+  | None -> List.map f xs
+  | Some p ->
+      let arr = Array.of_list xs in
+      (* Chunk of 1: grid points are few and heavy, so claim them one
+         at a time for the best load balance. *)
+      Array.to_list (Exec.Pool.map ~chunk:1 p ~n:(Array.length arr) (fun i -> f arr.(i)))

@@ -1,0 +1,22 @@
+(** Parallel sweep driver for the experiment tables.
+
+    Experiments are registered as plain [run ~quick] thunks, so the
+    pool is threaded through module state rather than through every
+    signature: the front end calls {!set_jobs} once, and each
+    experiment maps its β / n grid through {!map}, which evaluates the
+    grid points on the pool (in any order) but always returns the
+    results in input order, keeping the printed tables identical to a
+    serial run. Grid-point thunks must not mutate shared state. *)
+
+(** [set_jobs n] installs a fresh global pool of [n] domains ([n <= 1]
+    reverts to serial), shutting down any previous one. *)
+val set_jobs : int -> unit
+
+(** [current_pool ()] is the installed pool, if any — for experiments
+    that want to pass it further down (e.g. into
+    {!Markov.Mixing.mixing_time_all}). *)
+val current_pool : unit -> Exec.Pool.t option
+
+(** [map f xs] is [List.map f xs], evaluated on the installed pool when
+    there is one. Results are returned in input order. *)
+val map : ('a -> 'b) -> 'a list -> 'b list

@@ -19,6 +19,39 @@ let analyse chain =
   let transient = Array.of_list !transient in
   if Array.length absorbing = 0 then
     invalid_arg "Absorbing.analyse: chain has no absorbing state";
+  (* Every transient state must reach some absorbing state, otherwise
+     (I - Q) is singular and absorption is not certain. Backward BFS
+     from the absorbing states over the reversed edges. *)
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun (j, p) -> if p > 0. && j <> i then preds.(j) <- i :: preds.(j))
+      (Chain.row chain i)
+  done;
+  let absorbed = Array.make n false in
+  let queue = Queue.create () in
+  Array.iter
+    (fun i ->
+      absorbed.(i) <- true;
+      Queue.add i queue)
+    absorbing;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not absorbed.(v) then begin
+          absorbed.(v) <- true;
+          Queue.add v queue
+        end)
+      preds.(u)
+  done;
+  Array.iter
+    (fun i ->
+      if not absorbed.(i) then
+        invalid_arg
+          (Printf.sprintf
+             "Absorbing.analyse: state %d lies in a closed transient class" i))
+    transient;
   let k = Array.length transient in
   let a_count = Array.length absorbing in
   let t_index = Array.make n (-1) and a_index = Array.make n (-1) in

@@ -20,9 +20,10 @@ type t = private {
 (** [analyse chain] classifies states and computes the fundamental
     quantities. A state is treated as absorbing iff its only
     transition is the self-loop. Raises [Invalid_argument] when there
-    is no absorbing state, and [Linalg.Lu.Singular] when some
-    transient state cannot reach any absorbing state (the chain then
-    has a closed transient class). Dense O(size³). *)
+    is no absorbing state, or when some transient state cannot reach
+    any absorbing state (a closed transient class, which would make
+    I - Q singular — detected by an explicit backward reachability
+    pass rather than left to the LU pivot check). Dense O(size³). *)
 val analyse : Chain.t -> t
 
 (** [expected_absorption_time t state] is the expected number of steps

@@ -20,23 +20,23 @@ let normalize_row i entries =
   Array.sort (fun (a, _) (b, _) -> compare a b) out;
   out
 
-let of_rows rows =
+let of_rows ?pool rows =
   let size = Array.length rows in
   if size = 0 then invalid_arg "Chain.of_rows: empty chain";
-  let checked =
-    Array.mapi
-      (fun i entries ->
-        Array.iter
-          (fun (j, _) ->
-            if j < 0 || j >= size then
-              invalid_arg (Printf.sprintf "Chain: column %d out of range in row %d" j i))
-          entries;
-        normalize_row i entries)
-      rows
+  let check_row i entries =
+    Array.iter
+      (fun (j, _) ->
+        if j < 0 || j >= size then
+          invalid_arg (Printf.sprintf "Chain: column %d out of range in row %d" j i))
+      entries;
+    normalize_row i entries
   in
+  let checked = Exec.Pool.init_opt pool ~n:size (fun i -> check_row i rows.(i)) in
   { size; rows = checked }
 
-let of_function n row = of_rows (Array.init n (fun i -> Array.of_list (row i)))
+let of_function ?pool n row =
+  let rows = Exec.Pool.init_opt pool ~n (fun i -> Array.of_list (row i)) in
+  of_rows ?pool rows
 
 let of_dense m =
   if not (Linalg.Mat.is_square m) then invalid_arg "Chain.of_dense: non-square";

@@ -7,15 +7,20 @@
 
 type t
 
-(** [of_rows rows] validates and packs a chain: [rows.(i)] lists the
-    non-zero transitions [(j, p)] out of state [i]. Requires every
+(** [of_rows ?pool rows] validates and packs a chain: [rows.(i)] lists
+    the non-zero transitions [(j, p)] out of state [i]. Requires every
     probability non-negative, row sums within [1e-9] of one, and
     column indices in range; duplicate columns within a row are
-    summed. Row sums are renormalised exactly to one. *)
-val of_rows : (int * float) array array -> t
+    summed. Row sums are renormalised exactly to one. Validation and
+    normalisation are per-row independent; [?pool] distributes them
+    across domains (identical results, any pool size). *)
+val of_rows : ?pool:Exec.Pool.t -> (int * float) array array -> t
 
-(** [of_function n row] tabulates [row i] for every state. *)
-val of_function : int -> (int -> (int * float) list) -> t
+(** [of_function ?pool n row] tabulates [row i] for every state —
+    with [?pool], rows are built and normalised in parallel, which is
+    the hot path when materialising logit chains ([row] must be safe
+    to call concurrently for distinct states). *)
+val of_function : ?pool:Exec.Pool.t -> int -> (int -> (int * float) list) -> t
 
 (** [of_dense m] converts a dense stochastic matrix.
     Raises [Invalid_argument] if [m] is not square/stochastic. *)

@@ -15,39 +15,49 @@ let check_starts t starts =
       if s < 0 || s >= Chain.size t then invalid_arg "Mixing: start out of range")
     starts
 
-let tv_curve t pi ~starts ~steps =
+(* One parallel (or serial) sweep over the start states: evolve every
+   point mass one step and refresh its TV distance. Each slot is
+   written by exactly one body invocation, and Float.max over the tvs
+   is exact and order-independent, so pooled and serial runs agree
+   bit-for-bit. *)
+let advance_starts pool t pi mus tvs =
+  Exec.Pool.iter_opt pool ~n:(Array.length mus) (fun k ->
+      mus.(k) <- Chain.evolve t mus.(k);
+      tvs.(k) <- tv_against pi mus.(k))
+
+let worst tvs = Array.fold_left Float.max 0. tvs
+
+let tv_curve ?pool t pi ~starts ~steps =
   check_starts t starts;
   if steps < 0 then invalid_arg "Mixing.tv_curve: negative steps";
   let n = Chain.size t in
   let mus = Array.of_list (List.map (point_mass n) starts) in
+  let tvs = Array.map (tv_against pi) mus in
   let curve = Array.make (steps + 1) 0. in
-  let worst mus = Array.fold_left (fun acc mu -> Float.max acc (tv_against pi mu)) 0. mus in
-  curve.(0) <- worst mus;
+  curve.(0) <- worst tvs;
   for step = 1 to steps do
-    Array.iteri (fun k mu -> mus.(k) <- Chain.evolve t mu) mus;
-    curve.(step) <- worst mus
+    advance_starts pool t pi mus tvs;
+    curve.(step) <- worst tvs
   done;
   curve
 
-let mixing_time ?(eps = 0.25) ?(max_steps = 1_000_000) t pi ~starts =
+let mixing_time ?pool ?(eps = 0.25) ?(max_steps = 1_000_000) t pi ~starts =
   check_starts t starts;
   let n = Chain.size t in
   let mus = Array.of_list (List.map (point_mass n) starts) in
-  let worst () =
-    Array.fold_left (fun acc mu -> Float.max acc (tv_against pi mu)) 0. mus
-  in
+  let tvs = Array.map (tv_against pi) mus in
   let rec go step =
-    if worst () <= eps then Some step
+    if worst tvs <= eps then Some step
     else if step >= max_steps then None
     else begin
-      Array.iteri (fun k mu -> mus.(k) <- Chain.evolve t mu) mus;
+      advance_starts pool t pi mus tvs;
       go (step + 1)
     end
   in
   go 0
 
-let mixing_time_all ?eps ?max_steps t pi =
-  mixing_time ?eps ?max_steps t pi ~starts:(List.init (Chain.size t) Fun.id)
+let mixing_time_all ?pool ?eps ?max_steps t pi =
+  mixing_time ?pool ?eps ?max_steps t pi ~starts:(List.init (Chain.size t) Fun.id)
 
 let tv_at t pi ~start ~steps =
   check_starts t [ start ];
@@ -57,16 +67,22 @@ let tv_at t pi ~start ~steps =
   done;
   tv_against pi !mu
 
-let empirical_tv rng t pi ~start ~steps ~replicas =
+let empirical_tv ?pool rng t pi ~start ~steps ~replicas =
   if replicas < 1 then invalid_arg "Mixing.empirical_tv: need replicas";
+  (* Replica r always consumes stream r of the split, so the estimate
+     is a function of the seed alone — the same bits drive the chains
+     whether they run serially or across any number of domains. *)
+  let streams = Prob.Rng.split_n rng replicas in
+  let final = Array.make replicas start in
+  Exec.Pool.iter_opt pool ~n:replicas (fun r ->
+      let rng = streams.(r) in
+      let state = ref start in
+      for _ = 1 to steps do
+        state := Chain.sample_step rng t !state
+      done;
+      final.(r) <- !state);
   let emp = Prob.Empirical.create (Chain.size t) in
-  for _ = 1 to replicas do
-    let state = ref start in
-    for _ = 1 to steps do
-      state := Chain.sample_step rng t !state
-    done;
-    Prob.Empirical.add emp !state
-  done;
+  Array.iter (Prob.Empirical.add emp) final;
   Prob.Empirical.tv_against emp (Prob.Dist.of_weights pi)
 
 let upper_mixing_time_spectral ~gap ~pi_min ~eps =

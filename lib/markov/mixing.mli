@@ -11,35 +11,43 @@
     test suite. The paper's convention t_mix = t_mix(1/4) is the
     default. *)
 
-(** [tv_curve t pi ~starts ~steps] is the array [d(0); d(1); ...;
-    d(steps)] of worst-case (over [starts]) TV distances. *)
-val tv_curve : Chain.t -> float array -> starts:int list -> steps:int -> float array
+(** [tv_curve ?pool t pi ~starts ~steps] is the array [d(0); d(1); ...;
+    d(steps)] of worst-case (over [starts]) TV distances. With [?pool]
+    the per-start evolutions of each step run across domains; results
+    are bit-identical to the serial sweep for any pool size. *)
+val tv_curve :
+  ?pool:Exec.Pool.t -> Chain.t -> float array -> starts:int list -> steps:int ->
+  float array
 
-(** [mixing_time ?eps ?max_steps t pi ~starts] is the least t with
-    d(t) ≤ eps (default 1/4), or [None] if it exceeds [max_steps]
+(** [mixing_time ?pool ?eps ?max_steps t pi ~starts] is the least t
+    with d(t) ≤ eps (default 1/4), or [None] if it exceeds [max_steps]
     (default [1_000_000]). By monotonicity of d(·) the scan stops at
-    the first success. *)
+    the first success. [?pool] parallelises over start states. *)
 val mixing_time :
-  ?eps:float -> ?max_steps:int -> Chain.t -> float array -> starts:int list ->
-  int option
+  ?pool:Exec.Pool.t -> ?eps:float -> ?max_steps:int -> Chain.t -> float array ->
+  starts:int list -> int option
 
-(** [mixing_time_all ?eps ?max_steps t pi] uses every state as a start
-    (exact d(t), O(size²) memory traffic per step). *)
+(** [mixing_time_all ?pool ?eps ?max_steps t pi] uses every state as a
+    start (exact d(t), O(size²) memory traffic per step). *)
 val mixing_time_all :
-  ?eps:float -> ?max_steps:int -> Chain.t -> float array -> int option
+  ?pool:Exec.Pool.t -> ?eps:float -> ?max_steps:int -> Chain.t -> float array ->
+  int option
 
 (** [tv_at t pi ~start ~steps] is ‖Pᵗ(start,·) - π‖_TV at [t = steps]
     only. *)
 val tv_at : Chain.t -> float array -> start:int -> steps:int -> float
 
-(** [empirical_tv rng t pi ~start ~steps ~replicas] estimates the TV
-    distance at time [steps] by simulating [replicas] independent
+(** [empirical_tv ?pool rng t pi ~start ~steps ~replicas] estimates the
+    TV distance at time [steps] by simulating [replicas] independent
     chains and comparing the empirical law against π. The estimate is
     positively biased by sampling noise ≈ √(size/replicas); it is used
-    only for state spaces too large for exact evolution. *)
+    only for state spaces too large for exact evolution. Replica [r]
+    is driven by stream [r] of {!Prob.Rng.split_n}, so for a fixed
+    seed the estimate is bit-identical whether it is computed serially
+    or on a pool of any size. *)
 val empirical_tv :
-  Prob.Rng.t -> Chain.t -> float array -> start:int -> steps:int -> replicas:int ->
-  float
+  ?pool:Exec.Pool.t -> Prob.Rng.t -> Chain.t -> float array -> start:int ->
+  steps:int -> replicas:int -> float
 
 (** [upper_mixing_time_spectral ~gap ~pi_min ~eps] is the spectral
     upper bound t_rel·log(1/(ε·π_min)) of Theorem 2.3, with

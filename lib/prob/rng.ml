@@ -18,6 +18,17 @@ let split t =
   let seed = bits64 t in
   { state = mix64 seed }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n t in
+    for i = 0 to n - 1 do
+      out.(i) <- split t
+    done;
+    out
+  end
+
 (* 53 uniform mantissa bits, as in the reference implementation. *)
 let float t = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1p-53
 

@@ -19,6 +19,15 @@ val copy : t -> t
     (statistically) independent of the remainder of [t]'s stream. *)
 val split : t -> t
 
+(** [split_n t n] derives [n] pairwise-independent streams by [n]
+    successive splits of [t] (advancing [t] exactly [n] times). The
+    derivation is purely sequential and deterministic in [t]'s state,
+    so stream [i] is the same whether the streams are later consumed
+    serially or by any number of parallel workers — the foundation of
+    reproducible parallel Monte Carlo. Raises [Invalid_argument] on a
+    negative count. *)
+val split_n : t -> int -> t array
+
 (** [bits64 t] is the next raw 64-bit output. *)
 val bits64 : t -> int64
 

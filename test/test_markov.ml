@@ -244,6 +244,81 @@ let bottleneck_lower_bound_valid =
           let b, _ = Bottleneck.best_sublevel_set chain pi (fun i -> pi.(i)) in
           Bottleneck.lower_bound_tmix b <= float_of_int tmix +. 1.)
 
+let bottleneck_rejects_heavy_proper_subset () =
+  (* pi = (0.4, 0.6): the singleton {1} is a proper subset but carries
+     more than half the stationary mass, so ratio_checked must refuse
+     it while the unchecked ratio still evaluates. *)
+  let c = two_state 0.3 0.2 in
+  let pi = two_state_pi 0.3 0.2 in
+  check_raises_invalid "pi(R) > 1/2" (fun () ->
+      ignore (Bottleneck.ratio_checked c pi (fun i -> i = 1)));
+  check_float ~tol:1e-12 "light complement accepted"
+    (Bottleneck.ratio c pi (fun i -> i = 0))
+    (Bottleneck.ratio_checked c pi (fun i -> i = 0))
+
+let bottleneck_two_well_barrier () =
+  (* Metropolis birth-death chain for weights (10, 1, 0.1, 0.1, 1, 10):
+     two deep wells at the ends separated by a flat barrier. The best
+     sublevel cut of the identity score is theta = 2 — the left half
+     {0,1,2} with mass exactly 1/2, which beats theta = 1's lighter set
+     at equal edge flow (and theta = 3 is rejected as too heavy). *)
+  let w = [| 10.; 1.; 0.1; 0.1; 1.; 10. |] in
+  let n = Array.length w in
+  let rows =
+    Array.init n (fun i ->
+        let up =
+          if i < n - 1 then 0.5 *. Float.min 1. (w.(i + 1) /. w.(i)) else 0.
+        in
+        let down = if i > 0 then 0.5 *. Float.min 1. (w.(i - 1) /. w.(i)) else 0. in
+        let entries = ref [ (i, 1. -. up -. down) ] in
+        if up > 0. then entries := (i + 1, up) :: !entries;
+        if down > 0. then entries := (i - 1, down) :: !entries;
+        Array.of_list !entries)
+  in
+  let chain = Chain.of_rows rows in
+  let total = Array.fold_left ( +. ) 0. w in
+  let pi = Array.map (fun x -> x /. total) w in
+  check_true "metropolis chain is reversible" (Chain.is_reversible chain pi);
+  let b, theta = Bottleneck.best_sublevel_set chain pi float_of_int in
+  check_float ~tol:1e-12 "cut sits at the barrier top" 2. theta;
+  check_float ~tol:1e-12 "best ratio = ratio of {0,1,2}"
+    (Bottleneck.ratio chain pi (fun i -> i <= 2))
+    b;
+  (* The barrier cut is strictly tighter than slicing inside a well. *)
+  check_true "barrier beats the well-interior cut"
+    (b < Bottleneck.ratio chain pi (fun i -> i = 0))
+
+(* ----- Absorbing: closed transient class ----- *)
+
+let absorbing_rejects_closed_transient_class () =
+  (* States 0 and 1 swap forever and never reach the absorbing state 2;
+     state 3 is honestly transient. analyse must refuse the chain
+     instead of producing a singular fundamental matrix. *)
+  let chain =
+    Chain.of_rows
+      [|
+        [| (1, 1.) |];
+        [| (0, 1.) |];
+        [| (2, 1.) |];
+        [| (0, 0.5); (2, 0.5) |];
+      |]
+  in
+  check_raises_invalid "closed transient class" (fun () ->
+      ignore (Absorbing.analyse chain));
+  (* The same topology with an escape hatch out of {0,1} is accepted. *)
+  let ok =
+    Chain.of_rows
+      [|
+        [| (1, 1.) |];
+        [| (0, 0.5); (2, 0.5) |];
+        [| (2, 1.) |];
+        [| (0, 0.5); (2, 0.5) |];
+      |]
+  in
+  let a = Absorbing.analyse ok in
+  check_float ~tol:1e-9 "absorbs almost surely" 1.
+    (Absorbing.absorption_probability a ~start:0 ~target:2)
+
 (* ----- Coupling ----- *)
 
 let coupling_independent_coalesces () =
@@ -401,7 +476,17 @@ let suites =
         qcheck spectral_relaxation_brackets_tmix;
       ] );
     ( "markov.bottleneck",
-      [ test "two-state" bottleneck_two_state; qcheck bottleneck_lower_bound_valid ] );
+      [
+        test "two-state" bottleneck_two_state;
+        qcheck bottleneck_lower_bound_valid;
+        test "rejects heavy proper subset" bottleneck_rejects_heavy_proper_subset;
+        test "two-well barrier chain" bottleneck_two_well_barrier;
+      ] );
+    ( "markov.absorbing_structure",
+      [
+        test "rejects closed transient class"
+          absorbing_rejects_closed_transient_class;
+      ] );
     ( "markov.coupling",
       [
         test "independent coalesces" coupling_independent_coalesces;
