@@ -18,14 +18,24 @@
    pool size (default: the machine's recommended domain count, at
    least 2).
 
+   Phase 1.6 is the CSR storage ablation: the pre-CSR chain kernels
+   (boxed tuple rows, allocating evolve, linear-scan sampling) are kept
+   alive in the [Baseline] module below and raced against the CSR
+   kernels on an evolve-dominated workload (mixing_time_all) and a
+   sample_step-dominated one (empirical_tv). Outputs are checked
+   bit-identical and the timings are written to BENCH_csr.json so the
+   perf trajectory is tracked from PR 2 onward.
+
    Pass --quick to shrink the experiment sweeps; pass --skip-micro to
-   print only the tables. *)
+   print only the tables; pass --csr-only to run just the CSR
+   ablation. *)
 
 open Bechamel
 open Toolkit
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+let csr_only = Array.exists (( = ) "--csr-only") Sys.argv
 
 let jobs =
   let rec find i =
@@ -251,6 +261,239 @@ let run_ablation () =
     "parallel runs reuse one pool; agreement is checked on the actual outputs.";
   Experiments.Table.print table
 
+(* --- Phase 1.6: CSR storage ablation ----------------------------------- *)
+
+(* The pre-CSR chain representation and kernels, reconstructed over the
+   public row views: boxed (int * float) tuple rows, a fresh vector
+   allocated per evolve, linear-scan sampling. This is the "before" arm
+   of the ablation; the CSR library kernels are the "after" arm. *)
+module Baseline = struct
+  type t = { size : int; rows : (int * float) array array }
+
+  let of_chain c =
+    {
+      size = Markov.Chain.size c;
+      rows = Array.init (Markov.Chain.size c) (Markov.Chain.row c);
+    }
+
+  let evolve t mu =
+    let out = Array.make t.size 0. in
+    for i = 0 to t.size - 1 do
+      let mass = mu.(i) in
+      if mass > 0. then
+        Array.iter (fun (j, p) -> out.(j) <- out.(j) +. (mass *. p)) t.rows.(i)
+    done;
+    out
+
+  let sample_step rng t i =
+    let entries = t.rows.(i) in
+    let u = Prob.Rng.float rng in
+    let acc = ref 0. in
+    let result = ref (fst entries.(Array.length entries - 1)) in
+    let found = ref false in
+    Array.iter
+      (fun (j, p) ->
+        if not !found then begin
+          acc := !acc +. p;
+          if u < !acc then begin
+            result := j;
+            found := true
+          end
+        end)
+      entries;
+    !result
+
+  let tv_against pi mu =
+    let acc = ref 0. in
+    Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. pi.(i))) mu;
+    0.5 *. !acc
+
+  let point_mass n i =
+    let v = Array.make n 0. in
+    v.(i) <- 1.;
+    v
+
+  let tv_curve t pi ~steps =
+    let n = t.size in
+    let mus = Array.init n (point_mass n) in
+    let tvs = Array.map (tv_against pi) mus in
+    let worst () = Array.fold_left Float.max 0. tvs in
+    let curve = Array.make (steps + 1) 0. in
+    curve.(0) <- worst ();
+    for step = 1 to steps do
+      Array.iteri
+        (fun k mu ->
+          mus.(k) <- evolve t mu;
+          tvs.(k) <- tv_against pi mus.(k))
+        mus;
+      curve.(step) <- worst ()
+    done;
+    curve
+
+  let mixing_time_all ?(eps = 0.25) ?(max_steps = 1_000_000) t pi =
+    let n = t.size in
+    let mus = Array.init n (point_mass n) in
+    let tvs = Array.map (tv_against pi) mus in
+    let worst () = Array.fold_left Float.max 0. tvs in
+    let rec go step =
+      if worst () <= eps then Some step
+      else if step >= max_steps then None
+      else begin
+        Array.iteri
+          (fun k mu ->
+            mus.(k) <- evolve t mu;
+            tvs.(k) <- tv_against pi mus.(k))
+          mus;
+        go (step + 1)
+      end
+    in
+    go 0
+
+  let empirical_tv rng t pi ~start ~steps ~replicas =
+    let streams = Prob.Rng.split_n rng replicas in
+    let final = Array.make replicas start in
+    for r = 0 to replicas - 1 do
+      let rng = streams.(r) in
+      let state = ref start in
+      for _ = 1 to steps do
+        state := sample_step rng t !state
+      done;
+      final.(r) <- !state
+    done;
+    let emp = Prob.Empirical.create t.size in
+    Array.iter (Prob.Empirical.add emp) final;
+    Prob.Empirical.tv_against emp (Prob.Dist.of_weights pi)
+end
+
+let run_csr_ablation () =
+  let n_ring = if quick then 8 else 10 in
+  let tv_steps = if quick then 50 else 150 in
+  let emp_steps = if quick then 100 else 200 in
+  let emp_replicas = if quick then 10_000 else 50_000 in
+  let desc =
+    Games.Graphical.create (Graphs.Generators.ring n_ring)
+      (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+  in
+  let game = Games.Graphical.to_game desc in
+  let size = Games.Game.size game in
+  let chain = Logit.Logit_dynamics.chain game ~beta in
+  let baseline = Baseline.of_chain chain in
+  let pi =
+    Logit.Gibbs.stationary (Games.Game.space game)
+      (Games.Graphical.potential desc)
+      ~beta
+  in
+  (* Correctness gates first: the CSR kernels must reproduce the
+     pre-CSR outputs bit-for-bit before any timing means anything. *)
+  let evolve_identical =
+    let r = Prob.Rng.create 7 in
+    let ok = ref true in
+    for _ = 1 to 5 do
+      let mu = Array.init size (fun _ -> Prob.Rng.float r) in
+      let total = Array.fold_left ( +. ) 0. mu in
+      let mu = Array.map (fun x -> x /. total) mu in
+      if Markov.Chain.evolve chain mu <> Baseline.evolve baseline mu then
+        ok := false
+    done;
+    !ok
+  in
+  let starts = List.init size Fun.id in
+  let curve_base, t_curve_base =
+    time (fun () -> Baseline.tv_curve baseline pi ~steps:tv_steps)
+  in
+  let curve_csr, t_curve_csr =
+    time (fun () -> Markov.Mixing.tv_curve chain pi ~starts ~steps:tv_steps)
+  in
+  let curve_identical = curve_base = curve_csr in
+  let tmix_base, t_mix_base =
+    time (fun () -> Baseline.mixing_time_all baseline pi)
+  in
+  let tmix_csr, t_mix_csr =
+    time (fun () -> Markov.Mixing.mixing_time_all chain pi)
+  in
+  let emp_base, t_emp_base =
+    time (fun () ->
+        Baseline.empirical_tv (Prob.Rng.create 11) baseline pi ~start:0
+          ~steps:emp_steps ~replicas:emp_replicas)
+  in
+  let emp_csr, t_emp_csr =
+    time (fun () ->
+        Markov.Mixing.empirical_tv (Prob.Rng.create 11) chain pi ~start:0
+          ~steps:emp_steps ~replicas:emp_replicas)
+  in
+  let table =
+    Experiments.Table.create
+      ~title:
+        (Printf.sprintf
+           "CSR ablation: boxed rows + linear scan vs flat CSR (ring n=%d, \
+            |S|=%d, beta=%g)"
+           n_ring size beta)
+      [
+        ("workload", Experiments.Table.Left);
+        ("pre-CSR s", Experiments.Table.Right);
+        ("CSR s", Experiments.Table.Right);
+        ("speedup", Experiments.Table.Right);
+        ("agree", Experiments.Table.Right);
+      ]
+  in
+  let add name t_base t_csr agree =
+    Experiments.Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.3f" t_base;
+        Printf.sprintf "%.3f" t_csr;
+        Printf.sprintf "%.2fx" (t_base /. t_csr);
+        Experiments.Table.cell_bool agree;
+      ]
+  in
+  add
+    (Printf.sprintf "tv_curve (all starts, %d steps)" tv_steps)
+    t_curve_base t_curve_csr curve_identical;
+  add "mixing_time_all (evolve-dominated)" t_mix_base t_mix_csr
+    (tmix_base = tmix_csr);
+  add
+    (Printf.sprintf "empirical_tv (%d replicas x %d steps)" emp_replicas
+       emp_steps)
+    t_emp_base t_emp_csr
+    (emp_base = emp_csr);
+  Experiments.Table.add_note table
+    "agree = outputs bit-identical to the pre-CSR kernels (evolve checked on 5 \
+     random vectors too).";
+  Experiments.Table.print table;
+  if not evolve_identical then
+    Printf.printf "WARNING: CSR evolve diverged from the pre-CSR kernel!\n";
+  (* Record the datapoint for the bench trajectory. *)
+  let json_path = Filename.concat (Sys.getcwd ()) "BENCH_csr.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    {|{
+  "bench": "csr_ablation",
+  "quick": %b,
+  "game": { "kind": "ring_coordination", "n": %d, "states": %d, "beta": %g },
+  "evolve_bit_identical": %b,
+  "workloads": [
+    { "name": "tv_curve", "kind": "evolve", "steps": %d,
+      "pre_csr_s": %.6f, "csr_s": %.6f, "speedup": %.3f, "agree": %b },
+    { "name": "mixing_time_all", "kind": "evolve", "t_mix": %s,
+      "pre_csr_s": %.6f, "csr_s": %.6f, "speedup": %.3f, "agree": %b },
+    { "name": "empirical_tv", "kind": "sample_step", "steps": %d, "replicas": %d,
+      "pre_csr_s": %.6f, "csr_s": %.6f, "speedup": %.3f, "agree": %b }
+  ]
+}
+|}
+    quick n_ring size beta evolve_identical tv_steps t_curve_base t_curve_csr
+    (t_curve_base /. t_curve_csr)
+    curve_identical
+    (match tmix_csr with Some t -> string_of_int t | None -> "null")
+    t_mix_base t_mix_csr
+    (t_mix_base /. t_mix_csr)
+    (tmix_base = tmix_csr)
+    emp_steps emp_replicas t_emp_base t_emp_csr
+    (t_emp_base /. t_emp_csr)
+    (emp_base = emp_csr);
+  close_out oc;
+  Printf.printf "CSR ablation recorded to %s\n" json_path
+
 let run_micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -292,13 +535,23 @@ let run_micro () =
 let () =
   Printf.printf "logitdyn benchmark harness%s\n"
     (if quick then " (quick mode)" else "");
-  Printf.printf "phase 1: regenerating every experiment table (E1..E9, X1..X10)\n";
-  let t0 = Unix.gettimeofday () in
-  Experiments.Registry.run_all ~quick ();
-  Printf.printf "\nphase 1 elapsed: %.1fs\n" (Unix.gettimeofday () -. t0);
-  Printf.printf "\nphase 1.5: serial vs parallel ablation (%d domains)\n%!" jobs;
-  run_ablation ();
-  if not skip_micro then begin
-    Printf.printf "\nphase 2: micro-benchmarks\n%!";
-    run_micro ()
+  if csr_only then begin
+    Printf.printf "phase 1.6: CSR storage ablation (pre-CSR vs CSR kernels)\n%!";
+    run_csr_ablation ()
+  end
+  else begin
+    Printf.printf
+      "phase 1: regenerating every experiment table (E1..E9, X1..X10)\n";
+    let t0 = Unix.gettimeofday () in
+    Experiments.Registry.run_all ~quick ();
+    Printf.printf "\nphase 1 elapsed: %.1fs\n" (Unix.gettimeofday () -. t0);
+    Printf.printf "\nphase 1.5: serial vs parallel ablation (%d domains)\n%!" jobs;
+    run_ablation ();
+    Printf.printf
+      "\nphase 1.6: CSR storage ablation (pre-CSR vs CSR kernels)\n%!";
+    run_csr_ablation ();
+    if not skip_micro then begin
+      Printf.printf "\nphase 2: micro-benchmarks\n%!";
+      run_micro ()
+    end
   end

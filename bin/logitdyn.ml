@@ -128,7 +128,7 @@ let simulate game_id n beta steps seed =
 
 (* --- mixing ----------------------------------------------------------- *)
 
-let mixing game_id n beta eps jobs =
+let mixing game_id n beta eps jobs replicas seed =
   let spec = find_game game_id in
   let game, potential = spec.build ~n ~beta in
   let size = Games.Game.size game in
@@ -151,6 +151,18 @@ let mixing game_id n beta eps jobs =
   (match tmix with
   | Some t -> Printf.printf "t_mix(%g) = %d\n" eps t
   | None -> Printf.printf "t_mix(%g) > max_steps\n" eps);
+  (* Monte Carlo cross-check of the exact answer: simulate [replicas]
+     chains for t_mix steps and compare the empirical law against pi —
+     the sample_step-dominated workload the CSR sampler accelerates. *)
+  if replicas > 0 then begin
+    let steps = Option.value tmix ~default:1000 in
+    let tv =
+      Markov.Mixing.empirical_tv ?pool (Prob.Rng.create seed) chain pi ~start:0
+        ~steps ~replicas
+    in
+    Printf.printf "empirical TV at t=%d from start 0 (%d replicas): %.4f\n"
+      steps replicas tv
+  end;
   (match potential with
   | Some phi ->
       let space = Games.Game.space game in
@@ -419,8 +431,18 @@ let simulate_cmd =
     Term.(const simulate $ game_arg $ n_arg $ beta_arg $ steps_arg $ seed_arg)
 
 let mixing_cmd =
+  let replicas_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "empirical" ] ~docv:"REPLICAS"
+          ~doc:
+            "Also estimate the TV distance at the computed mixing time by \
+             Monte Carlo with $(docv) simulated chains (0 = skip).")
+  in
   Cmd.v (Cmd.info "mixing" ~doc:"Compute the exact mixing time")
-    Term.(const mixing $ game_arg $ n_arg $ beta_arg $ eps_arg $ jobs_arg)
+    Term.(
+      const mixing $ game_arg $ n_arg $ beta_arg $ eps_arg $ jobs_arg
+      $ replicas_arg $ seed_arg)
 
 let spectrum_cmd =
   Cmd.v (Cmd.info "spectrum" ~doc:"Print the spectrum of the logit chain")

@@ -40,8 +40,14 @@ let basin_tv_curve chain pi ~basin ~start ~steps =
   in
   let out = Array.make (steps + 1) (0., 0.) in
   let current = ref mu in
+  let scratch = ref (Array.make n 0.) in
   for t = 0 to steps do
     out.(t) <- (tv restricted !current, tv pi !current);
-    if t < steps then current := Markov.Chain.evolve chain !current
+    if t < steps then begin
+      Markov.Chain.evolve_into chain ~src:!current ~dst:!scratch;
+      let previous = !current in
+      current := !scratch;
+      scratch := previous
+    end
   done;
   out

@@ -6,7 +6,9 @@ type t = {
 }
 
 let is_absorbing chain i =
-  Array.for_all (fun (j, p) -> j = i || p = 0.) (Chain.row chain i)
+  let ok = ref true in
+  Chain.iter_row chain i (fun j p -> if j <> i && p <> 0. then ok := false);
+  !ok
 
 let analyse chain =
   let n = Chain.size chain in
@@ -24,9 +26,8 @@ let analyse chain =
      from the absorbing states over the reversed edges. *)
   let preds = Array.make n [] in
   for i = 0 to n - 1 do
-    Array.iter
-      (fun (j, p) -> if p > 0. && j <> i then preds.(j) <- i :: preds.(j))
-      (Chain.row chain i)
+    Chain.iter_row chain i (fun j p ->
+        if p > 0. && j <> i then preds.(j) <- i :: preds.(j))
   done;
   let absorbed = Array.make n false in
   let queue = Queue.create () in
@@ -70,13 +71,11 @@ let analyse chain =
     let r = Linalg.Mat.create k a_count 0. in
     Array.iteri
       (fun row i ->
-        Array.iter
-          (fun (j, p) ->
+        Chain.iter_row chain i (fun j p ->
             if t_index.(j) >= 0 then
               Linalg.Mat.set iq row t_index.(j)
                 (Linalg.Mat.get iq row t_index.(j) -. p)
-            else Linalg.Mat.set r row a_index.(j) p)
-          (Chain.row chain i))
+            else Linalg.Mat.set r row a_index.(j) p))
       transient;
     let factorization = Linalg.Lu.factorize iq in
     let expected_steps =

@@ -4,9 +4,8 @@ let flow_and_mass t pi subset =
   for i = 0 to n - 1 do
     if subset i then begin
       mass := !mass +. pi.(i);
-      Array.iter
-        (fun (j, p) -> if not (subset j) then flow := !flow +. (pi.(i) *. p))
-        (Chain.row t i)
+      Chain.iter_row t i (fun j p ->
+          if not (subset j) then flow := !flow +. (pi.(i) *. p))
     end
   done;
   (!flow, !mass)

@@ -1,4 +1,20 @@
-type t = { size : int; rows : (int * float) array array }
+(* CSR (compressed sparse row) chain storage.
+
+   Row [i] occupies the index range [row_start.(i), row_start.(i+1))
+   of the flat [cols]/[probs] arrays; [cols] is strictly increasing
+   within each row (guaranteed by [normalize_row], which sums
+   duplicates and drops zeros). [cum] holds the per-row running prefix
+   sums of [probs] in the same left-to-right order the old linear-scan
+   sampler accumulated them, so the binary-search sampler picks exactly
+   the same entry for the same uniform draw. *)
+
+type t = {
+  size : int;
+  row_start : int array;
+  cols : int array;
+  probs : float array;
+  cum : float array;
+}
 
 let row_sum_tolerance = 1e-9
 
@@ -20,6 +36,29 @@ let normalize_row i entries =
   Array.sort (fun (a, _) (b, _) -> compare a b) out;
   out
 
+(* Pack validated per-row tuple arrays into the flat CSR arrays. *)
+let pack size checked =
+  let nnz = Array.fold_left (fun acc r -> acc + Array.length r) 0 checked in
+  let row_start = Array.make (size + 1) 0 in
+  let cols = Array.make nnz 0 in
+  let probs = Array.make nnz 0. in
+  let cum = Array.make nnz 0. in
+  let k = ref 0 in
+  for i = 0 to size - 1 do
+    row_start.(i) <- !k;
+    let acc = ref 0. in
+    Array.iter
+      (fun (j, p) ->
+        cols.(!k) <- j;
+        probs.(!k) <- p;
+        acc := !acc +. p;
+        cum.(!k) <- !acc;
+        incr k)
+      checked.(i)
+  done;
+  row_start.(size) <- !k;
+  { size; row_start; cols; probs; cum }
+
 let of_rows ?pool rows =
   let size = Array.length rows in
   if size = 0 then invalid_arg "Chain.of_rows: empty chain";
@@ -32,7 +71,7 @@ let of_rows ?pool rows =
     normalize_row i entries
   in
   let checked = Exec.Pool.init_opt pool ~n:size (fun i -> check_row i rows.(i)) in
-  { size; rows = checked }
+  pack size checked
 
 let of_function ?pool n row =
   let rows = Exec.Pool.init_opt pool ~n (fun i -> Array.of_list (row i)) in
@@ -51,56 +90,99 @@ let of_dense m =
          Array.of_list !entries))
 
 let size t = t.size
-let row t i = t.rows.(i)
-let row_list t i = Array.to_list t.rows.(i)
+let nnz t = t.row_start.(t.size)
+let degree t i = t.row_start.(i + 1) - t.row_start.(i)
+
+let iter_row t i f =
+  for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+    f t.cols.(k) t.probs.(k)
+  done
+
+let row t i =
+  let lo = t.row_start.(i) in
+  Array.init (degree t i) (fun k -> (t.cols.(lo + k), t.probs.(lo + k)))
+
+let row_list t i = Array.to_list (row t i)
 
 let prob t i j =
-  let entries = t.rows.(i) in
+  (* Binary search over the strictly increasing column slice of row i. *)
+  let lo = ref t.row_start.(i) and hi = ref (t.row_start.(i + 1) - 1) in
   let result = ref 0. in
-  Array.iter (fun (k, p) -> if k = j then result := p) entries;
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.cols.(mid) in
+    if c = j then begin
+      result := t.probs.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
   !result
+
+let evolve_into t ~src ~dst =
+  if Array.length src <> t.size || Array.length dst <> t.size then
+    invalid_arg "Chain.evolve_into: dimension mismatch";
+  if src == dst then invalid_arg "Chain.evolve_into: src and dst must be distinct";
+  Array.fill dst 0 t.size 0.;
+  (* Indices below are validated at construction ([cols] entries are in
+     [0, size) and [row_start] is monotone within bounds) and the
+     dimension checks above cover [src]/[dst], so unchecked accesses are
+     safe; the accumulation order matches the boxed-row code exactly. *)
+  let row_start = t.row_start and cols = t.cols and probs = t.probs in
+  for i = 0 to t.size - 1 do
+    let mass = Array.unsafe_get src i in
+    if mass > 0. then begin
+      let stop = Array.unsafe_get row_start (i + 1) - 1 in
+      for k = Array.unsafe_get row_start i to stop do
+        let j = Array.unsafe_get cols k in
+        Array.unsafe_set dst j
+          (Array.unsafe_get dst j +. (mass *. Array.unsafe_get probs k))
+      done
+    end
+  done
 
 let evolve t mu =
   if Array.length mu <> t.size then invalid_arg "Chain.evolve: dimension mismatch";
   let out = Array.make t.size 0. in
-  for i = 0 to t.size - 1 do
-    let mass = mu.(i) in
-    if mass > 0. then
-      Array.iter (fun (j, p) -> out.(j) <- out.(j) +. (mass *. p)) t.rows.(i)
-  done;
+  evolve_into t ~src:mu ~dst:out;
   out
 
 let apply t f =
   if Array.length f <> t.size then invalid_arg "Chain.apply: dimension mismatch";
   Array.init t.size (fun i ->
       let acc = ref 0. in
-      Array.iter (fun (j, p) -> acc := !acc +. (p *. f.(j))) t.rows.(i);
+      for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+        acc := !acc +. (t.probs.(k) *. f.(t.cols.(k)))
+      done;
       !acc)
 
 let to_dense t =
   let m = Linalg.Mat.create t.size t.size 0. in
-  Array.iteri
-    (fun i entries -> Array.iter (fun (j, p) -> Linalg.Mat.set m i j p) entries)
-    t.rows;
+  for i = 0 to t.size - 1 do
+    iter_row t i (fun j p -> Linalg.Mat.set m i j p)
+  done;
   m
 
-let sample_step rng t i =
-  let entries = t.rows.(i) in
-  let u = Prob.Rng.float rng in
-  let acc = ref 0. in
-  let result = ref (fst entries.(Array.length entries - 1)) in
-  let found = ref false in
-  Array.iter
-    (fun (j, p) ->
-      if not !found then begin
-        acc := !acc +. p;
-        if u < !acc then begin
-          result := j;
-          found := true
-        end
-      end)
-    entries;
-  !result
+let sample_step_of t i ~u =
+  let lo = t.row_start.(i) and hi = t.row_start.(i + 1) - 1 in
+  (* Smallest k with u < cum.(k) — the entry the old linear scan chose;
+     a u at or past the accumulated row mass (possible when the
+     renormalised probabilities round their sum below the draw) falls
+     back to the last entry, which is strictly positive by
+     construction. *)
+  let cum = t.cum in
+  if u >= Array.unsafe_get cum hi then t.cols.(hi)
+  else begin
+    let a = ref lo and b = ref hi in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      if u < Array.unsafe_get cum mid then b := mid else a := mid + 1
+    done;
+    Array.unsafe_get t.cols !a
+  end
+
+let sample_step rng t i = sample_step_of t i ~u:(Prob.Rng.float rng)
 
 let simulate rng t ~start ~steps =
   if start < 0 || start >= t.size then invalid_arg "Chain.simulate: bad start";
@@ -113,6 +195,7 @@ let simulate rng t ~start ~steps =
 
 let hitting_time rng t ~start ~target ~max_steps =
   if start < 0 || start >= t.size then invalid_arg "Chain.hitting_time: bad start";
+  if max_steps < 0 then invalid_arg "Chain.hitting_time: negative max_steps";
   let rec go state step =
     if target state then Some step
     else if step >= max_steps then None
@@ -121,7 +204,7 @@ let hitting_time rng t ~start ~target ~max_steps =
   go start 0
 
 let successors t i =
-  Array.to_list (Array.map fst t.rows.(i))
+  List.init (degree t i) (fun k -> t.cols.(t.row_start.(i) + k))
 
 let reachable_from neighbours size start =
   let seen = Array.make size false in
@@ -146,10 +229,9 @@ let is_irreducible t =
   else begin
     (* Backward reachability needs the reversed adjacency. *)
     let preds = Array.make t.size [] in
-    Array.iteri
-      (fun i entries ->
-        Array.iter (fun (j, p) -> if p > 0. then preds.(j) <- i :: preds.(j)) entries)
-      t.rows;
+    for i = 0 to t.size - 1 do
+      iter_row t i (fun j p -> if p > 0. then preds.(j) <- i :: preds.(j))
+    done;
     let backward = reachable_from (fun u -> preds.(u)) t.size 0 in
     Array.for_all Fun.id backward
   end
@@ -164,10 +246,9 @@ let is_aperiodic t =
      her strategy). Otherwise compute the period as the gcd over edges
      (u, v) of level(u) + 1 - level(v) for BFS levels from state 0. *)
   let has_loop = ref false in
-  Array.iteri
-    (fun i entries ->
-      Array.iter (fun (j, p) -> if i = j && p > 0. then has_loop := true) entries)
-    t.rows;
+  for i = 0 to t.size - 1 do
+    iter_row t i (fun j p -> if i = j && p > 0. then has_loop := true)
+  done;
   if !has_loop then true
   else begin
     let level = Array.make t.size (-1) in
@@ -185,38 +266,30 @@ let is_aperiodic t =
         (successors t u)
     done;
     let g = ref 0 in
-    Array.iteri
-      (fun u entries ->
-        if level.(u) >= 0 then
-          Array.iter
-            (fun (v, p) ->
-              if p > 0. && level.(v) >= 0 then
-                g := Stdlib.abs (gcd_aux !g (level.(u) + 1 - level.(v))))
-            entries)
-      t.rows;
+    for u = 0 to t.size - 1 do
+      if level.(u) >= 0 then
+        iter_row t u (fun v p ->
+            if p > 0. && level.(v) >= 0 then
+              g := Stdlib.abs (gcd_aux !g (level.(u) + 1 - level.(v))))
+    done;
     !g = 1
   end
 
 let is_reversible ?(tol = 1e-9) t pi =
   if Array.length pi <> t.size then invalid_arg "Chain.is_reversible: dimension";
   let ok = ref true in
-  Array.iteri
-    (fun i entries ->
-      Array.iter
-        (fun (j, p) ->
-          let flow = pi.(i) *. p in
-          let back = pi.(j) *. prob t j i in
-          if Float.abs (flow -. back) > tol then ok := false)
-        entries)
-    t.rows;
+  for i = 0 to t.size - 1 do
+    iter_row t i (fun j p ->
+        let flow = pi.(i) *. p in
+        let back = pi.(j) *. prob t j i in
+        if Float.abs (flow -. back) > tol then ok := false)
+  done;
   !ok
 
 let edge_measure t pi i j = pi.(i) *. prob t i j
 
 let lazy_version t =
   of_rows
-    (Array.mapi
-       (fun i entries ->
-         let halved = Array.map (fun (j, p) -> (j, 0.5 *. p)) entries in
-         Array.append halved [| (i, 0.5) |])
-       t.rows)
+    (Array.init t.size (fun i ->
+         let halved = Array.map (fun (j, p) -> (j, 0.5 *. p)) (row t i) in
+         Array.append halved [| (i, 0.5) |]))

@@ -1,9 +1,17 @@
-(** Finite Markov chains in sparse-row representation.
+(** Finite Markov chains in CSR (compressed sparse row) representation.
 
     The logit dynamics on n players with m strategies each has mⁿ
     states but only n(m-1)+1 non-zero transitions per state, so the
     whole library works with sparse rows; dense matrices are
-    materialised only for small state spaces (spectral analysis). *)
+    materialised only for small state spaces (spectral analysis).
+
+    Internally the rows live in three flat arrays — column indices,
+    probabilities and per-row prefix sums, plus a row-offset array —
+    so the hot kernels ([evolve_into], [apply], [sample_step], [prob])
+    run over contiguous unboxed memory with zero allocation. Column
+    indices are strictly increasing within every row (duplicates are
+    summed and zeros dropped at construction), which is what makes the
+    binary searches in [prob] and the sampler correct. *)
 
 type t
 
@@ -29,18 +37,42 @@ val of_dense : Linalg.Mat.t -> t
 (** [size t] is the number of states. *)
 val size : t -> int
 
-(** [row t i] is the sparse row of state [i] (not to be mutated). *)
+(** [nnz t] is the total number of stored transitions. *)
+val nnz : t -> int
+
+(** [degree t i] is the number of stored transitions out of state [i]
+    (at least 1: every row carries mass one). *)
+val degree : t -> int -> int
+
+(** [iter_row t i f] applies [f j p] to every stored transition
+    [i → j] with probability [p], in increasing column order, without
+    materialising the row. This is the allocation-free way to walk a
+    row; prefer it over {!row} in loops. *)
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+
+(** [row t i] is the sparse row of state [i], freshly allocated as a
+    tuple array view over the CSR storage (sorted by column, safe to
+    mutate). *)
 val row : t -> int -> (int * float) array
 
 (** [row_list t i] is the row as a list. *)
 val row_list : t -> int -> (int * float) list
 
-(** [prob t i j] is P(i, j). *)
+(** [prob t i j] is P(i, j) — a binary search over the sorted column
+    slice of row [i], O(log degree). *)
 val prob : t -> int -> int -> float
 
 (** [evolve t mu] is the push-forward μP of the distribution vector
     [mu]. *)
 val evolve : t -> float array -> float array
+
+(** [evolve_into t ~src ~dst] writes the push-forward [src]·P into
+    [dst] without allocating — the double-buffered kernel behind
+    {!Mixing.tv_curve} and friends. [dst] is cleared first; [src] and
+    [dst] must be distinct arrays of length [size t]
+    ([Invalid_argument] otherwise). Arithmetic order is identical to
+    {!evolve}, so results are bit-equal. *)
+val evolve_into : t -> src:float array -> dst:float array -> unit
 
 (** [apply t f] is the function application Pf,
     [(Pf)(i) = Σ_j P(i,j) f(j)]. *)
@@ -49,8 +81,21 @@ val apply : t -> float array -> float array
 (** [to_dense t] materialises the dense transition matrix. *)
 val to_dense : t -> Linalg.Mat.t
 
-(** [sample_step rng t i] draws the next state from P(i, ·). *)
+(** [sample_step rng t i] draws the next state from P(i, ·) by binary
+    search on the precomputed per-row prefix sums — O(log degree) per
+    step with no allocation, and bit-compatible with the historical
+    linear scan (same prefix sums, same tie-breaking). *)
 val sample_step : Prob.Rng.t -> t -> int -> int
+
+(** [sample_step_of t i ~u] is the deterministic core of
+    {!sample_step}: the next state selected by the uniform draw
+    [u ∈ [0, 1)]. The entry chosen is the first whose running prefix
+    sum exceeds [u]; a [u] at or beyond the accumulated row mass
+    (reachable only through floating-point rounding) falls back to the
+    last stored entry, which is strictly positive by construction.
+    Exposed for boundary testing and for callers that manage their own
+    uniform variates (e.g. common random numbers couplings). *)
+val sample_step_of : t -> int -> u:float -> int
 
 (** [simulate rng t ~start ~steps] returns the trajectory
     [x₀ = start, x₁, ..., x_steps] (length [steps + 1]). *)
@@ -59,7 +104,8 @@ val simulate : Prob.Rng.t -> t -> start:int -> steps:int -> int array
 (** [hitting_time rng t ~start ~target ~max_steps] simulates until the
     chain first reaches a state satisfying [target]; [None] if not hit
     within [max_steps]. A [start] already satisfying [target] hits at
-    time 0. *)
+    time 0. Raises [Invalid_argument] on a bad [start] or a negative
+    [max_steps]. *)
 val hitting_time :
   Prob.Rng.t -> t -> start:int -> target:(int -> bool) -> max_steps:int ->
   int option

@@ -19,12 +19,10 @@ let expected_times t ~target =
     let a = Linalg.Mat.identity k in
     Array.iteri
       (fun row i ->
-        Array.iter
-          (fun (j, p) ->
+        Chain.iter_row t i (fun j p ->
             if index_of.(j) >= 0 then
               Linalg.Mat.set a row index_of.(j)
-                (Linalg.Mat.get a row index_of.(j) -. p))
-          (Chain.row t i))
+                (Linalg.Mat.get a row index_of.(j) -. p)))
       interior;
     let h = Linalg.Lu.solve a (Array.make k 1.) in
     Array.iteri (fun pos i -> times.(i) <- h.(pos)) interior
@@ -53,13 +51,11 @@ let probabilities t ~target ~avoid =
     let b = Array.make k 0. in
     Array.iteri
       (fun row i ->
-        Array.iter
-          (fun (j, p) ->
+        Chain.iter_row t i (fun j p ->
             if target j then b.(row) <- b.(row) +. p
             else if index_of.(j) >= 0 then
               Linalg.Mat.set a row index_of.(j)
-                (Linalg.Mat.get a row index_of.(j) -. p))
-          (Chain.row t i))
+                (Linalg.Mat.get a row index_of.(j) -. p)))
       interior;
     let q = Linalg.Lu.solve a b in
     Array.iteri (fun pos i -> probs.(i) <- q.(pos)) interior

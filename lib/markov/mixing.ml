@@ -1,6 +1,12 @@
 let tv_against pi mu =
+  let n = Array.length mu in
+  if Array.length pi <> n then invalid_arg "Mixing: dimension mismatch";
+  (* Lengths checked above, so unchecked access is safe; left-to-right
+     summation matches the previous [Array.iteri] implementation. *)
   let acc = ref 0. in
-  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. pi.(i))) mu;
+  for i = 0 to n - 1 do
+    acc := !acc +. Float.abs (Array.unsafe_get mu i -. Array.unsafe_get pi i)
+  done;
   0.5 *. !acc
 
 let point_mass n i =
@@ -16,14 +22,20 @@ let check_starts t starts =
     starts
 
 (* One parallel (or serial) sweep over the start states: evolve every
-   point mass one step and refresh its TV distance. Each slot is
+   point mass one step (into its scratch buffer, then swap — no
+   allocation after setup) and refresh its TV distance. Each slot is
    written by exactly one body invocation, and Float.max over the tvs
    is exact and order-independent, so pooled and serial runs agree
    bit-for-bit. *)
-let advance_starts pool t pi mus tvs =
+let advance_starts pool t pi mus scratch tvs =
   Exec.Pool.iter_opt pool ~n:(Array.length mus) (fun k ->
-      mus.(k) <- Chain.evolve t mus.(k);
+      Chain.evolve_into t ~src:mus.(k) ~dst:scratch.(k);
+      let previous = mus.(k) in
+      mus.(k) <- scratch.(k);
+      scratch.(k) <- previous;
       tvs.(k) <- tv_against pi mus.(k))
+
+let scratch_like mus = Array.map (fun mu -> Array.make (Array.length mu) 0.) mus
 
 let worst tvs = Array.fold_left Float.max 0. tvs
 
@@ -32,11 +44,12 @@ let tv_curve ?pool t pi ~starts ~steps =
   if steps < 0 then invalid_arg "Mixing.tv_curve: negative steps";
   let n = Chain.size t in
   let mus = Array.of_list (List.map (point_mass n) starts) in
+  let scratch = scratch_like mus in
   let tvs = Array.map (tv_against pi) mus in
   let curve = Array.make (steps + 1) 0. in
   curve.(0) <- worst tvs;
   for step = 1 to steps do
-    advance_starts pool t pi mus tvs;
+    advance_starts pool t pi mus scratch tvs;
     curve.(step) <- worst tvs
   done;
   curve
@@ -45,12 +58,13 @@ let mixing_time ?pool ?(eps = 0.25) ?(max_steps = 1_000_000) t pi ~starts =
   check_starts t starts;
   let n = Chain.size t in
   let mus = Array.of_list (List.map (point_mass n) starts) in
+  let scratch = scratch_like mus in
   let tvs = Array.map (tv_against pi) mus in
   let rec go step =
     if worst tvs <= eps then Some step
     else if step >= max_steps then None
     else begin
-      advance_starts pool t pi mus tvs;
+      advance_starts pool t pi mus scratch tvs;
       go (step + 1)
     end
   in
@@ -61,9 +75,15 @@ let mixing_time_all ?pool ?eps ?max_steps t pi =
 
 let tv_at t pi ~start ~steps =
   check_starts t [ start ];
-  let mu = ref (point_mass (Chain.size t) start) in
+  if steps < 0 then invalid_arg "Mixing.tv_at: negative steps";
+  let n = Chain.size t in
+  let mu = ref (point_mass n start) in
+  let scratch = ref (Array.make n 0.) in
   for _ = 1 to steps do
-    mu := Chain.evolve t !mu
+    Chain.evolve_into t ~src:!mu ~dst:!scratch;
+    let previous = !mu in
+    mu := !scratch;
+    scratch := previous
   done;
   tv_against pi !mu
 

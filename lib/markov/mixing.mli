@@ -14,7 +14,10 @@
 (** [tv_curve ?pool t pi ~starts ~steps] is the array [d(0); d(1); ...;
     d(steps)] of worst-case (over [starts]) TV distances. With [?pool]
     the per-start evolutions of each step run across domains; results
-    are bit-identical to the serial sweep for any pool size. *)
+    are bit-identical to the serial sweep for any pool size. Each
+    start state owns a double-buffered pair of vectors driven by
+    {!Chain.evolve_into}, so the sweep allocates nothing after
+    setup regardless of [steps]. *)
 val tv_curve :
   ?pool:Exec.Pool.t -> Chain.t -> float array -> starts:int list -> steps:int ->
   float array
@@ -34,7 +37,7 @@ val mixing_time_all :
   int option
 
 (** [tv_at t pi ~start ~steps] is ‖Pᵗ(start,·) - π‖_TV at [t = steps]
-    only. *)
+    only. Raises [Invalid_argument] on a negative [steps]. *)
 val tv_at : Chain.t -> float array -> start:int -> steps:int -> float
 
 (** [empirical_tv ?pool rng t pi ~start ~steps ~replicas] estimates the

@@ -72,8 +72,7 @@ let comparison_congestion t pi ~reference:(that, that_pi) fam =
   let n = Chain.size t in
   let loads = Hashtbl.create (4 * n) in
   for x = 0 to n - 1 do
-    Array.iter
-      (fun (y, p_hat) ->
+    Chain.iter_row that x (fun y p_hat ->
         if x <> y && p_hat > 0. then begin
           let path = fam x y in
           let len = float_of_int (List.length path) in
@@ -87,7 +86,6 @@ let comparison_congestion t pi ~reference:(that, that_pi) fam =
                 (w +. Option.value ~default:0. (Hashtbl.find_opt loads key)))
             path
         end)
-      (Chain.row that x)
   done;
   let alpha =
     Hashtbl.fold

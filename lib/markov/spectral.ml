@@ -6,10 +6,8 @@ let symmetrize t pi =
   let sqrt_pi = Array.map sqrt pi in
   let a = Linalg.Mat.create n n 0. in
   for i = 0 to n - 1 do
-    Array.iter
-      (fun (j, p) ->
+    Chain.iter_row t i (fun j p ->
         if p <> 0. then Linalg.Mat.set a i j (sqrt_pi.(i) *. p /. sqrt_pi.(j)))
-      (Chain.row t i)
   done;
   (* Symmetrise the round-off asymmetry exactly. *)
   for i = 0 to n - 1 do

@@ -1,12 +1,15 @@
 let by_power ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
   let n = Chain.size t in
   let mu = ref (Array.make n (1. /. float_of_int n)) in
+  let scratch = ref (Array.make n 0.) in
   let rec go iter =
     if iter > max_iter then failwith "Stationary.by_power: did not converge";
-    let next = Chain.evolve t !mu in
+    Chain.evolve_into t ~src:!mu ~dst:!scratch;
     let moved = ref 0. in
-    Array.iteri (fun i x -> moved := !moved +. Float.abs (x -. !mu.(i))) next;
-    mu := next;
+    Array.iteri (fun i x -> moved := !moved +. Float.abs (x -. !mu.(i))) !scratch;
+    let previous = !mu in
+    mu := !scratch;
+    scratch := previous;
     if !moved > tol then go (iter + 1)
   in
   go 1;
@@ -18,9 +21,7 @@ let by_solve t =
      Σ_i π_i (P(i,j) - δ_ij) = 0; the last equation is Σ_i π_i = 1. *)
   let a = Linalg.Mat.create n n 0. in
   for i = 0 to n - 1 do
-    Array.iter
-      (fun (j, p) -> if j < n - 1 then Linalg.Mat.set a j i p)
-      (Chain.row t i);
+    Chain.iter_row t i (fun j p -> if j < n - 1 then Linalg.Mat.set a j i p);
     if i < n - 1 then Linalg.Mat.set a i i (Linalg.Mat.get a i i -. 1.);
     Linalg.Mat.set a (n - 1) i 1.
   done;

@@ -11,6 +11,7 @@ let logsumexp xs =
 let logsumexp2 a b =
   let m = Float.max a b in
   if m = neg_infinity then neg_infinity
+  else if m = infinity then infinity
   else m +. log (exp (a -. m) +. exp (b -. m))
 
 let normalize_logs xs =

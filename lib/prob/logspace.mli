@@ -10,7 +10,9 @@
     array or when all entries are [neg_infinity]. *)
 val logsumexp : float array -> float
 
-(** [logsumexp2 a b] is [log (exp a + exp b)] computed stably. *)
+(** [logsumexp2 a b] is [log (exp a + exp b)] computed stably.
+    Like {!logsumexp}, an infinite argument yields [infinity] (rather
+    than the NaN of the naive [inf -. inf]). *)
 val logsumexp2 : float -> float -> float
 
 (** [normalize_logs xs] maps log-weights to a probability vector:

@@ -60,17 +60,8 @@ let geometric t p =
     let u = 1. -. float t in
     int_of_float (Float.floor (log u /. log (1. -. p)))
 
-let categorical t weights =
+let categorical_pick weights ~u =
   let n = Array.length weights in
-  if n = 0 then invalid_arg "Rng.categorical: empty weights";
-  let total = ref 0. in
-  Array.iter
-    (fun w ->
-      if w < 0. || Float.is_nan w then invalid_arg "Rng.categorical: negative weight";
-      total := !total +. w)
-    weights;
-  if !total <= 0. then invalid_arg "Rng.categorical: zero total weight";
-  let u = float t *. !total in
   let acc = ref 0. and chosen = ref (n - 1) and found = ref false in
   for i = 0 to n - 1 do
     if not !found then begin
@@ -81,8 +72,9 @@ let categorical t weights =
       end
     end
   done;
-  (* If rounding left u beyond the accumulated total, fall back to the
-     last strictly positive weight. *)
+  (* If rounding left u at or beyond the accumulated total, fall back
+     to the last strictly positive weight (a zero-weight tail must
+     never be selected). *)
   if not !found then begin
     let i = ref (n - 1) in
     while weights.(!i) = 0. && !i > 0 do
@@ -91,6 +83,18 @@ let categorical t weights =
     chosen := !i
   end;
   !chosen
+
+let categorical t weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Rng.categorical: empty weights";
+  let total = ref 0. in
+  Array.iter
+    (fun w ->
+      if w < 0. || Float.is_nan w then invalid_arg "Rng.categorical: negative weight";
+      total := !total +. w)
+    weights;
+  if !total <= 0. then invalid_arg "Rng.categorical: zero total weight";
+  categorical_pick weights ~u:(float t *. !total)
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do

@@ -58,6 +58,16 @@ val geometric : t -> float -> int
     strictly positive sum; raises [Invalid_argument] otherwise. *)
 val categorical : t -> float array -> int
 
+(** [categorical_pick weights ~u] is the deterministic selection core
+    of {!categorical}: the first index whose running prefix sum
+    exceeds the threshold [u ∈ [0, Σ weights)]. A [u] at or beyond the
+    accumulated total — reachable only through floating-point rounding
+    of [u = uniform · Σ weights] — falls back to the last strictly
+    positive weight, so zero-weight tails are never selected. Performs
+    no validation; exposed for boundary testing and for callers that
+    supply their own uniform variates. *)
+val categorical_pick : float array -> u:float -> int
+
 (** [shuffle t a] permutes [a] in place uniformly at random
     (Fisher–Yates). *)
 val shuffle : t -> 'a array -> unit

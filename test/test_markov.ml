@@ -94,6 +94,176 @@ let chain_sample_frequencies () =
   done;
   check_float ~tol:0.01 "sample freq" 0.3 (float_of_int !ones /. float_of_int n)
 
+(* ----- CSR layout invariants and kernels ----- *)
+
+(* The pre-CSR reference kernels, reconstructed over the public row
+   views: the tentpole contract is that the flat CSR kernels are
+   bit-identical to these (same arithmetic, same order). *)
+let legacy_evolve c mu =
+  let n = Chain.size c in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let mass = mu.(i) in
+    if mass > 0. then
+      Array.iter (fun (j, p) -> out.(j) <- out.(j) +. (mass *. p)) (Chain.row c i)
+  done;
+  out
+
+let legacy_sample_step rng c i =
+  let entries = Chain.row c i in
+  let u = Prob.Rng.float rng in
+  let acc = ref 0. in
+  let result = ref (fst entries.(Array.length entries - 1)) in
+  let found = ref false in
+  Array.iter
+    (fun (j, p) ->
+      if not !found then begin
+        acc := !acc +. p;
+        if u < !acc then begin
+          result := j;
+          found := true
+        end
+      end)
+    entries;
+  !result
+
+let rows_strictly_sorted_positive c =
+  let ok = ref true in
+  for i = 0 to Chain.size c - 1 do
+    let entries = Chain.row c i in
+    check_int (Printf.sprintf "degree %d" i) (Array.length entries)
+      (Chain.degree c i);
+    Array.iteri
+      (fun k (j, p) ->
+        if p <= 0. then ok := false;
+        if k > 0 && fst entries.(k - 1) >= j then ok := false)
+      entries
+  done;
+  !ok
+
+let csr_rows_sorted_dupfree () =
+  (* Duplicate columns are summed into one strictly-sorted entry... *)
+  let c =
+    Chain.of_rows
+      [|
+        [| (1, 0.25); (0, 0.5); (1, 0.25) |];
+        [| (1, 0.3); (0, 0.3); (1, 0.2); (0, 0.2) |];
+      |]
+  in
+  check_true "duplicates collapsed, sorted" (rows_strictly_sorted_positive c);
+  check_int "row 0 dup-free" 2 (Chain.degree c 0);
+  check_float ~tol:1e-12 "summed dup" 0.5 (Chain.prob c 0 1);
+  check_int "nnz" 4 (Chain.nnz c);
+  (* ... and lazy_version (which re-introduces a duplicate self-loop
+     entry per row) preserves the invariant. *)
+  let lazy_c = Chain.lazy_version c in
+  check_true "lazy_version sorted dup-free" (rows_strictly_sorted_positive lazy_c);
+  check_float ~tol:1e-12 "lazy self-loop" (0.5 +. (0.5 *. 0.5)) (Chain.prob lazy_c 0 0)
+
+let csr_rows_sorted_random =
+  QCheck.Test.make ~name:"logit chain + lazy rows strictly sorted, no zeros"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, _ = random_reversible seed in
+      rows_strictly_sorted_positive chain
+      && rows_strictly_sorted_positive (Chain.lazy_version chain))
+
+let csr_prob_binary_search =
+  QCheck.Test.make ~name:"prob = linear row scan for every (i, j)" ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, _ = random_reversible seed in
+      let n = Chain.size chain in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let scanned = ref 0. in
+          Array.iter
+            (fun (k, p) -> if k = j then scanned := p)
+            (Chain.row chain i);
+          if Chain.prob chain i j <> !scanned then ok := false
+        done
+      done;
+      !ok)
+
+let csr_evolve_into () =
+  let c = two_state 0.3 0.2 in
+  let src = [| 0.25; 0.75 |] in
+  let dst = [| 42.; -7. |] in
+  (* dst is cleared, result matches the allocating kernel bit-for-bit *)
+  Chain.evolve_into c ~src ~dst;
+  check_true "evolve_into = evolve" (dst = Chain.evolve c src);
+  check_raises_invalid "src = dst" (fun () ->
+      Chain.evolve_into c ~src:dst ~dst);
+  check_raises_invalid "src dimension" (fun () ->
+      Chain.evolve_into c ~src:[| 1. |] ~dst);
+  check_raises_invalid "dst dimension" (fun () ->
+      Chain.evolve_into c ~src ~dst:[| 0. |])
+
+let csr_evolve_bit_identical =
+  QCheck.Test.make ~name:"CSR evolve bit-identical to pre-CSR row scan"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      let n = Chain.size chain in
+      let r = Prob.Rng.create (seed + 7) in
+      let mu = Array.init n (fun _ -> Prob.Rng.float r) in
+      let total = Array.fold_left ( +. ) 0. mu in
+      let mu = Array.map (fun x -> x /. total) mu in
+      Chain.evolve chain mu = legacy_evolve chain mu
+      && Chain.evolve chain pi = legacy_evolve chain pi)
+
+let csr_sampler_agreement =
+  QCheck.Test.make
+    ~name:"binary-search sampler = linear scan on identical RNG streams"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, _ = random_reversible seed in
+      let a = Prob.Rng.create (seed + 13) in
+      let b = Prob.Rng.copy a in
+      let ok = ref true in
+      let x = ref 0 and y = ref 0 in
+      for _ = 1 to 2_000 do
+        x := Chain.sample_step a chain !x;
+        y := legacy_sample_step b chain !y;
+        if !x <> !y then ok := false
+      done;
+      !ok)
+
+let csr_sample_boundaries () =
+  let c = two_state 0.3 0.2 in
+  (* row 0 = [(0, 0.7); (1, 0.3)]: prefix sums 0.7, 1.0. *)
+  check_int "u = 0 -> first entry" 0 (Chain.sample_step_of c 0 ~u:0.);
+  check_int "u below first prefix" 0 (Chain.sample_step_of c 0 ~u:0.699);
+  check_int "u at first prefix -> next entry" 1 (Chain.sample_step_of c 0 ~u:0.7);
+  check_int "u just below mass" 1 (Chain.sample_step_of c 0 ~u:0.999999);
+  (* u at/past the accumulated mass: fall back to the last stored
+     entry, which is strictly positive by construction (zero-weight
+     entries are dropped at normalisation, so no zero tail exists). *)
+  check_int "u = 1 falls back to last entry" 1 (Chain.sample_step_of c 0 ~u:1.0);
+  check_int "u past mass falls back" 1 (Chain.sample_step_of c 0 ~u:1.5);
+  (* A row whose trailing probability is tiny still owns the tail. *)
+  let skewed = Chain.of_rows [| [| (0, 1. -. 1e-12); (1, 1e-12) |]; [| (1, 1.) |] |] in
+  check_int "tiny tail entry selected at u = 1" 1
+    (Chain.sample_step_of skewed 0 ~u:1.0)
+
+let csr_validation_negative_steps () =
+  let c = two_state 0.3 0.2 in
+  let r = rng () in
+  check_raises_invalid "hitting_time negative max_steps" (fun () ->
+      ignore
+        (Chain.hitting_time r c ~start:0 ~target:(fun s -> s = 1) ~max_steps:(-1)));
+  check_raises_invalid "tv_at negative steps" (fun () ->
+      ignore (Mixing.tv_at c [| 0.5; 0.5 |] ~start:0 ~steps:(-1)));
+  check_raises_invalid "simulate negative steps" (fun () ->
+      ignore (Chain.simulate r c ~start:0 ~steps:(-1)));
+  (* max_steps = 0 stays legal: a start on the target hits at time 0. *)
+  check_true "hit at 0 with zero budget"
+    (Chain.hitting_time r c ~start:0 ~target:(fun s -> s = 0) ~max_steps:0 = Some 0)
+
 (* ----- Stationary ----- *)
 
 let stationary_two_state () =
@@ -450,6 +620,17 @@ let suites =
         test "reversibility" chain_reversibility;
         test "simulate & hitting" chain_simulate;
         test "sample frequencies" chain_sample_frequencies;
+      ] );
+    ( "markov.csr",
+      [
+        test "rows sorted & duplicate-free" csr_rows_sorted_dupfree;
+        qcheck csr_rows_sorted_random;
+        qcheck csr_prob_binary_search;
+        test "evolve_into" csr_evolve_into;
+        qcheck csr_evolve_bit_identical;
+        qcheck csr_sampler_agreement;
+        test "sampler boundaries" csr_sample_boundaries;
+        test "negative step validation" csr_validation_negative_steps;
       ] );
     ( "markov.stationary",
       [

@@ -61,6 +61,30 @@ let rng_categorical () =
   check_raises_invalid "negative weight" (fun () -> Rng.categorical r [| -1.; 2. |]);
   check_raises_invalid "zero total" (fun () -> Rng.categorical r [| 0.; 0. |])
 
+let rng_categorical_boundaries () =
+  (* The deterministic selection core, driven by explicit thresholds. *)
+  let w = [| 1.; 0.; 3. |] in
+  check_int "u in first weight" 0 (Rng.categorical_pick w ~u:0.5);
+  check_int "zero weight skipped at its prefix" 2 (Rng.categorical_pick w ~u:1.0);
+  check_int "u in last weight" 2 (Rng.categorical_pick w ~u:3.9);
+  (* u at or past the accumulated mass (float rounding of u = unif *
+     total) must fall back to the last strictly positive weight... *)
+  check_int "u = total falls back" 2 (Rng.categorical_pick w ~u:4.0);
+  check_int "u past total falls back" 2 (Rng.categorical_pick w ~u:4.5);
+  (* ... and never land on a zero-weight tail. *)
+  let tail = [| 1.; 3.; 0.; 0. |] in
+  check_int "zero tail skipped on fallback" 1 (Rng.categorical_pick tail ~u:4.0);
+  (* A zero-weight head is unreachable even at u = 0. *)
+  check_int "zero head skipped at u=0" 1 (Rng.categorical_pick [| 0.; 2. |] ~u:0.);
+  (* categorical = categorical_pick on the same stream. *)
+  let a = rng () and b = rng () in
+  for _ = 1 to 1_000 do
+    let direct = Rng.categorical a w in
+    let total = Array.fold_left ( +. ) 0. w in
+    let picked = Rng.categorical_pick w ~u:(Rng.float b *. total) in
+    check_int "categorical = pick of scaled uniform" picked direct
+  done
+
 let rng_exponential_mean () =
   let r = rng () in
   let n = 50_000 in
@@ -105,6 +129,29 @@ let logspace_huge () =
   check_float ~tol:1e-9 "huge" (1000. +. log 2.) z;
   let p = Logspace.normalize_logs [| 1000.; 1000. +. log 3. |] in
   check_array ~tol:1e-12 "normalize huge" [| 0.25; 0.75 |] p
+
+let logsumexp2_infinities () =
+  (* Regression: [m = infinity] used to produce [inf -. inf = nan]
+     inside [exp]; an infinite argument must dominate exactly as in
+     [logsumexp]. *)
+  (* Exact equality: check_float would let a NaN slip through (every
+     comparison against NaN is false). *)
+  check_true "inf + finite" (Logspace.logsumexp2 infinity 0. = infinity);
+  check_true "finite + inf" (Logspace.logsumexp2 1000. infinity = infinity);
+  check_true "inf + inf" (Logspace.logsumexp2 infinity infinity = infinity);
+  check_true "inf + -inf" (Logspace.logsumexp2 infinity neg_infinity = infinity);
+  check_true "-inf + -inf"
+    (Logspace.logsumexp2 neg_infinity neg_infinity = neg_infinity);
+  check_float ~tol:1e-12 "-inf + finite" 5. (Logspace.logsumexp2 neg_infinity 5.);
+  (* Agreement with the n-ary version on the same pairs. *)
+  List.iter
+    (fun (a, b) ->
+      check_true "matches logsumexp"
+        (Logspace.logsumexp [| a; b |] = Logspace.logsumexp2 a b))
+    [ (infinity, 0.); (0., infinity); (infinity, neg_infinity) ];
+  check_float ~tol:1e-12 "matches logsumexp (finite)"
+    (Logspace.logsumexp [| 3.; 4. |])
+    (Logspace.logsumexp2 3. 4.)
 
 let logspace_log1mexp () =
   check_float ~tol:1e-12 "log1mexp" (log (1. -. exp (-1.))) (Logspace.log1mexp (-1.));
@@ -268,6 +315,7 @@ let suites =
         test "int uniform" rng_int_uniform;
         test "bernoulli mean" rng_bernoulli_mean;
         test "categorical" rng_categorical;
+        test "categorical boundaries" rng_categorical_boundaries;
         test "exponential mean" rng_exponential_mean;
         test "geometric mean" rng_geometric_mean;
         test "shuffle permutes" rng_shuffle_permutes;
@@ -276,6 +324,7 @@ let suites =
       [
         test "basics" logspace_basic;
         test "huge values" logspace_huge;
+        test "logsumexp2 infinities" logsumexp2_infinities;
         test "log1mexp" logspace_log1mexp;
         qcheck logsumexp_monotone;
       ] );
