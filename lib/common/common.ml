@@ -1,0 +1,13 @@
+exception No_convergence of string
+
+let () =
+  Printexc.register_printer (function
+    | No_convergence msg -> Some (Printf.sprintf "No_convergence(%s)" msg)
+    | _ -> None)
+
+let no_convergence fmt =
+  Printf.ksprintf (fun msg -> raise (No_convergence msg)) fmt
+
+let feq ~eps a b =
+  if eps < 0. || Float.is_nan eps then invalid_arg "Common.feq: need eps >= 0";
+  Float.abs (a -. b) <= eps

@@ -1,0 +1,32 @@
+(** Cross-library primitives shared by every layer of the system.
+
+    This library is dependency-free on purpose: [linalg], [markov],
+    [graphs] and [logit] all sit above it, so an exception defined
+    here can travel across layer boundaries without forcing any other
+    dependency edge. *)
+
+(** Raised by iterative numerical routines when an iteration budget is
+    exhausted before the convergence criterion is met: power iteration
+    ({!Markov.Stationary.by_power}), QR/QL eigensolvers
+    ({!Linalg.Eigen.general_spectrum}, {!Linalg.Tridiag.eigensystem}),
+    coupling-from-the-past ({!Logit.Perfect_sampling.sample}) and
+    restart-bounded randomized constructions
+    ({!Graphs.Generators.random_regular}).
+
+    Distinct from [Invalid_argument], which these modules reserve for
+    precondition violations: [No_convergence] means the input was
+    legal but the budget (iterations, epochs, restarts) ran out. The
+    project lint rule [exn-policy] enforces this split by rejecting
+    [failwith]/[Failure] anywhere under [lib/]. *)
+exception No_convergence of string
+
+(** [no_convergence fmt ...] raises {!No_convergence} with a
+    [Printf]-formatted message. *)
+val no_convergence : ('a, unit, string, 'b) format4 -> 'a
+
+(** [feq ~eps a b] is [|a - b| <= eps] — the explicit tolerance
+    comparison the [float-equality] lint rule points to. [eps = 0.]
+    gives exact comparison (NaN compares unequal to everything, and
+    unlike [Float.equal] [feq ~eps:0. nan nan] is [false]). Raises
+    [Invalid_argument] on negative or NaN [eps]. *)
+val feq : eps:float -> float -> float -> bool

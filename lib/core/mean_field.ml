@@ -24,6 +24,7 @@ let fixed_points ~players ~beta phi =
       out :=
         ((if Float.abs d.(k) <= Float.abs d.(k + 1) then k else k + 1), `Unstable)
         :: !out
+      (* lint: allow float-equality — symmetric games zero the drift exactly at the midpoint *)
     else if d.(k) = 0. && k > 0 && k < players then
       out := (k, if d.(k - 1) > 0. && d.(k + 1) < 0. then `Stable else `Unstable) :: !out
   done;

@@ -17,6 +17,7 @@ let transition_row game ~beta idx =
         Array.iteri
           (fun i s ->
             let q = sigmas.(i).(s) in
+            (* lint: allow float-equality — exactly-zero factor: target unreachable *)
             if q = 0. then raise_notrace Exit;
             p := !p *. q)
           profile

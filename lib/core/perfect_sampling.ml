@@ -68,7 +68,8 @@ let run_cftp ?(max_epochs = 40) rng game ~beta =
   in
   let rec attempt epoch =
     if epoch > max_epochs then
-      failwith "Perfect_sampling: no coalescence within the epoch budget";
+      Common.no_convergence
+        "Perfect_sampling: no coalescence within %d doubling epochs" max_epochs;
     let window = 1 lsl epoch in
     ensure window;
     let top = ref top_start and bottom = ref 0 in

@@ -25,7 +25,7 @@ val is_attractive : Games.Game.t -> beta:float -> bool
     game to be attractive (see {!is_attractive}) — this is NOT checked
     here (it costs 4ⁿ); non-monotone games yield biased samples.
     [max_epochs] (default 40, i.e. 2⁴⁰ steps) bounds the backward
-    doubling; raises [Failure] beyond it. *)
+    doubling; raises [Common.No_convergence] beyond it. *)
 val sample : ?max_epochs:int -> Prob.Rng.t -> Games.Game.t -> beta:float -> int
 
 (** [samples ?pool rng game ~beta ~count] draws independent exact

@@ -134,6 +134,7 @@ let find id =
   | None -> raise Not_found
 
 let run_one ~quick e =
+  (* lint: allow print-in-lib — the experiment driver's stdout section header *)
   Printf.printf "\n### %s — %s: %s\n\n" (String.uppercase_ascii e.id) e.theorem
     e.title;
   List.iter Table.print (e.run ~quick)

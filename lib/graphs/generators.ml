@@ -82,7 +82,7 @@ let random_regular rng n d =
     let stubs = Array.init (n * d) (fun i -> i / d) in
     let rec attempt remaining =
       if remaining = 0 then
-        failwith "Generators.random_regular: too many restarts"
+        Common.no_convergence "Generators.random_regular: too many restarts"
       else begin
         Prob.Rng.shuffle rng stubs;
         let seen = Hashtbl.create (n * d) in

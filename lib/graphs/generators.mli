@@ -40,5 +40,6 @@ val erdos_renyi : Prob.Rng.t -> int -> float -> Graph.t
 
 (** [random_regular rng n d] samples a d-regular simple graph on [n]
     vertices by the pairing model with restarts. Requires [n * d]
-    even, [0 <= d < n]. *)
+    even, [0 <= d < n]. Raises [Common.No_convergence] if the restart
+    budget (10,000 pairings) is exhausted. *)
 val random_regular : Prob.Rng.t -> int -> int -> Graph.t

@@ -13,6 +13,7 @@ let off_diagonal_mass m =
    working matrix [a] and the accumulated eigenvector matrix [v]. *)
 let rotate a v p q =
   let apq = Mat.get a p q in
+  (* lint: allow float-equality — the rotation is a no-op only on an exact zero *)
   if apq <> 0. then begin
     let app = Mat.get a p p and aqq = Mat.get a q q in
     let theta = (aqq -. app) /. (2. *. apq) in
@@ -92,6 +93,7 @@ let power_iteration ?(tol = 1e-12) ?(max_iter = 100_000) ?(seed = 42) av n =
     incr iter;
     let y = av !x in
     let ny = Vec.norm2 y in
+    (* lint: allow float-equality — exactly-null iterate: the operator killed x *)
     if ny = 0. then begin
       lambda := 0.;
       continue_ := false
@@ -120,6 +122,7 @@ let second_eigenpair_reversible ?(tol = 1e-12) ?(max_iter = 100_000) row pi n =
       let xi_scaled = sqrt_pi.(i) in
       List.iter
         (fun (j, p) ->
+          (* lint: allow float-equality — exact-zero skip of absent entries *)
           if p <> 0. then y.(i) <- y.(i) +. (xi_scaled *. p *. x.(j) /. sqrt_pi.(j)))
         (row i)
     done;
@@ -160,9 +163,11 @@ let hessenberg a =
         Mat.set a j m t
       done
     end;
+    (* lint: allow float-equality — an exactly-zero pivot column needs no elimination *)
     if !x <> 0. then
       for i = m + 1 to n - 1 do
         let y = Mat.get a i (m - 1) in
+        (* lint: allow float-equality — exact-zero multiplier: row already eliminated *)
         if y <> 0. then begin
           let y = y /. !x in
           Mat.set a i (m - 1) y;
@@ -200,8 +205,10 @@ let hqr a wr wi =
       while !searching && !l >= 1 do
         let s =
           let s = Float.abs (Mat.get a (!l - 1) (!l - 1)) +. Float.abs (Mat.get a !l !l) in
+          (* lint: allow float-equality — exact-zero fallback to the matrix norm *)
           if s = 0. then !anorm else s
         in
+        (* lint: allow float-equality — classic |a|+s = s negligibility test *)
         if Float.abs (Mat.get a !l (!l - 1)) +. s = s then begin
           Mat.set a !l (!l - 1) 0.;
           searching := false
@@ -230,6 +237,7 @@ let hqr a wr wi =
             let z = p +. sign_of z p in
             wr.(!nn - 1) <- !x +. z;
             wr.(!nn) <- wr.(!nn - 1);
+            (* lint: allow float-equality — guard against dividing by an exact zero *)
             if z <> 0. then wr.(!nn) <- !x -. (!w /. z);
             wi.(!nn - 1) <- 0.;
             wi.(!nn) <- 0.
@@ -245,7 +253,9 @@ let hqr a wr wi =
         end
         else begin
           (* No root isolated yet: one double-shift QR sweep. *)
-          if !its = 30 then failwith "Eigen.general_spectrum: too many QR iterations";
+          if !its = 30 then
+            Common.no_convergence
+              "Eigen.general_spectrum: too many QR iterations";
           if !its = 10 || !its = 20 then begin
             (* Exceptional shift to break symmetry-induced stalls. *)
             t := !t +. !x;
@@ -284,6 +294,7 @@ let hqr a wr wi =
                    +. Float.abs z
                    +. Float.abs (Mat.get a (!m + 1) (!m + 1)))
               in
+              (* lint: allow float-equality — classic u+v = v negligibility test *)
               if u +. v = v then found := true else decr m
             end
           done;
@@ -300,6 +311,7 @@ let hqr a wr wi =
               q := Mat.get a (k + 1) (k - 1);
               r := if k <> !nn - 1 then Mat.get a (k + 2) (k - 1) else 0.;
               x := Float.abs !p +. Float.abs !q +. Float.abs !r;
+              (* lint: allow float-equality — guard against normalising a null vector *)
               if !x <> 0. then begin
                 p := !p /. !x;
                 q := !q /. !x;
@@ -307,6 +319,7 @@ let hqr a wr wi =
               end
             end;
             let s = sign_of (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p in
+            (* lint: allow float-equality — an exactly-null reflector is skipped *)
             if s <> 0. then begin
               if k = m then begin
                 if l <> m then Mat.set a k (k - 1) (-.Mat.get a k (k - 1))

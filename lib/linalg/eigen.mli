@@ -60,9 +60,9 @@ val second_eigenvalue_reversible :
     iteration. Needed for logit chains of {e non-potential} games,
     which are non-reversible and can have complex spectra (the
     situation ruled out for potential games by Theorem 3.1 of the
-    paper). Raises [Failure] if a root fails to converge within 30×2
-    iterations (exceptional shifts included), and [Invalid_argument]
-    on non-square input. *)
+    paper). Raises [Common.No_convergence] if a root fails to converge
+    within 30×2 iterations (exceptional shifts included), and
+    [Invalid_argument] on non-square input. *)
 val general_spectrum : Mat.t -> (float * float) array
 
 (** [second_eigenpair_reversible ?tol ?max_iter row pi n] is

@@ -50,6 +50,7 @@ let mul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = get a i k in
+      (* lint: allow float-equality — exact-zero skip of absent entries *)
       if aik <> 0. then
         for j = 0 to b.cols - 1 do
           set c i j (get c i j +. (aik *. get b k j))

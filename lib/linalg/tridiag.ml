@@ -26,7 +26,8 @@ let tql2 d e z =
         if m = l then finished := true
         else begin
           incr iter;
-          if !iter > 50 then failwith "Tridiag: QL iteration did not converge";
+          if !iter > 50 then
+            Common.no_convergence "Tridiag: QL iteration did not converge";
           let g = (d.(l + 1) -. d.(l)) /. (2. *. e.(l)) in
           let r = hypot g 1. in
           let g = ref (d.(m) -. d.(l) +. (e.(l) /. (g +. sign_of r g))) in
@@ -39,6 +40,7 @@ let tql2 d e z =
             let b = !c *. e.(idx) in
             let r = hypot f !g in
             e.(idx + 1) <- r;
+            (* lint: allow float-equality — exact underflow of the rotation radius *)
             if r = 0. then begin
               d.(idx + 1) <- d.(idx + 1) -. !p;
               e.(m) <- 0.;

@@ -12,8 +12,8 @@
     matrix with diagonal [diag] (length n) and sub/super-diagonal
     [off] (length n-1; an empty array for n = 1). Returns eigenvalues
     sorted in non-increasing order and the matrix of eigenvectors
-    (column k pairs with eigenvalue k). Raises [Failure] on
-    non-convergence (more than 50 QL sweeps for one eigenvalue) and
+    (column k pairs with eigenvalue k). Raises [Common.No_convergence]
+    when one eigenvalue needs more than 50 QL sweeps and
     [Invalid_argument] on mismatched lengths. *)
 val eigensystem : diag:float array -> off:float array -> float array * Mat.t
 

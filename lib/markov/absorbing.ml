@@ -7,6 +7,7 @@ type t = {
 
 let is_absorbing chain i =
   let ok = ref true in
+  (* lint: allow float-equality — structural sparsity: any off-diagonal mass disqualifies *)
   Chain.iter_row chain i (fun j p -> if j <> i && p <> 0. then ok := false);
   !ok
 

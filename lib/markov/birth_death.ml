@@ -5,7 +5,9 @@ let create ~up ~down =
   if n1 = 0 || Array.length down <> n1 then
     invalid_arg "Birth_death.create: need equal non-empty arrays";
   let n = n1 - 1 in
+  (* lint: allow float-equality — boundary rates must be exactly zero *)
   if up.(n) <> 0. then invalid_arg "Birth_death.create: up.(n) must be 0";
+  (* lint: allow float-equality — boundary rates must be exactly zero *)
   if down.(0) <> 0. then invalid_arg "Birth_death.create: down.(0) must be 0";
   Array.iteri
     (fun k u ->

@@ -85,6 +85,7 @@ let of_dense m =
          let entries = ref [] in
          for j = n - 1 downto 0 do
            let p = Linalg.Mat.get m i j in
+           (* lint: allow float-equality — exactly-zero entries are structurally absent *)
            if p <> 0. then entries := (j, p) :: !entries
          done;
          Array.of_list !entries))

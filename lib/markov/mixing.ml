@@ -119,6 +119,7 @@ let decompose t pi = Linalg.Eigen.jacobi (Spectral.symmetrize t pi)
 (* λ^t with sign handling and underflow-to-zero for huge t. *)
 let eigen_pow lambda t =
   if t = 0 then 1.
+  (* lint: allow float-equality — exact zero short-circuits before log *)
   else if lambda = 0. then 0.
   else begin
     let magnitude = exp (float_of_int t *. log (Float.abs lambda)) in
@@ -138,6 +139,7 @@ let tv_at_spectral ~decomposition pi ~start ~steps =
   for y = 0 to n - 1 do
     let p = ref 0. in
     for k = 0 to k_count - 1 do
+      (* lint: allow float-equality — exact-zero skip of underflowed spectral terms *)
       if powers.(k) <> 0. then
         p := !p +. (powers.(k) *. Linalg.Mat.get u start k *. Linalg.Mat.get u y k)
     done;

@@ -7,6 +7,7 @@ let symmetrize t pi =
   let a = Linalg.Mat.create n n 0. in
   for i = 0 to n - 1 do
     Chain.iter_row t i (fun j p ->
+        (* lint: allow float-equality — exact-zero skip of absent entries *)
         if p <> 0. then Linalg.Mat.set a i j (sqrt_pi.(i) *. p /. sqrt_pi.(j)))
   done;
   (* Symmetrise the round-off asymmetry exactly. *)

@@ -3,7 +3,9 @@ let by_power ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
   let mu = ref (Array.make n (1. /. float_of_int n)) in
   let scratch = ref (Array.make n 0.) in
   let rec go iter =
-    if iter > max_iter then failwith "Stationary.by_power: did not converge";
+    if iter > max_iter then
+      Common.no_convergence "Stationary.by_power: no convergence within %d iterations"
+        max_iter;
     Chain.evolve_into t ~src:!mu ~dst:!scratch;
     let moved = ref 0. in
     Array.iteri (fun i x -> moved := !moved +. Float.abs (x -. !mu.(i))) !scratch;

@@ -3,7 +3,8 @@
 (** [by_power ?tol ?max_iter t] iterates μ ↦ μP from the uniform
     distribution until the L¹ movement per step drops below [tol]
     (default [1e-12]); suitable for any ergodic chain. Raises
-    [Failure] if [max_iter] (default [10_000_000]) is exhausted. *)
+    [Common.No_convergence] if [max_iter] (default [10_000_000]) is
+    exhausted. *)
 val by_power : ?tol:float -> ?max_iter:int -> Chain.t -> float array
 
 (** [by_solve t] computes π exactly (up to LU round-off) by solving

@@ -55,6 +55,7 @@ let exponential t ~rate =
 
 let geometric t p =
   if p <= 0. || p > 1. then invalid_arg "Rng.geometric: p must be in (0, 1]";
+  (* lint: allow float-equality — exact boundary where log (1 - p) is -inf *)
   if p = 1. then 0
   else
     let u = 1. -. float t in
@@ -77,6 +78,7 @@ let categorical_pick weights ~u =
      never be selected). *)
   if not !found then begin
     let i = ref (n - 1) in
+    (* lint: allow float-equality — a zero-weight tail must never be selected *)
     while weights.(!i) = 0. && !i > 0 do
       decr i
     done;

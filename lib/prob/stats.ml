@@ -63,7 +63,12 @@ let linear_fit xs ys =
     sxx := !sxx +. (dx *. dx);
     sxy := !sxy +. (dx *. (ys.(i) -. my))
   done;
-  if !sxx = 0. then invalid_arg "Stats.linear_fit: degenerate abscissae";
+  (* Constant abscissae leave sxx at round-off scale (each deviation is
+     a few ulps of the mean), not exactly 0 — and a slope divided by
+     ~1e-30 is garbage. Compare against that scale, not against 0. *)
+  let ulp = float_of_int n *. Float.abs mx *. epsilon_float in
+  if Common.feq ~eps:(float_of_int n *. ulp *. ulp) !sxx 0. then
+    invalid_arg "Stats.linear_fit: degenerate abscissae";
   let slope = !sxy /. !sxx in
   (slope, my -. (slope *. mx))
 
@@ -79,5 +84,12 @@ let correlation xs ys =
     syy := !syy +. (dy *. dy);
     sxy := !sxy +. (dx *. dy)
   done;
-  if !sxx = 0. || !syy = 0. then invalid_arg "Stats.correlation: zero variance";
+  (* Same round-off-scale test as in linear_fit: a correlation divided
+     by a variance of ~1e-30 from a constant series is garbage. *)
+  let degenerate sum m =
+    let ulp = float_of_int n *. Float.abs m *. epsilon_float in
+    Common.feq ~eps:(float_of_int n *. ulp *. ulp) sum 0.
+  in
+  if degenerate !sxx mx || degenerate !syy my then
+    invalid_arg "Stats.correlation: zero variance";
   !sxy /. sqrt (!sxx *. !syy)

@@ -1,0 +1,318 @@
+(* Fixture tests for the logitlint engine (tools/lint): per rule a
+   positive snippet, a negative snippet, and a suppressed snippet, all
+   driven through the real file-parsing path via a temp tree. *)
+
+open Helpers
+module L = Lint_engine.Lint
+module R = Lint_engine.Rules
+
+(* ---------------- temp-tree plumbing ---------------- *)
+
+let mkdir_p path =
+  let segments = String.split_on_char '/' path in
+  let start = if String.length path > 0 && path.[0] = '/' then "/" else "" in
+  ignore
+    (List.fold_left
+       (fun acc seg ->
+         if seg = "" then acc
+         else begin
+           let dir = if acc = "" || acc = "/" then acc ^ seg else acc ^ "/" ^ seg in
+           if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+           dir
+         end)
+       start segments)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_root f =
+  let root = Filename.temp_file "logitlint" ".fixtures" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Fun.protect ~finally:(fun () -> try rm_rf root with Sys_error _ -> ()) (fun () -> f root)
+
+let add root rel contents =
+  mkdir_p (Filename.concat root (Filename.dirname rel));
+  let oc = open_out (Filename.concat root rel) in
+  output_string oc contents;
+  close_out oc
+
+(* Lint one fixture file with every rule; return (rule, line, suppressed). *)
+let lint_one ?config root rel contents =
+  add root rel contents;
+  List.map
+    (fun (f : L.finding) -> (f.rule, f.line, f.suppressed))
+    (L.lint_file ?config ~rules:R.all ~root ~relpath:rel ())
+
+let names fs = List.map (fun (r, _, _) -> r) fs
+let check_clean msg fs = check_int msg 0 (List.length fs)
+
+(* ---------------- float-equality ---------------- *)
+
+let float_equality_positive () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "let f x = x = 1.0\n\
+           let g x = x +. 1. <> x\n\
+           let h x = compare (Float.abs x) 0.5\n"
+      in
+      check_int "three findings" 3 (List.length fs);
+      List.iter
+        (fun (r, _, s) ->
+          check_true "rule name" (r = "float-equality");
+          check_false "not suppressed" s)
+        fs)
+
+let float_equality_negative () =
+  with_root (fun root ->
+      check_clean "int/no-float comparisons are clean"
+        (lint_one root "lib/a.ml"
+           "let f x y = x = y\n\
+            let g n = n <> 0\n\
+            let near a b = Float.abs (a -. b) <= 1e-9\n"))
+
+let float_equality_suppressed () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "(* lint: allow float-equality — exact zero intended *)\n\
+           let f x = x = 0.\n\
+           let same_line y = y <> 1.  (* lint: allow float-equality *)\n"
+      in
+      check_int "both findings present" 2 (List.length fs);
+      List.iter (fun (_, _, s) -> check_true "suppressed" s) fs)
+
+(* ---------------- exn-policy ---------------- *)
+
+let exn_policy_positive () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "let f () = failwith \"nope\"\nlet g () = raise (Failure \"nope\")\n"
+      in
+      check_int "failwith and Failure both flagged" 2
+        (List.length (List.filter (( = ) "exn-policy") (names fs))))
+
+let exn_policy_negative () =
+  with_root (fun root ->
+      (* Outside lib/ the rule does not apply; catching Failure inside
+         lib/ (e.g. from float_of_string) stays legal. *)
+      check_clean "failwith outside lib/ is fine"
+        (lint_one root "bin/a.ml" "let f () = failwith \"nope\"\n");
+      check_clean "catching Failure is fine"
+        (lint_one root "lib/b.ml"
+           "let f s = try float_of_string s with Failure _ -> 0.\n\
+            let g () = invalid_arg \"precondition\"\n"))
+
+let exn_policy_suppressed () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "(* lint: allow exn-policy — crossing a C boundary *)\n\
+           let f () = failwith \"nope\"\n"
+      in
+      match fs with
+      | [ ("exn-policy", 2, true) ] -> ()
+      | _ -> Alcotest.fail "expected one suppressed exn-policy finding")
+
+(* ---------------- bare-random ---------------- *)
+
+let bare_random_positive () =
+  with_root (fun root ->
+      let ml = lint_one root "lib/a.ml" "let x = Random.int 3\n" in
+      check_int "expression flagged" 1
+        (List.length (List.filter (( = ) "bare-random") (names ml)));
+      let mli =
+        lint_one root "lib/b.mli" "val f : Random.State.t -> int\n"
+      in
+      check_int "type in .mli flagged" 1
+        (List.length (List.filter (( = ) "bare-random") (names mli)));
+      let opened = lint_one root "test/c.ml" "open Random\nlet x = int 3\n" in
+      check_int "open Random flagged" 1
+        (List.length (List.filter (( = ) "bare-random") (names opened))))
+
+let bare_random_negative () =
+  with_root (fun root ->
+      check_clean "Prob.Rng draws are clean"
+        (lint_one root "lib/a.ml" "let f rng = Prob.Rng.int rng 3\n");
+      check_clean "the rng module itself is exempt"
+        (lint_one root "lib/prob/rng.ml" "let reseed () = Random.bits ()\n"))
+
+let bare_random_suppressed () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "let x = Random.int 3 (* lint: allow bare-random *)\n"
+      in
+      match fs with
+      | [ ("bare-random", 1, true) ] -> ()
+      | _ -> Alcotest.fail "expected one suppressed bare-random finding")
+
+(* ---------------- print-in-lib ---------------- *)
+
+let print_in_lib_positive () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "let f () = print_endline \"hi\"\n\
+           let g () = Printf.printf \"%d\" 3\n\
+           let h () = Format.printf \"x\"\n"
+      in
+      check_int "all three printers flagged" 3
+        (List.length (List.filter (( = ) "print-in-lib") (names fs))))
+
+let print_in_lib_negative () =
+  with_root (fun root ->
+      check_clean "stdout printing outside lib/ is fine"
+        (lint_one root "bin/a.ml" "let f () = print_endline \"hi\"\n");
+      check_clean "formatter-parameterised printers are fine"
+        (lint_one root "lib/b.ml"
+           "let pp ppf x = Format.fprintf ppf \"%d\" x\n\
+            let pp2 ppf () = Format.pp_print_string ppf \"x\"\n"))
+
+let print_in_lib_config_exempt () =
+  with_root (fun root ->
+      (* Mirrors lib/experiments/.logitlint: the table renderer is the
+         one lib module allowed to print. *)
+      let config =
+        add root "lib/.logitlint" "disable print-in-lib in table.ml\n";
+        L.Config.load (Filename.concat root "lib/.logitlint")
+      in
+      check_clean "config-exempted file is clean"
+        (lint_one ~config root "lib/table.ml"
+           "let print t = print_string t\n");
+      let other =
+        lint_one ~config root "lib/other.ml" "let f () = print_newline ()\n"
+      in
+      check_int "same config still flags other files" 1
+        (List.length (List.filter (( = ) "print-in-lib") (names other))))
+
+(* ---------------- mli-coverage (tree rule, via run) ---------------- *)
+
+let mli_coverage_positive () =
+  with_root (fun root ->
+      add root "lib/bare.ml" "let x = 1\n";
+      add root "lib/covered.ml" "let x = 1\n";
+      add root "lib/covered.mli" "val x : int\n";
+      add root "bin/main.ml" "let () = ()\n";
+      let result = L.run ~root ~dirs:[ "lib"; "bin" ] ~rules:R.all in
+      let v = L.violations result in
+      check_int "exactly the uncovered lib module is flagged" 1
+        (List.length v);
+      match v with
+      | [ f ] ->
+          check_true "rule" (f.rule = "mli-coverage");
+          check_true "file" (f.file = "lib/bare.ml")
+      | _ -> ())
+
+let mli_coverage_suppressed () =
+  with_root (fun root ->
+      add root "lib/bare.ml" "(* lint: allow mli-coverage *)\nlet x = 1\n";
+      let result = L.run ~root ~dirs:[ "lib" ] ~rules:R.all in
+      check_int "suppressed on line 1" 0 (List.length (L.violations result));
+      check_int "still reported as suppressed" 1
+        (List.length (L.suppressed result)))
+
+(* ---------------- engine plumbing ---------------- *)
+
+let parse_error_reported () =
+  with_root (fun root ->
+      let fs = lint_one root "lib/bad.ml" "let let let = in in\n" in
+      match fs with
+      | [ (rule, _, suppressed) ] ->
+          check_true "parse-error rule" (rule = L.parse_error_rule);
+          check_false "never suppressed" suppressed
+      | _ -> Alcotest.fail "expected exactly one parse-error finding")
+
+let config_error_raises () =
+  with_root (fun root ->
+      add root ".logitlint" "frobnicate the-rule\n";
+      match L.Config.load (Filename.concat root ".logitlint") with
+      | exception L.Config_error _ -> ()
+      | _ -> Alcotest.fail "expected Config_error on a malformed directive")
+
+let subtree_config_inherited () =
+  with_root (fun root ->
+      add root "lib/.logitlint" "disable exn-policy\n";
+      add root "lib/deep/nested.ml" "let f () = failwith \"ok here\"\n";
+      add root "lib/deep/nested.mli" "val f : unit -> 'a\n";
+      let result = L.run ~root ~dirs:[ "lib" ] ~rules:R.all in
+      check_int "directive applies to the whole subtree" 0
+        (List.length (L.violations result)))
+
+let suppression_names_multiple_rules () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "(* lint: allow exn-policy float-equality *)\n\
+           let f x = if x = 0. then failwith \"both suppressed\" else ()\n"
+      in
+      check_int "both findings present" 2 (List.length fs);
+      List.iter (fun (_, _, s) -> check_true "suppressed" s) fs)
+
+let whole_repo_is_clean () =
+  (* The acceptance gate, as a test: the shipped tree carries zero
+     unsuppressed violations. Dune runs tests inside _build, where
+     dotfiles like .logitlint are not copied, so walk the real source
+     tree via DUNE_SOURCEROOT (set by dune for every test action). *)
+  match Sys.getenv_opt "DUNE_SOURCEROOT" with
+  | None -> ()
+  | Some root when
+      not (Sys.file_exists (Filename.concat root "lib/experiments/.logitlint"))
+    ->
+      Alcotest.fail "source root is missing lib/experiments/.logitlint"
+  | Some root ->
+      let result =
+        L.run ~root ~dirs:[ "lib"; "bin"; "bench"; "test" ] ~rules:R.all
+      in
+      List.iter
+        (fun (f : L.finding) ->
+          Alcotest.failf "unsuppressed violation: %s:%d [%s] %s" f.file f.line
+            f.rule f.message)
+        (L.violations result)
+
+let suites =
+  [
+    ( "lint.float-equality",
+      [
+        test "positive" float_equality_positive;
+        test "negative" float_equality_negative;
+        test "suppressed" float_equality_suppressed;
+      ] );
+    ( "lint.exn-policy",
+      [
+        test "positive" exn_policy_positive;
+        test "negative" exn_policy_negative;
+        test "suppressed" exn_policy_suppressed;
+      ] );
+    ( "lint.bare-random",
+      [
+        test "positive" bare_random_positive;
+        test "negative" bare_random_negative;
+        test "suppressed" bare_random_suppressed;
+      ] );
+    ( "lint.print-in-lib",
+      [
+        test "positive" print_in_lib_positive;
+        test "negative" print_in_lib_negative;
+        test "config exemption" print_in_lib_config_exempt;
+      ] );
+    ( "lint.mli-coverage",
+      [
+        test "positive" mli_coverage_positive;
+        test "suppressed" mli_coverage_suppressed;
+      ] );
+    ( "lint.engine",
+      [
+        test "parse errors become findings" parse_error_reported;
+        test "malformed config raises" config_error_raises;
+        test "config inherited down the subtree" subtree_config_inherited;
+        test "one comment can allow several rules" suppression_names_multiple_rules;
+        test "whole repo is clean" whole_repo_is_clean;
+      ] );
+  ]

@@ -61,7 +61,9 @@ let spin_glass_couplings () =
   let graph = Graphs.Generators.clique 5 in
   let glass, js = Polymatrix.spin_glass r graph ~coupling:2.0 in
   check_int "one coupling per edge" 10 (Array.length js);
-  Array.iter (fun j -> check_true "magnitude" (Float.abs j = 2.0)) js;
+  Array.iter
+    (fun j -> check_true "magnitude" (Common.feq ~eps:1e-12 (Float.abs j) 2.0))
+    js;
   check_true "is potential game"
     (Potential.verify (Polymatrix.to_game glass) (Polymatrix.potential glass))
 

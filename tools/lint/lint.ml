@@ -1,0 +1,374 @@
+(* The logitlint engine: file discovery, parsing, rule dispatch,
+   suppression comments, per-directory config, and the two reporters.
+   The rule catalogue itself lives in rules.ml. *)
+
+type kind = Ml | Mli
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  suppressed : bool;
+}
+
+type source_ast =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+type reporter = Location.t -> string -> unit
+
+type check =
+  | Ast_rule of (report:reporter -> source_ast -> unit)
+  | Tree_rule of (files:string list -> (string * string) list)
+
+type rule = {
+  name : string;
+  doc : string;
+  applies : string -> bool;
+  check : check;
+}
+
+exception Config_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Per-directory configuration: a [.logitlint] file holds one
+   directive per line, applying to the whole subtree below it.
+
+     # comment
+     disable <rule>
+     disable <rule> in <basename>                                     *)
+
+module Config = struct
+  type directive = { disable : string; only_file : string option }
+  type t = directive list
+
+  let empty = []
+
+  let parse_line ~path lnum raw =
+    let line = String.trim raw in
+    if line = "" || line.[0] = '#' then None
+    else
+      match
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+      with
+      | [ "disable"; rule ] -> Some { disable = rule; only_file = None }
+      | [ "disable"; rule; "in"; base ] ->
+          Some { disable = rule; only_file = Some base }
+      | _ ->
+          raise
+            (Config_error
+               (Printf.sprintf "%s:%d: unrecognised directive %S" path lnum
+                  line))
+
+  let load path =
+    if not (Sys.file_exists path) then []
+    else begin
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let out = ref [] in
+          let lnum = ref 0 in
+          (try
+             while true do
+               let raw = input_line ic in
+               incr lnum;
+               match parse_line ~path !lnum raw with
+               | Some d -> out := d :: !out
+               | None -> ()
+             done
+           with End_of_file -> ());
+          List.rev !out)
+    end
+
+  let disables t ~rule ~path =
+    let base = Filename.basename path in
+    List.exists
+      (fun d ->
+        d.disable = rule
+        && match d.only_file with None -> true | Some b -> b = base)
+      t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments: a finding of rule R at line L is suppressed
+   when line L or line L-1 carries "lint: allow <rules>" naming R. *)
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let allow_marker = "lint: allow"
+
+let allowed_rules_of_line line =
+  match find_substring line allow_marker with
+  | None -> []
+  | Some i ->
+      let rest =
+        String.sub line
+          (i + String.length allow_marker)
+          (String.length line - i - String.length allow_marker)
+      in
+      let rest =
+        match find_substring rest "*)" with
+        | Some j -> String.sub rest 0 j
+        | None -> rest
+      in
+      String.map (function ',' | '\t' -> ' ' | c -> c) rest
+      |> String.split_on_char ' '
+      |> List.filter (fun s -> s <> "")
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let out = ref [] in
+      (try
+         while true do
+           out := input_line ic :: !out
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !out))
+
+let suppressed_at lines ~rule ~line =
+  let covers l =
+    l >= 1 && l <= Array.length lines
+    && List.mem rule (allowed_rules_of_line lines.(l - 1))
+  in
+  covers line || covers (line - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. Pparse reads the file itself, so locations carry the path
+   we hand it. Parse and lex errors become "parse-error" findings —
+   never suppressed: the linter cannot vouch for code it cannot read. *)
+
+let parse_error_rule = "parse-error"
+
+let parse_ast kind path =
+  match kind with
+  | Ml -> Structure (Pparse.parse_implementation ~tool_name:"logitlint" path)
+  | Mli -> Signature (Pparse.parse_interface ~tool_name:"logitlint" path)
+
+let parse_error_finding relpath exn =
+  let line, col =
+    match exn with
+    | Syntaxerr.Error e ->
+        let loc = Syntaxerr.location_of_error e in
+        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    | Lexer.Error (_, loc) ->
+        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    | _ -> (1, 0)
+  in
+  {
+    rule = parse_error_rule;
+    file = relpath;
+    line;
+    col;
+    message = Printexc.to_string exn;
+    suppressed = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Single-file driver (the fixture tests call this directly). *)
+
+let kind_of_path path = if Filename.check_suffix path ".mli" then Mli else Ml
+
+let lint_file ?(config = Config.empty) ~rules ~root ~relpath () =
+  let abs = Filename.concat root relpath in
+  let active =
+    List.filter
+      (fun r ->
+        (match r.check with Ast_rule _ -> true | Tree_rule _ -> false)
+        && r.applies relpath
+        && not (Config.disables config ~rule:r.name ~path:relpath))
+      rules
+  in
+  if active = [] then []
+  else
+    match parse_ast (kind_of_path relpath) abs with
+    | exception ((Sys_error _ | Config_error _) as e) -> raise e
+    | exception exn -> [ parse_error_finding relpath exn ]
+    | ast ->
+        let lines = read_lines abs in
+        let out = ref [] in
+        List.iter
+          (fun r ->
+            let report (loc : Location.t) message =
+              let line = loc.loc_start.pos_lnum in
+              let col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol in
+              let suppressed = suppressed_at lines ~rule:r.name ~line in
+              out :=
+                { rule = r.name; file = relpath; line; col; message; suppressed }
+                :: !out
+            in
+            match r.check with
+            | Ast_rule f -> f ~report ast
+            | Tree_rule _ -> ())
+          active;
+        List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Tree walk and the full run. *)
+
+let rec walk_dir root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  let entries = Sys.readdir abs in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun acc name ->
+      if name = "" || name.[0] = '.' || name.[0] = '_' then acc
+      else
+        let rel' = if rel = "" then name else rel ^ "/" ^ name in
+        let abs' = Filename.concat abs name in
+        if Sys.is_directory abs' then walk_dir root rel' acc
+        else if
+          Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+        then rel' :: acc
+        else acc)
+    acc entries
+
+type result = { files : string list; findings : finding list }
+
+let ancestors_of relpath =
+  (* "lib/markov/chain.ml" -> [""; "lib"; "lib/markov"] *)
+  let rec up acc dir =
+    if dir = "." || dir = "" || dir = "/" then "" :: acc
+    else up (dir :: acc) (Filename.dirname dir)
+  in
+  up [] (Filename.dirname relpath)
+
+let compare_findings a b =
+  compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
+
+let run ~root ~dirs ~rules =
+  let dirs = List.map (fun d -> if d = "." then "" else d) dirs in
+  let files =
+    List.concat_map
+      (fun d ->
+        let abs = if d = "" then root else Filename.concat root d in
+        if Sys.file_exists abs && Sys.is_directory abs then walk_dir root d []
+        else [])
+      dirs
+    |> List.sort_uniq compare
+  in
+  let cfg_cache : (string, Config.t) Hashtbl.t = Hashtbl.create 16 in
+  let dir_config dir =
+    match Hashtbl.find_opt cfg_cache dir with
+    | Some c -> c
+    | None ->
+        let path =
+          if dir = "" then Filename.concat root ".logitlint"
+          else Filename.concat (Filename.concat root dir) ".logitlint"
+        in
+        let c = Config.load path in
+        Hashtbl.add cfg_cache dir c;
+        c
+  in
+  let config_for relpath =
+    List.concat_map dir_config (ancestors_of relpath)
+  in
+  let per_file =
+    List.concat_map
+      (fun f -> lint_file ~config:(config_for f) ~rules ~root ~relpath:f ())
+      files
+  in
+  let tree =
+    List.concat_map
+      (fun r ->
+        match r.check with
+        | Ast_rule _ -> []
+        | Tree_rule g ->
+            g ~files
+            |> List.filter_map (fun (f, message) ->
+                   if not (r.applies f) then None
+                   else if
+                     Config.disables (config_for f) ~rule:r.name ~path:f
+                   then None
+                   else
+                     let abs = Filename.concat root f in
+                     let suppressed =
+                       Sys.file_exists abs
+                       && suppressed_at (read_lines abs) ~rule:r.name ~line:1
+                     in
+                     Some
+                       {
+                         rule = r.name;
+                         file = f;
+                         line = 1;
+                         col = 0;
+                         message;
+                         suppressed;
+                       }))
+      rules
+  in
+  { files; findings = List.sort compare_findings (per_file @ tree) }
+
+let violations r = List.filter (fun f -> not f.suppressed) r.findings
+let suppressed r = List.filter (fun f -> f.suppressed) r.findings
+
+(* ------------------------------------------------------------------ *)
+(* Reporters. *)
+
+let to_text ?(show_suppressed = false) r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      if (not f.suppressed) || show_suppressed then
+        Buffer.add_string buf
+          (Printf.sprintf "%s:%d:%d: [%s]%s %s\n" f.file f.line f.col f.rule
+             (if f.suppressed then " (suppressed)" else "")
+             f.message))
+    r.findings;
+  Buffer.add_string buf
+    (Printf.sprintf "logitlint: %d violation%s, %d suppressed, %d files scanned\n"
+       (List.length (violations r))
+       (if List.length (violations r) = 1 then "" else "s")
+       (List.length (suppressed r))
+       (List.length r.files));
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ~root r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"root\": \"%s\",\n  \"files_scanned\": %d,\n  \
+        \"violations\": %d,\n  \"suppressed\": %d,\n  \"findings\": ["
+       (json_escape root) (List.length r.files)
+       (List.length (violations r))
+       (List.length (suppressed r)));
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \
+            \"col\": %d, \"suppressed\": %b, \"message\": \"%s\"}"
+           (json_escape f.rule) (json_escape f.file) f.line f.col f.suppressed
+           (json_escape f.message)))
+    r.findings;
+  Buffer.add_string buf (if r.findings = [] then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents buf

@@ -1,0 +1,82 @@
+(** The logitlint engine: discovery, parsing, rule dispatch,
+    suppression, per-directory config and reporting. The rule
+    catalogue lives in {!Rules}. *)
+
+type kind = Ml | Mli
+
+type finding = {
+  rule : string;
+  file : string;  (** path relative to the scan root, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+  suppressed : bool;
+}
+
+type source_ast =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+type reporter = Location.t -> string -> unit
+
+type check =
+  | Ast_rule of (report:reporter -> source_ast -> unit)
+      (** Called once per parsed file the rule applies to. *)
+  | Tree_rule of (files:string list -> (string * string) list)
+      (** Called once per run with every scanned relative path; returns
+          [(file, message)] findings anchored to line 1. *)
+
+type rule = {
+  name : string;  (** the name used by suppressions and config *)
+  doc : string;
+  applies : string -> bool;  (** relative-path filter *)
+  check : check;
+}
+
+(** Raised on a malformed [.logitlint] line; the CLI maps it to exit
+    code 2 rather than silently ignoring configuration. *)
+exception Config_error of string
+
+module Config : sig
+  type t
+
+  val empty : t
+
+  (** [load path] reads a [.logitlint] file ([] when absent). Lines:
+      comments ([# ...]), [disable <rule>], [disable <rule> in
+      <basename>]. Raises {!Config_error} on anything else. *)
+  val load : string -> t
+
+  val disables : t -> rule:string -> path:string -> bool
+end
+
+(** Rule name attached to findings for unparseable files. Parse errors
+    are never suppressed. *)
+val parse_error_rule : string
+
+(** [lint_file ?config ~rules ~root ~relpath ()] parses one file and
+    runs every applicable AST rule, marking suppressed findings
+    (a line or preceding-line comment [(* lint: allow <rule> *)]).
+    Tree rules are skipped — they need the whole file list. *)
+val lint_file :
+  ?config:Config.t ->
+  rules:rule list ->
+  root:string ->
+  relpath:string ->
+  unit ->
+  finding list
+
+type result = { files : string list; findings : finding list }
+
+(** [run ~root ~dirs ~rules] scans every [.ml]/[.mli] under
+    [root]/[dirs] (skipping dot- and underscore-prefixed entries),
+    threading per-directory [.logitlint] config down each subtree,
+    then runs tree rules over the collected file list. Findings are
+    sorted by (file, line, col, rule). *)
+val run : root:string -> dirs:string list -> rules:rule list -> result
+
+val violations : result -> finding list
+val suppressed : result -> finding list
+
+val to_text : ?show_suppressed:bool -> result -> string
+val to_json : root:string -> result -> string

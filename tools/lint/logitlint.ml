@@ -1,0 +1,66 @@
+(* logitlint — the project lint pass. See README.md ("Lint") for the
+   rule catalogue and suppression syntax.
+
+   Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/config/IO
+   error. *)
+
+let default_dirs = [ "lib"; "bin"; "bench"; "test" ]
+
+let () =
+  let root = ref "." in
+  let format = ref "text" in
+  let show_suppressed = ref false in
+  let list_rules = ref false in
+  let out_file = ref "" in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR scan relative to DIR (default .)");
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " report format (default text)" );
+      ( "--show-suppressed",
+        Arg.Set show_suppressed,
+        " include suppressed findings in the text report" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+      ( "-o",
+        Arg.Set_string out_file,
+        "FILE also write the report to FILE (stdout is unaffected)" );
+    ]
+  in
+  let usage =
+    "logitlint [options] [DIR ...]\n\
+     Scans DIRs (default: lib bin bench test) under --root for project \
+     rule violations."
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint_engine.Lint.rule) ->
+        Printf.printf "%-16s %s\n" r.name r.doc)
+      Lint_engine.Rules.all;
+    exit 0
+  end;
+  let dirs = if !dirs = [] then default_dirs else List.rev !dirs in
+  match
+    Lint_engine.Lint.run ~root:!root ~dirs ~rules:Lint_engine.Rules.all
+  with
+  | exception Lint_engine.Lint.Config_error msg ->
+      prerr_endline ("logitlint: config error: " ^ msg);
+      exit 2
+  | exception Sys_error msg ->
+      prerr_endline ("logitlint: " ^ msg);
+      exit 2
+  | result ->
+      let report =
+        match !format with
+        | "json" -> Lint_engine.Lint.to_json ~root:!root result
+        | _ -> Lint_engine.Lint.to_text ~show_suppressed:!show_suppressed result
+      in
+      print_string report;
+      if !out_file <> "" then begin
+        let oc = open_out !out_file in
+        output_string oc report;
+        close_out oc
+      end;
+      exit (if Lint_engine.Lint.violations result = [] then 0 else 1)

@@ -1,0 +1,256 @@
+(* The logitlint rule catalogue. Every rule here is motivated by a bug
+   class this repository has actually hit; see DESIGN.md for the
+   stories. Adding a rule = one value of type Lint.rule appended to
+   [all]. *)
+
+open Parsetree
+
+let rec lid_head = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, _) -> lid_head l
+  | Longident.Lapply (l, _) -> lid_head l
+
+(* Treat [Stdlib.f] and [f] alike. *)
+let strip_stdlib = function
+  | Longident.Ldot (Longident.Lident "Stdlib", s) -> Longident.Lident s
+  | Longident.Ldot (Longident.Ldot (Longident.Lident "Stdlib", m), s) ->
+      Longident.Ldot (Longident.Lident m, s)
+  | l -> l
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let in_lib path = has_prefix ~prefix:"lib/" path
+
+(* Run [on_expr]/[on_module_expr]/[on_typ] over every node of the AST. *)
+let ast_iter ?(on_expr = fun _ -> ()) ?(on_module_expr = fun _ -> ())
+    ?(on_typ = fun _ -> ()) (ast : Lint.source_ast) =
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          on_expr e;
+          default_iterator.expr it e);
+      module_expr =
+        (fun it m ->
+          on_module_expr m;
+          default_iterator.module_expr it m);
+      typ =
+        (fun it t ->
+          on_typ t;
+          default_iterator.typ it t);
+    }
+  in
+  match ast with
+  | Lint.Structure s -> it.structure it s
+  | Lint.Signature s -> it.signature it s
+
+(* ------------------------------------------------------------------ *)
+(* float-equality: =, <> or compare where an operand is syntactically
+   float-shaped. Caught in the wild: the logsumexp +inf NaN and the
+   zero-weight-tail sampling bug both hid behind exact float tests. *)
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let is_float_shaped (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } -> (
+      match strip_stdlib txt with
+      | Longident.Ldot (Longident.Lident "Float", _) -> true
+      | _ -> false)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match strip_stdlib txt with
+      | Longident.Lident op -> List.mem op float_ops
+      | Longident.Ldot (Longident.Lident "Float", _) -> true
+      | _ -> false)
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []); _ })
+    ->
+      true
+  | _ -> false
+
+let float_equality =
+  {
+    Lint.name = "float-equality";
+    doc =
+      "=, <> or compare with a syntactically float-shaped operand (float \
+       literal, Float.* call, or +./-./*././/** arithmetic). Use Common.feq \
+       ~eps for tolerance comparisons; annotate intentional exact \
+       comparisons.";
+    applies = (fun _ -> true);
+    check =
+      Lint.Ast_rule
+        (fun ~report ast ->
+          ast_iter ast ~on_expr:(fun e ->
+              match e.pexp_desc with
+              | Pexp_apply
+                  ( { pexp_desc = Pexp_ident { txt; loc }; _ },
+                    (_, a) :: (_, b) :: _ ) -> (
+                  match strip_stdlib txt with
+                  | Longident.Lident (("=" | "<>" | "compare") as op)
+                    when is_float_shaped a || is_float_shaped b ->
+                      report loc
+                        (Printf.sprintf
+                           "exact float comparison (%s); use Common.feq ~eps, \
+                            or annotate '(* lint: allow float-equality *)' if \
+                            exact comparison is intended"
+                           op)
+                  | _ -> ())
+              | _ -> ()));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* exn-policy: no failwith / Failure under lib/. Precondition failures
+   are Invalid_argument; exhausted iteration budgets are
+   Common.No_convergence. Catching Failure (e.g. from float_of_string)
+   stays legal — only raising is flagged. *)
+
+let exn_policy =
+  {
+    Lint.name = "exn-policy";
+    doc =
+      "failwith/Failure are banned under lib/: raise Invalid_argument for \
+       precondition violations, Common.No_convergence for exhausted \
+       iteration budgets, or a dedicated exception.";
+    applies = in_lib;
+    check =
+      Lint.Ast_rule
+        (fun ~report ast ->
+          ast_iter ast ~on_expr:(fun e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; loc } when strip_stdlib txt = Longident.Lident "failwith"
+                ->
+                  report loc
+                    "failwith under lib/; use invalid_arg or \
+                     Common.no_convergence"
+              | Pexp_construct ({ txt; loc }, _)
+                when strip_stdlib txt = Longident.Lident "Failure" ->
+                  report loc
+                    "constructing Failure under lib/; use invalid_arg or \
+                     Common.no_convergence"
+              | _ -> ()));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* bare-random: Stdlib.Random outside lib/prob/rng.ml breaks seeded
+   reproducibility (every simulation draws through Prob.Rng's
+   splittable streams so results are a function of the seed alone). *)
+
+let bare_random =
+  {
+    Lint.name = "bare-random";
+    doc =
+      "Stdlib.Random outside lib/prob/rng.ml; draw through Prob.Rng so \
+       every run is a function of the seed alone.";
+    applies = (fun path -> path <> "lib/prob/rng.ml");
+    check =
+      Lint.Ast_rule
+        (fun ~report ast ->
+          let flag loc what =
+            report loc
+              (Printf.sprintf
+                 "%s references Stdlib.Random; use Prob.Rng (seeded, \
+                  splittable) instead"
+                 what)
+          in
+          ast_iter ast
+            ~on_expr:(fun e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; loc } when lid_head txt = "Random" ->
+                  flag loc "expression"
+              | _ -> ())
+            ~on_module_expr:(fun m ->
+              match m.pmod_desc with
+              | Pmod_ident { txt; loc } when lid_head txt = "Random" ->
+                  flag loc "module expression"
+              | _ -> ())
+            ~on_typ:(fun t ->
+              match t.ptyp_desc with
+              | Ptyp_constr ({ txt; loc }, _) when lid_head txt = "Random" ->
+                  flag loc "type"
+              | _ -> ()));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* print-in-lib: no stdout printing from library code — stdout belongs
+   to bin/ and to the table renderer. Formatter-parameterised printers
+   (Format.pp_print_..., Fmt) stay legal. *)
+
+let stdout_printers =
+  [
+    "print_string";
+    "print_bytes";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_endline";
+    "print_newline";
+  ]
+
+let print_in_lib =
+  {
+    Lint.name = "print-in-lib";
+    doc =
+      "printing to stdout from lib/ (print_*, Printf.printf, \
+       Format.printf/print_*/std_formatter); return strings or take a \
+       formatter instead. lib/experiments/table.ml is exempted by \
+       lib/experiments/.logitlint.";
+    applies = in_lib;
+    check =
+      Lint.Ast_rule
+        (fun ~report ast ->
+          ast_iter ast ~on_expr:(fun e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> (
+                  match strip_stdlib txt with
+                  | Longident.Lident s when List.mem s stdout_printers ->
+                      report loc
+                        (Printf.sprintf "%s prints to stdout from lib/" s)
+                  | Longident.Ldot (Longident.Lident "Printf", "printf") ->
+                      report loc "Printf.printf prints to stdout from lib/"
+                  | Longident.Ldot (Longident.Lident "Format", s)
+                    when s = "printf" || s = "std_formatter"
+                         || has_prefix ~prefix:"print_" s ->
+                      report loc
+                        (Printf.sprintf
+                           "Format.%s targets stdout from lib/; take a \
+                            formatter argument instead"
+                           s)
+                  | _ -> ())
+              | _ -> ()));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* mli-coverage: every lib/ .ml ships an .mli. True today; the rule
+   keeps it true. *)
+
+let mli_coverage =
+  {
+    Lint.name = "mli-coverage";
+    doc = "every .ml under lib/ must have a matching .mli interface.";
+    applies = in_lib;
+    check =
+      Lint.Tree_rule
+        (fun ~files ->
+          let have = Hashtbl.create 64 in
+          List.iter (fun f -> Hashtbl.replace have f ()) files;
+          List.filter_map
+            (fun f ->
+              if
+                in_lib f
+                && Filename.check_suffix f ".ml"
+                && not (Hashtbl.mem have (f ^ "i"))
+              then
+                Some
+                  ( f,
+                    "module has no .mli; every lib/ module declares its \
+                     interface" )
+              else None)
+            files);
+  }
+
+let all = [ float_equality; exn_policy; bare_random; print_in_lib; mli_coverage ]

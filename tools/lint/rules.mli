@@ -1,0 +1,16 @@
+(** The logitlint rule catalogue. README.md ("Lint") documents each
+    rule's motivation; [logitlint --list-rules] prints the docs. *)
+
+val float_equality : Lint.rule
+val exn_policy : Lint.rule
+val bare_random : Lint.rule
+val print_in_lib : Lint.rule
+val mli_coverage : Lint.rule
+
+(** Every rule, in reporting order. *)
+val all : Lint.rule list
+
+(** [is_float_shaped e] — exposed for the fixture tests: whether an
+    operand is syntactically float-valued (float literal, [Float.*]
+    call or float arithmetic). *)
+val is_float_shaped : Parsetree.expression -> bool
