@@ -26,9 +26,15 @@
    bit-identical and the timings are written to BENCH_csr.json so the
    perf trajectory is tracked from PR 2 onward.
 
+   Phase 1.7 is the artifact-store ablation: the `logitdyn mixing`
+   artifact pipeline (chain, stationary law, TV curve) is run cold and
+   then warm against a fresh store, the decoded artifacts are checked
+   bit-identical to the computed ones, and a killed-mid-grid sweep is
+   resumed through Sweep.map_cached. Timings land in BENCH_store.json.
+
    Pass --quick to shrink the experiment sweeps; pass --skip-micro to
-   print only the tables; pass --csr-only to run just the CSR
-   ablation. *)
+   print only the tables; pass --csr-only or --store-only to run just
+   that ablation. *)
 
 open Bechamel
 open Toolkit
@@ -36,6 +42,7 @@ open Toolkit
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 let csr_only = Array.exists (( = ) "--csr-only") Sys.argv
+let store_only = Array.exists (( = ) "--store-only") Sys.argv
 
 let jobs =
   let rec find i =
@@ -462,11 +469,13 @@ let run_csr_ablation () =
   Experiments.Table.print table;
   if not evolve_identical then
     Printf.printf "WARNING: CSR evolve diverged from the pre-CSR kernel!\n";
-  (* Record the datapoint for the bench trajectory. *)
+  (* Record the datapoint for the bench trajectory. The write goes
+     through the store's atomic temp-file + rename writer so a killed
+     bench run can never leave a torn JSON file behind. *)
   let json_path = Filename.concat (Sys.getcwd ()) "BENCH_csr.json" in
-  let oc = open_out json_path in
-  Printf.fprintf oc
-    {|{
+  let json =
+    Printf.sprintf
+      {|{
   "bench": "csr_ablation",
   "quick": %b,
   "game": { "kind": "ring_coordination", "n": %d, "states": %d, "beta": %g },
@@ -481,18 +490,180 @@ let run_csr_ablation () =
   ]
 }
 |}
-    quick n_ring size beta evolve_identical tv_steps t_curve_base t_curve_csr
-    (t_curve_base /. t_curve_csr)
-    curve_identical
-    (match tmix_csr with Some t -> string_of_int t | None -> "null")
-    t_mix_base t_mix_csr
-    (t_mix_base /. t_mix_csr)
-    (tmix_base = tmix_csr)
-    emp_steps emp_replicas t_emp_base t_emp_csr
-    (t_emp_base /. t_emp_csr)
-    (emp_base = emp_csr);
-  close_out oc;
+      quick n_ring size beta evolve_identical tv_steps t_curve_base t_curve_csr
+      (t_curve_base /. t_curve_csr)
+      curve_identical
+      (match tmix_csr with Some t -> string_of_int t | None -> "null")
+      t_mix_base t_mix_csr
+      (t_mix_base /. t_mix_csr)
+      (tmix_base = tmix_csr)
+      emp_steps emp_replicas t_emp_base t_emp_csr
+      (t_emp_base /. t_emp_csr)
+      (emp_base = emp_csr)
+  in
+  Store.Io.write_atomic ~path:json_path json;
   Printf.printf "CSR ablation recorded to %s\n" json_path
+
+(* --- Phase 1.7: artifact store ablation -------------------------------- *)
+
+let run_store_ablation () =
+  let n_ring = if quick then 8 else 10 in
+  let tv_steps = if quick then 50 else 150 in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "logitdyn-bench-store-%d" (Unix.getpid ()))
+  in
+  let cas = Store.Cas.open_ ~dir:root () in
+  ignore (Store.Cas.clear cas);
+  let desc =
+    Games.Graphical.create (Graphs.Generators.ring n_ring)
+      (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+  in
+  let game = Games.Graphical.to_game desc in
+  let size = Games.Game.size game in
+  let phi = Games.Graphical.potential desc in
+  let starts = List.init size Fun.id in
+  (* One "run" of the `logitdyn mixing` artifact pipeline: chain,
+     stationary law and TV curve, each built through the store. *)
+  let chain_key =
+    Markov.Chain_codec.recipe ~game:"bench-ring" ~size ~beta
+      ~variant:"sequential-logit"
+      ~extra:[ ("n", string_of_int n_ring) ]
+      ()
+  in
+  let dist_key =
+    Store.Key.v ~kind:"dist"
+      [
+        ("game", "bench-ring");
+        ("n", string_of_int n_ring);
+        ("beta", Store.Key.float_field beta);
+        ("role", "stationary");
+      ]
+  in
+  let curve_key =
+    Store.Key.v ~kind:"curve"
+      [
+        ("game", "bench-ring");
+        ("n", string_of_int n_ring);
+        ("beta", Store.Key.float_field beta);
+        ("steps", string_of_int tv_steps);
+      ]
+  in
+  let through key encode decode build =
+    match Store.Cas.get_decoded cas key ~decode with
+    | Some v -> v
+    | None ->
+        let v = build () in
+        Store.Cas.put cas key (encode v);
+        v
+  in
+  let run_once () =
+    let chain =
+      Markov.Chain_codec.cached ~store:cas chain_key (fun () ->
+          Logit.Logit_dynamics.chain game ~beta)
+    in
+    let pi =
+      through dist_key Store.Codec.encode_dist Store.Codec.decode_dist
+        (fun () -> Logit.Gibbs.stationary (Games.Game.space game) phi ~beta)
+    in
+    let curve =
+      through curve_key Store.Codec.encode_curve Store.Codec.decode_curve
+        (fun () -> Markov.Mixing.tv_curve chain pi ~starts ~steps:tv_steps)
+    in
+    (chain, pi, curve)
+  in
+  let (chain_cold, pi_cold, curve_cold), t_cold = time run_once in
+  let cold = Store.Cas.stats cas in
+  let (chain_warm, pi_warm, curve_warm), t_warm = time run_once in
+  let warm = Store.Cas.stats cas in
+  let warm_hits = warm.Store.Cas.hits - cold.Store.Cas.hits in
+  let chain_identical = chain_equal chain_cold chain_warm in
+  let pi_identical = pi_cold = pi_warm in
+  let curve_identical = curve_cold = curve_warm in
+  (* Resume a sweep killed mid-grid: file the first 5 of 12 points by
+     hand (the "interrupted run"), then let Sweep.map_cached finish. *)
+  let grid = List.init 12 Fun.id in
+  let point_key i =
+    Store.Key.v ~kind:"bench-point" [ ("i", string_of_int i) ]
+  in
+  let encode_point x = Store.Codec.encode_dist [| x |] in
+  let decode_point s = Result.map (fun a -> a.(0)) (Store.Codec.decode_dist s) in
+  let computed = ref 0 in
+  let f i =
+    incr computed;
+    float_of_int (i * i)
+  in
+  List.iter
+    (fun i -> if i < 5 then Store.Cas.put cas (point_key i) (encode_point (f i)))
+    grid;
+  let before_resume = !computed in
+  let results =
+    Experiments.Sweep.map_cached ~store:cas ~key:point_key ~encode:encode_point
+      ~decode:decode_point f grid
+  in
+  let recomputed = !computed - before_resume in
+  let resume_ok =
+    recomputed = 7 && results = List.map (fun i -> float_of_int (i * i)) grid
+  in
+  let table =
+    Experiments.Table.create
+      ~title:
+        (Printf.sprintf
+           "store ablation: cold vs warm artifact pipeline (ring n=%d, |S|=%d, \
+            beta=%g)"
+           n_ring size beta)
+      [
+        ("workload", Experiments.Table.Left);
+        ("cold s", Experiments.Table.Right);
+        ("warm s", Experiments.Table.Right);
+        ("speedup", Experiments.Table.Right);
+        ("agree", Experiments.Table.Right);
+      ]
+  in
+  Experiments.Table.add_row table
+    [
+      Printf.sprintf "chain + stationary + tv_curve(%d)" tv_steps;
+      Printf.sprintf "%.3f" t_cold;
+      Printf.sprintf "%.3f" t_warm;
+      Printf.sprintf "%.1fx" (t_cold /. t_warm);
+      Experiments.Table.cell_bool
+        (chain_identical && pi_identical && curve_identical);
+    ];
+  Experiments.Table.add_row table
+    [
+      "sweep resume (12 points, 5 pre-filed)";
+      "-";
+      "-";
+      Printf.sprintf "%d recomputed" recomputed;
+      Experiments.Table.cell_bool resume_ok;
+    ];
+  Experiments.Table.add_note table
+    (Printf.sprintf
+       "cold: %d miss(es), %d write(s); warm: %d hit(s). agree = decoded \
+        artifacts bit-identical to the computed ones."
+       cold.Store.Cas.misses cold.Store.Cas.writes warm_hits);
+  Experiments.Table.print table;
+  let json_path = Filename.concat (Sys.getcwd ()) "BENCH_store.json" in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "store_ablation",
+  "quick": %b,
+  "game": { "kind": "ring_coordination", "n": %d, "states": %d, "beta": %g },
+  "pipeline": { "cold_s": %.6f, "warm_s": %.6f, "speedup": %.3f,
+    "cold_misses": %d, "cold_writes": %d, "warm_hits": %d },
+  "identical": { "chain": %b, "stationary": %b, "tv_curve": %b },
+  "resume": { "grid": 12, "prefiled": 5, "recomputed": %d, "ok": %b }
+}
+|}
+      quick n_ring size beta t_cold t_warm (t_cold /. t_warm)
+      cold.Store.Cas.misses cold.Store.Cas.writes warm_hits chain_identical
+      pi_identical curve_identical recomputed resume_ok
+  in
+  Store.Io.write_atomic ~path:json_path json;
+  Printf.printf "store ablation recorded to %s\n" json_path;
+  ignore (Store.Cas.clear cas)
 
 let run_micro () =
   let instances = Instance.[ monotonic_clock ] in
@@ -539,6 +710,10 @@ let () =
     Printf.printf "phase 1.6: CSR storage ablation (pre-CSR vs CSR kernels)\n%!";
     run_csr_ablation ()
   end
+  else if store_only then begin
+    Printf.printf "phase 1.7: artifact store ablation (cold vs warm)\n%!";
+    run_store_ablation ()
+  end
   else begin
     Printf.printf
       "phase 1: regenerating every experiment table (E1..E9, X1..X10)\n";
@@ -550,6 +725,8 @@ let () =
     Printf.printf
       "\nphase 1.6: CSR storage ablation (pre-CSR vs CSR kernels)\n%!";
     run_csr_ablation ();
+    Printf.printf "\nphase 1.7: artifact store ablation (cold vs warm)\n%!";
+    run_store_ablation ();
     if not skip_micro then begin
       Printf.printf "\nphase 2: micro-benchmarks\n%!";
       run_micro ()

@@ -10,7 +10,13 @@
      cutwidth    cutwidth of a topology (Thm 5.1 exponent)
      hitting     expected hitting time of the potential minimum
      anneal      compare annealing schedules
-     sample      exact stationary samples via coupling from the past *)
+     sample      exact stationary samples via coupling from the past
+     store       inspect/maintain the on-disk artifact store
+
+   The chain-building subcommands (mixing, spectrum, hitting,
+   experiment) memoise their heavy artifacts — chains, stationary
+   distributions, experiment tables — through the content-addressed
+   store (~/.cache/logitdyn, or --store DIR); --no-cache opts out. *)
 
 open Cmdliner
 
@@ -90,12 +96,67 @@ let with_jobs jobs f =
   if jobs <= 1 then f None
   else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
 
-let stationary_of game potential ~beta =
-  match potential with
-  | Some phi -> Logit.Gibbs.stationary (Games.Game.space game) phi ~beta
-  | None ->
-      let chain = Logit.Logit_dynamics.chain game ~beta in
-      Markov.Stationary.by_solve chain
+(* --- the artifact store ------------------------------------------------ *)
+
+let open_store ~store_dir ~no_cache =
+  if no_cache then None
+  else
+    match Store.Cas.open_ ?dir:store_dir () with
+    | cas -> Some cas
+    | exception Sys_error msg ->
+        Printf.eprintf "warning: artifact store unavailable (%s); running uncached\n"
+          msg;
+        None
+
+let report_store = function
+  | None -> ()
+  | Some cas ->
+      let s = Store.Cas.stats cas in
+      Printf.printf "store: %d hit(s), %d miss(es), %d write(s) in %s\n"
+        s.Store.Cas.hits s.Store.Cas.misses s.Store.Cas.writes (Store.Cas.dir cas)
+
+(* Chain builds are keyed by the full recipe: game id, n, state count,
+   exact beta, dynamics variant, CSR layout + codec versions. *)
+let build_chain ?pool ~store spec game ~n ~beta =
+  let key =
+    Markov.Chain_codec.recipe ~game:spec.id ~size:(Games.Game.size game) ~beta
+      ~variant:"sequential-logit"
+      ~extra:[ ("n", string_of_int n) ]
+      ()
+  in
+  Markov.Chain_codec.cached ?store key (fun () ->
+      Logit.Logit_dynamics.chain ?pool game ~beta)
+
+let stationary_key spec ~n ~size ~beta =
+  Store.Key.v ~kind:"dist"
+    [
+      ("game", spec.id);
+      ("n", string_of_int n);
+      ("size", string_of_int size);
+      ("beta", Store.Key.float_field beta);
+      ("role", "stationary");
+      ("codec", string_of_int Store.Codec.version);
+    ]
+
+let stationary_of ?store spec game potential ~n ~beta =
+  let compute () =
+    match potential with
+    | Some phi -> Logit.Gibbs.stationary (Games.Game.space game) phi ~beta
+    | None ->
+        let chain = Logit.Logit_dynamics.chain game ~beta in
+        Markov.Stationary.by_solve chain
+  in
+  match store with
+  | None -> compute ()
+  | Some cas -> (
+      let size = Games.Game.size game in
+      let key = stationary_key spec ~n ~size ~beta in
+      match Store.Cas.get_decoded cas key ~decode:Store.Codec.decode_dist with
+      | Some pi when Array.length pi = size -> pi
+      | _ ->
+          let pi = compute () in
+          Store.Cas.put cas key (Store.Codec.encode_dist pi);
+          pi)
 
 (* --- simulate --------------------------------------------------------- *)
 
@@ -128,7 +189,7 @@ let simulate game_id n beta steps seed =
 
 (* --- mixing ----------------------------------------------------------- *)
 
-let mixing game_id n beta eps jobs replicas seed =
+let mixing game_id n beta eps jobs replicas seed store_dir no_cache =
   let spec = find_game game_id in
   let game, potential = spec.build ~n ~beta in
   let size = Games.Game.size game in
@@ -136,9 +197,10 @@ let mixing game_id n beta eps jobs replicas seed =
     Printf.eprintf "state space too large (%d); reduce n\n" size;
     exit 2
   end;
+  let store = open_store ~store_dir ~no_cache in
   with_jobs jobs @@ fun pool ->
-  let chain = Logit.Logit_dynamics.chain ?pool game ~beta in
-  let pi = stationary_of game potential ~beta in
+  let chain = build_chain ?pool ~store spec game ~n ~beta in
+  let pi = stationary_of ?store spec game potential ~n ~beta in
   let reversible = Markov.Chain.is_reversible ~tol:1e-7 chain pi in
   Printf.printf "game=%s n=%d |S|=%d beta=%g reversible=%b\n"
     (Games.Game.name game) n size beta reversible;
@@ -171,11 +233,12 @@ let mixing game_id n beta eps jobs replicas seed =
         (Games.Potential.delta_local space phi)
         (Logit.Barrier.zeta space phi)
   | None -> ());
+  report_store store;
   0
 
 (* --- spectrum --------------------------------------------------------- *)
 
-let spectrum game_id n beta count =
+let spectrum game_id n beta count store_dir no_cache =
   let spec = find_game game_id in
   let game, potential = spec.build ~n ~beta in
   let size = Games.Game.size game in
@@ -183,8 +246,9 @@ let spectrum game_id n beta count =
     Printf.eprintf "state space too large (%d) for dense spectra; reduce n\n" size;
     exit 2
   end;
-  let chain = Logit.Logit_dynamics.chain game ~beta in
-  let pi = stationary_of game potential ~beta in
+  let store = open_store ~store_dir ~no_cache in
+  let chain = build_chain ~store spec game ~n ~beta in
+  let pi = stationary_of ?store spec game potential ~n ~beta in
   if Markov.Chain.is_reversible ~tol:1e-7 chain pi then begin
     let values = Markov.Spectral.spectrum chain pi in
     Printf.printf "reversible chain; top eigenvalues:\n";
@@ -202,22 +266,24 @@ let spectrum game_id n beta count =
         if i < count then Printf.printf "  lambda_%d = %.8f %+.8fi\n" (i + 1) re im)
       values
   end;
+  report_store store;
   0
 
 (* --- experiment -------------------------------------------------------- *)
 
-let experiment id quick jobs =
+let experiment id quick jobs store_dir no_cache =
   Experiments.Sweep.set_jobs jobs;
+  let store = open_store ~store_dir ~no_cache in
   if String.lowercase_ascii id = "all" then begin
-    Experiments.Registry.run_all ~quick ();
+    Experiments.Registry.run_all ?store ~quick ();
+    report_store store;
     0
   end
   else
     match Experiments.Registry.find id with
     | e ->
-        Printf.printf "### %s — %s: %s\n\n" (String.uppercase_ascii e.id) e.theorem
-          e.title;
-        List.iter Experiments.Table.print (e.run ~quick);
+        Experiments.Registry.run_one ?store ~quick e;
+        report_store store;
         0
     | exception Not_found ->
         Printf.eprintf "unknown experiment %S; try `logitdyn list`\n" id;
@@ -277,7 +343,7 @@ let cutwidth_cmd_impl kind n =
 
 (* --- hitting -------------------------------------------------------------- *)
 
-let hitting game_id n beta jobs =
+let hitting game_id n beta jobs store_dir no_cache =
   let spec = find_game game_id in
   let game, potential = spec.build ~n ~beta in
   let size = Games.Game.size game in
@@ -285,8 +351,9 @@ let hitting game_id n beta jobs =
     Printf.eprintf "state space too large (%d) for the dense solve; reduce n\n" size;
     exit 2
   end;
+  let store = open_store ~store_dir ~no_cache in
   with_jobs jobs @@ fun pool ->
-  let chain = Logit.Logit_dynamics.chain ?pool game ~beta in
+  let chain = build_chain ?pool ~store spec game ~n ~beta in
   match potential with
   | None ->
       Printf.eprintf "hitting targets are defined via the potential; %S has none\n"
@@ -301,10 +368,11 @@ let hitting game_id n beta jobs =
       Printf.printf "game=%s n=%d beta=%g\n" (Games.Game.name game) n beta;
       Printf.printf "potential minimiser: profile %d (Phi = %g)\n" argmin vmin;
       Printf.printf "worst-case expected hitting time of the minimum: %.4g\n" worst;
-      let pi = stationary_of game potential ~beta in
+      let pi = stationary_of ?store spec game potential ~n ~beta in
       (match Markov.Mixing.mixing_time_all ?pool ~max_steps:2_000_000 chain pi with
       | Some t -> Printf.printf "mixing time (same chain):                  %d\n" t
       | None -> Printf.printf "mixing time (same chain):                  >2e6\n");
+      report_store store;
       0
 
 (* --- anneal --------------------------------------------------------------- *)
@@ -380,6 +448,73 @@ let sample_cmd_impl game_id n beta count seed =
   | _ -> ());
   0
 
+(* --- store -------------------------------------------------------------- *)
+
+let human_age seconds =
+  if seconds < 90. then Printf.sprintf "%.0fs" seconds
+  else if seconds < 5400. then Printf.sprintf "%.0fm" (seconds /. 60.)
+  else if seconds < 129600. then Printf.sprintf "%.1fh" (seconds /. 3600.)
+  else Printf.sprintf "%.1fd" (seconds /. 86400.)
+
+let store_cmd_impl action store_dir max_age_days =
+  match Store.Cas.open_ ?dir:store_dir () with
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot open artifact store: %s\n" msg;
+      exit 2
+  | cas -> (
+      match action with
+      | "ls" ->
+          let now = Unix.gettimeofday () in
+          let entries = Store.Cas.verify cas in
+          Printf.printf "%-32s  %-17s  %10s  %6s\n" "digest" "kind" "bytes" "age";
+          List.iter
+            (fun ((e : Store.Cas.entry), status) ->
+              let kind =
+                match status with
+                | Ok k -> Store.Codec.kind_name k
+                | Error _ -> "CORRUPT"
+              in
+              Printf.printf "%-32s  %-17s  %10d  %6s\n" e.digest kind e.size
+                (human_age (now -. e.mtime)))
+            entries;
+          let total =
+            List.fold_left
+              (fun acc ((e : Store.Cas.entry), _) -> acc + e.size)
+              0 entries
+          in
+          Printf.printf "%d object(s), %d byte(s) in %s\n" (List.length entries)
+            total (Store.Cas.dir cas);
+          0
+      | "verify" ->
+          let entries = Store.Cas.verify cas in
+          let bad =
+            List.filter (fun (_, status) -> Result.is_error status) entries
+          in
+          List.iter
+            (fun ((e : Store.Cas.entry), status) ->
+              match status with
+              | Ok _ -> ()
+              | Error reason -> Printf.printf "CORRUPT %s: %s\n" e.digest reason)
+            bad;
+          Printf.printf "%d object(s) checked, %d corrupt\n"
+            (List.length entries) (List.length bad);
+          if List.length bad = 0 then 0 else 1
+      | "gc" ->
+          let removed, bytes =
+            Store.Cas.gc cas ~older_than:(max_age_days *. 86400.)
+          in
+          Printf.printf "gc: removed %d object(s), %d byte(s) older than %g day(s)\n"
+            removed bytes max_age_days;
+          0
+      | "clear" ->
+          let removed = Store.Cas.clear cas in
+          Printf.printf "cleared %d object(s) from %s\n" removed (Store.Cas.dir cas);
+          0
+      | other ->
+          Printf.eprintf "unknown store action %S (expected ls|gc|verify|clear)\n"
+            other;
+          exit 2)
+
 (* --- list --------------------------------------------------------------- *)
 
 let list_all () =
@@ -426,6 +561,21 @@ let jobs_arg =
           "Number of domains for the parallel kernels (1 = serial). Results \
            are identical for every value; only the wall-clock changes.")
 
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Artifact store directory (default: \\$XDG_CACHE_HOME/logitdyn, \
+           falling back to ~/.cache/logitdyn).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the on-disk artifact store: compute everything afresh.")
+
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a logit-dynamics trajectory")
     Term.(const simulate $ game_arg $ n_arg $ beta_arg $ steps_arg $ seed_arg)
@@ -442,18 +592,22 @@ let mixing_cmd =
   Cmd.v (Cmd.info "mixing" ~doc:"Compute the exact mixing time")
     Term.(
       const mixing $ game_arg $ n_arg $ beta_arg $ eps_arg $ jobs_arg
-      $ replicas_arg $ seed_arg)
+      $ replicas_arg $ seed_arg $ store_dir_arg $ no_cache_arg)
 
 let spectrum_cmd =
   Cmd.v (Cmd.info "spectrum" ~doc:"Print the spectrum of the logit chain")
-    Term.(const spectrum $ game_arg $ n_arg $ beta_arg $ count_arg)
+    Term.(
+      const spectrum $ game_arg $ n_arg $ beta_arg $ count_arg $ store_dir_arg
+      $ no_cache_arg)
 
 let experiment_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"e1..e9 or all.")
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run a reproduction experiment")
-    Term.(const experiment $ id_arg $ quick_arg $ jobs_arg)
+    Term.(
+      const experiment $ id_arg $ quick_arg $ jobs_arg $ store_dir_arg
+      $ no_cache_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available games and experiments")
@@ -474,7 +628,25 @@ let cutwidth_cmd =
 let hitting_cmd =
   Cmd.v
     (Cmd.info "hitting" ~doc:"Expected hitting time of the potential minimum")
-    Term.(const hitting $ game_arg $ n_arg $ beta_arg $ jobs_arg)
+    Term.(
+      const hitting $ game_arg $ n_arg $ beta_arg $ jobs_arg $ store_dir_arg
+      $ no_cache_arg)
+
+let store_cmd =
+  let action_arg =
+    Arg.(
+      value & pos 0 string "ls"
+      & info [] ~docv:"ACTION" ~doc:"ls | gc | verify | clear")
+  in
+  let max_age_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "max-age" ] ~docv:"DAYS"
+          ~doc:"gc: delete objects last written more than $(docv) days ago.")
+  in
+  Cmd.v
+    (Cmd.info "store" ~doc:"Inspect and maintain the on-disk artifact store")
+    Term.(const store_cmd_impl $ action_arg $ store_dir_arg $ max_age_arg)
 
 let sample_cmd =
   let count_arg =
@@ -496,4 +668,5 @@ let () =
   let info = Cmd.info "logitdyn" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
        [ simulate_cmd; mixing_cmd; spectrum_cmd; experiment_cmd; list_cmd;
-         zeta_cmd; cutwidth_cmd; hitting_cmd; anneal_cmd; sample_cmd ]))
+         zeta_cmd; cutwidth_cmd; hitting_cmd; anneal_cmd; sample_cmd;
+         store_cmd ]))

@@ -133,10 +133,34 @@ let find id =
   | Some e -> e
   | None -> raise Not_found
 
-let run_one ~quick e =
+let tables_key ~quick e =
+  (* The experiment id and quick flag are the whole recipe; the codec
+     version field orphans artifacts when the table format changes.
+     Experiment code changes must bump the experiment's output enough
+     to matter only between commits — CI keys its cached store on the
+     source tree hash for exactly that reason (see ci.yml). *)
+  Store.Key.v ~kind:"experiment-tables"
+    [
+      ("experiment", e.id);
+      ("quick", string_of_bool quick);
+      ("tables-format", string_of_int Store.Codec.version);
+    ]
+
+let run_one ?store ~quick e =
   (* lint: allow print-in-lib — the experiment driver's stdout section header *)
   Printf.printf "\n### %s — %s: %s\n\n" (String.uppercase_ascii e.id) e.theorem
     e.title;
-  List.iter Table.print (e.run ~quick)
+  (* Each experiment is one grid point of [run_all]'s sweep: completed
+     table lists are checkpointed through the store, so re-running
+     [logitdyn experiment all] after an interruption decodes the
+     finished experiments and computes only the rest. *)
+  let tables =
+    List.concat
+      (Sweep.map_cached ?store ~key:(tables_key ~quick)
+         ~encode:Table.encode_list ~decode:Table.decode_list
+         (fun e -> e.run ~quick)
+         [ e ])
+  in
+  List.iter Table.print tables
 
-let run_all ~quick () = List.iter (run_one ~quick) (all @ extensions)
+let run_all ?store ~quick () = List.iter (run_one ?store ~quick) (all @ extensions)

@@ -20,6 +20,15 @@ val extensions : t list
     Raises [Not_found]. *)
 val find : string -> t
 
-(** [run_all ~quick ()] runs every core and extension experiment and
-    prints the tables to stdout. *)
-val run_all : quick:bool -> unit -> unit
+(** [run_one ?store ~quick e] prints [e]'s section header and tables.
+    With [?store], the experiment's table list is checkpointed through
+    the artifact store ({!Sweep.map_cached}): a prior completed run is
+    decoded and printed without recomputing anything. *)
+val run_one : ?store:Store.Cas.t -> quick:bool -> t -> unit
+
+(** [run_all ?store ~quick ()] runs every core and extension experiment
+    and prints the tables to stdout. With [?store] the grid is
+    resumable: experiments completed by an interrupted earlier run are
+    served from the store, so [logitdyn experiment all] is an
+    incremental computation. *)
+val run_all : ?store:Store.Cas.t -> quick:bool -> unit -> unit

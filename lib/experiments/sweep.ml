@@ -14,3 +14,32 @@ let map f xs =
       (* Chunk of 1: grid points are few and heavy, so claim them one
          at a time for the best load balance. *)
       Array.to_list (Exec.Pool.map ~chunk:1 p ~n:(Array.length arr) (fun i -> f arr.(i)))
+
+let map_cached ?store ~key ~encode ~decode f xs =
+  match store with
+  | None -> map f xs
+  | Some cas ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results =
+        Array.map (fun x -> Store.Cas.get_decoded cas (key x) ~decode) arr
+      in
+      let missing =
+        List.filter (fun i -> Option.is_none results.(i)) (List.init n Fun.id)
+      in
+      (* Only the missing grid points go through the pool; each one is
+         checkpointed the moment it completes, so an interrupted sweep
+         resumes from the last finished point rather than from zero. *)
+      let computed =
+        map
+          (fun i ->
+            let y = f arr.(i) in
+            Store.Cas.put cas (key arr.(i)) (encode y);
+            (i, y))
+          missing
+      in
+      List.iter (fun (i, y) -> results.(i) <- Some y) computed;
+      Array.to_list
+        (Array.map
+           (function Some y -> y | None -> invalid_arg "Sweep.map_cached")
+           results)

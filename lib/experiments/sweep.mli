@@ -20,3 +20,23 @@ val current_pool : unit -> Exec.Pool.t option
 (** [map f xs] is [List.map f xs], evaluated on the installed pool when
     there is one. Results are returned in input order. *)
 val map : ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_cached ?store ~key ~encode ~decode f xs] is {!map} with
+    per-grid-point checkpointing through the artifact store: points
+    whose key already decodes from [store] are skipped (their cached
+    value is returned), only the missing points are evaluated (on the
+    installed pool), and each one is filed the moment it completes —
+    so a sweep killed mid-grid resumes without recomputing finished
+    points, and a completed sweep re-runs without computing anything.
+    Results are always returned in input order, hit or miss. Cached
+    artifacts that fail [decode] (truncated, corrupt, stale format)
+    are dropped and recomputed. Without [?store] this is exactly
+    {!map}. *)
+val map_cached :
+  ?store:Store.Cas.t ->
+  key:('a -> Store.Key.t) ->
+  encode:('b -> string) ->
+  decode:(string -> ('b, string) result) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list

@@ -64,6 +64,55 @@ let render t =
 
 let print t = print_string (render t)
 
+(* --- binary artifacts ------------------------------------------------- *)
+
+(* Payload: title, headers, aligns, then rows and notes in logical
+   (insertion) order — the reversed in-memory accumulators are an
+   implementation detail that must not leak into the format. *)
+
+let write_payload b t =
+  let module E = Store.Codec.Enc in
+  E.string b t.title;
+  E.list b E.string t.headers;
+  E.list b (fun b a -> E.u8 b (match a with Left -> 0 | Right -> 1)) t.aligns;
+  E.list b (fun b row -> E.list b E.string row) (List.rev t.rows);
+  E.list b E.string (List.rev t.notes)
+
+let read_payload d =
+  let module D = Store.Codec.Dec in
+  let title = D.string d in
+  let headers = D.list d D.string in
+  let aligns =
+    D.list d (fun d ->
+        match D.u8 d with
+        | 0 -> Left
+        | 1 -> Right
+        | tag -> D.fail (Printf.sprintf "unknown alignment tag %d" tag))
+  in
+  let rows = D.list d (fun d -> D.list d D.string) in
+  let notes = D.list d D.string in
+  if headers = [] then D.fail "table artifact with no columns";
+  let columns = List.length headers in
+  if List.length aligns <> columns then
+    D.fail "table artifact: alignment/header count mismatch";
+  List.iter
+    (fun row ->
+      if List.length row <> columns then
+        D.fail "table artifact: row width does not match the column count")
+    rows;
+  { title; headers; aligns; rows = List.rev rows; notes = List.rev notes }
+
+let encode t = Store.Codec.frame ~kind:Store.Codec.Table (fun b -> write_payload b t)
+let decode s = Store.Codec.unframe ~kind:Store.Codec.Table s read_payload
+
+let encode_list ts =
+  Store.Codec.frame ~kind:Store.Codec.Table_list (fun b ->
+      Store.Codec.Enc.list b write_payload ts)
+
+let decode_list s =
+  Store.Codec.unframe ~kind:Store.Codec.Table_list s (fun d ->
+      Store.Codec.Dec.list d read_payload)
+
 let cell_int = string_of_int
 let cell_float x = Printf.sprintf "%.4g" x
 let cell_sci x = Printf.sprintf "%.3e" x

@@ -22,6 +22,27 @@ val render : t -> string
 (** [print t] renders to stdout. *)
 val print : t -> unit
 
+(** {1 Binary artifacts}
+
+    Tables are the unit the experiment sweep checkpoints through the
+    store: an interrupted [logitdyn experiment all] resumes by decoding
+    each completed experiment's table list instead of recomputing it.
+    The round trip is exact — rendering a decoded table reproduces the
+    original byte for byte. *)
+
+(** [encode t] frames one table as a {!Store.Codec.Table} artifact. *)
+val encode : t -> string
+
+(** [decode s] rejects truncated/corrupt/mis-typed artifacts with a
+    clean [Error]. *)
+val decode : string -> (t, string) result
+
+(** [encode_list ts] frames an experiment's full table list
+    ({!Store.Codec.Table_list}). *)
+val encode_list : t list -> string
+
+val decode_list : string -> (t list, string) result
+
 (** {1 Cell formatting helpers} *)
 
 (** [cell_int n] and friends format typical cell payloads; [cell_float]

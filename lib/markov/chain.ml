@@ -90,6 +90,48 @@ let of_dense m =
          done;
          Array.of_list !entries))
 
+let to_csr t = (Array.copy t.row_start, Array.copy t.cols, Array.copy t.probs)
+
+let of_csr ~row_start ~cols ~probs =
+  let size = Array.length row_start - 1 in
+  if size < 1 then invalid_arg "Chain.of_csr: empty chain";
+  let nnz = Array.length cols in
+  if Array.length probs <> nnz then
+    invalid_arg "Chain.of_csr: cols/probs length mismatch";
+  if row_start.(0) <> 0 || row_start.(size) <> nnz then
+    invalid_arg "Chain.of_csr: row offsets do not span the arrays";
+  let row_start = Array.copy row_start in
+  let cols = Array.copy cols in
+  let probs = Array.copy probs in
+  (* [cum] is derived data: recompute it with exactly the accumulation
+     order of [pack], so a deserialised chain samples bit-identically
+     to the chain that was serialised. *)
+  let cum = Array.make nnz 0. in
+  for i = 0 to size - 1 do
+    let lo = row_start.(i) and hi = row_start.(i + 1) in
+    if hi <= lo then
+      invalid_arg (Printf.sprintf "Chain.of_csr: empty or negative row %d" i);
+    let acc = ref 0. in
+    for k = lo to hi - 1 do
+      let j = cols.(k) in
+      if j < 0 || j >= size then
+        invalid_arg (Printf.sprintf "Chain.of_csr: column %d out of range in row %d" j i);
+      if k > lo && cols.(k - 1) >= j then
+        invalid_arg
+          (Printf.sprintf "Chain.of_csr: columns not strictly increasing in row %d" i);
+      let p = probs.(k) in
+      (* [not (p > 0.)] also rejects NaN. *)
+      if not (p > 0.) || p > 1. then
+        invalid_arg
+          (Printf.sprintf "Chain.of_csr: probability %.12g out of (0, 1] in row %d" p i);
+      acc := !acc +. p;
+      cum.(k) <- !acc
+    done;
+    if Float.abs (!acc -. 1.) > 1e-6 then
+      invalid_arg (Printf.sprintf "Chain.of_csr: row %d sums to %.12g" i !acc)
+  done;
+  { size; row_start; cols; probs; cum }
+
 let size t = t.size
 let nnz t = t.row_start.(t.size)
 let degree t i = t.row_start.(i + 1) - t.row_start.(i)

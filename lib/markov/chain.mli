@@ -34,6 +34,25 @@ val of_function : ?pool:Exec.Pool.t -> int -> (int -> (int * float) list) -> t
     Raises [Invalid_argument] if [m] is not square/stochastic. *)
 val of_dense : Linalg.Mat.t -> t
 
+(** [to_csr t] exposes the raw CSR arrays as copies: row offsets
+    (length [size t + 1]), column indices and probabilities (length
+    [nnz t]) — the serialisation surface behind {!Chain_codec}. The
+    per-row prefix sums are derived data and deliberately not
+    exposed; {!of_csr} recomputes them. *)
+val to_csr : t -> int array * int array * float array
+
+(** [of_csr ~row_start ~cols ~probs] rebuilds a chain from raw CSR
+    arrays (copied, not aliased), validating the full invariant —
+    offsets spanning the arrays with every row non-empty, columns in
+    range and strictly increasing within each row, probabilities in
+    (0, 1] and each row's mass within [1e-6] of one — and re-deriving
+    the per-row prefix sums in construction order, so the rebuilt
+    chain evolves and samples bit-identically to the one
+    [to_csr] came from. Raises [Invalid_argument] on any violation
+    (a decoded artifact must fail loudly, never yield a garbage
+    chain). *)
+val of_csr : row_start:int array -> cols:int array -> probs:float array -> t
+
 (** [size t] is the number of states. *)
 val size : t -> int
 

@@ -1,0 +1,57 @@
+(* Chain artifacts: the CSR arrays serialise directly ([Chain.to_csr])
+   under the Store.Codec frame; decode revalidates the whole invariant
+   via [Chain.of_csr], so a tampered payload that slips past the CRC
+   still can't become a garbage chain. *)
+
+let layout_version = 2
+
+let encode chain =
+  let row_start, cols, probs = Chain.to_csr chain in
+  Store.Codec.frame ~kind:Store.Codec.Chain (fun b ->
+      Store.Codec.Enc.u32 b layout_version;
+      Store.Codec.Enc.int_array b row_start;
+      Store.Codec.Enc.int_array b cols;
+      Store.Codec.Enc.float_array b probs)
+
+let decode s =
+  let payload =
+    Store.Codec.unframe ~kind:Store.Codec.Chain s (fun d ->
+        let v = Store.Codec.Dec.u32 d in
+        if v <> layout_version then
+          Store.Codec.Dec.fail
+            (Printf.sprintf "chain layout version %d (this build reads %d)" v
+               layout_version);
+        let row_start = Store.Codec.Dec.int_array d in
+        let cols = Store.Codec.Dec.int_array d in
+        let probs = Store.Codec.Dec.float_array d in
+        (row_start, cols, probs))
+  in
+  match payload with
+  | Error _ as e -> e
+  | Ok (row_start, cols, probs) -> (
+      match Chain.of_csr ~row_start ~cols ~probs with
+      | chain -> Ok chain
+      | exception Invalid_argument msg -> Error ("invalid chain artifact: " ^ msg))
+
+let recipe ?(extra = []) ~game ~size ~beta ~variant () =
+  Store.Key.v ~kind:"chain"
+    ([
+       ("game", game);
+       ("size", string_of_int size);
+       ("beta", Store.Key.float_field beta);
+       ("variant", variant);
+       ("csr-layout", string_of_int layout_version);
+       ("codec", string_of_int Store.Codec.version);
+     ]
+    @ extra)
+
+let cached ?store key build =
+  match store with
+  | None -> build ()
+  | Some cas -> (
+      match Store.Cas.get_decoded cas key ~decode with
+      | Some chain -> chain
+      | None ->
+          let chain = build () in
+          Store.Cas.put cas key (encode chain);
+          chain)

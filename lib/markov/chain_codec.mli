@@ -1,0 +1,42 @@
+(** Binary chain artifacts and build memoisation through the store.
+
+    A chain artifact is the {!Store.Codec} frame of the raw CSR arrays
+    plus a layout version; see DESIGN.md ("Artifact store") for the
+    on-disk format. Decoding revalidates the full CSR invariant
+    ({!Chain.of_csr}), so corrupt or tampered payloads are rejected
+    with a clean [Error] rather than yielding a garbage chain, and a
+    decoded chain evolves and samples bit-identically to the chain
+    that was encoded. *)
+
+(** The CSR layout generation this build writes and reads (bumped when
+    {!Chain}'s storage layout changes behaviour). It is embedded in
+    the payload {e and} in {!recipe} keys, so artifacts from an older
+    layout are orphaned, never misread. *)
+val layout_version : int
+
+(** [encode chain] is the framed binary artifact. *)
+val encode : Chain.t -> string
+
+(** [decode s] parses and fully revalidates an artifact. *)
+val decode : string -> (Chain.t, string) result
+
+(** [recipe ?extra ~game ~size ~beta ~variant ()] is the canonical
+    cache key of a chain build: game id, state count, exact β
+    (hex-float), dynamics variant (e.g. ["sequential-logit"]), the CSR
+    layout and codec versions, plus any [extra] recipe fields. Every
+    input that can change the built chain must be in here — that is
+    the whole correctness contract of the cache. *)
+val recipe :
+  ?extra:(string * string) list ->
+  game:string ->
+  size:int ->
+  beta:float ->
+  variant:string ->
+  unit ->
+  Store.Key.t
+
+(** [cached ?store key build] memoises [build] through the store:
+    without a store it just builds; with one it decodes a prior
+    artifact when present (corrupt artifacts are dropped and rebuilt)
+    and files the freshly built chain otherwise. *)
+val cached : ?store:Store.Cas.t -> Store.Key.t -> (unit -> Chain.t) -> Chain.t

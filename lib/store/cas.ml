@@ -1,0 +1,151 @@
+type t = {
+  root : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+}
+
+type stats = { hits : int; misses : int; writes : int }
+
+let default_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some cache when cache <> "" -> Filename.concat cache "logitdyn"
+  | _ ->
+      let home = match Sys.getenv_opt "HOME" with Some h when h <> "" -> h | _ -> "." in
+      Filename.concat (Filename.concat home ".cache") "logitdyn"
+
+let objects_dir t = Filename.concat t.root "objects"
+let tmp_dir t = Filename.concat t.root "tmp"
+
+let open_ ?dir () =
+  let root = match dir with Some d -> d | None -> default_dir () in
+  let t = { root; hits = 0; misses = 0; writes = 0 } in
+  Io.mkdir_p (objects_dir t);
+  Io.mkdir_p (tmp_dir t);
+  t
+
+let dir t = t.root
+let stats (t : t) = { hits = t.hits; misses = t.misses; writes = t.writes }
+
+let object_path t digest =
+  let shard = if String.length digest >= 2 then String.sub digest 0 2 else "xx" in
+  Filename.concat (Filename.concat (objects_dir t) shard) (digest ^ ".art")
+
+let put t key artifact =
+  let path = object_path t (Key.digest key) in
+  Io.mkdir_p (Filename.dirname path);
+  (* Stage in <root>/tmp — same filesystem as objects/, so the rename
+     is atomic and concurrent workers never expose a torn artifact. *)
+  Io.write_atomic ~tmp_dir:(tmp_dir t) ~path artifact;
+  t.writes <- t.writes + 1
+
+let get t key =
+  match Io.read_file (object_path t (Key.digest key)) with
+  | Some _ as hit ->
+      t.hits <- t.hits + 1;
+      hit
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let remove_path path = try Sys.remove path; true with Sys_error _ -> false
+
+let get_decoded t key ~decode =
+  let path = object_path t (Key.digest key) in
+  match Io.read_file path with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some raw -> (
+      match decode raw with
+      | Ok v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | Error _ ->
+          (* Corrupt on disk: drop it so the recomputed artifact
+             replaces it, and count the lookup as a miss. *)
+          ignore (remove_path path);
+          t.misses <- t.misses + 1;
+          None)
+
+let mem t key = Sys.file_exists (object_path t (Key.digest key))
+
+let find_or_add t key build =
+  match get t key with
+  | Some artifact -> artifact
+  | None ->
+      let artifact = build () in
+      put t key artifact;
+      artifact
+
+type entry = { digest : string; size : int; mtime : float; path : string }
+
+let readdir_sorted path =
+  match Sys.readdir path with
+  | entries ->
+      Array.sort compare entries;
+      entries
+  | exception Sys_error _ -> [||]
+
+let ls t =
+  let acc = ref [] in
+  Array.iter
+    (fun shard ->
+      let shard_path = Filename.concat (objects_dir t) shard in
+      if Sys.is_directory shard_path then
+        Array.iter
+          (fun name ->
+            if Filename.check_suffix name ".art" then begin
+              let path = Filename.concat shard_path name in
+              match Unix.stat path with
+              | { Unix.st_size; st_mtime; _ } ->
+                  acc :=
+                    {
+                      digest = Filename.chop_suffix name ".art";
+                      size = st_size;
+                      mtime = st_mtime;
+                      path;
+                    }
+                    :: !acc
+              | exception Unix.Unix_error _ -> ()
+            end)
+          (readdir_sorted shard_path))
+    (readdir_sorted (objects_dir t));
+  List.sort (fun a b -> compare a.digest b.digest) !acc
+
+let verify t =
+  List.map
+    (fun entry ->
+      let status =
+        match Io.read_file entry.path with
+        | None -> Error "unreadable"
+        | Some raw -> (
+            match Codec.inspect raw with
+            | Ok (kind, _len) -> Ok kind
+            | Error _ as e -> e)
+      in
+      (entry, status))
+    (ls t)
+
+let remove t ~digest = remove_path (object_path t digest)
+
+let sweep_tmp t =
+  Array.iter
+    (fun name -> ignore (remove_path (Filename.concat (tmp_dir t) name)))
+    (readdir_sorted (tmp_dir t))
+
+let gc t ~older_than =
+  let now = Unix.gettimeofday () in
+  sweep_tmp t;
+  List.fold_left
+    (fun (count, bytes) entry ->
+      if now -. entry.mtime > older_than && remove_path entry.path then
+        (count + 1, bytes + entry.size)
+      else (count, bytes))
+    (0, 0) (ls t)
+
+let clear t =
+  sweep_tmp t;
+  List.fold_left
+    (fun count entry -> if remove_path entry.path then count + 1 else count)
+    0 (ls t)

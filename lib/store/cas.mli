@@ -1,0 +1,90 @@
+(** The content-addressed on-disk artifact cache.
+
+    Artifacts are framed byte strings ({!Codec}) filed under the MD5
+    digest of their build recipe ({!Key}):
+
+    {v
+      <root>/
+        objects/<d₀d₁>/<digest>.art    the artifacts (d₀d₁ = first two
+                                       hex digits, to keep directories
+                                       small)
+        tmp/                           staging area for atomic writes
+    v}
+
+    The default root is [$XDG_CACHE_HOME/logitdyn] (falling back to
+    [$HOME/.cache/logitdyn]); [logitdyn --store DIR] and tests point
+    elsewhere. All writes go through temp-file + rename inside the same
+    filesystem ({!Io.write_atomic}), so concurrent {!Exec.Pool} workers
+    and parallel CI jobs sharing one store never observe torn
+    artifacts — at worst two racers both compute and the last rename
+    wins with identical bytes.
+
+    A handle counts hits, misses and writes so front ends can report
+    warm-cache behaviour ([store: 12 hit(s), 0 miss(es)]). *)
+
+type t
+
+(** [default_dir ()] is the default store root (no directories are
+    created). *)
+val default_dir : unit -> string
+
+(** [open_ ?dir ()] opens (creating if needed) a store rooted at [dir]
+    (default {!default_dir}). Raises [Sys_error] if the root cannot be
+    created. *)
+val open_ : ?dir:string -> unit -> t
+
+(** [dir t] is the store root. *)
+val dir : t -> string
+
+type stats = { hits : int; misses : int; writes : int }
+
+(** [stats t] is the handle's counters so far: [hits]/[misses] count
+    {!get}/{!get_decoded} lookups, [writes] counts {!put}s. *)
+val stats : t -> stats
+
+(** [put t key artifact] files [artifact] under [key], atomically,
+    overwriting any previous object. *)
+val put : t -> Key.t -> string -> unit
+
+(** [get t key] is the raw artifact bytes, if present. Counts a hit or
+    a miss. *)
+val get : t -> Key.t -> string option
+
+(** [get_decoded t key ~decode] reads and decodes in one step. A
+    missing object, or one [decode] rejects (truncated, bit-flipped,
+    wrong kind, old format version), counts as a miss — a corrupt
+    object is also deleted so the rebuilt artifact replaces it. *)
+val get_decoded : t -> Key.t -> decode:(string -> ('a, string) result) -> 'a option
+
+(** [mem t key] tests presence without touching the counters. *)
+val mem : t -> Key.t -> bool
+
+(** [find_or_add t key build] is the cached artifact if present, else
+    [build ()], which is filed before being returned. *)
+val find_or_add : t -> Key.t -> (unit -> string) -> string
+
+type entry = {
+  digest : string;  (** the recipe hash (file basename) *)
+  size : int;  (** artifact size in bytes *)
+  mtime : float;  (** last-write time (epoch seconds) *)
+  path : string;  (** absolute path of the object file *)
+}
+
+(** [ls t] lists every object, sorted by digest. *)
+val ls : t -> entry list
+
+(** [verify t] checks every object's framing and checksum via
+    {!Codec.inspect}: [Ok kind] per sound artifact, [Error reason] per
+    corrupt one. Nothing is deleted. *)
+val verify : t -> (entry * (Codec.kind, string) result) list
+
+(** [remove t ~digest] deletes one object; [false] if absent. *)
+val remove : t -> digest:string -> bool
+
+(** [gc t ~older_than] deletes every object whose mtime is more than
+    [older_than] seconds old; returns (objects deleted, bytes freed).
+    Stale temp files from interrupted writers are swept on every gc. *)
+val gc : t -> older_than:float -> int * int
+
+(** [clear t] deletes every object; returns the number deleted. *)
+val clear : t -> int

@@ -1,0 +1,252 @@
+(* Binary artifact framing: magic + version + kind + length + payload
+   + CRC-32, everything little-endian, floats as IEEE-754 bit
+   patterns. Hand-rolled on Bytes/Buffer — deliberately not Marshal,
+   so artifacts survive compiler upgrades and corruption fails loudly
+   instead of segfaulting or yielding garbage. *)
+
+let version = 1
+let magic = "LDAF"
+let header_len = 12
+
+type kind = Chain | Dist | Curve | Table | Table_list
+
+let kind_tag = function
+  | Chain -> 1
+  | Dist -> 2
+  | Curve -> 3
+  | Table -> 4
+  | Table_list -> 5
+
+let kind_of_tag = function
+  | 1 -> Some Chain
+  | 2 -> Some Dist
+  | 3 -> Some Curve
+  | 4 -> Some Table
+  | 5 -> Some Table_list
+  | _ -> None
+
+let kind_name = function
+  | Chain -> "chain"
+  | Dist -> "dist"
+  | Curve -> "curve"
+  | Table -> "table"
+  | Table_list -> "tables"
+
+(* CRC-32, IEEE 802.3 polynomial (reflected 0xEDB88320). *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?len s =
+  let len = match len with Some l -> l | None -> String.length s in
+  if len < 0 || len > String.length s then invalid_arg "Codec.crc32: bad length";
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = 0 to len - 1 do
+    let idx = Int32.to_int (Int32.logand !c 0xFFl) lxor Char.code s.[i] in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.to_int (Int32.logxor !c 0xFFFFFFFFl) land 0xFFFFFFFF
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+
+  let u8 b v =
+    if v < 0 || v > 0xFF then invalid_arg "Codec.Enc.u8: out of range";
+    Buffer.add_char b (Char.chr v)
+
+  let u32 b v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.Enc.u32: out of range";
+    Buffer.add_int32_le b (Int32.of_int v)
+
+  let i64 b v = Buffer.add_int64_le b v
+  let int_ b v = i64 b (Int64.of_int v)
+  let float b v = i64 b (Int64.bits_of_float v)
+
+  let string b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let int_array b a =
+    u32 b (Array.length a);
+    Array.iter (int_ b) a
+
+  let float_array b a =
+    u32 b (Array.length a);
+    Array.iter (float b) a
+
+  let list b item xs =
+    u32 b (List.length xs);
+    List.iter (item b) xs
+end
+
+module Dec = struct
+  type t = { s : string; mutable pos : int; limit : int }
+
+  (* Internal control flow only: [unframe] catches it and returns
+     [Error], so corruption never escapes the module as an exception. *)
+  exception Corrupt of string
+
+  let fail msg = raise (Corrupt msg)
+
+  let need d n =
+    if n < 0 || d.limit - d.pos < n then
+      fail
+        (Printf.sprintf "truncated payload: need %d byte(s) at offset %d" n
+           (d.pos - header_len))
+
+  let u8 d =
+    need d 1;
+    let v = Char.code d.s.[d.pos] in
+    d.pos <- d.pos + 1;
+    v
+
+  let u32 d =
+    need d 4;
+    let v = Int32.to_int (String.get_int32_le d.s d.pos) land 0xFFFFFFFF in
+    d.pos <- d.pos + 4;
+    v
+
+  let i64 d =
+    need d 8;
+    let v = String.get_int64_le d.s d.pos in
+    d.pos <- d.pos + 8;
+    v
+
+  let int_ d =
+    let v = i64 d in
+    let n = Int64.to_int v in
+    if Int64.of_int n <> v then fail "integer out of native range";
+    n
+
+  let float d = Int64.float_of_bits (i64 d)
+
+  let string d =
+    let n = u32 d in
+    need d n;
+    let s = String.sub d.s d.pos n in
+    d.pos <- d.pos + n;
+    s
+
+  let int_array d =
+    let n = u32 d in
+    need d (8 * n);
+    let a = Array.make n 0 in
+    for i = 0 to n - 1 do
+      a.(i) <- int_ d
+    done;
+    a
+
+  let float_array d =
+    let n = u32 d in
+    need d (8 * n);
+    let a = Array.make n 0. in
+    for i = 0 to n - 1 do
+      a.(i) <- float d
+    done;
+    a
+
+  let list d item =
+    let n = u32 d in
+    let acc = ref [] in
+    for _ = 1 to n do
+      acc := item d :: !acc
+    done;
+    List.rev !acc
+end
+
+let add_u16_le b v =
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
+
+let get_u16_le s pos = Char.code s.[pos] lor (Char.code s.[pos + 1] lsl 8)
+
+let frame ~kind write =
+  let payload = Enc.create () in
+  write payload;
+  let len = Buffer.length payload in
+  let out = Buffer.create (header_len + len + 4) in
+  Buffer.add_string out magic;
+  add_u16_le out version;
+  add_u16_le out (kind_tag kind);
+  Buffer.add_int32_le out (Int32.of_int len);
+  Buffer.add_buffer out payload;
+  let body = Buffer.contents out in
+  let crc = crc32 body in
+  Buffer.add_int32_le out (Int32.of_int crc);
+  Buffer.contents out
+
+(* Validate everything up to (but not including) the payload bytes:
+   magic, version, kind tag, declared length vs physical length, and
+   the trailing CRC over header + payload. *)
+let check_frame s =
+  let total = String.length s in
+  if total < header_len + 4 then
+    Error (Printf.sprintf "artifact too short (%d bytes)" total)
+  else if String.sub s 0 4 <> magic then Error "bad magic: not a logitdyn artifact"
+  else
+    let ver = get_u16_le s 4 in
+    if ver <> version then
+      Error
+        (Printf.sprintf "unsupported format version %d (this build reads %d)" ver
+           version)
+    else
+      let tag = get_u16_le s 6 in
+      match kind_of_tag tag with
+      | None -> Error (Printf.sprintf "unknown payload kind tag %d" tag)
+      | Some k ->
+          let len = Int32.to_int (String.get_int32_le s 8) land 0xFFFFFFFF in
+          if total <> header_len + len + 4 then
+            Error
+              (Printf.sprintf
+                 "length mismatch: header declares %d payload byte(s), file \
+                  has %d"
+                 len
+                 (total - header_len - 4))
+          else
+            let stored =
+              Int32.to_int (String.get_int32_le s (header_len + len))
+              land 0xFFFFFFFF
+            in
+            let computed = crc32 ~len:(header_len + len) s in
+            if stored <> computed then
+              Error
+                (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)"
+                   stored computed)
+            else Ok (k, len)
+
+let inspect s = check_frame s
+
+let unframe ~kind s read =
+  match check_frame s with
+  | Error _ as e -> e
+  | Ok (k, len) ->
+      if k <> kind then
+        Error
+          (Printf.sprintf "artifact kind is %s, expected %s" (kind_name k)
+             (kind_name kind))
+      else begin
+        let d = { Dec.s; pos = header_len; limit = header_len + len } in
+        match read d with
+        | v ->
+            if d.Dec.pos <> d.Dec.limit then
+              Error
+                (Printf.sprintf "%d trailing payload byte(s) left undecoded"
+                   (d.Dec.limit - d.Dec.pos))
+            else Ok v
+        | exception Dec.Corrupt msg -> Error msg
+      end
+
+let encode_dist a = frame ~kind:Dist (fun b -> Enc.float_array b a)
+let decode_dist s = unframe ~kind:Dist s Dec.float_array
+let encode_curve a = frame ~kind:Curve (fun b -> Enc.float_array b a)
+let decode_curve s = unframe ~kind:Curve s Dec.float_array

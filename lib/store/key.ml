@@ -1,0 +1,50 @@
+type t = { kind : string; fields : (string * string) list; digest : string }
+
+let check_no_newline what s =
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Store.Key: newline in %s %S" what s))
+    s
+
+let v ~kind fields =
+  if kind = "" then invalid_arg "Store.Key: empty kind";
+  check_no_newline "kind" kind;
+  List.iter
+    (fun (name, value) ->
+      if name = "" then invalid_arg "Store.Key: empty field name";
+      check_no_newline "field name" name;
+      if String.contains name '=' then
+        invalid_arg (Printf.sprintf "Store.Key: '=' in field name %S" name);
+      check_no_newline "field value" value)
+    fields;
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf kind;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf value;
+      Buffer.add_char buf '\n')
+    fields;
+  let canonical = Buffer.contents buf in
+  { kind; fields; digest = Digest.to_hex (Digest.string canonical) }
+
+let kind t = t.kind
+let digest t = t.digest
+
+let describe t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf t.kind;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf value;
+      Buffer.add_char buf '\n')
+    t.fields;
+  Buffer.contents buf
+
+let float_field x = Printf.sprintf "%h" x

@@ -1,0 +1,35 @@
+(** Canonical cache keys: the hash of a build recipe.
+
+    A key is a kind (what is being built — ["chain"],
+    ["experiment-tables"], …) plus an ordered list of named fields
+    describing the full recipe: game id, player count, β, dynamics
+    variant, layout/format versions. Two builds share an artifact iff
+    their canonical texts are byte-identical, so every input that can
+    change the result must appear as a field — and encoding versions
+    are fields too, which is how stale artifacts from an older layout
+    are orphaned rather than misread (see DESIGN.md, "Artifact
+    store"). *)
+
+type t
+
+(** [v ~kind fields] builds a key. [kind], field names and values must
+    be non-empty-kind printable recipe text: newlines are forbidden
+    anywhere and ['='] is forbidden in field names, so the canonical
+    text is injective. Raises [Invalid_argument] otherwise. *)
+val v : kind:string -> (string * string) list -> t
+
+(** [kind t] is the key's kind string. *)
+val kind : t -> string
+
+(** [digest t] is the 32-hex-character MD5 of the canonical text — the
+    artifact's file name in the store. *)
+val digest : t -> string
+
+(** [describe t] is the canonical text: [kind], newline, then one
+    [name=value] line per field in the order given to {!v}. *)
+val describe : t -> string
+
+(** [float_field x] renders a float exactly (hexadecimal [%h] notation)
+    for use as a field value — two βs map to the same key iff they are
+    the same IEEE-754 value. *)
+val float_field : float -> string

@@ -192,6 +192,40 @@ let print_in_lib_config_exempt () =
       check_int "same config still flags other files" 1
         (List.length (List.filter (( = ) "print-in-lib") (names other))))
 
+(* ---------------- marshal-outside-store ---------------- *)
+
+let marshal_positive () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "let dump oc x = Marshal.to_channel oc x []\n\
+           let dump2 oc x = output_value oc x\n\
+           let load ic = input_value ic\n\
+           module M = Marshal\n"
+      in
+      check_int "Marshal, output_value, input_value and the module alias" 4
+        (List.length (List.filter (( = ) "marshal-outside-store") (names fs))))
+
+let marshal_negative () =
+  with_root (fun root ->
+      check_clean "lib/store/ itself is exempt"
+        (lint_one root "lib/store/codec.ml"
+           "let roundtrip x = Marshal.from_string (Marshal.to_string x []) 0\n");
+      check_clean "ordinary output_string is clean"
+        (lint_one root "bin/a.ml"
+           "let f oc = output_string oc \"x\"\nlet g () = print_string \"y\"\n"))
+
+let marshal_suppressed () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "bench/a.ml"
+          "let size x = Marshal.total_size x 0 (* lint: allow \
+           marshal-outside-store *)\n"
+      in
+      match fs with
+      | [ ("marshal-outside-store", 1, true) ] -> ()
+      | _ -> Alcotest.fail "expected one suppressed marshal finding")
+
 (* ---------------- mli-coverage (tree rule, via run) ---------------- *)
 
 let mli_coverage_positive () =
@@ -301,6 +335,12 @@ let suites =
         test "positive" print_in_lib_positive;
         test "negative" print_in_lib_negative;
         test "config exemption" print_in_lib_config_exempt;
+      ] );
+    ( "lint.marshal-outside-store",
+      [
+        test "positive" marshal_positive;
+        test "negative" marshal_negative;
+        test "suppressed" marshal_suppressed;
       ] );
     ( "lint.mli-coverage",
       [

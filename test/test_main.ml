@@ -4,4 +4,5 @@ let () =
    @ Test_games.suites @ Test_markov.suites @ Test_logit.suites
    @ Test_hitting_paths.suites @ Test_extensions.suites
    @ Test_numerics_ext.suites @ Test_polymatrix.suites
-   @ Test_experiments.suites @ Test_exec.suites @ Test_lint.suites)
+   @ Test_experiments.suites @ Test_exec.suites @ Test_lint.suites
+   @ Test_store.suites)

@@ -253,4 +253,61 @@ let mli_coverage =
             files);
   }
 
-let all = [ float_equality; exn_policy; bare_random; print_in_lib; mli_coverage ]
+(* ------------------------------------------------------------------ *)
+(* marshal-outside-store: Marshal (and its Stdlib aliases output_value /
+   input_value) is banned everywhere except lib/store. Marshalled bytes
+   are not versioned, not endian/word-size stable, and deserialise
+   without validation — the artifact store exists precisely to replace
+   them with checksummed, versioned codecs that fail loudly. *)
+
+let marshal_outside_store =
+  {
+    Lint.name = "marshal-outside-store";
+    doc =
+      "Marshal / output_value / input_value outside lib/store/: \
+       unversioned, unvalidated bytes. Persist artifacts through the \
+       Store codecs (framed, checksummed, versioned) instead.";
+    applies = (fun path -> not (has_prefix ~prefix:"lib/store/" path));
+    check =
+      Lint.Ast_rule
+        (fun ~report ast ->
+          let flag loc what =
+            report loc
+              (Printf.sprintf
+                 "%s uses Marshal outside lib/store/; persist through the \
+                  Store codecs instead"
+                 what)
+          in
+          ast_iter ast
+            ~on_expr:(fun e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; loc }
+                when lid_head (strip_stdlib txt) = "Marshal" ->
+                  flag loc "expression"
+              | Pexp_ident { txt; loc } -> (
+                  match strip_stdlib txt with
+                  | Longident.Lident (("output_value" | "input_value") as s) ->
+                      report loc
+                        (Printf.sprintf
+                           "%s is Marshal in disguise; persist through the \
+                            Store codecs instead"
+                           s)
+                  | _ -> ())
+              | _ -> ())
+            ~on_module_expr:(fun m ->
+              match m.pmod_desc with
+              | Pmod_ident { txt; loc }
+                when lid_head (strip_stdlib txt) = "Marshal" ->
+                  flag loc "module expression"
+              | _ -> ()));
+  }
+
+let all =
+  [
+    float_equality;
+    exn_policy;
+    bare_random;
+    print_in_lib;
+    mli_coverage;
+    marshal_outside_store;
+  ]

@@ -6,6 +6,7 @@ val exn_policy : Lint.rule
 val bare_random : Lint.rule
 val print_in_lib : Lint.rule
 val mli_coverage : Lint.rule
+val marshal_outside_store : Lint.rule
 
 (** Every rule, in reporting order. *)
 val all : Lint.rule list
