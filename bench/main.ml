@@ -32,9 +32,18 @@
    bit-identical to the computed ones, and a killed-mid-grid sweep is
    resumed through Sweep.map_cached. Timings land in BENCH_store.json.
 
+   Phase 1.8 is the kernel-mode ablation for distribution evolution:
+   the PR 2 serial push (scatter) loop over all starts is raced against
+   (a) the pull (gather) kernel over the transposed layout with the
+   starts chunked across domains and (b) the blocked SpMM panel kernel
+   [Chain.evolve_many_into] that advances all starts in one matrix
+   traversal, serial and pooled. All arms are gated on bit-identical
+   outputs (same t_mix, same TV curve, evolve checked on random
+   vectors); timings land in BENCH_spmm.json.
+
    Pass --quick to shrink the experiment sweeps; pass --skip-micro to
-   print only the tables; pass --csr-only or --store-only to run just
-   that ablation. *)
+   print only the tables; pass --csr-only, --store-only or --spmm-only
+   to run just that ablation. *)
 
 open Bechamel
 open Toolkit
@@ -43,6 +52,7 @@ let quick = Array.exists (( = ) "--quick") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 let csr_only = Array.exists (( = ) "--csr-only") Sys.argv
 let store_only = Array.exists (( = ) "--store-only") Sys.argv
+let spmm_only = Array.exists (( = ) "--spmm-only") Sys.argv
 
 let jobs =
   let rec find i =
@@ -504,6 +514,261 @@ let run_csr_ablation () =
   Store.Io.write_atomic ~path:json_path json;
   Printf.printf "CSR ablation recorded to %s\n" json_path
 
+(* --- Phase 1.8: push vs pull vs SpMM kernel ablation -------------------- *)
+
+(* The PR 2 shape of the all-starts mixing workload: one float array per
+   start, advanced by the serial push kernel [Chain.evolve_into], TV
+   re-measured per start per step. This is the "before" arm; the pull
+   and SpMM kernels must reproduce its outputs bit-for-bit. *)
+module Push_mixing = struct
+  let tv_against pi mu =
+    let acc = ref 0. in
+    Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. pi.(i))) mu;
+    0.5 *. !acc
+
+  let point_mass n i =
+    let v = Array.make n 0. in
+    v.(i) <- 1.;
+    v
+
+  let worst tvs = Array.fold_left Float.max 0. tvs
+
+  (* [advance] runs one synchronous step of every start; [kernel] is
+     the per-start evolve, so the same driver times push (serial) and
+     pull (pooled over starts) against identical state. *)
+  let make_state chain pi =
+    let n = Markov.Chain.size chain in
+    let mus = ref (Array.init n (point_mass n)) in
+    let scratch = ref (Array.init n (fun _ -> Array.make n 0.)) in
+    let tvs = Array.map (tv_against pi) !mus in
+    (mus, scratch, tvs)
+
+  let mixing_time_all ?(eps = 0.25) ?(max_steps = 1_000_000) ~advance chain pi =
+    let mus, scratch, tvs = make_state chain pi in
+    let rec go step =
+      if worst tvs <= eps then Some step
+      else if step >= max_steps then None
+      else begin
+        advance !mus !scratch tvs;
+        let previous = !mus in
+        mus := !scratch;
+        scratch := previous;
+        go (step + 1)
+      end
+    in
+    go 0
+
+  let tv_curve ~advance chain pi ~steps =
+    let mus, scratch, tvs = make_state chain pi in
+    let curve = Array.make (steps + 1) 0. in
+    curve.(0) <- worst tvs;
+    for step = 1 to steps do
+      advance !mus !scratch tvs;
+      let previous = !mus in
+      mus := !scratch;
+      scratch := previous;
+      curve.(step) <- worst tvs
+    done;
+    curve
+
+  let push_advance chain pi mus scratch tvs =
+    Array.iteri
+      (fun s mu ->
+        Markov.Chain.evolve_into chain ~src:mu ~dst:scratch.(s);
+        tvs.(s) <- tv_against pi scratch.(s))
+      mus
+end
+
+(* The pooled pull arm. The pull kernel's one-writer ownership makes
+   every start's trajectory independent of the others, so instead of a
+   synchronized step loop (a pool dispatch and a barrier per step) each
+   start runs to its own eps-crossing inside one dispatch, double
+   buffers hot in its domain's cache, and stops as soon as it has mixed
+   rather than being dragged to the slowest start's horizon. TV to
+   stationarity is non-increasing in t, so the max of the per-start
+   crossing times is the synchronized mixing time; the caller gates the
+   agreement bit-for-bit. *)
+let pull_mixing_time_all ?(eps = 0.25) ?(max_steps = 1_000_000) pool chain pi =
+  let n = Markov.Chain.size chain in
+  let times = Array.make n 0 in
+  let mixed = Array.make n true in
+  Exec.Pool.parallel_for pool ~n (fun s ->
+      let mu = ref (Array.make n 0.) in
+      let scratch = ref (Array.make n 0.) in
+      !mu.(s) <- 1.;
+      let t = ref 0 in
+      let tv = ref (Push_mixing.tv_against pi !mu) in
+      while !tv > eps && !t < max_steps do
+        Markov.Chain.evolve_pull_into chain ~src:!mu ~dst:!scratch;
+        let previous = !mu in
+        mu := !scratch;
+        scratch := previous;
+        incr t;
+        tv := Push_mixing.tv_against pi !mu
+      done;
+      times.(s) <- !t;
+      mixed.(s) <- !tv <= eps);
+  if Array.for_all Fun.id mixed then Some (Array.fold_left Int.max 0 times)
+  else None
+
+let run_spmm_ablation () =
+  let n_ring = if quick then 8 else 10 in
+  let tv_steps = if quick then 50 else 150 in
+  let desc =
+    Games.Graphical.create (Graphs.Generators.ring n_ring)
+      (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+  in
+  let game = Games.Graphical.to_game desc in
+  let size = Games.Game.size game in
+  let chain = Logit.Logit_dynamics.chain game ~beta in
+  let pi =
+    Logit.Gibbs.stationary (Games.Game.space game)
+      (Games.Graphical.potential desc)
+      ~beta
+  in
+  (* Force the lazy CSC derivation once, outside all timed regions, so
+     every pull/SpMM arm pays for kernels, not for the transpose. *)
+  ignore (Markov.Chain.to_csc chain);
+  Exec.Pool.with_pool ~domains:jobs @@ fun pool ->
+  (* Correctness gate: the pull kernel must reproduce the push kernel
+     bit-for-bit on random (sparse, unnormalised) vectors. *)
+  let evolve_identical =
+    let r = Prob.Rng.create 7 in
+    let push = Array.make size 0. and pull = Array.make size 0. in
+    let ok = ref true in
+    for _ = 1 to 5 do
+      let mu =
+        Array.init size (fun _ ->
+            if Prob.Rng.float r < 0.3 then 0. else Prob.Rng.float r)
+      in
+      Markov.Chain.evolve_into chain ~src:mu ~dst:push;
+      Markov.Chain.evolve_pull_into chain ~src:mu ~dst:pull;
+      if push <> pull then ok := false
+    done;
+    !ok
+  in
+  let tmix_push, t_push =
+    time (fun () ->
+        Push_mixing.mixing_time_all
+          ~advance:(Push_mixing.push_advance chain pi)
+          chain pi)
+  in
+  let tmix_pull, t_pull = time (fun () -> pull_mixing_time_all pool chain pi) in
+  let tmix_spmm, t_spmm = time (fun () -> Markov.Mixing.mixing_time_all chain pi) in
+  let tmix_spmm_pool, t_spmm_pool =
+    time (fun () -> Markov.Mixing.mixing_time_all ~pool chain pi)
+  in
+  let starts = List.init size Fun.id in
+  let curve_push, t_curve_push =
+    time (fun () ->
+        Push_mixing.tv_curve
+          ~advance:(Push_mixing.push_advance chain pi)
+          chain pi ~steps:tv_steps)
+  in
+  let curve_spmm, t_curve_spmm =
+    time (fun () -> Markov.Mixing.tv_curve chain pi ~starts ~steps:tv_steps)
+  in
+  let power_serial, t_power_serial =
+    time (fun () -> Markov.Stationary.by_power chain)
+  in
+  let power_pooled, t_power_pooled =
+    time (fun () -> Markov.Stationary.by_power ~pool chain)
+  in
+  let table =
+    Experiments.Table.create
+      ~title:
+        (Printf.sprintf
+           "SpMM ablation: serial push vs pooled pull vs blocked SpMM (ring \
+            n=%d, |S|=%d, beta=%g, %d domains)"
+           n_ring size beta jobs)
+      [
+        ("workload / arm", Experiments.Table.Left);
+        ("seconds", Experiments.Table.Right);
+        ("speedup", Experiments.Table.Right);
+        ("agree", Experiments.Table.Right);
+      ]
+  in
+  let add name seconds speedup agree =
+    Experiments.Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.3f" seconds;
+        Printf.sprintf "%.2fx" speedup;
+        Experiments.Table.cell_bool agree;
+      ]
+  in
+  add "mixing_time_all / serial push (PR 2 baseline)" t_push 1.0 true;
+  add "mixing_time_all / pooled pull" t_pull (t_push /. t_pull)
+    (tmix_pull = tmix_push);
+  add "mixing_time_all / SpMM serial" t_spmm (t_push /. t_spmm)
+    (tmix_spmm = tmix_push);
+  add "mixing_time_all / SpMM pooled" t_spmm_pool (t_push /. t_spmm_pool)
+    (tmix_spmm_pool = tmix_push);
+  add
+    (Printf.sprintf "tv_curve(%d) / serial push" tv_steps)
+    t_curve_push 1.0 true;
+  add
+    (Printf.sprintf "tv_curve(%d) / SpMM" tv_steps)
+    t_curve_spmm
+    (t_curve_push /. t_curve_spmm)
+    (curve_push = curve_spmm);
+  add "by_power / serial push" t_power_serial 1.0 true;
+  add "by_power / pooled pull" t_power_pooled (t_power_serial /. t_power_pooled)
+    (power_serial = power_pooled);
+  Experiments.Table.add_note table
+    "agree = outputs bit-identical to the serial push arm (evolve also checked \
+     push-vs-pull on 5 random vectors).";
+  Experiments.Table.print table;
+  if not evolve_identical then
+    Printf.printf "WARNING: pull evolve diverged from the push kernel!\n";
+  let json_path = Filename.concat (Sys.getcwd ()) "BENCH_spmm.json" in
+  let tmix_str =
+    match tmix_push with Some t -> string_of_int t | None -> "null"
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "spmm_ablation",
+  "quick": %b,
+  "jobs": %d,
+  "game": { "kind": "ring_coordination", "n": %d, "states": %d, "beta": %g },
+  "evolve_bit_identical": %b,
+  "t_mix": %s,
+  "workloads": [
+    { "name": "mixing_time_all", "arm": "serial_push", "seconds": %.6f,
+      "speedup": 1.0, "bit_identical": true },
+    { "name": "mixing_time_all", "arm": "pooled_pull", "seconds": %.6f,
+      "speedup": %.3f, "bit_identical": %b },
+    { "name": "mixing_time_all", "arm": "spmm_serial", "seconds": %.6f,
+      "speedup": %.3f, "bit_identical": %b },
+    { "name": "mixing_time_all", "arm": "spmm_pooled", "seconds": %.6f,
+      "speedup": %.3f, "bit_identical": %b }
+  ],
+  "tv_curve": { "steps": %d, "push_s": %.6f, "spmm_s": %.6f, "speedup": %.3f,
+    "bit_identical": %b },
+  "by_power": { "serial_s": %.6f, "pooled_s": %.6f, "speedup": %.3f,
+    "bit_identical": %b }
+}
+|}
+      quick jobs n_ring size beta evolve_identical tmix_str t_push t_pull
+      (t_push /. t_pull)
+      (tmix_pull = tmix_push)
+      t_spmm
+      (t_push /. t_spmm)
+      (tmix_spmm = tmix_push)
+      t_spmm_pool
+      (t_push /. t_spmm_pool)
+      (tmix_spmm_pool = tmix_push)
+      tv_steps t_curve_push t_curve_spmm
+      (t_curve_push /. t_curve_spmm)
+      (curve_push = curve_spmm)
+      t_power_serial t_power_pooled
+      (t_power_serial /. t_power_pooled)
+      (power_serial = power_pooled)
+  in
+  Store.Io.write_atomic ~path:json_path json;
+  Printf.printf "SpMM ablation recorded to %s\n" json_path
+
 (* --- Phase 1.7: artifact store ablation -------------------------------- *)
 
 let run_store_ablation () =
@@ -714,6 +979,10 @@ let () =
     Printf.printf "phase 1.7: artifact store ablation (cold vs warm)\n%!";
     run_store_ablation ()
   end
+  else if spmm_only then begin
+    Printf.printf "phase 1.8: SpMM kernel ablation (push vs pull vs SpMM)\n%!";
+    run_spmm_ablation ()
+  end
   else begin
     Printf.printf
       "phase 1: regenerating every experiment table (E1..E9, X1..X10)\n";
@@ -727,6 +996,8 @@ let () =
     run_csr_ablation ();
     Printf.printf "\nphase 1.7: artifact store ablation (cold vs warm)\n%!";
     run_store_ablation ();
+    Printf.printf "\nphase 1.8: SpMM kernel ablation (push vs pull vs SpMM)\n%!";
+    run_spmm_ablation ();
     if not skip_micro then begin
       Printf.printf "\nphase 2: micro-benchmarks\n%!";
       run_micro ()

@@ -27,15 +27,22 @@ let restricted_distribution pi subset =
   if !mass <= 0. then invalid_arg "Metastability: zero-mass basin";
   Array.mapi (fun i p -> if subset i then p /. !mass else 0.) pi
 
-let basin_tv_curve chain pi ~basin ~start ~steps =
+let basin_tv_curve ?pool chain pi ~basin ~start ~steps =
   if steps < 0 then invalid_arg "Metastability.basin_tv_curve";
   let n = Markov.Chain.size chain in
+  if Array.length pi <> n then
+    invalid_arg "Metastability.basin_tv_curve: dimension mismatch";
   let restricted = restricted_distribution pi basin in
   let mu = Array.make n 0. in
   mu.(start) <- 1.;
+  (* Both targets have length n (checked above), so the allocation-free
+     loop can use unchecked access; the left-to-right sum matches the
+     boxed [Array.iteri] accumulation it replaces. *)
   let tv target mu =
     let acc = ref 0. in
-    Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. target.(i))) mu;
+    for i = 0 to n - 1 do
+      acc := !acc +. Float.abs (Array.unsafe_get mu i -. Array.unsafe_get target i)
+    done;
     0.5 *. !acc
   in
   let out = Array.make (steps + 1) (0., 0.) in
@@ -44,7 +51,9 @@ let basin_tv_curve chain pi ~basin ~start ~steps =
   for t = 0 to steps do
     out.(t) <- (tv restricted !current, tv pi !current);
     if t < steps then begin
-      Markov.Chain.evolve_into chain ~src:!current ~dst:!scratch;
+      (* Pooled runs pull-evolve the single distribution — bit-identical
+         to the serial push, so the curve is pool-independent. *)
+      Markov.Chain.evolve_into ?pool chain ~src:!current ~dst:!scratch;
       let previous = !current in
       current := !scratch;
       scratch := previous

@@ -28,11 +28,15 @@ val escape_time_scale : lambda2:float -> float
     [Invalid_argument] if the subset has zero mass. *)
 val restricted_distribution : float array -> (int -> bool) -> float array
 
-(** [basin_tv_curve chain pi ~basin ~start ~steps] evolves a point
-    mass from [start] and returns, for each time, the pair
+(** [basin_tv_curve ?pool chain pi ~basin ~start ~steps] evolves a
+    point mass from [start] and returns, for each time, the pair
     (TV to the restricted distribution of [basin], TV to π). The
     signature of metastability is the first coordinate collapsing
-    long before the second moves. *)
+    long before the second moves. With [?pool] each step runs the
+    pull-mode {!Markov.Chain.evolve_into} across domains — this is a
+    single-distribution path, race-free only because the pull kernel
+    gives every destination exactly one writer — with bit-identical
+    results for any pool size. *)
 val basin_tv_curve :
-  Markov.Chain.t -> float array -> basin:(int -> bool) -> start:int ->
-  steps:int -> (float * float) array
+  ?pool:Exec.Pool.t -> Markov.Chain.t -> float array -> basin:(int -> bool) ->
+  start:int -> steps:int -> (float * float) array

@@ -8,12 +8,28 @@
    sampler accumulated them, so the binary-search sampler picks exactly
    the same entry for the same uniform draw. *)
 
+(* Transposed (CSC) view, derived lazily from the CSR arrays the first
+   time a pull-mode kernel needs it. Column [j] owns the index range
+   [t_col_start.(j), t_col_start.(j+1)) of [t_cols]/[t_probs]:
+   [t_cols] lists the *source* states i with P(i,j) > 0 in strictly
+   increasing order (the transpose visits CSR rows in ascending i, and
+   each row holds at most one entry per column) and [t_probs] the
+   matching probabilities, bit-for-bit. Derived data only: never
+   serialised — [Chain_codec] frames and recipe keys are computed from
+   the CSR arrays alone and stay byte-stable. *)
+type csc = {
+  t_col_start : int array;
+  t_cols : int array;
+  t_probs : float array;
+}
+
 type t = {
   size : int;
   row_start : int array;
   cols : int array;
   probs : float array;
   cum : float array;
+  csc : csc option Atomic.t;
 }
 
 let row_sum_tolerance = 1e-9
@@ -57,7 +73,7 @@ let pack size checked =
       checked.(i)
   done;
   row_start.(size) <- !k;
-  { size; row_start; cols; probs; cum }
+  { size; row_start; cols; probs; cum; csc = Atomic.make None }
 
 let of_rows ?pool rows =
   let size = Array.length rows in
@@ -130,7 +146,7 @@ let of_csr ~row_start ~cols ~probs =
     if Float.abs (!acc -. 1.) > 1e-6 then
       invalid_arg (Printf.sprintf "Chain.of_csr: row %d sums to %.12g" i !acc)
   done;
-  { size; row_start; cols; probs; cum }
+  { size; row_start; cols; probs; cum; csc = Atomic.make None }
 
 let size t = t.size
 let nnz t = t.row_start.(t.size)
@@ -163,15 +179,65 @@ let prob t i j =
   done;
   !result
 
-let evolve_into t ~src ~dst =
+(* Counting transpose of the CSR arrays. Rows are visited in ascending
+   i and entries within a row in ascending k, so the per-column source
+   lists come out strictly increasing — the ordering the pull kernel's
+   bit-identity argument rests on. *)
+let build_csc t =
+  let n = t.size in
+  let nnz = t.row_start.(n) in
+  let t_col_start = Array.make (n + 1) 0 in
+  for k = 0 to nnz - 1 do
+    let j = t.cols.(k) in
+    t_col_start.(j + 1) <- t_col_start.(j + 1) + 1
+  done;
+  for j = 1 to n do
+    t_col_start.(j) <- t_col_start.(j) + t_col_start.(j - 1)
+  done;
+  let cursor = Array.sub t_col_start 0 n in
+  let t_cols = Array.make nnz 0 in
+  let t_probs = Array.make nnz 0. in
+  for i = 0 to n - 1 do
+    for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+      let j = t.cols.(k) in
+      let slot = cursor.(j) in
+      t_cols.(slot) <- i;
+      t_probs.(slot) <- t.probs.(k);
+      cursor.(j) <- slot + 1
+    done
+  done;
+  { t_col_start; t_cols; t_probs }
+
+(* The transpose is built at most once per chain in the common case; a
+   concurrent first call may build it twice, but both builds are
+   identical and the compare-and-set publishes exactly one of them, so
+   every reader sees the same arrays (and the race is on an [Atomic],
+   visible to TSan as synchronised). *)
+let csc t =
+  match Atomic.get t.csc with
+  | Some c -> c
+  | None ->
+      let c = build_csc t in
+      if Atomic.compare_and_set t.csc None (Some c) then c
+      else (match Atomic.get t.csc with Some c -> c | None -> assert false)
+
+let to_csc t =
+  let c = csc t in
+  (Array.copy c.t_col_start, Array.copy c.t_cols, Array.copy c.t_probs)
+
+let check_evolve_args name t ~src ~dst =
   if Array.length src <> t.size || Array.length dst <> t.size then
-    invalid_arg "Chain.evolve_into: dimension mismatch";
-  if src == dst then invalid_arg "Chain.evolve_into: src and dst must be distinct";
+    invalid_arg (name ^ ": dimension mismatch");
+  if src == dst then invalid_arg (name ^ ": src and dst must be distinct")
+
+(* Push (scatter) kernel: stream the CSR rows, accumulate into [dst].
+   Indices are validated at construction ([cols] entries are in
+   [0, size) and [row_start] is monotone within bounds) and the
+   dimension checks in the callers cover [src]/[dst], so unchecked
+   accesses are safe; the accumulation order matches the historical
+   boxed-row code exactly. *)
+let push_into t ~src ~dst =
   Array.fill dst 0 t.size 0.;
-  (* Indices below are validated at construction ([cols] entries are in
-     [0, size) and [row_start] is monotone within bounds) and the
-     dimension checks above cover [src]/[dst], so unchecked accesses are
-     safe; the accumulation order matches the boxed-row code exactly. *)
   let row_start = t.row_start and cols = t.cols and probs = t.probs in
   for i = 0 to t.size - 1 do
     let mass = Array.unsafe_get src i in
@@ -185,20 +251,121 @@ let evolve_into t ~src ~dst =
     end
   done
 
+(* Pull (gather) kernel for one destination: dst.(j) = Σᵢ src.(i)·P(i,j)
+   with sources visited in increasing i. The push kernel deposits into
+   slot j once per source row, rows ascending, starting from the 0. the
+   fill wrote — the exact same addition sequence this register
+   accumulation performs (0. +. x = x exactly, and mass·p > 0 so no
+   signed zeros differ) — and it skips rows whose mass is not > 0.,
+   which the per-entry guard below mirrors. Hence pull results are
+   bit-identical to push, while every destination slot is written by
+   exactly one loop iteration, so destinations can be chunked across
+   domains race-free. *)
+let pull_one c src j =
+  let col_start = c.t_col_start and rows = c.t_cols and probs = c.t_probs in
+  let acc = ref 0. in
+  let stop = Array.unsafe_get col_start (j + 1) - 1 in
+  for k = Array.unsafe_get col_start j to stop do
+    let mass = Array.unsafe_get src (Array.unsafe_get rows k) in
+    if mass > 0. then acc := !acc +. (mass *. Array.unsafe_get probs k)
+  done;
+  !acc
+
+let evolve_pull_into ?pool t ~src ~dst =
+  check_evolve_args "Chain.evolve_pull_into" t ~src ~dst;
+  let c = csc t in
+  match pool with
+  | None ->
+      (* Direct loop: a closure dispatch per destination costs ~15% of
+         the whole kernel at logit-chain degrees. *)
+      for j = 0 to t.size - 1 do
+        Array.unsafe_set dst j (pull_one c src j)
+      done
+  | Some pool ->
+      Exec.Pool.parallel_for pool ~n:t.size (fun j ->
+          Array.unsafe_set dst j (pull_one c src j))
+
+let evolve_into ?pool t ~src ~dst =
+  check_evolve_args "Chain.evolve_into" t ~src ~dst;
+  match pool with
+  | None -> push_into t ~src ~dst
+  | Some pool ->
+      let c = csc t in
+      Exec.Pool.parallel_for pool ~n:t.size (fun j ->
+          Array.unsafe_set dst j (pull_one c src j))
+
 let evolve t mu =
   if Array.length mu <> t.size then invalid_arg "Chain.evolve: dimension mismatch";
   let out = Array.make t.size 0. in
-  evolve_into t ~src:mu ~dst:out;
+  push_into t ~src:mu ~dst:out;
   out
 
-let apply t f =
+type panel = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Distributions per SpMM block: the src and dst slices of a block are
+   re-read/re-written across the whole column sweep, so keep
+   2 · block · size doubles within a conservative L2 budget. *)
+let panel_block_bytes = 262_144
+
+(* The panel annotations matter: without them the parameters infer as
+   polymorphic bigarrays and every element access compiles to the
+   generic (boxing) C call instead of a direct unboxed float load. *)
+let evolve_many_into ?pool t ~k ~(src : panel) ~(dst : panel) =
+  if k < 0 then invalid_arg "Chain.evolve_many_into: negative k";
+  let n = t.size in
+  if Bigarray.Array1.dim src <> k * n || Bigarray.Array1.dim dst <> k * n then
+    invalid_arg "Chain.evolve_many_into: panel dimension mismatch";
+  if src == dst then
+    invalid_arg "Chain.evolve_many_into: src and dst must be distinct";
+  let c = csc t in
+  let block = Int.max 1 (Int.min k (panel_block_bytes / (16 * n))) in
+  let blocks = (k + block - 1) / block in
+  (* One flat index space over (block, destination) pairs: a single
+     pool dispatch per call, and chunks claim consecutive destinations
+     of one block, so a block's panel slice stays cache-resident while
+     the matrix columns stream through. Each (r, j) cell is written by
+     exactly one iteration; per cell the sources arrive in ascending i
+     exactly as in [pull_one], so every row of the panel is
+     bit-identical to a single-distribution evolve, for any pool size
+     and any block size. *)
+  let col_start = c.t_col_start and rows = c.t_cols and probs = c.t_probs in
+  Exec.Pool.iter_opt pool ~n:(blocks * n) (fun idx ->
+      let b = idx / n in
+      let j = idx - (b * n) in
+      let r_hi = Int.min k ((b * block) + block) - 1 in
+      let klo = Array.unsafe_get col_start j in
+      let kstop = Array.unsafe_get col_start (j + 1) - 1 in
+      for r = b * block to r_hi do
+        let base = r * n in
+        let acc = ref 0. in
+        for kk = klo to kstop do
+          let mass =
+            Bigarray.Array1.unsafe_get src (base + Array.unsafe_get rows kk)
+          in
+          if mass > 0. then acc := !acc +. (mass *. Array.unsafe_get probs kk)
+        done;
+        Bigarray.Array1.unsafe_set dst (base + j) !acc
+      done)
+
+let apply ?pool t f =
   if Array.length f <> t.size then invalid_arg "Chain.apply: dimension mismatch";
-  Array.init t.size (fun i ->
+  (* Gather-mode like [pull_one]: row i is read by exactly one
+     iteration and out.(i) written once, so chunking rows across
+     domains is race-free; accesses are unchecked because the CSR
+     invariant bounds them and [f] is length-checked above. *)
+  let out = Array.make t.size 0. in
+  let row_start = t.row_start and cols = t.cols and probs = t.probs in
+  Exec.Pool.iter_opt pool ~n:t.size (fun i ->
       let acc = ref 0. in
-      for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
-        acc := !acc +. (t.probs.(k) *. f.(t.cols.(k)))
+      let stop = Array.unsafe_get row_start (i + 1) - 1 in
+      for k = Array.unsafe_get row_start i to stop do
+        acc :=
+          !acc
+          +. (Array.unsafe_get probs k
+              *. Array.unsafe_get f (Array.unsafe_get cols k))
       done;
-      !acc)
+      Array.unsafe_set out i !acc);
+  out
 
 let to_dense t =
   let m = Linalg.Mat.create t.size t.size 0. in

@@ -11,7 +11,17 @@
     run over contiguous unboxed memory with zero allocation. Column
     indices are strictly increasing within every row (duplicates are
     summed and zeros dropped at construction), which is what makes the
-    binary searches in [prob] and the sampler correct. *)
+    binary searches in [prob] and the sampler correct.
+
+    A transposed (CSC) view is derived lazily on first use by the
+    pull-mode kernels ([evolve_pull_into], [evolve_many_into], and any
+    pooled [evolve_into]): per destination column, the source states in
+    strictly increasing order with their probabilities. It is derived
+    data — never serialised, rebuilt after {!of_csr} — and it makes
+    distribution evolution a gather in which each destination is
+    written by exactly one loop iteration, so the work can be chunked
+    across {!Exec.Pool} domains while staying bit-identical to the
+    serial push (scatter) kernel. *)
 
 type t
 
@@ -53,6 +63,17 @@ val to_csr : t -> int array * int array * float array
     chain). *)
 val of_csr : row_start:int array -> cols:int array -> probs:float array -> t
 
+(** [to_csc t] exposes the lazily-derived transposed layout as copies:
+    column offsets (length [size t + 1]), source-state indices and
+    probabilities (length [nnz t]). Slice
+    [t_col_start.(j), t_col_start.(j+1)) lists the states [i] with
+    [P(i, j) > 0] in strictly increasing order, probabilities
+    bit-identical to the CSR entries they mirror. Derived data for the
+    pull kernels and for tests — deliberately absent from
+    {!Chain_codec} artifacts, whose frames and keys depend on the CSR
+    arrays alone. *)
+val to_csc : t -> int array * int array * float array
+
 (** [size t] is the number of states. *)
 val size : t -> int
 
@@ -85,17 +106,52 @@ val prob : t -> int -> int -> float
     [mu]. *)
 val evolve : t -> float array -> float array
 
-(** [evolve_into t ~src ~dst] writes the push-forward [src]·P into
-    [dst] without allocating — the double-buffered kernel behind
-    {!Mixing.tv_curve} and friends. [dst] is cleared first; [src] and
-    [dst] must be distinct arrays of length [size t]
-    ([Invalid_argument] otherwise). Arithmetic order is identical to
-    {!evolve}, so results are bit-equal. *)
-val evolve_into : t -> src:float array -> dst:float array -> unit
+(** [evolve_into ?pool t ~src ~dst] writes the push-forward [src]·P
+    into [dst] without allocating — the double-buffered kernel behind
+    {!Mixing.tv_curve} and friends. [src] and [dst] must be distinct
+    arrays of length [size t] ([Invalid_argument] otherwise). Without
+    [?pool] this is the serial push (scatter) kernel; with [?pool] the
+    destinations are gathered in pull mode and chunked across the
+    pool's domains. Both paths produce bit-identical results (for each
+    destination the contributions are summed over sources in increasing
+    order either way), identical to {!evolve}. *)
+val evolve_into : ?pool:Exec.Pool.t -> t -> src:float array -> dst:float array -> unit
 
-(** [apply t f] is the function application Pf,
-    [(Pf)(i) = Σ_j P(i,j) f(j)]. *)
-val apply : t -> float array -> float array
+(** [evolve_pull_into ?pool t ~src ~dst] is the pull-mode (gather)
+    evolve over the transposed layout:
+    [dst.(j) = Σᵢ src.(i)·P(i,j)] with sources visited in increasing
+    [i], so the result is bit-identical to the push kernel while each
+    destination is owned by exactly one writer — the race-free shape
+    behind pooled single-distribution evolution. Same argument checks
+    as {!evolve_into}. Exposed separately so the serial pull kernel
+    can be tested and benchmarked against the push kernel directly. *)
+val evolve_pull_into :
+  ?pool:Exec.Pool.t -> t -> src:float array -> dst:float array -> unit
+
+(** A flat row-major panel of [k] distributions over the state space:
+    distribution [r] occupies indices [r*size t, (r+1)*size t) of a
+    Float64 {!Bigarray.Array1}. *)
+type panel = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [evolve_many_into ?pool t ~k ~src ~dst] advances all [k]
+    distributions of the [src] panel one step into [dst] in a single
+    traversal of the transition matrix (blocked SpMM): the matrix
+    columns stream once per block of distributions — the block sized so
+    its panel slices fit in L2 — so matrix traffic is amortised over
+    the block instead of being re-read per distribution. Every panel
+    row of the result is bit-identical to a single-distribution
+    {!evolve_into} of that row, for any pool size and any block size
+    (per destination the sources are summed in increasing order, and
+    each [(r, j)] cell is written by exactly one iteration). [src] and
+    [dst] must be distinct panels of dimension [k * size t]
+    ([Invalid_argument] otherwise). *)
+val evolve_many_into : ?pool:Exec.Pool.t -> t -> k:int -> src:panel -> dst:panel -> unit
+
+(** [apply ?pool t f] is the function application Pf,
+    [(Pf)(i) = Σ_j P(i,j) f(j)] — already gather-mode over the CSR
+    rows, so [?pool] chunks the rows across domains race-free with
+    bit-identical results. *)
+val apply : ?pool:Exec.Pool.t -> t -> float array -> float array
 
 (** [to_dense t] materialises the dense transition matrix. *)
 val to_dense : t -> Linalg.Mat.t

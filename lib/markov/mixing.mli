@@ -12,12 +12,13 @@
     default. *)
 
 (** [tv_curve ?pool t pi ~starts ~steps] is the array [d(0); d(1); ...;
-    d(steps)] of worst-case (over [starts]) TV distances. With [?pool]
-    the per-start evolutions of each step run across domains; results
-    are bit-identical to the serial sweep for any pool size. Each
-    start state owns a double-buffered pair of vectors driven by
-    {!Chain.evolve_into}, so the sweep allocates nothing after
-    setup regardless of [steps]. *)
+    d(steps)] of worst-case (over [starts]) TV distances. The starts
+    live in one double-buffered row-major panel advanced by the blocked
+    SpMM {!Chain.evolve_many_into} — one matrix traversal per step for
+    all starts, no allocation after setup regardless of [steps]. With
+    [?pool] the destination sweep of each step runs across domains;
+    results are bit-identical to the serial per-start sweep for any
+    pool size. *)
 val tv_curve :
   ?pool:Exec.Pool.t -> Chain.t -> float array -> starts:int list -> steps:int ->
   float array
@@ -25,7 +26,9 @@ val tv_curve :
 (** [mixing_time ?pool ?eps ?max_steps t pi ~starts] is the least t
     with d(t) ≤ eps (default 1/4), or [None] if it exceeds [max_steps]
     (default [1_000_000]). By monotonicity of d(·) the scan stops at
-    the first success. [?pool] parallelises over start states. *)
+    the first success. Runs on the same blocked SpMM panel as
+    {!tv_curve}; [?pool] parallelises the per-step destination
+    sweep. *)
 val mixing_time :
   ?pool:Exec.Pool.t -> ?eps:float -> ?max_steps:int -> Chain.t -> float array ->
   starts:int list -> int option
@@ -47,7 +50,8 @@ val tv_at : Chain.t -> float array -> start:int -> steps:int -> float
     only for state spaces too large for exact evolution. Replica [r]
     is driven by stream [r] of {!Prob.Rng.split_n}, so for a fixed
     seed the estimate is bit-identical whether it is computed serially
-    or on a pool of any size. *)
+    or on a pool of any size. Raises [Invalid_argument] on an
+    out-of-range [start], a negative [steps], or [replicas < 1]. *)
 val empirical_tv :
   ?pool:Exec.Pool.t -> Prob.Rng.t -> Chain.t -> float array -> start:int ->
   steps:int -> replicas:int -> float

@@ -1,4 +1,4 @@
-let by_power ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
+let by_power ?pool ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
   let n = Chain.size t in
   let mu = ref (Array.make n (1. /. float_of_int n)) in
   let scratch = ref (Array.make n 0.) in
@@ -6,12 +6,21 @@ let by_power ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
     if iter > max_iter then
       Common.no_convergence "Stationary.by_power: no convergence within %d iterations"
         max_iter;
-    Chain.evolve_into t ~src:!mu ~dst:!scratch;
+    (* Pooled runs use the pull kernel, which is bit-identical to the
+       serial push, so the movement sums and the iteration count are
+       pool-independent. *)
+    Chain.evolve_into ?pool t ~src:!mu ~dst:!scratch;
+    let next = !scratch and current = !mu in
+    (* L¹ movement per step; both buffers have length n, so unchecked
+       access is safe, and the left-to-right sum matches the boxed
+       [Array.iteri] accumulation this loop replaces. *)
     let moved = ref 0. in
-    Array.iteri (fun i x -> moved := !moved +. Float.abs (x -. !mu.(i))) !scratch;
-    let previous = !mu in
-    mu := !scratch;
-    scratch := previous;
+    for i = 0 to n - 1 do
+      moved :=
+        !moved +. Float.abs (Array.unsafe_get next i -. Array.unsafe_get current i)
+    done;
+    mu := next;
+    scratch := current;
     if !moved > tol then go (iter + 1)
   in
   go 1;
@@ -35,9 +44,13 @@ let by_solve t =
   Array.map (fun x -> x /. total) pi
 
 let residual t pi =
+  (* [evolve] rejects a wrong-length [pi], so both arrays have length
+     [size t] here and unchecked access is safe. *)
   let next = Chain.evolve t pi in
   let acc = ref 0. in
-  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. pi.(i))) next;
+  for i = 0 to Array.length next - 1 do
+    acc := !acc +. Float.abs (Array.unsafe_get next i -. Array.unsafe_get pi i)
+  done;
   !acc
 
 let is_stationary ?(tol = 1e-8) t pi = residual t pi <= tol

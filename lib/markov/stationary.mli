@@ -1,11 +1,14 @@
 (** Stationary distributions of finite chains. *)
 
-(** [by_power ?tol ?max_iter t] iterates μ ↦ μP from the uniform
+(** [by_power ?pool ?tol ?max_iter t] iterates μ ↦ μP from the uniform
     distribution until the L¹ movement per step drops below [tol]
-    (default [1e-12]); suitable for any ergodic chain. Raises
-    [Common.No_convergence] if [max_iter] (default [10_000_000]) is
-    exhausted. *)
-val by_power : ?tol:float -> ?max_iter:int -> Chain.t -> float array
+    (default [1e-12]); suitable for any ergodic chain. With [?pool]
+    each step runs the pull-mode evolve chunked across domains —
+    bit-identical to the serial iteration, same convergence point and
+    iteration count. Raises [Common.No_convergence] if [max_iter]
+    (default [10_000_000]) is exhausted. *)
+val by_power :
+  ?pool:Exec.Pool.t -> ?tol:float -> ?max_iter:int -> Chain.t -> float array
 
 (** [by_solve t] computes π exactly (up to LU round-off) by solving
     the linear system [πᵀ(P - I) = 0, Σπ = 1]. Dense O(n³); intended

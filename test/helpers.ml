@@ -32,6 +32,26 @@ let random_potential_game ?(players = 3) ?(strategies = 2) seed =
 
 let qcheck t = QCheck_alcotest.to_alcotest t
 
+(* Flat row-major Float64 panels for the SpMM kernel tests. *)
+let panel_of_rows rows =
+  let k = Array.length rows in
+  let n = if k = 0 then 0 else Array.length rows.(0) in
+  let p = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout (k * n) in
+  Array.iteri
+    (fun r row ->
+      Array.iteri (fun i x -> Bigarray.Array1.set p ((r * n) + i) x) row)
+    rows;
+  p
+
+let panel_create len = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout len
+
+let panel_row p ~n r = Array.init n (fun i -> Bigarray.Array1.get p ((r * n) + i))
+
+(* Source vectors for the push-vs-pull kernels: a fair share of exact
+   zeros exercises the zero-mass skip both kernels must agree on. *)
+let random_sparse_vector r n =
+  Array.init n (fun _ -> if Prob.Rng.float r < 0.4 then 0. else Prob.Rng.float r)
+
 let contains_substring haystack needle =
   let n = String.length needle and h = String.length haystack in
   if n = 0 then true

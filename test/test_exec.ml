@@ -182,6 +182,111 @@ let equiv_cftp_samples () =
   check_true "pooled CFTP samples bit-equal to serial"
     (for_all_pool_sizes (fun pool -> run (Some pool) = serial))
 
+(* ----- equivalence: pull / SpMM kernels vs serial push ----- *)
+
+let mk_chain seed =
+  let game, phi, beta = mk_game seed in
+  let chain = Logit.Logit_dynamics.chain game ~beta in
+  let pi = Logit.Gibbs.stationary (Games.Game.space game) phi ~beta in
+  (chain, pi)
+
+let equiv_pooled_evolve =
+  QCheck.Test.make
+    ~name:"pooled evolve_into (pull) bit-equal to serial push (pools 1,2,4)"
+    ~count:8
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = mk_chain seed in
+      let n = Markov.Chain.size chain in
+      let r = Prob.Rng.create (seed + 17) in
+      let sources = pi :: List.init 4 (fun _ -> random_sparse_vector r n) in
+      let serial = Array.make n 0. and pooled = Array.make n 0. in
+      List.for_all
+        (fun src ->
+          Markov.Chain.evolve_into chain ~src ~dst:serial;
+          for_all_pool_sizes (fun pool ->
+              Markov.Chain.evolve_into ~pool chain ~src ~dst:pooled;
+              pooled = serial))
+        sources)
+
+let equiv_spmm =
+  QCheck.Test.make
+    ~name:"pooled evolve_many_into = k serial evolve_into (pools 1,2,4)"
+    ~count:8
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = mk_chain seed in
+      let n = Markov.Chain.size chain in
+      let r = Prob.Rng.create (seed + 23) in
+      let k = 1 + (seed mod 5) in
+      let rows =
+        Array.init k (fun i ->
+            if i = 0 then Array.copy pi else random_sparse_vector r n)
+      in
+      let src = panel_of_rows rows in
+      let expected =
+        Array.map
+          (fun row ->
+            let dst = Array.make n 0. in
+            Markov.Chain.evolve_into chain ~src:row ~dst;
+            dst)
+          rows
+      in
+      let rows_match dst =
+        let ok = ref true in
+        Array.iteri
+          (fun i exp -> if panel_row dst ~n i <> exp then ok := false)
+          expected;
+        !ok
+      in
+      let serial_dst = panel_create (k * n) in
+      Markov.Chain.evolve_many_into chain ~k ~src ~dst:serial_dst;
+      rows_match serial_dst
+      && for_all_pool_sizes (fun pool ->
+             let dst = panel_create (k * n) in
+             Markov.Chain.evolve_many_into ~pool chain ~k ~src ~dst;
+             rows_match dst))
+
+let equiv_by_power =
+  QCheck.Test.make
+    ~name:"pooled Stationary.by_power bit-equal to serial (pools 1,2,4)"
+    ~count:8
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, _ = mk_chain seed in
+      let serial = Markov.Stationary.by_power chain in
+      for_all_pool_sizes (fun pool ->
+          Markov.Stationary.by_power ~pool chain = serial))
+
+let equiv_apply =
+  QCheck.Test.make ~name:"pooled Chain.apply bit-equal to serial (pools 1,2,4)"
+    ~count:8
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, _ = mk_chain seed in
+      let n = Markov.Chain.size chain in
+      let r = Prob.Rng.create (seed + 29) in
+      let f = Array.init n (fun _ -> Prob.Rng.float r -. 0.5) in
+      let serial = Markov.Chain.apply chain f in
+      for_all_pool_sizes (fun pool -> Markov.Chain.apply ~pool chain f = serial))
+
+let equiv_basin_tv_curve =
+  QCheck.Test.make
+    ~name:"pooled basin_tv_curve bit-equal to serial (pools 1,2,4)"
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = mk_chain seed in
+      let n = Markov.Chain.size chain in
+      let basin i = i < n / 2 in
+      let serial =
+        Logit.Metastability.basin_tv_curve chain pi ~basin ~start:0 ~steps:20
+      in
+      for_all_pool_sizes (fun pool ->
+          Logit.Metastability.basin_tv_curve ~pool chain pi ~basin ~start:0
+            ~steps:20
+          = serial))
+
 (* ----- Parallel_logit.transition_row properties ----- *)
 
 let parallel_row_factorises =
@@ -278,6 +383,14 @@ let suites =
         qcheck equiv_mixing_time_all;
         qcheck equiv_empirical_tv;
         test "CFTP samples deterministic across pools" equiv_cftp_samples;
+      ] );
+    ( "exec.kernels",
+      [
+        qcheck equiv_pooled_evolve;
+        qcheck equiv_spmm;
+        qcheck equiv_by_power;
+        qcheck equiv_apply;
+        qcheck equiv_basin_tv_curve;
       ] );
     ("exec.parallel_logit", [ qcheck parallel_row_factorises ]);
     ( "exec.rng",

@@ -264,6 +264,125 @@ let csr_validation_negative_steps () =
   check_true "hit at 0 with zero budget"
     (Chain.hitting_time r c ~start:0 ~target:(fun s -> s = 0) ~max_steps:0 = Some 0)
 
+(* ----- CSC transpose and the pull-mode / SpMM kernels ----- *)
+
+(* The CSC invariant over the public [to_csc] view: offsets span the
+   nnz, per-column source lists are strictly increasing, and every
+   stored probability mirrors the CSR entry bit-for-bit. *)
+let csc_invariants_hold c =
+  let n = Chain.size c in
+  let col_start, srcs, probs = Chain.to_csc c in
+  let ok = ref true in
+  if Array.length col_start <> n + 1 then ok := false;
+  if col_start.(0) <> 0 || col_start.(n) <> Chain.nnz c then ok := false;
+  if Array.length srcs <> Chain.nnz c then ok := false;
+  if Array.length probs <> Chain.nnz c then ok := false;
+  for j = 0 to n - 1 do
+    if col_start.(j) > col_start.(j + 1) then ok := false;
+    for k = col_start.(j) to col_start.(j + 1) - 1 do
+      if k > col_start.(j) && srcs.(k - 1) >= srcs.(k) then ok := false;
+      if probs.(k) <> Chain.prob c srcs.(k) j then ok := false
+    done
+  done;
+  !ok
+
+let csc_two_state () =
+  let c = two_state 0.3 0.2 in
+  let col_start, srcs, probs = Chain.to_csc c in
+  (* Columns: j=0 receives from 0 (0.7) and 1 (0.2); j=1 from 0 (0.3)
+     and 1 (0.8). *)
+  check_true "offsets" (col_start = [| 0; 2; 4 |]);
+  check_true "sources" (srcs = [| 0; 1; 0; 1 |]);
+  check_true "probs" (probs = [| 0.7; 0.2; 0.3; 0.8 |]);
+  check_true "invariants" (csc_invariants_hold c)
+
+let csc_invariants_random =
+  QCheck.Test.make ~name:"CSC: columns span nnz, sources strictly increasing"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, _ = random_reversible seed in
+      csc_invariants_hold chain && csc_invariants_hold (Chain.lazy_version chain))
+
+let pull_matches_push =
+  QCheck.Test.make
+    ~name:"pull evolve bit-identical to push (incl. zero-mass sources)"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      let n = Chain.size chain in
+      let r = Prob.Rng.create (seed + 3) in
+      let push = Array.make n 0. and pull = Array.make n 0. in
+      let agree src =
+        Chain.evolve_into chain ~src ~dst:push;
+        Chain.evolve_pull_into chain ~src ~dst:pull;
+        push = pull
+      in
+      let ok = ref (agree pi) in
+      (* Point masses hit single-source columns... *)
+      for i = 0 to n - 1 do
+        if not (agree (Array.init n (fun j -> if j = i then 1. else 0.))) then
+          ok := false
+      done;
+      (* ... sparse vectors exercise the zero-mass skip both kernels
+         share, including unnormalised mass. *)
+      for _ = 1 to 5 do
+        if not (agree (random_sparse_vector r n)) then ok := false
+      done;
+      !ok)
+
+let pull_validation () =
+  let c = two_state 0.3 0.2 in
+  let src = [| 0.25; 0.75 |] and dst = [| 0.; 0. |] in
+  check_raises_invalid "src = dst" (fun () ->
+      Chain.evolve_pull_into c ~src:dst ~dst);
+  check_raises_invalid "src dimension" (fun () ->
+      Chain.evolve_pull_into c ~src:[| 1. |] ~dst);
+  check_raises_invalid "dst dimension" (fun () ->
+      Chain.evolve_pull_into c ~src ~dst:[| 0. |])
+
+let spmm_matches_single_evolves =
+  QCheck.Test.make
+    ~name:"evolve_many_into rows bit-identical to k single evolves"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let chain, pi = random_reversible seed in
+      let n = Chain.size chain in
+      let r = Prob.Rng.create (seed + 11) in
+      let k = 1 + (seed mod 7) in
+      let rows =
+        Array.init k (fun i ->
+            if i = 0 then Array.copy pi else random_sparse_vector r n)
+      in
+      let src = panel_of_rows rows in
+      let dst = panel_create (k * n) in
+      Chain.evolve_many_into chain ~k ~src ~dst;
+      let ok = ref true in
+      Array.iteri
+        (fun i row -> if panel_row dst ~n i <> Chain.evolve chain row then ok := false)
+        rows;
+      !ok)
+
+let spmm_validation () =
+  let c = two_state 0.3 0.2 in
+  let src = panel_of_rows [| [| 0.5; 0.5 |] |] in
+  let dst = panel_create 2 in
+  check_raises_invalid "negative k" (fun () ->
+      Chain.evolve_many_into c ~k:(-1) ~src ~dst);
+  check_raises_invalid "src dimension" (fun () ->
+      Chain.evolve_many_into c ~k:2 ~src ~dst:(panel_create 4));
+  check_raises_invalid "dst dimension" (fun () ->
+      Chain.evolve_many_into c ~k:2 ~src:(panel_create 4) ~dst);
+  check_raises_invalid "src = dst" (fun () ->
+      Chain.evolve_many_into c ~k:1 ~src ~dst:src);
+  (* k = 0 stays legal: an empty panel is a no-op. *)
+  Chain.evolve_many_into c ~k:0 ~src:(panel_create 0) ~dst:(panel_create 0);
+  (* And the single-row panel round-trips through the kernel. *)
+  Chain.evolve_many_into c ~k:1 ~src ~dst;
+  check_true "k = 1 row" (panel_row dst ~n:2 0 = Chain.evolve c [| 0.5; 0.5 |])
+
 (* ----- Stationary ----- *)
 
 let stationary_two_state () =
@@ -331,6 +450,22 @@ let mixing_empirical_close () =
   let r = rng () in
   let tv = Mixing.empirical_tv r c pi ~start:0 ~steps:100 ~replicas:20_000 in
   check_true "small empirical tv" (tv < 0.02)
+
+let mixing_empirical_validation () =
+  let c = two_state 0.3 0.2 in
+  let pi = two_state_pi 0.3 0.2 in
+  let r = rng () in
+  check_raises_invalid "negative steps" (fun () ->
+      ignore (Mixing.empirical_tv r c pi ~start:0 ~steps:(-1) ~replicas:10));
+  check_raises_invalid "start out of range" (fun () ->
+      ignore (Mixing.empirical_tv r c pi ~start:2 ~steps:5 ~replicas:10));
+  check_raises_invalid "negative start" (fun () ->
+      ignore (Mixing.empirical_tv r c pi ~start:(-1) ~steps:5 ~replicas:10));
+  check_raises_invalid "no replicas" (fun () ->
+      ignore (Mixing.empirical_tv r c pi ~start:0 ~steps:5 ~replicas:0));
+  (* steps = 0 stays legal: the empirical law of the start itself. *)
+  check_true "zero steps legal"
+    (Mixing.empirical_tv r c pi ~start:0 ~steps:0 ~replicas:10 >= 0.)
 
 let mixing_spectral_bounds () =
   check_float ~tol:1e-12 "upper" (2. *. log 8.)
@@ -632,6 +767,15 @@ let suites =
         test "sampler boundaries" csr_sample_boundaries;
         test "negative step validation" csr_validation_negative_steps;
       ] );
+    ( "markov.csc",
+      [
+        test "two-state transpose" csc_two_state;
+        qcheck csc_invariants_random;
+        qcheck pull_matches_push;
+        test "pull validation" pull_validation;
+        qcheck spmm_matches_single_evolves;
+        test "spmm validation" spmm_validation;
+      ] );
     ( "markov.stationary",
       [
         test "two-state closed form" stationary_two_state;
@@ -642,6 +786,7 @@ let suites =
       [
         test "two-state exact" mixing_two_state_exact;
         test "empirical tv" mixing_empirical_close;
+        test "empirical tv validation" mixing_empirical_validation;
         test "spectral bound formulas" mixing_spectral_bounds;
         test "squaring at extreme beta" mixing_squaring_extreme_beta;
         test "squaring size guard" mixing_squaring_size_guard;
