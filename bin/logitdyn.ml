@@ -12,6 +12,7 @@
      anneal      compare annealing schedules
      sample      exact stationary samples via coupling from the past
      store       inspect/maintain the on-disk artifact store
+     bench       performance trajectory (history, regression gate, ingest)
 
    The chain-building subcommands (mixing, spectrum, hitting,
    experiment) memoise their heavy artifacts — chains, stationary
@@ -515,6 +516,75 @@ let store_cmd_impl action store_dir max_age_days =
             other;
           exit 2)
 
+(* --- bench -------------------------------------------------------------- *)
+
+let bench_history_path_arg =
+  Arg.(
+    value
+    & opt string Bench.History.default_path
+    & info [ "history" ] ~docv:"FILE" ~doc:"Trajectory file to operate on.")
+
+let bench_cmd =
+  let history_cmd =
+    Cmd.v
+      (Cmd.info "history" ~doc:"Print the performance trajectory")
+      Term.(
+        const (fun path -> Bench.Cli.history ~path ()) $ bench_history_path_arg)
+  in
+  let compare_cmd =
+    let baseline_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline trajectory file.")
+    in
+    let candidate_arg =
+      Arg.(
+        value
+        & opt string Bench.History.default_path
+        & info [ "candidate" ] ~docv:"FILE"
+            ~doc:"Candidate trajectory file (default: the working tree's).")
+    in
+    let threshold_arg =
+      Arg.(
+        value
+        & opt float Bench.Cli.default_threshold
+        & info [ "threshold" ] ~docv:"PCT"
+            ~doc:
+              "Allowed slowdown in percent: an arm exactly $(docv) percent \
+               slower than baseline still passes, strictly beyond fails.")
+    in
+    let strict_arg =
+      Arg.(
+        value & flag
+        & info [ "strict" ]
+            ~doc:"Also fail when a baseline workload disappears.")
+    in
+    Cmd.v
+      (Cmd.info "compare"
+         ~doc:"Gate the candidate trajectory against a baseline")
+      Term.(
+        const (fun strict threshold baseline candidate ->
+            Bench.Cli.compare ~strict ~threshold ~baseline ~candidate ())
+        $ strict_arg $ threshold_arg $ baseline_arg $ candidate_arg)
+  in
+  let ingest_cmd =
+    let files_arg =
+      Arg.(
+        non_empty & pos_all string []
+        & info [] ~docv:"FILE" ~doc:"Legacy BENCH snapshot files to migrate.")
+    in
+    Cmd.v
+      (Cmd.info "ingest"
+         ~doc:"Migrate legacy bench snapshots into the trajectory")
+      Term.(
+        const (fun path files -> Bench.Cli.ingest ~history_path:path files)
+        $ bench_history_path_arg $ files_arg)
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Performance trajectory and regression gate")
+    [ history_cmd; compare_cmd; ingest_cmd ]
+
 (* --- list --------------------------------------------------------------- *)
 
 let list_all () =
@@ -669,4 +739,4 @@ let () =
   exit (Cmd.eval' (Cmd.group info
        [ simulate_cmd; mixing_cmd; spectrum_cmd; experiment_cmd; list_cmd;
          zeta_cmd; cutwidth_cmd; hitting_cmd; anneal_cmd; sample_cmd;
-         store_cmd ]))
+         store_cmd; bench_cmd ]))

@@ -1,0 +1,81 @@
+let default_threshold = 10.
+
+let err fmt = Format.eprintf ("bench: " ^^ fmt ^^ "@.")
+
+let history ?(path = History.default_path) () =
+  match History.load ~path with
+  | Error msg ->
+      err "%s" msg;
+      2
+  | Ok [] ->
+      Format.printf "no bench history at %s@." path;
+      0
+  | Ok records ->
+      Format.printf "# %s: %d records@." path (List.length records);
+      List.iter (fun r -> Format.printf "%a@." Record.pp r) records;
+      let latest = History.latest_by_key records in
+      Format.printf "# latest per key (%d)@." (List.length latest);
+      List.iter (fun r -> Format.printf "%a@." Record.pp r) latest;
+      0
+
+let compare ?(strict = false) ?(threshold = default_threshold) ~baseline
+    ~candidate () =
+  if not (Sys.file_exists candidate) then begin
+    err "candidate trajectory %s does not exist" candidate;
+    2
+  end
+  else
+    match History.load ~path:candidate with
+    | Error msg ->
+        err "%s" msg;
+        2
+    | Ok cand -> (
+        if not (Sys.file_exists baseline) then begin
+          Format.printf
+            "no baseline at %s: first run, gate passes vacuously@." baseline;
+          0
+        end
+        else
+          match History.load ~path:baseline with
+          | Error msg ->
+              err "%s" msg;
+              2
+          | Ok base ->
+              let report =
+                Gate.compare ~strict ~threshold ~baseline:base ~candidate:cand
+                  ()
+              in
+              Format.printf "%a" Gate.pp_report report;
+              if report.Gate.failed then 1 else 0)
+
+let ingest ?(history_path = History.default_path) paths =
+  let ( let* ) = Result.bind in
+  let migrate_one path =
+    let* contents =
+      Store.Io.read_file path
+      |> Option.to_result ~none:(Printf.sprintf "%s: cannot read" path)
+    in
+    match Migrate.of_legacy_string contents with
+    | Ok records -> Ok records
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | path :: rest ->
+        let* records = migrate_one path in
+        go (records :: acc) rest
+  in
+  match go [] paths with
+  | Error msg ->
+      err "%s" msg;
+      2
+  | Ok records -> (
+      match History.append ~path:history_path records with
+      | Error msg ->
+          err "%s" msg;
+          2
+      | Ok all ->
+          Format.printf "ingested %d records from %d files into %s (%d total)@."
+            (List.length records) (List.length paths) history_path
+            (List.length all);
+          0)

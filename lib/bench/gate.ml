@@ -1,0 +1,89 @@
+type verdict =
+  | Within of { base_s : float; cand_s : float; ratio : float }
+  | Regression of { base_s : float; cand_s : float; ratio : float }
+  | Incorrect
+  | New_workload of { cand_s : float }
+  | Disappeared of { base_s : float }
+
+type finding = { key : string; verdict : verdict }
+
+type report = {
+  threshold : float;
+  strict : bool;
+  findings : finding list;
+  failed : bool;
+}
+
+let compare ?(strict = false) ~threshold ~baseline ~candidate () =
+  if Float.is_nan threshold || (not (Float.is_finite threshold)) || threshold < 0.
+  then invalid_arg "Bench.Gate.compare: threshold must be finite and >= 0";
+  let base_latest = History.latest_by_key baseline in
+  let cand_latest = History.latest_by_key candidate in
+  let base_tbl = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace base_tbl (Record.key r) r) base_latest;
+  let judge (cand : Record.t) =
+    let key = Record.key cand in
+    let verdict =
+      if not cand.Record.correct then Incorrect
+      else
+        match Hashtbl.find_opt base_tbl key with
+        | None -> New_workload { cand_s = cand.Record.seconds }
+        | Some base ->
+            Hashtbl.remove base_tbl key;
+            let base_s = base.Record.seconds in
+            let cand_s = cand.Record.seconds in
+            let ratio = cand_s /. base_s in
+            (* Exactly threshold percent slower still passes; the
+               boundary tests pin this strictness. *)
+            if cand_s > base_s *. (1. +. (threshold /. 100.)) then
+              Regression { base_s; cand_s; ratio }
+            else Within { base_s; cand_s; ratio }
+    in
+    (* An Incorrect candidate still consumes its baseline key so it is
+       not double-reported as disappeared. *)
+    if verdict = Incorrect then Hashtbl.remove base_tbl key;
+    { key; verdict }
+  in
+  let cand_findings = List.map judge cand_latest in
+  let disappeared =
+    List.filter_map
+      (fun r ->
+        let key = Record.key r in
+        if Hashtbl.mem base_tbl key then
+          Some { key; verdict = Disappeared { base_s = r.Record.seconds } }
+        else None)
+      base_latest
+  in
+  let findings = cand_findings @ disappeared in
+  let failed =
+    List.exists
+      (fun f ->
+        match f.verdict with
+        | Regression _ | Incorrect -> true
+        | Disappeared _ -> strict
+        | Within _ | New_workload _ -> false)
+      findings
+  in
+  { threshold; strict; findings; failed }
+
+let pp_verdict fmt = function
+  | Within { base_s; cand_s; ratio } ->
+      Format.fprintf fmt "ok %.6fs -> %.6fs (x%.3f)" base_s cand_s ratio
+  | Regression { base_s; cand_s; ratio } ->
+      Format.fprintf fmt "REGRESSION %.6fs -> %.6fs (x%.3f)" base_s cand_s
+        ratio
+  | Incorrect -> Format.fprintf fmt "INCORRECT"
+  | New_workload { cand_s } -> Format.fprintf fmt "new %.6fs" cand_s
+  | Disappeared { base_s } ->
+      Format.fprintf fmt "disappeared (baseline %.6fs)" base_s
+
+let pp_report fmt report =
+  List.iter
+    (fun { key; verdict } ->
+      Format.fprintf fmt "%-60s %a@." key pp_verdict verdict)
+    report.findings;
+  Format.fprintf fmt "gate: %s (threshold %.1f%%%s, %d arms)@."
+    (if report.failed then "FAIL" else "PASS")
+    report.threshold
+    (if report.strict then ", strict" else "")
+    (List.length report.findings)

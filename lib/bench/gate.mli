@@ -1,0 +1,47 @@
+(** The perf-regression gate: compare the latest candidate record for
+    every {!Record.key} against the latest baseline record for the
+    same key, and fail on any arm that got more than [threshold]
+    percent slower — or that lost its correctness bit, which is worse
+    than slow.
+
+    Boundary semantics (pinned by tests): a candidate at *exactly*
+    [threshold] percent slower passes; strictly beyond fails. Keys
+    present only in the candidate are new workloads and pass; keys
+    present only in the baseline are reported as disappeared and fail
+    only under [~strict:true]. *)
+
+type verdict =
+  | Within of { base_s : float; cand_s : float; ratio : float }
+      (** at or under the threshold; [ratio] is [cand_s /. base_s] *)
+  | Regression of { base_s : float; cand_s : float; ratio : float }
+  | Incorrect  (** the candidate arm failed its own correctness gate *)
+  | New_workload of { cand_s : float }
+  | Disappeared of { base_s : float }
+
+type finding = { key : string; verdict : verdict }
+
+type report = {
+  threshold : float;  (** allowed slowdown, percent *)
+  strict : bool;
+  findings : finding list;
+      (** candidate keys in first-appearance order, then disappeared
+          baseline keys *)
+  failed : bool;
+}
+
+(** [compare ?strict ~threshold ~baseline ~candidate] gates the two
+    trajectories. Raises [Invalid_argument] on a negative or
+    non-finite [threshold]. An empty [baseline] means every candidate
+    key is {!New_workload} — a first run always passes. *)
+val compare :
+  ?strict:bool ->
+  threshold:float ->
+  baseline:Record.t list ->
+  candidate:Record.t list ->
+  unit ->
+  report
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [pp_report] prints one line per finding plus a PASS/FAIL summary. *)
+val pp_report : Format.formatter -> report -> unit

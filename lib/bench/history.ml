@@ -1,0 +1,69 @@
+let default_path = "BENCH_HISTORY.json"
+let ( let* ) = Result.bind
+
+let encode records =
+  List.iter
+    (fun r ->
+      match Record.validate r with
+      | Ok _ -> ()
+      | Error msg -> invalid_arg ("Bench.History.encode: " ^ msg))
+    records;
+  Json.pretty
+    (Json.Obj
+       [
+         ("schema_version", Json.Num (float_of_int Record.schema_version));
+         ("records", Json.List (List.map Record.to_json records));
+       ])
+
+let decode s =
+  let* j = Json.parse s in
+  let* version = Json.int_field "schema_version" j in
+  let* () =
+    if version > Record.schema_version then
+      Error
+        (Printf.sprintf
+           "trajectory schema_version %d is newer than supported %d (produced \
+            by a newer logitdyn; refusing to misread it)"
+           version Record.schema_version)
+    else if version < 1 then
+      Error (Printf.sprintf "bad trajectory schema_version %d" version)
+    else Ok ()
+  in
+  let* records = Json.list_field "records" j in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | r :: rest -> (
+        match Record.of_json r with
+        | Ok record -> go (i + 1) (record :: acc) rest
+        | Error msg -> Error (Printf.sprintf "record %d: %s" i msg))
+  in
+  go 0 [] records
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match Store.Io.read_file path with
+    | None -> Error (Printf.sprintf "%s: cannot read" path)
+    | Some contents -> (
+        match decode contents with
+        | Ok records -> Ok records
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let append ~path records =
+  let* existing = load ~path in
+  let all = existing @ records in
+  match Store.Io.write_atomic ~path (encode all) with
+  | () -> Ok all
+  | exception Sys_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let latest_by_key records =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = Record.key r in
+      if not (Hashtbl.mem tbl key) then order := key :: !order;
+      Hashtbl.replace tbl key r)
+    records;
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order

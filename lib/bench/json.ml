@@ -1,0 +1,270 @@
+(* Recursive-descent JSON over a string with an index cursor. The
+   grammar is small enough that hand-rolling beats pulling in a
+   dependency the container may not have; strictness (whole-input
+   parse, duplicate-free printing, finite numbers only) is what the
+   trajectory codec actually needs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+
+let fail pos msg = raise (Parse_error (pos, msg))
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_num_char = function
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+let parse_exn s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < len && is_ws s.[!pos] do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> fail !pos (Printf.sprintf "expected %c, found %c" c got)
+    | None -> fail !pos (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail !pos (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail !pos "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= len then fail !pos "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; advance ()
+           | '\\' -> Buffer.add_char buf '\\'; advance ()
+           | '/' -> Buffer.add_char buf '/'; advance ()
+           | 'b' -> Buffer.add_char buf '\b'; advance ()
+           | 'f' -> Buffer.add_char buf '\012'; advance ()
+           | 'n' -> Buffer.add_char buf '\n'; advance ()
+           | 'r' -> Buffer.add_char buf '\r'; advance ()
+           | 't' -> Buffer.add_char buf '\t'; advance ()
+           | 'u' ->
+               advance ();
+               if !pos + 4 > len then fail !pos "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               let code =
+                 match int_of_string_opt ("0x" ^ hex) with
+                 | Some c -> c
+                 | None -> fail !pos "bad \\u escape"
+               in
+               pos := !pos + 4;
+               (* The bench records are ASCII; encode BMP code points
+                  as UTF-8 without surrogate-pair handling. *)
+               if code < 0x80 then Buffer.add_char buf (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+           | c -> fail !pos (Printf.sprintf "bad escape \\%c" c));
+          go ()
+      | c when Char.code c < 0x20 -> fail !pos "control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while !pos < len && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let slice = String.sub s start (!pos - start) in
+    match float_of_string_opt slice with
+    | Some f when Float.is_finite f -> Num f
+    | Some _ -> fail start "number out of double range"
+    | None -> fail start (Printf.sprintf "bad number %S" slice)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail !pos "expected , or ] in array"
+          in
+          items []
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let member () =
+            skip_ws ();
+            let name = parse_string () in
+            skip_ws ();
+            expect ':';
+            (name, parse_value ())
+          in
+          let rec members acc =
+            let m = member () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members (m :: acc)
+            | Some '}' -> advance (); Obj (List.rev (m :: acc))
+            | _ -> fail !pos "expected , or } in object"
+          in
+          members []
+        end
+    | Some c -> if is_num_char c then parse_number () else fail !pos (Printf.sprintf "unexpected %c" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail !pos "trailing garbage after JSON value";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" pos msg)
+
+(* --- printing ---------------------------------------------------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string f =
+  if not (Float.is_finite f) then
+    invalid_arg "Json.to_string: non-finite number";
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* Integral doubles print without the exponent noise of %.17g. *)
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec emit buf ~indent ~level t =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep_open c items emit_item =
+    Buffer.add_char buf c;
+    (match items with
+    | [] -> ()
+    | items ->
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            if indent then Buffer.add_char buf '\n';
+            pad (level + 1);
+            emit_item item)
+          items;
+        if indent then Buffer.add_char buf '\n';
+        pad level)
+  in
+  match t with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Str s -> escape_string buf s
+  | List items ->
+      sep_open '[' items (fun item -> emit buf ~indent ~level:(level + 1) item);
+      Buffer.add_char buf ']'
+  | Obj members ->
+      sep_open '{' members (fun (name, v) ->
+          escape_string buf name;
+          Buffer.add_string buf (if indent then ": " else ":");
+          emit buf ~indent ~level:(level + 1) v);
+      Buffer.add_char buf '}'
+
+let render ~indent t =
+  let buf = Buffer.create 256 in
+  emit buf ~indent ~level:0 t;
+  if indent then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_string t =
+  let s = render ~indent:false t in
+  (* Compact form has no trailing newline. *)
+  s
+
+let pretty t = render ~indent:true t
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member name = function
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let field kind name extract t =
+  match member name t with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match extract v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S is not a %s" name kind))
+
+let str_field name = field "string" name (function Str s -> Some s | _ -> None)
+let num_field name = field "number" name (function Num f -> Some f | _ -> None)
+let bool_field name = field "bool" name (function Bool b -> Some b | _ -> None)
+let list_field name = field "array" name (function List l -> Some l | _ -> None)
+
+let int_field name =
+  field "integer" name (function
+    | Num f when Float.is_integer f && Float.abs f <= 2. ** 53. ->
+        Some (int_of_float f)
+    | _ -> None)

@@ -1,0 +1,134 @@
+let ( let* ) = Result.bind
+
+let record ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick ~jobs =
+  Record.v ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick ~jobs ()
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* head = f x in
+      let* tail = collect f rest in
+      Ok (head @ tail)
+
+(* BENCH_csr.json: each workload times the same kernel pre-CSR and
+   CSR; both arms are serial. *)
+let csr j =
+  let bench = "csr_ablation" in
+  let* quick = Json.bool_field "quick" j in
+  let* workloads = Json.list_field "workloads" j in
+  collect
+    (fun w ->
+      let* workload = Json.str_field "name" w in
+      let* pre_csr_s = Json.num_field "pre_csr_s" w in
+      let* csr_s = Json.num_field "csr_s" w in
+      let* speedup = Json.num_field "speedup" w in
+      let* correct = Json.bool_field "agree" w in
+      let* pre =
+        record ~bench ~workload ~arm:"pre_csr" ~seconds:pre_csr_s ~speedup:1.0
+          ~correct ~quick ~jobs:1
+      in
+      let* post =
+        record ~bench ~workload ~arm:"csr" ~seconds:csr_s ~speedup ~correct
+          ~quick ~jobs:1
+      in
+      Ok [ pre; post ])
+    workloads
+
+(* BENCH_spmm.json: four mixing_time_all arms (pooled ones at the
+   snapshot's jobs), plus the tv_curve push-vs-SpMM pair and the
+   by_power serial-vs-pooled pair. *)
+let spmm j =
+  let bench = "spmm_ablation" in
+  let* quick = Json.bool_field "quick" j in
+  let* jobs = Json.int_field "jobs" j in
+  let* workloads = Json.list_field "workloads" j in
+  let* mixing =
+    collect
+      (fun w ->
+        let* workload = Json.str_field "name" w in
+        let* arm = Json.str_field "arm" w in
+        let* seconds = Json.num_field "seconds" w in
+        let* speedup = Json.num_field "speedup" w in
+        let* correct = Json.bool_field "bit_identical" w in
+        (* Arms are serial_push / pooled_pull / spmm_serial /
+           spmm_pooled: pooled iff the name says so. *)
+        let pooled =
+          let n = String.length arm and p = String.length "pooled" in
+          let rec at i = i + p <= n && (String.sub arm i p = "pooled" || at (i + 1)) in
+          at 0
+        in
+        let arm_jobs = if pooled then jobs else 1 in
+        let* r =
+          record ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick
+            ~jobs:arm_jobs
+        in
+        Ok [ r ])
+      workloads
+  in
+  let* tv = Json.member "tv_curve" j |> Option.to_result ~none:"missing field \"tv_curve\"" in
+  let* push_s = Json.num_field "push_s" tv in
+  let* spmm_s = Json.num_field "spmm_s" tv in
+  let* tv_speedup = Json.num_field "speedup" tv in
+  let* tv_correct = Json.bool_field "bit_identical" tv in
+  let* tv_push =
+    record ~bench ~workload:"tv_curve" ~arm:"serial_push" ~seconds:push_s
+      ~speedup:1.0 ~correct:tv_correct ~quick ~jobs:1
+  in
+  let* tv_spmm =
+    record ~bench ~workload:"tv_curve" ~arm:"spmm" ~seconds:spmm_s
+      ~speedup:tv_speedup ~correct:tv_correct ~quick ~jobs:1
+  in
+  let* bp = Json.member "by_power" j |> Option.to_result ~none:"missing field \"by_power\"" in
+  let* serial_s = Json.num_field "serial_s" bp in
+  let* pooled_s = Json.num_field "pooled_s" bp in
+  let* bp_speedup = Json.num_field "speedup" bp in
+  let* bp_correct = Json.bool_field "bit_identical" bp in
+  let* bp_serial =
+    record ~bench ~workload:"by_power" ~arm:"serial" ~seconds:serial_s
+      ~speedup:1.0 ~correct:bp_correct ~quick ~jobs:1
+  in
+  let* bp_pooled =
+    record ~bench ~workload:"by_power" ~arm:"pooled" ~seconds:pooled_s
+      ~speedup:bp_speedup ~correct:bp_correct ~quick ~jobs
+  in
+  Ok (mixing @ [ tv_push; tv_spmm; bp_serial; bp_pooled ])
+
+(* BENCH_store.json: the cold/warm pipeline pair. The resume block
+   records counts, not timings, so it has no trajectory record. *)
+let store j =
+  let bench = "store_ablation" in
+  let* quick = Json.bool_field "quick" j in
+  let* pipeline =
+    Json.member "pipeline" j |> Option.to_result ~none:"missing field \"pipeline\""
+  in
+  let* cold_s = Json.num_field "cold_s" pipeline in
+  let* warm_s = Json.num_field "warm_s" pipeline in
+  let* speedup = Json.num_field "speedup" pipeline in
+  let* identical =
+    Json.member "identical" j |> Option.to_result ~none:"missing field \"identical\""
+  in
+  let* chain_ok = Json.bool_field "chain" identical in
+  let* stationary_ok = Json.bool_field "stationary" identical in
+  let* tv_ok = Json.bool_field "tv_curve" identical in
+  let correct = chain_ok && stationary_ok && tv_ok in
+  let* cold =
+    record ~bench ~workload:"pipeline" ~arm:"cold" ~seconds:cold_s ~speedup:1.0
+      ~correct ~quick ~jobs:1
+  in
+  let* warm =
+    record ~bench ~workload:"pipeline" ~arm:"warm" ~seconds:warm_s ~speedup
+      ~correct ~quick ~jobs:1
+  in
+  Ok [ cold; warm ]
+
+let of_legacy j =
+  let* bench = Json.str_field "bench" j in
+  match bench with
+  | "csr_ablation" -> csr j
+  | "spmm_ablation" -> spmm j
+  | "store_ablation" -> store j
+  | other -> Error (Printf.sprintf "unknown legacy bench kind %S" other)
+
+let of_legacy_string s =
+  let* j = Json.parse s in
+  of_legacy j

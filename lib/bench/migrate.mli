@@ -1,0 +1,15 @@
+(** Migration of the three legacy one-shot snapshot shapes
+    ([BENCH_csr.json], [BENCH_spmm.json], [BENCH_store.json]) into
+    trajectory {!Record.t}s, so pre-existing measurements join
+    [BENCH_HISTORY.json] instead of being orphaned. Dispatch is on the
+    snapshot's top-level ["bench"] field. *)
+
+(** [of_legacy j] migrates one parsed legacy snapshot. Timing-less
+    blocks (the store snapshot's [resume] section) are skipped; every
+    timed arm becomes one validated record with [rev]/[host]
+    ["unknown"] and [timestamp] 0 (legacy snapshots carried no
+    provenance). *)
+val of_legacy : Json.t -> (Record.t list, string) result
+
+(** [of_legacy_string s] is [of_legacy] after {!Json.parse}. *)
+val of_legacy_string : string -> (Record.t list, string) result

@@ -1,0 +1,113 @@
+type t = {
+  bench : string;
+  workload : string;
+  arm : string;
+  seconds : float;
+  speedup : float;
+  correct : bool;
+  quick : bool;
+  jobs : int;
+  rev : string;
+  host : string;
+  timestamp : float;
+}
+
+let schema_version = 1
+
+let ( let* ) = Result.bind
+
+let non_empty name s =
+  if s = "" then Error (Printf.sprintf "Bench.Record: empty %s" name) else Ok s
+
+let finite_non_negative name f =
+  if Float.is_nan f then Error (Printf.sprintf "Bench.Record: %s is NaN" name)
+  else if not (Float.is_finite f) then
+    Error (Printf.sprintf "Bench.Record: %s is infinite" name)
+  else if f < 0. then Error (Printf.sprintf "Bench.Record: negative %s" name)
+  else Ok f
+
+let validate t =
+  let* _ = non_empty "bench" t.bench in
+  let* _ = non_empty "workload" t.workload in
+  let* _ = non_empty "arm" t.arm in
+  let* _ = finite_non_negative "seconds" t.seconds in
+  let* _ = finite_non_negative "speedup" t.speedup in
+  let* _ =
+    if t.speedup > 0. then Ok () else Error "Bench.Record: speedup must be > 0"
+  in
+  let* _ =
+    if t.jobs >= 1 then Ok () else Error "Bench.Record: jobs must be >= 1"
+  in
+  let* _ = finite_non_negative "timestamp" t.timestamp in
+  Ok t
+
+let v ?(rev = "unknown") ?(host = "unknown") ?(timestamp = 0.) ~bench ~workload
+    ~arm ~seconds ~speedup ~correct ~quick ~jobs () =
+  validate
+    {
+      bench;
+      workload;
+      arm;
+      seconds;
+      speedup;
+      correct;
+      quick;
+      jobs;
+      rev;
+      host;
+      timestamp;
+    }
+
+let key t =
+  Printf.sprintf "%s/%s/%s quick=%b jobs=%d" t.bench t.workload t.arm t.quick
+    t.jobs
+
+let to_json t =
+  Json.Obj
+    [
+      ("bench", Json.Str t.bench);
+      ("workload", Json.Str t.workload);
+      ("arm", Json.Str t.arm);
+      ("seconds", Json.Num t.seconds);
+      ("speedup", Json.Num t.speedup);
+      ("correct", Json.Bool t.correct);
+      ("quick", Json.Bool t.quick);
+      ("jobs", Json.Num (float_of_int t.jobs));
+      ("rev", Json.Str t.rev);
+      ("host", Json.Str t.host);
+      ("timestamp", Json.Num t.timestamp);
+    ]
+
+let of_json j =
+  let* bench = Json.str_field "bench" j in
+  let* workload = Json.str_field "workload" j in
+  let* arm = Json.str_field "arm" j in
+  let* seconds = Json.num_field "seconds" j in
+  let* speedup = Json.num_field "speedup" j in
+  let* correct = Json.bool_field "correct" j in
+  let* quick = Json.bool_field "quick" j in
+  let* jobs = Json.int_field "jobs" j in
+  let* rev = Json.str_field "rev" j in
+  let* host = Json.str_field "host" j in
+  let* timestamp = Json.num_field "timestamp" j in
+  validate
+    {
+      bench;
+      workload;
+      arm;
+      seconds;
+      speedup;
+      correct;
+      quick;
+      jobs;
+      rev;
+      host;
+      timestamp;
+    }
+
+let pp fmt t =
+  Format.fprintf fmt "%s/%s/%s: %.6fs (%.2fx)%s%s jobs=%d rev=%s" t.bench
+    t.workload t.arm t.seconds t.speedup
+    (if t.correct then "" else " INCORRECT")
+    (if t.quick then " quick" else "")
+    t.jobs t.rev

@@ -1,0 +1,65 @@
+(** One point of the performance trajectory: a (bench, workload, arm)
+    measurement from one run of the bench harness, plus the metadata
+    needed to compare it fairly later (git revision, host, pool size,
+    quick-vs-full profile).
+
+    Records are append-only facts — the trajectory file accumulates
+    them across runs — so the codec is versioned: {!schema_version} is
+    written into every trajectory file and a decoder refuses files
+    stamped with a *newer* version instead of silently misreading
+    them. *)
+
+type t = {
+  bench : string;  (** bench family, e.g. ["spmm_ablation"] *)
+  workload : string;  (** e.g. ["mixing_time_all"] *)
+  arm : string;  (** e.g. ["spmm_pooled"]; the reference arm is ["serial*"] *)
+  seconds : float;  (** wall-clock seconds; finite and non-negative *)
+  speedup : float;  (** vs the family's serial arm; finite and positive *)
+  correct : bool;  (** the run's bit-identity / agreement gate *)
+  quick : bool;  (** quick profile? quick and full timings never compare *)
+  jobs : int;  (** pool size of the arm (1 = serial) *)
+  rev : string;  (** git revision, ["unknown"] when unavailable *)
+  host : string;  (** hostname, ["unknown"] when unavailable *)
+  timestamp : float;  (** unix seconds at record time; 0 when unknown *)
+}
+
+(** The trajectory codec version. Bump when the record shape changes
+    incompatibly; {!History} writes it into the file header. *)
+val schema_version : int
+
+(** [validate t] checks the invariants the rest of the subsystem
+    relies on: non-empty [bench]/[workload]/[arm], finite non-negative
+    [seconds] (NaN and infinities rejected), finite positive
+    [speedup], [jobs >= 1], finite non-negative [timestamp]. *)
+val validate : t -> (t, string) result
+
+(** [v ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick ~jobs
+    ()] builds a validated record; [rev]/[host] default to
+    ["unknown"], [timestamp] to [0.]. *)
+val v :
+  ?rev:string ->
+  ?host:string ->
+  ?timestamp:float ->
+  bench:string ->
+  workload:string ->
+  arm:string ->
+  seconds:float ->
+  speedup:float ->
+  correct:bool ->
+  quick:bool ->
+  jobs:int ->
+  unit ->
+  (t, string) result
+
+(** [key t] is the identity the regression gate matches baseline and
+    candidate records on: bench, workload, arm, quick flag and pool
+    size (quick and full runs measure different problems, as do
+    different pool sizes). *)
+val key : t -> string
+
+val to_json : t -> Json.t
+
+(** [of_json j] decodes and {!validate}s one record. *)
+val of_json : Json.t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+let csr_path = "BENCH_csr.json"
+let spmm_path = "BENCH_spmm.json"
+let store_path = "BENCH_store.json"
+
+type provenance = { rev : string; host : string; timestamp : float }
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ | (exception _) -> "unknown")
+
+let provenance () =
+  {
+    rev = git_rev ();
+    host = (try Unix.gethostname () with _ -> "unknown");
+    timestamp = Unix.gettimeofday ();
+  }
+
+let stamp p (r : Record.t) =
+  { r with Record.rev = p.rev; host = p.host; timestamp = p.timestamp }
+
+let ( let* ) = Result.bind
+
+let record_run ?(history_path = History.default_path) ?provenance:prov
+    ~legacy_path legacy_json =
+  let* records = Migrate.of_legacy_string legacy_json in
+  let p = match prov with Some p -> p | None -> provenance () in
+  let stamped = List.map (stamp p) records in
+  let* () =
+    match Store.Io.write_atomic ~path:legacy_path legacy_json with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg
+  in
+  let* _all = History.append ~path:history_path stamped in
+  Ok stamped

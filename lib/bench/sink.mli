@@ -1,0 +1,37 @@
+(** The single exit point for bench results. The harness hands each
+    ablation's legacy snapshot JSON to [record_run]; the sink writes
+    the snapshot atomically, migrates it into trajectory records,
+    stamps them with provenance (git revision, host, wall-clock time)
+    and appends them to [BENCH_HISTORY.json].
+
+    Owning the filenames here — with the [bench-json-outside-bench]
+    lint rule guarding the rest of the tree — means the snapshot and
+    the trajectory cannot drift: the trajectory is derived from the
+    very bytes written to the snapshot. *)
+
+(** Legacy snapshot paths, one per ablation family. *)
+val csr_path : string
+
+val spmm_path : string
+val store_path : string
+
+type provenance = { rev : string; host : string; timestamp : float }
+
+(** [provenance ()] samples the current git short revision (["unknown"]
+    outside a work tree), hostname and unix time. *)
+val provenance : unit -> provenance
+
+val stamp : provenance -> Record.t -> Record.t
+
+(** [record_run ?history_path ?provenance ~legacy_path legacy_json]
+    validates [legacy_json] by migrating it, writes it to
+    [legacy_path] atomically, and appends the stamped records to
+    [history_path] (default {!History.default_path}). Nothing is
+    written if migration fails — a malformed snapshot never reaches
+    disk. Returns the appended records. *)
+val record_run :
+  ?history_path:string ->
+  ?provenance:provenance ->
+  legacy_path:string ->
+  string ->
+  (Record.t list, string) result

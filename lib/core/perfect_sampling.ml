@@ -92,5 +92,7 @@ let samples ?max_epochs ?pool rng game ~beta ~count =
   (* One split stream per sample: sample k is a function of the seed
      and k only, so the array is reproducible for any pool size. *)
   let streams = Prob.Rng.split_n rng count in
-  Exec.Pool.init_opt pool ~n:count (fun k ->
+  (* Cutover cost of one draw: a whole CFTP run — doubling backward
+     windows of full-lattice logit sweeps — is macro-task weight. *)
+  Exec.Pool.init_opt ~cost:8192 pool ~n:count (fun k ->
       sample ?max_epochs streams.(k) game ~beta)

@@ -5,7 +5,27 @@ type t = {
   nonempty : Condition.t;
   mutable closed : bool;
   mutable workers : unit Domain.t array;
+  dispatches : int Atomic.t;
 }
+
+(* Work-based serial cutover. Dispatching a parallel_for costs a few
+   microseconds (task submission, atomic claims, the helping-wait), so a
+   pooled kernel whose whole serial runtime is of that order runs
+   *slower* pooled — the BENCH_spmm.json by_power regression (0.38x at
+   |S| = 1024). Every [?pool] kernel therefore estimates its work as
+   [n * cost] (cost ~ inner-loop iterations per index, so a work unit is
+   roughly a fused multiply-add) and falls back to the serial loop below
+   the cutover. 65536 units ~ tens of microseconds of serial work, an
+   order of magnitude above the dispatch cost. The value is a process
+   global: settable for tests and for machines with unusually cheap or
+   expensive domain wakeups, never per-call. *)
+let default_serial_cutover = 65_536
+let cutover = Atomic.make default_serial_cutover
+let serial_cutover () = Atomic.get cutover
+
+let set_serial_cutover n =
+  if n < 0 then invalid_arg "Pool.set_serial_cutover: negative cutover";
+  Atomic.set cutover n
 
 let rec worker_loop t =
   Mutex.lock t.mutex;
@@ -35,12 +55,25 @@ let create ?domains () =
       nonempty = Condition.create ();
       closed = false;
       workers = [||];
+      dispatches = Atomic.make 0;
     }
   in
   t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let size t = t.size
+let dispatches t = Atomic.get t.dispatches
+
+(* Saturating [n * cost >= cutover]: n and cost are both non-negative
+   and bounded by array sizes / row degrees in practice, but the guard
+   must not overflow for adversarial inputs. *)
+let parallelize t ~cost ~n =
+  if cost < 0 then invalid_arg "Pool.parallelize: negative cost";
+  t.size > 1 && n > 0 && cost > 0
+  && (let limit = Atomic.get cutover in
+      (* n * cost >= limit, overflow-free: (limit - 1) / cost never
+         overflows, unlike the product or the rounded-up quotient. *)
+      limit <= 0 || n > (limit - 1) / cost)
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -86,6 +119,7 @@ let parallel_for ?chunk t ~n body =
       done
     else begin
       if t.closed then invalid_arg "Pool: pool has been shut down";
+      Atomic.incr t.dispatches;
       let next = Atomic.make 0 in
       let failure = Atomic.make None in
       (* Chunked self-scheduling: every participant claims the next
@@ -165,13 +199,15 @@ let reduce ?chunk t ~n ~map:f ~combine ~init =
     Array.fold_left combine init partials
   end
 
-let iter_opt pool ~n body =
+let iter_opt ?(cost = 1) pool ~n body =
   match pool with
-  | None ->
+  | Some t when parallelize t ~cost ~n -> parallel_for t ~n body
+  | _ ->
       for i = 0 to n - 1 do
         body i
       done
-  | Some t -> parallel_for t ~n body
 
-let init_opt pool ~n f =
-  match pool with None -> Array.init n f | Some t -> map t ~n f
+let init_opt ?(cost = 1) pool ~n f =
+  match pool with
+  | Some t when parallelize t ~cost ~n -> map t ~n f
+  | _ -> Array.init n f

@@ -30,6 +30,36 @@ val create : ?domains:int -> unit -> t
 (** [size t] is the total number of participating domains (>= 1). *)
 val size : t -> int
 
+(** [dispatches t] counts the [parallel_for]/[map] calls on [t] that
+    actually enqueued work for the worker domains (inline runs — pool
+    size 1, or a range no larger than one chunk — don't count). Exposed
+    so tests can assert that a kernel below the serial cutover never
+    touched the pool. *)
+val dispatches : t -> int
+
+(** The default work threshold below which pooled kernels run their
+    serial loop instead of dispatching: 65536 work units, where one
+    unit is roughly one inner-loop iteration (a fused multiply-add, a
+    hash probe), i.e. tens of microseconds of serial work — an order
+    of magnitude above the cost of waking the pool. *)
+val default_serial_cutover : int
+
+(** [serial_cutover ()] is the current cutover (process-global). *)
+val serial_cutover : unit -> int
+
+(** [set_serial_cutover n] replaces the cutover: [0] forces every
+    pooled kernel to dispatch, [max_int] effectively serialises them
+    all. For tests and unusual machines; raises [Invalid_argument] on a
+    negative [n]. *)
+val set_serial_cutover : int -> unit
+
+(** [parallelize t ~cost ~n] is the dispatch decision every [?pool]
+    kernel makes: true iff [t] has more than one domain and the
+    estimated work [n * cost] (saturating) reaches the cutover.
+    [cost] is the kernel's per-index work estimate in cutover units;
+    raises [Invalid_argument] if negative. *)
+val parallelize : t -> cost:int -> n:int -> bool
+
 (** [shutdown t] terminates the worker domains and joins them.
     Idempotent; subsequent [parallel_for]/[map] calls on [t] raise. *)
 val shutdown : t -> unit
@@ -61,11 +91,15 @@ val reduce :
   ?chunk:int -> t -> n:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) ->
   init:'a -> 'a
 
-(** [iter_opt pool ~n body] is [parallel_for] when [pool] is [Some _]
-    and the plain serial loop when [None] — the idiom behind every
-    [?pool] parameter in the library. *)
-val iter_opt : t option -> n:int -> (int -> unit) -> unit
+(** [iter_opt ?cost pool ~n body] is [parallel_for] when [pool] is
+    [Some _] and {!parallelize} approves the estimated work
+    [n * cost], and the plain serial loop otherwise — the idiom behind
+    every [?pool] parameter in the library. [cost] defaults to 1 (an
+    index is one work unit), so small-[n] loops stay serial unless the
+    caller declares heavier per-index work. *)
+val iter_opt : ?cost:int -> t option -> n:int -> (int -> unit) -> unit
 
-(** [init_opt pool ~n f] is [Array.init n f] (serial, ascending order)
-    or [map pool ~n f]. *)
-val init_opt : t option -> n:int -> (int -> 'a) -> 'a array
+(** [init_opt ?cost pool ~n f] is [Array.init n f] (serial, ascending
+    order) or [map pool ~n f], under the same cutover rule as
+    {!iter_opt}. *)
+val init_opt : ?cost:int -> t option -> n:int -> (int -> 'a) -> 'a array

@@ -12,7 +12,10 @@ let map f xs =
   | Some p ->
       let arr = Array.of_list xs in
       (* Chunk of 1: grid points are few and heavy, so claim them one
-         at a time for the best load balance. *)
+         at a time for the best load balance. Cutover audit: each point
+         is an entire experiment cell — seconds, not microseconds — so
+         the dispatch-overhead guard the evolve kernels need would be a
+         no-op here and the map dispatches unconditionally. *)
       Array.to_list (Exec.Pool.map ~chunk:1 p ~n:(Array.length arr) (fun i -> f arr.(i)))
 
 let map_cached ?store ~key ~encode ~decode f xs =

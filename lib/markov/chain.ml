@@ -86,11 +86,19 @@ let of_rows ?pool rows =
       entries;
     normalize_row i entries
   in
-  let checked = Exec.Pool.init_opt pool ~n:size (fun i -> check_row i rows.(i)) in
+  (* Cutover cost: normalising a row is a hash insert + fold + sort per
+     entry — call it 64 work units each — so tiny chains build serially
+     while logit-sized ones still fan out. *)
+  let entries = Array.fold_left (fun acc r -> acc + Array.length r) 0 rows in
+  let cost = 64 * (1 + (entries / size)) in
+  let checked = Exec.Pool.init_opt ~cost pool ~n:size (fun i -> check_row i rows.(i)) in
   pack size checked
 
 let of_function ?pool n row =
-  let rows = Exec.Pool.init_opt pool ~n (fun i -> Array.of_list (row i)) in
+  (* [row] is caller code — for logit chains a full transition-row
+     build, microseconds each — so assume macro-task weight rather than
+     serialising on the unknowable. *)
+  let rows = Exec.Pool.init_opt ~cost:1024 pool ~n (fun i -> Array.of_list (row i)) in
   of_rows ?pool rows
 
 let of_dense m =
@@ -271,28 +279,38 @@ let pull_one c src j =
   done;
   !acc
 
+(* Cutover cost of one gathered destination: the average row degree
+   (one fused multiply-add per stored transition). At logit-chain
+   degrees this sends |S| ~ 1024 single-distribution evolves — the
+   pooled by_power regression recorded in BENCH_spmm.json — down the
+   serial path, while genuinely large chains still dispatch. *)
+let evolve_cost t = Int.max 1 (t.row_start.(t.size) / t.size)
+
 let evolve_pull_into ?pool t ~src ~dst =
   check_evolve_args "Chain.evolve_pull_into" t ~src ~dst;
   let c = csc t in
   match pool with
-  | None ->
+  | Some pool when Exec.Pool.parallelize pool ~cost:(evolve_cost t) ~n:t.size ->
+      Exec.Pool.parallel_for pool ~n:t.size (fun j ->
+          Array.unsafe_set dst j (pull_one c src j))
+  | _ ->
       (* Direct loop: a closure dispatch per destination costs ~15% of
          the whole kernel at logit-chain degrees. *)
       for j = 0 to t.size - 1 do
         Array.unsafe_set dst j (pull_one c src j)
       done
-  | Some pool ->
-      Exec.Pool.parallel_for pool ~n:t.size (fun j ->
-          Array.unsafe_set dst j (pull_one c src j))
 
 let evolve_into ?pool t ~src ~dst =
   check_evolve_args "Chain.evolve_into" t ~src ~dst;
   match pool with
-  | None -> push_into t ~src ~dst
-  | Some pool ->
+  | Some pool when Exec.Pool.parallelize pool ~cost:(evolve_cost t) ~n:t.size ->
       let c = csc t in
       Exec.Pool.parallel_for pool ~n:t.size (fun j ->
           Array.unsafe_set dst j (pull_one c src j))
+  | _ ->
+      (* Below the cutover the push scatter is the fastest serial
+         kernel, and it is bit-identical to the pooled pull. *)
+      push_into t ~src ~dst
 
 let evolve t mu =
   if Array.length mu <> t.size then invalid_arg "Chain.evolve: dimension mismatch";
@@ -329,7 +347,9 @@ let evolve_many_into ?pool t ~k ~(src : panel) ~(dst : panel) =
      bit-identical to a single-distribution evolve, for any pool size
      and any block size. *)
   let col_start = c.t_col_start and rows = c.t_cols and probs = c.t_probs in
-  Exec.Pool.iter_opt pool ~n:(blocks * n) (fun idx ->
+  (* Cutover cost of one (block, destination) index: [block] gathered
+     rows of [evolve_cost] multiply-adds each. *)
+  Exec.Pool.iter_opt ~cost:(block * evolve_cost t) pool ~n:(blocks * n) (fun idx ->
       let b = idx / n in
       let j = idx - (b * n) in
       let r_hi = Int.min k ((b * block) + block) - 1 in
@@ -355,7 +375,7 @@ let apply ?pool t f =
      invariant bounds them and [f] is length-checked above. *)
   let out = Array.make t.size 0. in
   let row_start = t.row_start and cols = t.cols and probs = t.probs in
-  Exec.Pool.iter_opt pool ~n:t.size (fun i ->
+  Exec.Pool.iter_opt ~cost:(evolve_cost t) pool ~n:t.size (fun i ->
       let acc = ref 0. in
       let stop = Array.unsafe_get row_start (i + 1) - 1 in
       for k = Array.unsafe_get row_start i to stop do

@@ -112,9 +112,12 @@ val evolve : t -> float array -> float array
     arrays of length [size t] ([Invalid_argument] otherwise). Without
     [?pool] this is the serial push (scatter) kernel; with [?pool] the
     destinations are gathered in pull mode and chunked across the
-    pool's domains. Both paths produce bit-identical results (for each
-    destination the contributions are summed over sources in increasing
-    order either way), identical to {!evolve}. *)
+    pool's domains — unless the estimated work [nnz t] is below
+    {!Exec.Pool.serial_cutover}, in which case the pooled call runs
+    the serial push directly (dispatch overhead would dominate). Both
+    paths produce bit-identical results (for each destination the
+    contributions are summed over sources in increasing order either
+    way), identical to {!evolve}. *)
 val evolve_into : ?pool:Exec.Pool.t -> t -> src:float array -> dst:float array -> unit
 
 (** [evolve_pull_into ?pool t ~src ~dst] is the pull-mode (gather)

@@ -61,7 +61,8 @@ let tv_row pi (panel : Chain.panel) r =
   0.5 *. !acc
 
 let refresh_tvs pool pi panel tvs =
-  Exec.Pool.iter_opt pool ~n:(Array.length tvs) (fun r ->
+  (* Cutover cost of one TV row: one |S|-length abs-diff sum. *)
+  Exec.Pool.iter_opt ~cost:(Array.length pi) pool ~n:(Array.length tvs) (fun r ->
       tvs.(r) <- tv_row pi panel r)
 
 let worst tvs = Array.fold_left Float.max 0. tvs
@@ -137,7 +138,9 @@ let empirical_tv ?pool rng t pi ~start ~steps ~replicas =
      whether they run serially or across any number of domains. *)
   let streams = Prob.Rng.split_n rng replicas in
   let final = Array.make replicas start in
-  Exec.Pool.iter_opt pool ~n:replicas (fun r ->
+  (* Cutover cost of one replica: [steps] sampler draws, each an RNG
+     advance plus an O(log degree) binary search — call it 8 units. *)
+  Exec.Pool.iter_opt ~cost:(8 * steps) pool ~n:replicas (fun r ->
       let rng = streams.(r) in
       let state = ref start in
       for _ = 1 to steps do

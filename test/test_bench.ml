@@ -1,0 +1,592 @@
+(* The bench trajectory subsystem (lib/bench): the JSON codec, the
+   versioned Record, migration of the three legacy snapshot shapes,
+   the append-only History file, the regression Gate's boundary
+   semantics, and the Cli exit codes CI keys off — driven through the
+   same functions `logitdyn bench ...` calls. *)
+
+open Helpers
+module J = Bench.Json
+module Record = Bench.Record
+module History = Bench.History
+module Migrate = Bench.Migrate
+module Gate = Bench.Gate
+module Cli = Bench.Cli
+
+(* ---------------- plumbing ---------------- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmp f =
+  let dir = Filename.temp_file "bench_test" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let get_ok what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: unexpected error: %s" what msg
+
+let get_error what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error msg -> msg
+
+let rv ?rev ?host ?timestamp ~bench ~workload ~arm ~seconds ~speedup ~correct
+    ~quick ~jobs () =
+  get_ok "fixture record"
+    (Record.v ?rev ?host ?timestamp ~bench ~workload ~arm ~seconds ~speedup
+       ~correct ~quick ~jobs ())
+
+let sample ?(seconds = 1.0) ?(speedup = 1.0) ?(correct = true) ?(arm = "csr")
+    ?(workload = "tv_curve") ?(jobs = 1) () =
+  rv ~bench:"csr_ablation" ~workload ~arm ~seconds ~speedup ~correct
+    ~quick:false ~jobs ()
+
+(* ---------------- Json ---------------- *)
+
+let json_parse_basics () =
+  let j =
+    get_ok "parse"
+      (J.parse {| { "a": [1, -2.5, 1e3], "s": "x\n\"yA", "b": true, "n": null } |})
+  in
+  check_true "array field"
+    (J.member "a" j = Some (J.List [ J.Num 1.; J.Num (-2.5); J.Num 1000. ]));
+  check_true "escapes" (J.member "s" j = Some (J.Str "x\n\"yA"));
+  check_true "bool" (J.member "b" j = Some (J.Bool true));
+  check_true "null" (J.member "n" j = Some J.Null)
+
+let json_parse_rejects () =
+  List.iter
+    (fun (name, s) -> ignore (get_error name (J.parse s)))
+    [
+      ("trailing garbage", "{} x");
+      ("bare NaN literal", "NaN");
+      ("bare Infinity literal", "Infinity");
+      ("unterminated string", "\"abc");
+      ("control char in string", "\"a\nb\"");
+      ("missing colon", "{\"a\" 1}");
+      ("trailing comma", "[1,]");
+      ("empty input", "   ");
+      ("number overflow", "1e999");
+    ]
+
+let json_print_round_trip () =
+  let j =
+    J.Obj
+      [
+        ("pi", J.Num 3.141592653589793);
+        ("tiny", J.Num 1e-300);
+        ("neg", J.Num (-0.1));
+        ("int", J.Num 42.);
+        ("esc", J.Str "a\"b\\c\td");
+        ("arr", J.List [ J.Bool false; J.Null; J.Obj [] ]);
+      ]
+  in
+  check_true "compact round-trips" (get_ok "reparse" (J.parse (J.to_string j)) = j);
+  check_true "pretty round-trips" (get_ok "reparse" (J.parse (J.pretty j)) = j);
+  check_raises_invalid "NaN unprintable" (fun () ->
+      ignore (J.to_string (J.Num Float.nan)));
+  check_raises_invalid "infinity unprintable" (fun () ->
+      ignore (J.to_string (J.Num Float.infinity)))
+
+(* ---------------- Record ---------------- *)
+
+(* Diverse exactly-representable doubles: m * 2^e with |m| < 2^30. *)
+let float_gen =
+  QCheck.map
+    (fun (m, e) -> Float.ldexp (float_of_int m) (e - 40))
+    QCheck.(pair (int_bound 1_073_741_823) (int_bound 80))
+
+let name_gen =
+  QCheck.map
+    (fun s -> if s = "" then "x" else s)
+    QCheck.(string_gen_of_size (QCheck.Gen.return 6) QCheck.Gen.printable)
+
+let record_gen =
+  QCheck.map
+    (fun ((bench, workload, arm), (seconds, speedup, ts), (correct, quick, jobs)) ->
+      rv ~rev:"abc1234" ~host:"host-1" ~timestamp:ts ~bench ~workload ~arm
+        ~seconds ~speedup:(speedup +. 0.001) ~correct ~quick
+        ~jobs:(1 + jobs) ())
+    QCheck.(
+      triple
+        (triple name_gen name_gen name_gen)
+        (triple float_gen float_gen float_gen)
+        (triple bool bool (int_bound 63)))
+
+let record_json_round_trip =
+  QCheck.Test.make ~name:"Record.to_json/of_json round-trips bit-for-bit"
+    ~count:200 record_gen (fun r ->
+      match J.parse (J.to_string (Record.to_json r)) with
+      | Error _ -> false
+      | Ok j -> Record.of_json j = Ok r)
+
+let record_validation () =
+  let mk seconds speedup =
+    Record.v ~bench:"b" ~workload:"w" ~arm:"a" ~seconds ~speedup ~correct:true
+      ~quick:false ~jobs:1 ()
+  in
+  ignore (get_error "NaN seconds" (mk Float.nan 1.0));
+  ignore (get_error "+inf seconds" (mk Float.infinity 1.0));
+  ignore (get_error "-inf seconds" (mk Float.neg_infinity 1.0));
+  ignore (get_error "negative seconds" (mk (-1.0) 1.0));
+  ignore (get_error "NaN speedup" (mk 1.0 Float.nan));
+  ignore (get_error "zero speedup" (mk 1.0 0.));
+  ignore
+    (get_error "empty arm"
+       (Record.v ~bench:"b" ~workload:"w" ~arm:"" ~seconds:1. ~speedup:1.
+          ~correct:true ~quick:false ~jobs:1 ()));
+  ignore
+    (get_error "jobs < 1"
+       (Record.v ~bench:"b" ~workload:"w" ~arm:"a" ~seconds:1. ~speedup:1.
+          ~correct:true ~quick:false ~jobs:0 ()));
+  (* of_json applies the same validation to hand-built values. *)
+  let j = Record.to_json (sample ()) in
+  let poisoned =
+    match j with
+    | J.Obj fields ->
+        J.Obj
+          (List.map
+             (fun (k, v) -> if k = "seconds" then (k, J.Num Float.nan) else (k, v))
+             fields)
+    | _ -> Alcotest.fail "record json is an object"
+  in
+  ignore (get_error "of_json rejects NaN seconds" (Record.of_json poisoned))
+
+let record_key_discriminates () =
+  let base = sample () in
+  check_true "same fields, same key" (Record.key base = Record.key (sample ()));
+  check_false "quick differs"
+    (Record.key base = Record.key { base with Record.quick = true });
+  check_false "jobs differ"
+    (Record.key base = Record.key { base with Record.jobs = 4 });
+  check_false "arm differs"
+    (Record.key base = Record.key { base with Record.arm = "pre_csr" });
+  check_true "seconds do not enter the key"
+    (Record.key base = Record.key { base with Record.seconds = 99. })
+
+(* ---------------- History ---------------- *)
+
+let history_round_trip () =
+  let records = [ sample (); sample ~arm:"pre_csr" ~seconds:2. () ] in
+  check_true "encode/decode round-trips"
+    (get_ok "decode" (History.decode (History.encode records)) = records)
+
+let history_schema_bump_detected () =
+  let newer =
+    J.pretty
+      (J.Obj
+         [
+           ( "schema_version",
+             J.Num (float_of_int (Record.schema_version + 1)) );
+           ("records", J.List []);
+         ])
+  in
+  let msg = get_error "newer schema refused" (History.decode newer) in
+  check_true "error names the version mismatch"
+    (contains_substring msg "newer");
+  ignore
+    (get_error "version 0 refused"
+       (History.decode
+          (J.pretty (J.Obj [ ("schema_version", J.Num 0.); ("records", J.List []) ]))));
+  ignore (get_error "missing header refused" (History.decode "{\"records\": []}"))
+
+let history_append_accumulates () =
+  with_tmp (fun dir ->
+      let path = Filename.concat dir "hist.json" in
+      check_true "missing file is an empty trajectory"
+        (get_ok "load" (History.load ~path) = []);
+      let a = sample ~seconds:1.0 () in
+      let b = sample ~seconds:0.9 () in
+      check_int "first append" 1
+        (List.length (get_ok "append" (History.append ~path [ a ])));
+      let all = get_ok "append" (History.append ~path [ b ]) in
+      check_true "append preserves order" (all = [ a; b ]);
+      check_true "reload agrees" (get_ok "load" (History.load ~path) = [ a; b ]);
+      (* latest_by_key keeps the most recent record per key. *)
+      check_true "latest wins" (History.latest_by_key all = [ b ]);
+      ignore
+        (get_error "corrupt file is an error"
+           (let oc = open_out path in
+            output_string oc "not json";
+            close_out oc;
+            History.load ~path)))
+
+let history_encode_validates () =
+  let bad = { (sample ()) with Record.seconds = Float.nan } in
+  check_raises_invalid "encode refuses invalid records" (fun () ->
+      ignore (History.encode [ bad ]))
+
+(* ---------------- Migrate: byte-for-byte legacy fixtures ----------------
+
+   Embedded copies of the checked-in snapshots as of this PR's
+   baseline (BENCH_spmm.json still showing the pooled by_power
+   regression this PR fixes). The migration contract is pinned against
+   these exact bytes. *)
+
+let csr_fixture =
+  {|{
+  "bench": "csr_ablation",
+  "quick": false,
+  "game": { "kind": "ring_coordination", "n": 10, "states": 1024, "beta": 1 },
+  "evolve_bit_identical": true,
+  "workloads": [
+    { "name": "tv_curve", "kind": "evolve", "steps": 150,
+      "pre_csr_s": 10.497214, "csr_s": 2.745061, "speedup": 3.824, "agree": true },
+    { "name": "mixing_time_all", "kind": "evolve", "t_mix": 49,
+      "pre_csr_s": 3.683898, "csr_s": 0.845887, "speedup": 4.355, "agree": true },
+    { "name": "empirical_tv", "kind": "sample_step", "steps": 200, "replicas": 50000,
+      "pre_csr_s": 1.131692, "csr_s": 0.392581, "speedup": 2.883, "agree": true }
+  ]
+}
+|}
+
+let spmm_fixture =
+  {|{
+  "bench": "spmm_ablation",
+  "quick": false,
+  "jobs": 4,
+  "game": { "kind": "ring_coordination", "n": 10, "states": 1024, "beta": 1 },
+  "evolve_bit_identical": true,
+  "t_mix": 49,
+  "workloads": [
+    { "name": "mixing_time_all", "arm": "serial_push", "seconds": 2.784250,
+      "speedup": 1.0, "bit_identical": true },
+    { "name": "mixing_time_all", "arm": "pooled_pull", "seconds": 1.783843,
+      "speedup": 1.561, "bit_identical": true },
+    { "name": "mixing_time_all", "arm": "spmm_serial", "seconds": 1.077717,
+      "speedup": 2.583, "bit_identical": true },
+    { "name": "mixing_time_all", "arm": "spmm_pooled", "seconds": 1.147333,
+      "speedup": 2.427, "bit_identical": true }
+  ],
+  "tv_curve": { "steps": 150, "push_s": 7.791740, "spmm_s": 2.955936, "speedup": 2.636,
+    "bit_identical": true },
+  "by_power": { "serial_s": 0.004633, "pooled_s": 0.012164, "speedup": 0.381,
+    "bit_identical": true }
+}
+|}
+
+let store_fixture =
+  {|{
+  "bench": "store_ablation",
+  "quick": false,
+  "game": { "kind": "ring_coordination", "n": 10, "states": 1024, "beta": 1 },
+  "pipeline": { "cold_s": 3.085460, "warm_s": 0.001952, "speedup": 1580.720,
+    "cold_misses": 3, "cold_writes": 3, "warm_hits": 3 },
+  "identical": { "chain": true, "stationary": true, "tv_curve": true },
+  "resume": { "grid": 12, "prefiled": 5, "recomputed": 7, "ok": true }
+}
+|}
+
+let migrate_csr_fixture () =
+  let bench = "csr_ablation" in
+  let r ~workload ~arm ~seconds ~speedup =
+    rv ~bench ~workload ~arm ~seconds ~speedup ~correct:true ~quick:false
+      ~jobs:1 ()
+  in
+  let expected =
+    [
+      r ~workload:"tv_curve" ~arm:"pre_csr" ~seconds:10.497214 ~speedup:1.0;
+      r ~workload:"tv_curve" ~arm:"csr" ~seconds:2.745061 ~speedup:3.824;
+      r ~workload:"mixing_time_all" ~arm:"pre_csr" ~seconds:3.683898
+        ~speedup:1.0;
+      r ~workload:"mixing_time_all" ~arm:"csr" ~seconds:0.845887 ~speedup:4.355;
+      r ~workload:"empirical_tv" ~arm:"pre_csr" ~seconds:1.131692 ~speedup:1.0;
+      r ~workload:"empirical_tv" ~arm:"csr" ~seconds:0.392581 ~speedup:2.883;
+    ]
+  in
+  check_true "csr fixture migrates to the six expected records"
+    (get_ok "migrate" (Migrate.of_legacy_string csr_fixture) = expected)
+
+let migrate_spmm_fixture () =
+  let bench = "spmm_ablation" in
+  let r ~workload ~arm ~seconds ~speedup ~jobs =
+    rv ~bench ~workload ~arm ~seconds ~speedup ~correct:true ~quick:false ~jobs
+      ()
+  in
+  let expected =
+    [
+      r ~workload:"mixing_time_all" ~arm:"serial_push" ~seconds:2.784250
+        ~speedup:1.0 ~jobs:1;
+      r ~workload:"mixing_time_all" ~arm:"pooled_pull" ~seconds:1.783843
+        ~speedup:1.561 ~jobs:4;
+      r ~workload:"mixing_time_all" ~arm:"spmm_serial" ~seconds:1.077717
+        ~speedup:2.583 ~jobs:1;
+      r ~workload:"mixing_time_all" ~arm:"spmm_pooled" ~seconds:1.147333
+        ~speedup:2.427 ~jobs:4;
+      r ~workload:"tv_curve" ~arm:"serial_push" ~seconds:7.791740 ~speedup:1.0
+        ~jobs:1;
+      r ~workload:"tv_curve" ~arm:"spmm" ~seconds:2.955936 ~speedup:2.636
+        ~jobs:1;
+      r ~workload:"by_power" ~arm:"serial" ~seconds:0.004633 ~speedup:1.0
+        ~jobs:1;
+      r ~workload:"by_power" ~arm:"pooled" ~seconds:0.012164 ~speedup:0.381
+        ~jobs:4;
+    ]
+  in
+  check_true "spmm fixture migrates to the eight expected records"
+    (get_ok "migrate" (Migrate.of_legacy_string spmm_fixture) = expected)
+
+let migrate_store_fixture () =
+  let r ~arm ~seconds ~speedup =
+    rv ~bench:"store_ablation" ~workload:"pipeline" ~arm ~seconds ~speedup
+      ~correct:true ~quick:false ~jobs:1 ()
+  in
+  let expected =
+    [
+      r ~arm:"cold" ~seconds:3.085460 ~speedup:1.0;
+      r ~arm:"warm" ~seconds:0.001952 ~speedup:1580.720;
+    ]
+  in
+  check_true "store fixture migrates to the cold/warm pair"
+    (get_ok "migrate" (Migrate.of_legacy_string store_fixture) = expected)
+
+let migrate_rejects_unknown () =
+  ignore
+    (get_error "unknown bench kind"
+       (Migrate.of_legacy_string "{\"bench\": \"mystery\"}"));
+  ignore (get_error "not json" (Migrate.of_legacy_string "nope"))
+
+(* The real checked-in snapshots keep migrating cleanly, whatever their
+   current timings: same shapes, same record counts. *)
+let migrate_checked_in_snapshots () =
+  match Sys.getenv_opt "DUNE_SOURCEROOT" with
+  | None -> ()
+  | Some root ->
+      List.iter
+        (fun (file, expected_count) ->
+          let path = Filename.concat root file in
+          match Store.Io.read_file path with
+          | None -> Alcotest.failf "checked-in snapshot %s is missing" file
+          | Some contents -> (
+              match Migrate.of_legacy_string contents with
+              | Error msg -> Alcotest.failf "%s does not migrate: %s" file msg
+              | Ok records ->
+                  check_int (file ^ ": record count") expected_count
+                    (List.length records)))
+        [
+          (Bench.Sink.csr_path, 6);
+          (Bench.Sink.spmm_path, 8);
+          (Bench.Sink.store_path, 2);
+        ]
+
+(* ---------------- Gate ---------------- *)
+
+let gate ?strict ?(threshold = 10.) ~baseline ~candidate () =
+  Gate.compare ?strict ~threshold ~baseline ~candidate ()
+
+let verdicts report =
+  List.map (fun f -> f.Gate.verdict) report.Gate.findings
+
+let gate_threshold_boundary () =
+  let base = [ sample ~seconds:1.0 () ] in
+  (* Exactly 10% slower: passes (strictly-greater semantics). *)
+  let at = gate ~baseline:base ~candidate:[ sample ~seconds:1.1 () ] () in
+  check_false "exactly at threshold passes" at.Gate.failed;
+  (match verdicts at with
+  | [ Gate.Within _ ] -> ()
+  | _ -> Alcotest.fail "expected a single Within verdict");
+  (* Just over: fails. *)
+  let over = gate ~baseline:base ~candidate:[ sample ~seconds:1.11 () ] () in
+  check_true "just over threshold fails" over.Gate.failed;
+  (match verdicts over with
+  | [ Gate.Regression { base_s; cand_s; _ } ] ->
+      check_float ~tol:0. "baseline seconds" 1.0 base_s;
+      check_float ~tol:0. "candidate seconds" 1.11 cand_s
+  | _ -> Alcotest.fail "expected a single Regression verdict");
+  (* Faster is of course fine; threshold 0 still allows exact equality. *)
+  check_false "faster passes"
+    (gate ~baseline:base ~candidate:[ sample ~seconds:0.5 () ] ()).Gate.failed;
+  check_false "threshold 0 allows equal"
+    (gate ~threshold:0. ~baseline:base ~candidate:[ sample ~seconds:1.0 () ] ())
+      .Gate.failed;
+  check_true "threshold 0 rejects any slowdown"
+    (gate ~threshold:0. ~baseline:base ~candidate:[ sample ~seconds:1.0001 () ] ())
+      .Gate.failed;
+  check_raises_invalid "negative threshold" (fun () ->
+      ignore (gate ~threshold:(-1.) ~baseline:base ~candidate:base ()))
+
+let gate_missing_and_new_workloads () =
+  let base = [ sample ~workload:"tv_curve" () ] in
+  (* Empty baseline: everything is a new workload, gate passes. *)
+  let fresh = gate ~baseline:[] ~candidate:base () in
+  check_false "empty baseline passes" fresh.Gate.failed;
+  (match verdicts fresh with
+  | [ Gate.New_workload _ ] -> ()
+  | _ -> Alcotest.fail "expected New_workload");
+  (* A workload only in the candidate passes; one only in the baseline
+     warns, and fails only under strict. *)
+  let cand = [ sample ~workload:"empirical_tv" () ] in
+  let drifted = gate ~baseline:base ~candidate:cand () in
+  check_false "disappeared workload passes by default" drifted.Gate.failed;
+  check_true "disappearance is still reported"
+    (List.exists
+       (function Gate.Disappeared _ -> true | _ -> false)
+       (verdicts drifted));
+  check_true "strict fails on disappearance"
+    (gate ~strict:true ~baseline:base ~candidate:cand ()).Gate.failed
+
+let gate_incorrect_fails () =
+  let base = [ sample ~seconds:1.0 () ] in
+  let fast_but_wrong = [ sample ~seconds:0.1 ~correct:false () ] in
+  let report = gate ~baseline:base ~candidate:fast_but_wrong () in
+  check_true "losing the correctness bit fails even when faster"
+    report.Gate.failed;
+  (match verdicts report with
+  | [ Gate.Incorrect ] -> ()
+  | _ -> Alcotest.fail "expected Incorrect, and no Disappeared double-report")
+
+let gate_uses_latest_per_key () =
+  (* Two baseline runs for the same key: only the newer one counts. *)
+  let baseline = [ sample ~seconds:5.0 (); sample ~seconds:1.0 () ] in
+  check_true "old slow baseline run is superseded"
+    (gate ~baseline ~candidate:[ sample ~seconds:1.2 () ] ()).Gate.failed;
+  (* Same on the candidate side: the re-run wins. *)
+  let candidate = [ sample ~seconds:9.0 (); sample ~seconds:1.0 () ] in
+  check_false "candidate re-run supersedes its slow first attempt"
+    (gate ~baseline:[ sample ~seconds:1.0 () ] ~candidate ()).Gate.failed
+
+(* ---------------- Cli: the exit codes CI keys off ---------------- *)
+
+let write_history path records =
+  Store.Io.write_atomic ~path (History.encode records)
+
+let cli_compare_exit_codes () =
+  with_tmp (fun dir ->
+      let baseline = Filename.concat dir "base.json" in
+      let candidate = Filename.concat dir "cand.json" in
+      write_history baseline [ sample ~seconds:1.0 () ];
+      write_history candidate [ sample ~seconds:1.05 () ];
+      check_int "within threshold: 0" 0
+        (Cli.compare ~threshold:10. ~baseline ~candidate ());
+      write_history candidate [ sample ~seconds:2.0 () ];
+      check_int "injected 2x regression: 1" 1
+        (Cli.compare ~threshold:10. ~baseline ~candidate ());
+      write_history candidate [ sample ~seconds:1.0 ~correct:false () ];
+      check_int "lost correctness: 1" 1
+        (Cli.compare ~threshold:10. ~baseline ~candidate ());
+      write_history candidate [ sample ~workload:"other" () ];
+      check_int "disappeared workload, default: 0" 0
+        (Cli.compare ~threshold:10. ~baseline ~candidate ());
+      check_int "disappeared workload, strict: 1" 1
+        (Cli.compare ~strict:true ~threshold:10. ~baseline ~candidate ());
+      check_int "missing baseline passes vacuously: 0" 0
+        (Cli.compare ~threshold:10.
+           ~baseline:(Filename.concat dir "nope.json")
+           ~candidate ());
+      check_int "missing candidate is an error: 2" 2
+        (Cli.compare ~threshold:10. ~baseline
+           ~candidate:(Filename.concat dir "nope.json")
+           ());
+      let oc = open_out candidate in
+      output_string oc "not json";
+      close_out oc;
+      check_int "corrupt candidate is an error: 2" 2
+        (Cli.compare ~threshold:10. ~baseline ~candidate ()))
+
+let cli_history_and_ingest () =
+  with_tmp (fun dir ->
+      let history_path = Filename.concat dir "hist.json" in
+      check_int "history of a missing file: 0" 0 (Cli.history ~path:history_path ());
+      let legacy = Filename.concat dir "legacy.json" in
+      let oc = open_out legacy in
+      output_string oc csr_fixture;
+      close_out oc;
+      check_int "ingest: 0" 0 (Cli.ingest ~history_path [ legacy ]);
+      check_int "ingested six records" 6
+        (List.length (get_ok "load" (History.load ~path:history_path)));
+      check_int "history prints: 0" 0 (Cli.history ~path:history_path ());
+      check_int "ingest of a missing file: 2" 2
+        (Cli.ingest ~history_path [ Filename.concat dir "nope.json" ]);
+      let oc = open_out legacy in
+      output_string oc "not json";
+      close_out oc;
+      check_int "ingest of a corrupt file: 2" 2 (Cli.ingest ~history_path [ legacy ]);
+      check_int "failed ingests appended nothing" 6
+        (List.length (get_ok "load" (History.load ~path:history_path))))
+
+(* ---------------- Sink ---------------- *)
+
+let sink_record_run () =
+  with_tmp (fun dir ->
+      let legacy_path = Filename.concat dir "snapshot.json" in
+      let history_path = Filename.concat dir "hist.json" in
+      let prov =
+        { Bench.Sink.rev = "deadbee"; host = "ci-box"; timestamp = 1754600000. }
+      in
+      let records =
+        get_ok "record_run"
+          (Bench.Sink.record_run ~history_path ~provenance:prov ~legacy_path
+             spmm_fixture)
+      in
+      check_int "eight records from the spmm shape" 8 (List.length records);
+      check_true "records are provenance-stamped"
+        (List.for_all
+           (fun (r : Record.t) ->
+             r.Record.rev = "deadbee" && r.Record.host = "ci-box"
+             && r.Record.timestamp > 0.)
+           records);
+      check_true "legacy snapshot written byte-for-byte"
+        (Store.Io.read_file legacy_path = Some spmm_fixture);
+      check_true "history holds the same records"
+        (get_ok "load" (History.load ~path:history_path) = records);
+      (* A malformed snapshot writes nothing at all. *)
+      let bad_path = Filename.concat dir "bad.json" in
+      ignore
+        (get_error "malformed snapshot rejected"
+           (Bench.Sink.record_run ~history_path ~provenance:prov
+              ~legacy_path:bad_path "{\"bench\": \"mystery\"}"));
+      check_false "no torn legacy file" (Sys.file_exists bad_path);
+      check_int "history unchanged" 8
+        (List.length (get_ok "load" (History.load ~path:history_path))))
+
+let suites =
+  [
+    ( "bench.json",
+      [
+        test "parse basics" json_parse_basics;
+        test "parse rejects malformed input" json_parse_rejects;
+        test "print/parse round-trip" json_print_round_trip;
+      ] );
+    ( "bench.record",
+      [
+        qcheck record_json_round_trip;
+        test "validation rejects NaN/inf/empty/bad-jobs" record_validation;
+        test "key discriminates quick/jobs/arm, not timings"
+          record_key_discriminates;
+      ] );
+    ( "bench.history",
+      [
+        test "encode/decode round-trip" history_round_trip;
+        test "newer schema version refused" history_schema_bump_detected;
+        test "append accumulates atomically" history_append_accumulates;
+        test "encode validates records" history_encode_validates;
+      ] );
+    ( "bench.migrate",
+      [
+        test "csr fixture, byte-for-byte" migrate_csr_fixture;
+        test "spmm fixture, byte-for-byte" migrate_spmm_fixture;
+        test "store fixture, byte-for-byte" migrate_store_fixture;
+        test "unknown shapes rejected" migrate_rejects_unknown;
+        test "checked-in snapshots migrate" migrate_checked_in_snapshots;
+      ] );
+    ( "bench.gate",
+      [
+        test "threshold boundary: exactly-at passes, just-over fails"
+          gate_threshold_boundary;
+        test "missing baseline and new/disappeared workloads"
+          gate_missing_and_new_workloads;
+        test "lost correctness fails even when faster" gate_incorrect_fails;
+        test "latest record per key wins" gate_uses_latest_per_key;
+      ] );
+    ( "bench.cli",
+      [
+        test "compare exit codes" cli_compare_exit_codes;
+        test "history and ingest exit codes" cli_history_and_ingest;
+      ] );
+    ("bench.sink", [ test "record_run writes snapshot + trajectory" sink_record_run ]);
+  ]

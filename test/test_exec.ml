@@ -22,11 +22,25 @@ let ring_game n =
   in
   Games.Graphical.to_game desc
 
-(* Run [f] once per pool size in {1, 2, 4} and return the conjunction. *)
-let for_all_pool_sizes f =
+(* Run [f] under a given serial cutover, restoring the process-global
+   default afterwards even if [f] raises. *)
+let with_cutover limit f =
+  let saved = Exec.Pool.serial_cutover () in
+  Exec.Pool.set_serial_cutover limit;
+  Fun.protect ~finally:(fun () -> Exec.Pool.set_serial_cutover saved) f
+
+(* Run [f] once per pool size in {1, 2, 4} and return the conjunction,
+   leaving the serial cutover alone. *)
+let for_each_pool_size f =
   List.for_all
     (fun domains -> Exec.Pool.with_pool ~domains (fun pool -> f pool))
     [ 1; 2; 4 ]
+
+(* Same, with the serial cutover forced to 0 (always dispatch): the
+   equivalence fixtures are tiny, and under the default cutover every
+   pooled kernel would fall back to its serial loop, making these
+   tests vacuously true. *)
+let for_all_pool_sizes f = with_cutover 0 (fun () -> for_each_pool_size f)
 
 let chain_rows_equal a b =
   Markov.Chain.size a = Markov.Chain.size b
@@ -287,6 +301,145 @@ let equiv_basin_tv_curve =
             ~steps:20
           = serial))
 
+(* ----- the serial cutover ----- *)
+
+let cutover_set_get () =
+  check_int "default cutover" 65_536 Exec.Pool.default_serial_cutover;
+  check_int "process default in effect" Exec.Pool.default_serial_cutover
+    (Exec.Pool.serial_cutover ());
+  with_cutover 123 (fun () ->
+      check_int "round-trips" 123 (Exec.Pool.serial_cutover ()));
+  check_int "restored" Exec.Pool.default_serial_cutover
+    (Exec.Pool.serial_cutover ());
+  check_raises_invalid "negative cutover rejected" (fun () ->
+      Exec.Pool.set_serial_cutover (-1))
+
+let cutover_parallelize_boundary () =
+  with_cutover 100 (fun () ->
+      Exec.Pool.with_pool ~domains:2 (fun pool ->
+          (* parallelize <=> n * cost >= cutover, overflow-free. *)
+          check_false "work 99 stays serial"
+            (Exec.Pool.parallelize pool ~cost:33 ~n:3);
+          check_true "work 100 dispatches"
+            (Exec.Pool.parallelize pool ~cost:25 ~n:4);
+          check_false "unit cost, n = 99" (Exec.Pool.parallelize pool ~cost:1 ~n:99);
+          check_true "unit cost, n = 100" (Exec.Pool.parallelize pool ~cost:1 ~n:100);
+          check_false "n = 0 never dispatches"
+            (Exec.Pool.parallelize pool ~cost:1000 ~n:0);
+          check_false "cost 0 never dispatches"
+            (Exec.Pool.parallelize pool ~cost:0 ~n:1000);
+          check_raises_invalid "negative cost rejected" (fun () ->
+              ignore (Exec.Pool.parallelize pool ~cost:(-1) ~n:10)));
+      Exec.Pool.with_pool ~domains:1 (fun pool ->
+          check_false "size-1 pool never dispatches"
+            (Exec.Pool.parallelize pool ~cost:1000 ~n:1000)));
+  with_cutover 0 (fun () ->
+      Exec.Pool.with_pool ~domains:2 (fun pool ->
+          check_true "cutover 0 disables the guard"
+            (Exec.Pool.parallelize pool ~cost:1 ~n:1)));
+  with_cutover max_int (fun () ->
+      Exec.Pool.with_pool ~domains:2 (fun pool ->
+          (* The n * cost comparison must not overflow into
+             always-parallel when the limit is huge. *)
+          check_false "huge cutover, large work, no overflow"
+            (Exec.Pool.parallelize pool ~cost:1_000_000 ~n:1_000_000)))
+
+let dispatch_counter_counts () =
+  with_cutover 0 (fun () ->
+      Exec.Pool.with_pool ~domains:2 (fun pool ->
+          check_int "fresh pool has no dispatches" 0 (Exec.Pool.dispatches pool);
+          let chain, pi = mk_chain 3 in
+          let dst = Array.make (Markov.Chain.size chain) 0. in
+          Markov.Chain.evolve_into ~pool chain ~src:pi ~dst;
+          check_true "pooled evolve above cutover dispatches"
+            (Exec.Pool.dispatches pool > 0)))
+
+(* Every [?pool] kernel, run with work far below the cutover: the
+   result must be bit-identical to the plain serial call AND the pool
+   must never be dispatched to (the counter stays put) — the serial
+   fallback is the whole point of the cutover fix, so a kernel that
+   quietly pays dispatch overhead here is a regression. *)
+let below_cutover_kernels_serial_and_silent () =
+  let chain, pi = mk_chain 42 in
+  let n = Markov.Chain.size chain in
+  let rng = Prob.Rng.create 7 in
+  let src = random_sparse_vector rng n in
+  let f = Array.init n (fun i -> float_of_int (i mod 5) -. 2.) in
+  let k = 3 in
+  let rows =
+    Array.init k (fun i -> if i = 0 then Array.copy pi else random_sparse_vector rng n)
+  in
+  let src_panel = panel_of_rows rows in
+  let starts = List.init n Fun.id in
+  let game = ring_game 4 in
+  let basin i = i < n / 2 in
+  (* Serial references, no pool anywhere. *)
+  let evolve_serial = Array.make n 0. in
+  Markov.Chain.evolve_into chain ~src ~dst:evolve_serial;
+  let apply_serial = Markov.Chain.apply chain f in
+  let spmm_serial = panel_create (k * n) in
+  Markov.Chain.evolve_many_into chain ~k ~src:src_panel ~dst:spmm_serial;
+  let curve_serial = Markov.Mixing.tv_curve chain pi ~starts ~steps:15 in
+  let tmix_serial = Markov.Mixing.mixing_time_all chain pi in
+  let emp_serial =
+    Markov.Mixing.empirical_tv (Prob.Rng.create 11) chain pi ~start:0 ~steps:20
+      ~replicas:100
+  in
+  let power_serial = Markov.Stationary.by_power chain in
+  let basin_serial =
+    Logit.Metastability.basin_tv_curve chain pi ~basin ~start:0 ~steps:10
+  in
+  let cftp_serial =
+    Logit.Perfect_sampling.samples (Prob.Rng.create 5) game ~beta:1.0 ~count:6
+  in
+  let chain_serial = Logit.Logit_dynamics.chain game ~beta:1.0 in
+  let panel_eq a b =
+    let ok = ref true in
+    for i = 0 to k - 1 do
+      if panel_row a ~n i <> panel_row b ~n i then ok := false
+    done;
+    !ok
+  in
+  with_cutover max_int (fun () ->
+      check_true "all kernels serial and silent below cutover"
+        (for_each_pool_size (fun pool ->
+             let before = Exec.Pool.dispatches pool in
+             let dst = Array.make n 0. in
+             Markov.Chain.evolve_into ~pool chain ~src ~dst;
+             let ok = ref (dst = evolve_serial) in
+             ok := !ok && Markov.Chain.apply ~pool chain f = apply_serial;
+             let spmm = panel_create (k * n) in
+             Markov.Chain.evolve_many_into ~pool chain ~k ~src:src_panel
+               ~dst:spmm;
+             ok := !ok && panel_eq spmm spmm_serial;
+             ok :=
+               !ok
+               && Markov.Mixing.tv_curve ~pool chain pi ~starts ~steps:15
+                  = curve_serial;
+             ok :=
+               !ok && Markov.Mixing.mixing_time_all ~pool chain pi = tmix_serial;
+             ok :=
+               !ok
+               && Markov.Mixing.empirical_tv ~pool (Prob.Rng.create 11) chain pi
+                    ~start:0 ~steps:20 ~replicas:100
+                  = emp_serial;
+             ok := !ok && Markov.Stationary.by_power ~pool chain = power_serial;
+             ok :=
+               !ok
+               && Logit.Metastability.basin_tv_curve ~pool chain pi ~basin
+                    ~start:0 ~steps:10
+                  = basin_serial;
+             ok :=
+               !ok
+               && Logit.Perfect_sampling.samples ~pool (Prob.Rng.create 5) game
+                    ~beta:1.0 ~count:6
+                  = cftp_serial;
+             ok :=
+               !ok
+               && chain_rows_equal chain_serial
+                    (Logit.Logit_dynamics.chain ~pool game ~beta:1.0);
+             !ok && Exec.Pool.dispatches pool = before)))
+
 (* ----- Parallel_logit.transition_row properties ----- *)
 
 let parallel_row_factorises =
@@ -391,6 +544,14 @@ let suites =
         qcheck equiv_by_power;
         qcheck equiv_apply;
         qcheck equiv_basin_tv_curve;
+      ] );
+    ( "exec.cutover",
+      [
+        test "set/get and validation" cutover_set_get;
+        test "parallelize boundary semantics" cutover_parallelize_boundary;
+        test "dispatch counter counts pooled runs" dispatch_counter_counts;
+        test "below cutover: bit-identical and zero dispatches"
+          below_cutover_kernels_serial_and_silent;
       ] );
     ("exec.parallel_logit", [ qcheck parallel_row_factorises ]);
     ( "exec.rng",

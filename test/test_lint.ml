@@ -226,6 +226,41 @@ let marshal_suppressed () =
       | [ ("marshal-outside-store", 1, true) ] -> ()
       | _ -> Alcotest.fail "expected one suppressed marshal finding")
 
+(* ---------------- bench-json-outside-bench ---------------- *)
+
+let bench_json_positive () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "bench/a.ml"
+          "let p = \"BENCH_csr.json\"\n\
+           let q dir = Filename.concat dir \"BENCH_new.json\"\n"
+      in
+      check_int "both filename literals flagged" 2
+        (List.length
+           (List.filter (( = ) "bench-json-outside-bench") (names fs))))
+
+let bench_json_negative () =
+  with_root (fun root ->
+      check_clean "lib/bench/ itself owns the filenames"
+        (lint_one root "lib/bench/sink.ml"
+           "let csr_path = \"BENCH_csr.json\"\n");
+      check_clean "non-bench json and non-json bench strings are clean"
+        (lint_one root "bin/a.ml"
+           "let a = \"history.json\"\n\
+            let b = \"BENCH_notes.txt\"\n\
+            let c = \"see the BENCH files\"\n"))
+
+let bench_json_suppressed () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "bin/a.ml"
+          "let p = \"BENCH_csr.json\" (* lint: allow \
+           bench-json-outside-bench *)\n"
+      in
+      match fs with
+      | [ ("bench-json-outside-bench", 1, true) ] -> ()
+      | _ -> Alcotest.fail "expected one suppressed bench-json finding")
+
 (* ---------------- mli-coverage (tree rule, via run) ---------------- *)
 
 let mli_coverage_positive () =
@@ -341,6 +376,12 @@ let suites =
         test "positive" marshal_positive;
         test "negative" marshal_negative;
         test "suppressed" marshal_suppressed;
+      ] );
+    ( "lint.bench-json-outside-bench",
+      [
+        test "positive" bench_json_positive;
+        test "negative" bench_json_negative;
+        test "suppressed" bench_json_suppressed;
       ] );
     ( "lint.mli-coverage",
       [

@@ -302,6 +302,40 @@ let marshal_outside_store =
               | _ -> ()));
   }
 
+(* ------------------------------------------------------------------ *)
+(* bench-json-outside-bench: the bench trajectory subsystem (lib/bench)
+   owns the BENCH snapshot/trajectory filenames. A module elsewhere
+   spelling one as a literal is about to write a bench artifact without
+   going through Bench.Sink — bypassing migration into the trajectory,
+   provenance stamping and the atomic-write discipline. *)
+
+let is_bench_json_literal s =
+  let base = Filename.basename s in
+  has_prefix ~prefix:"BENCH_" base && Filename.check_suffix base ".json"
+
+let bench_json_outside_bench =
+  {
+    Lint.name = "bench-json-outside-bench";
+    doc =
+      "a BENCH_<name>.json filename literal outside lib/bench/: bench \
+       artifacts are written through Bench.Sink (which owns the paths) so \
+       every snapshot also lands in the BENCH_HISTORY.json trajectory.";
+    applies = (fun path -> not (has_prefix ~prefix:"lib/bench/" path));
+    check =
+      Lint.Ast_rule
+        (fun ~report ast ->
+          ast_iter ast ~on_expr:(fun e ->
+              match e.pexp_desc with
+              | Pexp_constant (Pconst_string (s, loc, _))
+                when is_bench_json_literal s ->
+                  report loc
+                    (Printf.sprintf
+                       "literal %S names a bench artifact outside lib/bench/; \
+                        route it through Bench.Sink / Bench.History"
+                       s)
+              | _ -> ()));
+  }
+
 let all =
   [
     float_equality;
@@ -310,4 +344,5 @@ let all =
     print_in_lib;
     mli_coverage;
     marshal_outside_store;
+    bench_json_outside_bench;
   ]

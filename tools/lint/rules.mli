@@ -7,6 +7,7 @@ val bare_random : Lint.rule
 val print_in_lib : Lint.rule
 val mli_coverage : Lint.rule
 val marshal_outside_store : Lint.rule
+val bench_json_outside_bench : Lint.rule
 
 (** Every rule, in reporting order. *)
 val all : Lint.rule list
