@@ -41,9 +41,17 @@
    outputs (same t_mix, same TV curve, evolve checked on random
    vectors); timings land in BENCH_spmm.json.
 
+   Phase 1.9 is the daemon load bench: a logitdynd server is spun up
+   on a private socket and (a) 8 clients race one same-chain mixing
+   request each — answered serially vs through the server's coalesced
+   panel sweep, gated on bit-identical replies — and (b) an open-loop
+   sender offers requests at a fixed rate regardless of completions
+   and the p50/p99 response latencies and achieved throughput land in
+   BENCH_serve.json.
+
    Pass --quick to shrink the experiment sweeps; pass --skip-micro to
-   print only the tables; pass --csr-only, --store-only or --spmm-only
-   to run just that ablation. *)
+   print only the tables; pass --csr-only, --store-only, --spmm-only
+   or --serve-only to run just that ablation. *)
 
 open Bechamel
 open Toolkit
@@ -53,6 +61,7 @@ let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 let csr_only = Array.exists (( = ) "--csr-only") Sys.argv
 let store_only = Array.exists (( = ) "--store-only") Sys.argv
 let spmm_only = Array.exists (( = ) "--spmm-only") Sys.argv
+let serve_only = Array.exists (( = ) "--serve-only") Sys.argv
 
 (* Every ablation snapshot leaves through the bench sink, which owns
    the BENCH filenames: it writes the legacy snapshot atomically and
@@ -179,10 +188,13 @@ let tests =
 
 (* --- Phase 1.5: serial vs parallel ablation --------------------------- *)
 
+(* All durations are measured on the monotonic clock: the wall clock
+   can step under NTP, and a backwards step would corrupt the
+   min-of-reps estimates below by recording a negative or tiny rep. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Common.Clock.monotonic_ns () in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, Common.Clock.span_s ~since:t0)
 
 (* Tiny kernels (full-size by_power is ~5 ms) are noise at single-shot
    granularity: preemption, GC slices and frequency drift all add time,
@@ -197,9 +209,9 @@ let time_pair ~reps f g =
   let tf = ref infinity in
   let tg = ref infinity in
   let timed cell h =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Common.Clock.monotonic_ns () in
     ignore (h ());
-    cell := Float.min !cell (Unix.gettimeofday () -. t0)
+    cell := Float.min !cell (Common.Clock.span_s ~since:t0)
   in
   for rep = 1 to reps do
     if rep land 1 = 0 then (timed tf f; timed tg g)
@@ -961,6 +973,211 @@ let run_store_ablation () =
   record_snapshot ~label:"store ablation" ~legacy_path:json_path json;
   ignore (Store.Cas.clear cas)
 
+(* --- Phase 1.9: daemon load bench ------------------------------------ *)
+
+let run_serve_ablation () =
+  let module SP = Serve.Protocol in
+  let n_ring = if quick then 8 else 10 in
+  let beta = 1.0 in
+  let clients = 8 in
+  (* Distinct eps per client: the eight requests coalesce into ONE
+     panel sweep but settle at different steps, so the bit-identity
+     gate compares genuinely different answers, not 8 copies of one. *)
+  let epss = [ 0.3; 0.25; 0.2; 0.15; 0.12; 0.1; 0.08; 0.05 ] in
+  assert (List.length epss = clients);
+  let mixing_q ~n eps =
+    SP.Mixing { game = "ring"; n; beta; eps; replicas = 0; seed = 1 }
+  in
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "logitdyn-bench-%d.sock" (Unix.getpid ()))
+  in
+  (* spectral_cutoff 0 forces the panel route on both arms: this phase
+     times the coalescing scheduler, not the eigensolver. *)
+  let server_engine = Serve.Engine.create ~spectral_cutoff:0 () in
+  let server = Serve.Server.create ~engine:server_engine ~socket_path () in
+  let server_domain =
+    Domain.spawn (fun () -> Serve.Server.serve_forever server)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Domain.join server_domain)
+  @@ fun () ->
+  let serial_engine = Serve.Engine.create ~spectral_cutoff:0 () in
+  let size =
+    match Serve.Engine.entry serial_engine ~game:"ring" ~n:n_ring ~beta with
+    | Ok e -> Games.Game.size e.Serve.Engine.game
+    | Error msg -> failwith msg
+  in
+  (* Warm the daemon's chain untimed so both arms time sweeps only. *)
+  (match Serve.Client.query ~socket_path (mixing_q ~n:n_ring 0.45) with
+  | Ok (Ok _) -> ()
+  | Ok (Error _) | Error _ -> failwith "daemon warm-up query failed");
+  let serial_replies, serial_s =
+    time (fun () ->
+        List.map
+          (fun eps -> Serve.Engine.eval serial_engine (mixing_q ~n:n_ring eps))
+          epss)
+  in
+  let conns =
+    List.map
+      (fun _ ->
+        match Serve.Client.connect ~socket_path with
+        | Ok c -> c
+        | Error msg -> failwith msg)
+      epss
+  in
+  let daemon_replies, coalesced_s =
+    time (fun () ->
+        List.iter2
+          (fun c eps ->
+            match
+              Serve.Client.send c
+                { SP.id = 1; deadline_ms = None; query = mixing_q ~n:n_ring eps }
+            with
+            | Ok () -> ()
+            | Error msg -> failwith msg)
+          conns epss;
+        List.map
+          (fun c ->
+            match Serve.Client.recv c with
+            | Ok resp -> resp.SP.result
+            | Error msg -> failwith msg)
+          conns)
+  in
+  List.iter Serve.Client.close conns;
+  let bit_identical = daemon_replies = serial_replies in
+  let stats () =
+    match Serve.Client.query ~socket_path SP.Stats with
+    | Ok (Ok (SP.Stats_r s)) -> s
+    | Ok _ | Error _ -> failwith "daemon stats query failed"
+  in
+  let co_stats = stats () in
+  (* Open loop: offer requests at a fixed rate from a pacing domain,
+     regardless of completions, and time each response on the main
+     domain — queueing delay under load is part of the latency. *)
+  let requests = if quick then 120 else 300 in
+  let offered_rps = 200. in
+  let open_q = mixing_q ~n:6 0.25 in
+  (match Serve.Client.query ~socket_path open_q with
+  | Ok (Ok _) -> ()
+  | Ok (Error _) | Error _ -> failwith "open-loop warm-up query failed");
+  let c =
+    match Serve.Client.connect ~socket_path with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  let send_ns = Array.make (requests + 1) 0L in
+  let recv_ns = Array.make (requests + 1) 0L in
+  let failures = ref 0 in
+  let sender =
+    Domain.spawn (fun () ->
+        let interval_ns = Int64.of_float (1e9 /. offered_rps) in
+        let start = Common.Clock.monotonic_ns () in
+        for i = 1 to requests do
+          let due =
+            Int64.add start (Int64.mul interval_ns (Int64.of_int (i - 1)))
+          in
+          let rec wait () =
+            let remain =
+              Int64.to_float (Int64.sub due (Common.Clock.monotonic_ns ()))
+              /. 1e9
+            in
+            if remain > 0. then begin
+              if remain > 0.001 then Unix.sleepf (remain -. 0.0005);
+              wait ()
+            end
+          in
+          wait ();
+          send_ns.(i) <- Common.Clock.monotonic_ns ();
+          match
+            Serve.Client.send c { SP.id = i; deadline_ms = None; query = open_q }
+          with
+          | Ok () -> ()
+          | Error msg -> failwith msg
+        done)
+  in
+  for _ = 1 to requests do
+    match Serve.Client.recv c with
+    | Ok resp ->
+        recv_ns.(resp.SP.req_id) <- Common.Clock.monotonic_ns ();
+        (match resp.SP.result with Ok _ -> () | Error _ -> incr failures)
+    | Error msg -> failwith msg
+  done;
+  Domain.join sender;
+  Serve.Client.close c;
+  let lat_ms =
+    Array.init requests (fun k ->
+        Int64.to_float (Int64.sub recv_ns.(k + 1) send_ns.(k + 1)) /. 1e6)
+  in
+  Array.sort compare lat_ms;
+  let percentile q =
+    lat_ms.(Int.min (requests - 1)
+              (int_of_float (Float.round (q *. float_of_int (requests - 1)))))
+  in
+  let p50 = percentile 0.50 and p99 = percentile 0.99 in
+  let last_recv = Array.fold_left Int64.max 0L recv_ns in
+  let elapsed_s = Int64.to_float (Int64.sub last_recv send_ns.(1)) /. 1e9 in
+  let achieved_rps = float_of_int requests /. elapsed_s in
+  let table =
+    Experiments.Table.create
+      ~title:
+        (Printf.sprintf
+           "daemon ablation: coalesced panel scheduler (ring n=%d, |S|=%d, \
+            beta=%g)"
+           n_ring size beta)
+      [
+        ("workload", Experiments.Table.Left);
+        ("serial s", Experiments.Table.Right);
+        ("daemon s", Experiments.Table.Right);
+        ("speedup", Experiments.Table.Right);
+        ("agree", Experiments.Table.Right);
+      ]
+  in
+  Experiments.Table.add_row table
+    [
+      Printf.sprintf "mixing x%d (distinct eps)" clients;
+      Printf.sprintf "%.3f" serial_s;
+      Printf.sprintf "%.3f" coalesced_s;
+      Printf.sprintf "%.1fx" (serial_s /. coalesced_s);
+      Experiments.Table.cell_bool bit_identical;
+    ];
+  Experiments.Table.add_row table
+    [
+      Printf.sprintf "open loop (%d req @ %.0f rps)" requests offered_rps;
+      "-";
+      Printf.sprintf "p50 %.2fms p99 %.2fms" p50 p99;
+      Printf.sprintf "%.0f rps" achieved_rps;
+      Experiments.Table.cell_bool (!failures = 0);
+    ];
+  Experiments.Table.add_note table
+    (Printf.sprintf
+       "coalescing: %d batch(es), widest %d, %d panel step(s). agree = \
+        daemon replies bit-identical to serial engine evals."
+       co_stats.SP.batches co_stats.SP.max_batch co_stats.SP.panel_steps);
+  Experiments.Table.print table;
+  let json_path = Filename.concat (Sys.getcwd ()) Bench.Sink.serve_path in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "serve_ablation",
+  "quick": %b,
+  "game": { "kind": "ring_coordination", "n": %d, "states": %d, "beta": %g },
+  "coalescing": { "clients": %d, "serial_s": %.6f, "coalesced_s": %.6f,
+    "speedup": %.3f, "batches": %d, "max_batch": %d, "panel_steps": %d,
+    "bit_identical": %b },
+  "open_loop": { "requests": %d, "offered_rps": %.1f, "achieved_rps": %.1f,
+    "p50_ms": %.3f, "p99_ms": %.3f, "errors": %d }
+}
+|}
+      quick n_ring size beta clients serial_s coalesced_s
+      (serial_s /. coalesced_s)
+      co_stats.SP.batches co_stats.SP.max_batch co_stats.SP.panel_steps
+      bit_identical requests offered_rps achieved_rps p50 p99 !failures
+  in
+  record_snapshot ~label:"daemon ablation" ~legacy_path:json_path json
+
 let run_micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -1014,12 +1231,16 @@ let () =
     Printf.printf "phase 1.8: SpMM kernel ablation (push vs pull vs SpMM)\n%!";
     run_spmm_ablation ()
   end
+  else if serve_only then begin
+    Printf.printf "phase 1.9: daemon load bench (coalescing + open loop)\n%!";
+    run_serve_ablation ()
+  end
   else begin
     Printf.printf
       "phase 1: regenerating every experiment table (E1..E9, X1..X10)\n";
-    let t0 = Unix.gettimeofday () in
+    let t0 = Common.Clock.monotonic_ns () in
     Experiments.Registry.run_all ~quick ();
-    Printf.printf "\nphase 1 elapsed: %.1fs\n" (Unix.gettimeofday () -. t0);
+    Printf.printf "\nphase 1 elapsed: %.1fs\n" (Common.Clock.span_s ~since:t0);
     Printf.printf "\nphase 1.5: serial vs parallel ablation (%d domains)\n%!" jobs;
     run_ablation ();
     Printf.printf
@@ -1029,6 +1250,8 @@ let () =
     run_store_ablation ();
     Printf.printf "\nphase 1.8: SpMM kernel ablation (push vs pull vs SpMM)\n%!";
     run_spmm_ablation ();
+    Printf.printf "\nphase 1.9: daemon load bench (coalescing + open loop)\n%!";
+    run_serve_ablation ();
     if not skip_micro then begin
       Printf.printf "\nphase 2: micro-benchmarks\n%!";
       run_micro ()

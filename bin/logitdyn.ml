@@ -20,72 +20,10 @@
    store (~/.cache/logitdyn, or --store DIR); --no-cache opts out. *)
 
 open Cmdliner
-
-type game_spec = {
-  id : string;
-  doc : string;
-  build : n:int -> beta:float -> Games.Game.t * (int -> float) option;
-}
-
-let coordination_basic delta0 delta1 = Games.Coordination.of_deltas ~delta0 ~delta1
-
-let graphical graph_of_n ~n ~beta:_ =
-  let desc = Games.Graphical.create (graph_of_n n) (coordination_basic 1.0 1.0) in
-  (Games.Graphical.to_game desc, Some (Games.Graphical.potential desc))
-
-let with_potential game =
-  (game, (Games.Potential.recover game :> (int -> float) option))
-
-let game_specs =
-  [
-    {
-      id = "ring";
-      doc = "graphical coordination on a ring (delta0 = delta1 = 1)";
-      build = graphical Graphs.Generators.ring;
-    };
-    {
-      id = "clique";
-      doc = "graphical coordination on a clique (delta0 = delta1 = 1)";
-      build = graphical Graphs.Generators.clique;
-    };
-    {
-      id = "path";
-      doc = "graphical coordination on a path (delta0 = delta1 = 1)";
-      build = graphical Graphs.Generators.path;
-    };
-    {
-      id = "curve";
-      doc = "the Theorem 3.5 lower-bound potential family (l=1, g=n/4)";
-      build =
-        (fun ~n ~beta:_ ->
-          let global = Float.max 1. (float_of_int (n / 4)) in
-          let game =
-            Games.Curve_game.create ~players:n ~global ~local:1.0
-          in
-          ( Games.Curve_game.to_game game,
-            Some (Games.Curve_game.potential game) ));
-    };
-    {
-      id = "dominant";
-      doc = "the Theorem 4.3 dominant-strategy game (m = 2)";
-      build =
-        (fun ~n ~beta:_ ->
-          with_potential (Games.Dominant.lower_bound_game ~players:n ~strategies:2));
-    };
-    {
-      id = "pd";
-      doc = "prisoner's dilemma (2 players; n ignored)";
-      build = (fun ~n:_ ~beta:_ -> with_potential (Games.Dominant.prisoners_dilemma ()));
-    };
-    {
-      id = "matching-pennies";
-      doc = "matching pennies (2 players; n ignored; not a potential game)";
-      build = (fun ~n:_ ~beta:_ -> (Games.Zoo.matching_pennies, None));
-    };
-  ]
+module P = Serve.Protocol
 
 let find_game id =
-  match List.find_opt (fun g -> g.id = id) game_specs with
+  match Serve.Catalog.find id with
   | Some g -> g
   | None ->
       Printf.eprintf "unknown game %S; try `logitdyn list`\n" id;
@@ -99,10 +37,24 @@ let with_jobs jobs f =
 
 (* --- the artifact store ------------------------------------------------ *)
 
-let open_store ~store_dir ~no_cache =
-  if no_cache then None
+(* Every occurrence of --store / --no-cache is collected and resolved
+   here: duplicates or the conflicting pair are hard usage errors
+   (exit 2), not silent last-one-wins. *)
+let resolve_store_or_exit ~stores ~no_cache_flags =
+  match
+    Serve.Cli_flags.resolve_store ~stores
+      ~no_cache_count:(List.length no_cache_flags)
+  with
+  | Ok choice -> choice
+  | Error msg ->
+      Printf.eprintf "logitdyn: %s\n" msg;
+      exit 2
+
+let open_store ~stores ~no_cache_flags =
+  let choice = resolve_store_or_exit ~stores ~no_cache_flags in
+  if choice.Serve.Cli_flags.no_cache then None
   else
-    match Store.Cas.open_ ?dir:store_dir () with
+    match Store.Cas.open_ ?dir:choice.Serve.Cli_flags.dir () with
     | cas -> Some cas
     | exception Sys_error msg ->
         Printf.eprintf "warning: artifact store unavailable (%s); running uncached\n"
@@ -116,54 +68,29 @@ let report_store = function
       Printf.printf "store: %d hit(s), %d miss(es), %d write(s) in %s\n"
         s.Store.Cas.hits s.Store.Cas.misses s.Store.Cas.writes (Store.Cas.dir cas)
 
-(* Chain builds are keyed by the full recipe: game id, n, state count,
-   exact beta, dynamics variant, CSR layout + codec versions. *)
-let build_chain ?pool ~store spec game ~n ~beta =
-  let key =
-    Markov.Chain_codec.recipe ~game:spec.id ~size:(Games.Game.size game) ~beta
-      ~variant:"sequential-logit"
-      ~extra:[ ("n", string_of_int n) ]
-      ()
-  in
-  Markov.Chain_codec.cached ?store key (fun () ->
-      Logit.Logit_dynamics.chain ?pool game ~beta)
+(* [entry_or_exit engine ~game ~n ~beta] is the engine's cached chain
+   entry, exiting 2 with the engine's message (unknown game, oversized
+   state space) on failure — the CLI's historical behaviour. *)
+let entry_or_exit engine ~game ~n ~beta =
+  match Serve.Engine.entry engine ~game ~n ~beta with
+  | Ok e -> e
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
 
-let stationary_key spec ~n ~size ~beta =
-  Store.Key.v ~kind:"dist"
-    [
-      ("game", spec.id);
-      ("n", string_of_int n);
-      ("size", string_of_int size);
-      ("beta", Store.Key.float_field beta);
-      ("role", "stationary");
-      ("codec", string_of_int Store.Codec.version);
-    ]
-
-let stationary_of ?store spec game potential ~n ~beta =
-  let compute () =
-    match potential with
-    | Some phi -> Logit.Gibbs.stationary (Games.Game.space game) phi ~beta
-    | None ->
-        let chain = Logit.Logit_dynamics.chain game ~beta in
-        Markov.Stationary.by_solve chain
-  in
-  match store with
-  | None -> compute ()
-  | Some cas -> (
-      let size = Games.Game.size game in
-      let key = stationary_key spec ~n ~size ~beta in
-      match Store.Cas.get_decoded cas key ~decode:Store.Codec.decode_dist with
-      | Some pi when Array.length pi = size -> pi
-      | _ ->
-          let pi = compute () in
-          Store.Cas.put cas key (Store.Codec.encode_dist pi);
-          pi)
+let print_query_error err =
+  (match err with
+  | P.Overloaded -> Printf.eprintf "server overloaded\n"
+  | P.Deadline_exceeded -> Printf.eprintf "deadline exceeded\n"
+  | P.Bad_request msg -> Printf.eprintf "%s\n" msg
+  | P.Server_error msg -> Printf.eprintf "error: %s\n" msg);
+  exit 2
 
 (* --- simulate --------------------------------------------------------- *)
 
 let simulate game_id n beta steps seed =
   let spec = find_game game_id in
-  let game, potential = spec.build ~n ~beta in
+  let game, potential = spec.Serve.Catalog.build ~n ~beta in
   let rng = Prob.Rng.create seed in
   let space = Games.Game.space game in
   let traj = Logit.Logit_dynamics.trajectory rng game ~beta ~start:0 ~steps in
@@ -190,67 +117,55 @@ let simulate game_id n beta steps seed =
 
 (* --- mixing ----------------------------------------------------------- *)
 
-let mixing game_id n beta eps jobs replicas seed store_dir no_cache =
-  let spec = find_game game_id in
-  let game, potential = spec.build ~n ~beta in
-  let size = Games.Game.size game in
-  if size > 1 lsl 16 then begin
-    Printf.eprintf "state space too large (%d); reduce n\n" size;
-    exit 2
-  end;
-  let store = open_store ~store_dir ~no_cache in
+(* A thin client of the shared request layer: the same Mixing query
+   the daemon serves, evaluated in-process by the same engine, so the
+   CLI's answers are bit-identical to logitdynd's by construction. *)
+let mixing game_id n beta eps jobs replicas seed stores no_cache_flags =
+  let store = open_store ~stores ~no_cache_flags in
   with_jobs jobs @@ fun pool ->
-  let chain = build_chain ?pool ~store spec game ~n ~beta in
-  let pi = stationary_of ?store spec game potential ~n ~beta in
-  let reversible = Markov.Chain.is_reversible ~tol:1e-7 chain pi in
-  Printf.printf "game=%s n=%d |S|=%d beta=%g reversible=%b\n"
-    (Games.Game.name game) n size beta reversible;
-  let tmix =
-    if reversible && size <= 2048 then
-      Markov.Mixing.mixing_time_spectral ~eps chain pi
-        ~starts:(List.init size Fun.id)
-    else Markov.Mixing.mixing_time_all ?pool ~eps ~max_steps:5_000_000 chain pi
-  in
-  (match tmix with
-  | Some t -> Printf.printf "t_mix(%g) = %d\n" eps t
-  | None -> Printf.printf "t_mix(%g) > max_steps\n" eps);
-  (* Monte Carlo cross-check of the exact answer: simulate [replicas]
-     chains for t_mix steps and compare the empirical law against pi —
-     the sample_step-dominated workload the CSR sampler accelerates. *)
-  if replicas > 0 then begin
-    let steps = Option.value tmix ~default:1000 in
-    let tv =
-      Markov.Mixing.empirical_tv ?pool (Prob.Rng.create seed) chain pi ~start:0
-        ~steps ~replicas
-    in
-    Printf.printf "empirical TV at t=%d from start 0 (%d replicas): %.4f\n"
-      steps replicas tv
-  end;
-  (match potential with
-  | Some phi ->
-      let space = Games.Game.space game in
-      Printf.printf "dPhi = %g, dphi(local) = %g, zeta = %g\n"
-        (Games.Potential.delta_global space phi)
-        (Games.Potential.delta_local space phi)
-        (Logit.Barrier.zeta space phi)
-  | None -> ());
-  report_store store;
-  0
+  let engine = Serve.Engine.create ?pool ?store () in
+  match
+    Serve.Engine.eval engine
+      (P.Mixing { game = game_id; n; beta; eps; replicas; seed })
+  with
+  | Error err -> print_query_error err
+  | Ok (P.Mixing_r m) ->
+      let e = entry_or_exit engine ~game:game_id ~n ~beta in
+      Printf.printf "game=%s n=%d |S|=%d beta=%g reversible=%b\n"
+        (Games.Game.name e.Serve.Engine.game)
+        n m.P.size beta m.P.reversible;
+      (match m.P.tmix with
+      | Some t -> Printf.printf "t_mix(%g) = %d\n" eps t
+      | None -> Printf.printf "t_mix(%g) > max_steps\n" eps);
+      (match m.P.empirical with
+      | Some (steps, tv) ->
+          Printf.printf "empirical TV at t=%d from start 0 (%d replicas): %.4f\n"
+            steps replicas tv
+      | None -> ());
+      (match m.P.barrier with
+      | Some b ->
+          Printf.printf "dPhi = %g, dphi(local) = %g, zeta = %g\n" b.P.d_global
+            b.P.d_local b.P.zeta
+      | None -> ());
+      report_store store;
+      0
+  | Ok _ ->
+      Printf.eprintf "unexpected reply to a mixing query\n";
+      exit 2
 
 (* --- spectrum --------------------------------------------------------- *)
 
-let spectrum game_id n beta count store_dir no_cache =
-  let spec = find_game game_id in
-  let game, potential = spec.build ~n ~beta in
-  let size = Games.Game.size game in
+let spectrum game_id n beta count stores no_cache_flags =
+  let store = open_store ~stores ~no_cache_flags in
+  let engine = Serve.Engine.create ?store () in
+  let e = entry_or_exit engine ~game:game_id ~n ~beta in
+  let size = Games.Game.size e.Serve.Engine.game in
   if size > 2048 then begin
     Printf.eprintf "state space too large (%d) for dense spectra; reduce n\n" size;
     exit 2
   end;
-  let store = open_store ~store_dir ~no_cache in
-  let chain = build_chain ~store spec game ~n ~beta in
-  let pi = stationary_of ?store spec game potential ~n ~beta in
-  if Markov.Chain.is_reversible ~tol:1e-7 chain pi then begin
+  let chain = e.Serve.Engine.chain and pi = e.Serve.Engine.pi in
+  if e.Serve.Engine.reversible then begin
     let values = Markov.Spectral.spectrum chain pi in
     Printf.printf "reversible chain; top eigenvalues:\n";
     Array.iteri
@@ -272,9 +187,9 @@ let spectrum game_id n beta count store_dir no_cache =
 
 (* --- experiment -------------------------------------------------------- *)
 
-let experiment id quick jobs store_dir no_cache =
+let experiment id quick jobs stores no_cache_flags =
   Experiments.Sweep.set_jobs jobs;
-  let store = open_store ~store_dir ~no_cache in
+  let store = open_store ~stores ~no_cache_flags in
   if String.lowercase_ascii id = "all" then begin
     Experiments.Registry.run_all ?store ~quick ();
     report_store store;
@@ -294,7 +209,7 @@ let experiment id quick jobs store_dir no_cache =
 
 let zeta game_id n =
   let spec = find_game game_id in
-  let game, potential = spec.build ~n ~beta:1.0 in
+  let game, potential = spec.Serve.Catalog.build ~n ~beta:1.0 in
   match potential with
   | None ->
       Printf.eprintf "game %S is not a potential game; zeta is undefined\n" game_id;
@@ -344,43 +259,36 @@ let cutwidth_cmd_impl kind n =
 
 (* --- hitting -------------------------------------------------------------- *)
 
-let hitting game_id n beta jobs store_dir no_cache =
-  let spec = find_game game_id in
-  let game, potential = spec.build ~n ~beta in
-  let size = Games.Game.size game in
-  if size > 4096 then begin
-    Printf.eprintf "state space too large (%d) for the dense solve; reduce n\n" size;
-    exit 2
-  end;
-  let store = open_store ~store_dir ~no_cache in
+let hitting game_id n beta jobs stores no_cache_flags =
+  let store = open_store ~stores ~no_cache_flags in
   with_jobs jobs @@ fun pool ->
-  let chain = build_chain ?pool ~store spec game ~n ~beta in
-  match potential with
-  | None ->
-      Printf.eprintf "hitting targets are defined via the potential; %S has none\n"
-        game_id;
-      exit 2
-  | Some phi ->
-      let space = Games.Game.space game in
-      let vmin, argmin, _, _ = Games.Potential.extrema space phi in
-      let target idx = phi idx <= vmin +. 1e-12 in
-      let times = Markov.Hitting.expected_times chain ~target in
-      let worst = Array.fold_left Float.max 0. times in
-      Printf.printf "game=%s n=%d beta=%g\n" (Games.Game.name game) n beta;
-      Printf.printf "potential minimiser: profile %d (Phi = %g)\n" argmin vmin;
-      Printf.printf "worst-case expected hitting time of the minimum: %.4g\n" worst;
-      let pi = stationary_of ?store spec game potential ~n ~beta in
-      (match Markov.Mixing.mixing_time_all ?pool ~max_steps:2_000_000 chain pi with
-      | Some t -> Printf.printf "mixing time (same chain):                  %d\n" t
+  let engine = Serve.Engine.create ?pool ?store () in
+  match Serve.Engine.eval engine (P.Hitting { game = game_id; n; beta }) with
+  | Error err -> print_query_error err
+  | Ok (P.Hitting_r h) ->
+      let e = entry_or_exit engine ~game:game_id ~n ~beta in
+      Printf.printf "game=%s n=%d beta=%g\n"
+        (Games.Game.name e.Serve.Engine.game)
+        n beta;
+      Printf.printf "potential minimiser: profile %d (Phi = %g)\n" h.P.argmin
+        h.P.phi_min;
+      Printf.printf "worst-case expected hitting time of the minimum: %.4g\n"
+        h.P.worst_hitting;
+      (match h.P.hit_tmix with
+      | Some t ->
+          Printf.printf "mixing time (same chain):                  %d\n" t
       | None -> Printf.printf "mixing time (same chain):                  >2e6\n");
       report_store store;
       0
+  | Ok _ ->
+      Printf.eprintf "unexpected reply to a hitting query\n";
+      exit 2
 
 (* --- anneal --------------------------------------------------------------- *)
 
 let anneal game_id n steps seed =
   let spec = find_game game_id in
-  let game, potential = spec.build ~n ~beta:1.0 in
+  let game, potential = spec.Serve.Catalog.build ~n ~beta:1.0 in
   match potential with
   | None ->
       Printf.eprintf "annealing quality is measured on the potential; %S has none\n"
@@ -412,7 +320,7 @@ let anneal game_id n steps seed =
 
 let sample_cmd_impl game_id n beta count seed =
   let spec = find_game game_id in
-  let game, potential = spec.build ~n ~beta in
+  let game, potential = spec.Serve.Catalog.build ~n ~beta in
   let space = Games.Game.space game in
   let binary =
     List.init (Games.Strategy_space.num_players space) (fun i ->
@@ -457,15 +365,17 @@ let human_age seconds =
   else if seconds < 129600. then Printf.sprintf "%.1fh" (seconds /. 3600.)
   else Printf.sprintf "%.1fd" (seconds /. 86400.)
 
-let store_cmd_impl action store_dir max_age_days =
-  match Store.Cas.open_ ?dir:store_dir () with
+let store_cmd_impl action stores max_age_days =
+  let choice = resolve_store_or_exit ~stores ~no_cache_flags:[] in
+  match Store.Cas.open_ ?dir:choice.Serve.Cli_flags.dir () with
   | exception Sys_error msg ->
       Printf.eprintf "cannot open artifact store: %s\n" msg;
       exit 2
   | cas -> (
       match action with
       | "ls" ->
-          let now = Unix.gettimeofday () in
+          (* Ages are wall-clock mtime differences, not durations. *)
+          let now = Common.Clock.wall_s () in
           let entries = Store.Cas.verify cas in
           Printf.printf "%-32s  %-17s  %10s  %6s\n" "digest" "kind" "bytes" "age";
           List.iter
@@ -589,7 +499,10 @@ let bench_cmd =
 
 let list_all () =
   Printf.printf "games:\n";
-  List.iter (fun g -> Printf.printf "  %-18s %s\n" g.id g.doc) game_specs;
+  List.iter
+    (fun g ->
+      Printf.printf "  %-18s %s\n" g.Serve.Catalog.id g.Serve.Catalog.doc)
+    Serve.Catalog.all;
   Printf.printf "\nexperiments:\n";
   List.iter
     (fun e ->
@@ -631,20 +544,25 @@ let jobs_arg =
           "Number of domains for the parallel kernels (1 = serial). Results \
            are identical for every value; only the wall-clock changes.")
 
+(* Collected with opt_all/flag_all so duplicates and the conflicting
+   pair surface as hard usage errors (via Serve.Cli_flags) instead of
+   silent last-one-wins. *)
 let store_dir_arg =
   Arg.(
-    value
-    & opt (some string) None
+    value & opt_all string []
     & info [ "store" ] ~docv:"DIR"
         ~doc:
           "Artifact store directory (default: \\$XDG_CACHE_HOME/logitdyn, \
-           falling back to ~/.cache/logitdyn).")
+           falling back to ~/.cache/logitdyn). Conflicts with --no-cache; \
+           repeating it is an error.")
 
 let no_cache_arg =
   Arg.(
-    value & flag
+    value & flag_all
     & info [ "no-cache" ]
-        ~doc:"Disable the on-disk artifact store: compute everything afresh.")
+        ~doc:
+          "Disable the on-disk artifact store: compute everything afresh. \
+           Conflicts with --store.")
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a logit-dynamics trajectory")

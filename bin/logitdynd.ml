@@ -1,0 +1,280 @@
+(* logitdynd — the long-lived logit-dynamics query daemon.
+
+   Subcommands:
+     serve   bind a Unix-domain socket and answer queries until SIGTERM
+     query   one-shot client: send a query, print the reply
+     stats   print the server counters
+
+   The server coalesces concurrent same-chain mixing queries — across
+   clients — into one blocked-SpMM panel sweep per matrix traversal
+   and keeps chains, stationary distributions and eigendecompositions
+   warm (in memory, plus the on-disk artifact store shared with the
+   logitdyn CLI). Answers are bit-identical to serial `logitdyn`
+   runs. *)
+
+open Cmdliner
+module P = Serve.Protocol
+
+let default_socket () =
+  Filename.concat (Filename.get_temp_dir_name ()) "logitdynd.sock"
+
+let resolve_store_or_exit ~stores ~no_cache_flags =
+  match
+    Serve.Cli_flags.resolve_store ~stores
+      ~no_cache_count:(List.length no_cache_flags)
+  with
+  | Ok choice -> choice
+  | Error msg ->
+      Printf.eprintf "logitdynd: %s\n" msg;
+      exit 2
+
+let open_store (choice : Serve.Cli_flags.store_choice) =
+  if choice.no_cache then None
+  else
+    match Store.Cas.open_ ?dir:choice.dir () with
+    | cas -> Some cas
+    | exception Sys_error msg ->
+        Printf.eprintf
+          "warning: artifact store unavailable (%s); running uncached\n" msg;
+        None
+
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
+(* --- serve -------------------------------------------------------------- *)
+
+let serve_impl socket jobs stores no_cache_flags max_queue max_clients
+    spectral_cutoff max_steps =
+  let choice = resolve_store_or_exit ~stores ~no_cache_flags in
+  let store = open_store choice in
+  with_jobs jobs @@ fun pool ->
+  let engine =
+    Serve.Engine.create ?pool ?store ~spectral_cutoff ~max_steps ()
+  in
+  let server =
+    Serve.Server.create ~max_queue ~max_clients ~engine ~socket_path:socket ()
+  in
+  (* SIGTERM and SIGINT both drain: in-flight requests get their
+     responses before the socket disappears. *)
+  let graceful = Sys.Signal_handle (fun _ -> Serve.Server.stop server) in
+  Sys.set_signal Sys.sigterm graceful;
+  Sys.set_signal Sys.sigint graceful;
+  (* Clients come and go; a write to a vanished one must surface as
+     EPIPE on that fd, not kill the daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf "logitdynd: listening on %s (jobs=%d, max-queue=%d)\n" socket
+    jobs max_queue;
+  (* The parent (CI smoke job, bench harness) waits for this line
+     before connecting. *)
+  flush stdout;
+  Serve.Server.serve_forever server;
+  Printf.printf "logitdynd: drained, shut down cleanly\n";
+  0
+
+(* --- query -------------------------------------------------------------- *)
+
+let print_error = function
+  | P.Overloaded -> Printf.eprintf "server overloaded: request rejected\n"
+  | P.Deadline_exceeded -> Printf.eprintf "deadline exceeded\n"
+  | P.Bad_request msg -> Printf.eprintf "bad request: %s\n" msg
+  | P.Server_error msg -> Printf.eprintf "server error: %s\n" msg
+
+let print_reply = function
+  | P.Mixing_r m ->
+      Printf.printf "|S|=%d reversible=%b route=%s\n" m.P.size m.P.reversible
+        (match m.P.route with P.Spectral -> "spectral" | P.Panel -> "panel");
+      (match m.P.tmix with
+      | Some t -> Printf.printf "t_mix = %d\n" t
+      | None -> Printf.printf "t_mix > step budget\n");
+      (match m.P.empirical with
+      | Some (steps, tv) ->
+          Printf.printf "empirical TV at t=%d: %.4f\n" steps tv
+      | None -> ());
+      (match m.P.barrier with
+      | Some b ->
+          Printf.printf "dPhi = %g, dphi(local) = %g, zeta = %g\n" b.P.d_global
+            b.P.d_local b.P.zeta
+      | None -> ())
+  | P.Stationary_r pi ->
+      Array.iteri (fun i p -> Printf.printf "pi[%d] = %.12g\n" i p) pi
+  | P.Hitting_r h ->
+      Printf.printf "potential minimiser: profile %d (Phi = %g)\n" h.P.argmin
+        h.P.phi_min;
+      Printf.printf "worst-case expected hitting time: %.4g\n" h.P.worst_hitting;
+      (match h.P.hit_tmix with
+      | Some t -> Printf.printf "mixing time (same chain): %d\n" t
+      | None -> Printf.printf "mixing time (same chain): > step budget\n")
+  | P.Simulate_r traj ->
+      Array.iteri (fun t x -> Printf.printf "t=%d x=%d\n" t x) traj
+  | P.Sample_r { samples; max_window } ->
+      Array.iteri (fun k x -> Printf.printf "sample %d: %d\n" k x) samples;
+      Printf.printf "max backward window: %d\n" max_window
+  | P.Stats_r s ->
+      Printf.printf "served=%d rejected=%d expired=%d failed=%d\n" s.P.served
+        s.P.rejected s.P.expired s.P.failed;
+      Printf.printf "batches=%d max_batch=%d panel_steps=%d queue_peak=%d\n"
+        s.P.batches s.P.max_batch s.P.panel_steps s.P.queue_peak;
+      Printf.printf "chain cache: %d hit(s), %d miss(es)\n" s.P.chain_cache_hits
+        s.P.chain_cache_misses;
+      Printf.printf "store: %d hit(s), %d miss(es)\n" s.P.store_hits
+        s.P.store_misses
+
+let run_query socket deadline_ms q =
+  match Serve.Client.query ~socket_path:socket ?deadline_ms q with
+  | Error msg ->
+      Printf.eprintf "logitdynd: %s\n" msg;
+      exit 1
+  | Ok (Error err) ->
+      print_error err;
+      exit 1
+  | Ok (Ok reply) ->
+      print_reply reply;
+      0
+
+let query_impl socket kind game n beta eps steps count replicas seed deadline_ms
+    =
+  let q =
+    match kind with
+    | "mixing" -> P.Mixing { game; n; beta; eps; replicas; seed }
+    | "stationary" -> P.Stationary { game; n; beta }
+    | "hitting" -> P.Hitting { game; n; beta }
+    | "simulate" -> P.Simulate { game; n; beta; steps; seed }
+    | "sample" -> P.Sample { game; n; beta; count; seed }
+    | "stats" -> P.Stats
+    | other ->
+        Printf.eprintf
+          "logitdynd: unknown query %S (expected \
+           mixing|stationary|hitting|simulate|sample|stats)\n"
+          other;
+        exit 2
+  in
+  run_query socket deadline_ms q
+
+let stats_impl socket = run_query socket None P.Stats
+
+(* --- cmdliner wiring ----------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (default_socket ())
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Domains for the parallel kernels (1 = serial).")
+
+let stores_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Artifact store directory (default: \\$XDG_CACHE_HOME/logitdyn). \
+           Conflicts with --no-cache; repeating it is an error.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag_all
+    & info [ "no-cache" ]
+        ~doc:"Disable the on-disk artifact store. Conflicts with --store.")
+
+let serve_cmd =
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests beyond $(docv) queued in one loop \
+             iteration are rejected as overloaded.")
+  in
+  let max_clients_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_max_clients
+      & info [ "max-clients" ] ~docv:"N" ~doc:"Concurrent connection bound.")
+  in
+  let spectral_cutoff_arg =
+    Arg.(
+      value
+      & opt int Serve.Engine.default_spectral_cutoff
+      & info [ "spectral-cutoff" ] ~docv:"SIZE"
+          ~doc:
+            "Reversible chains up to $(docv) states answer mixing queries \
+             through their eigendecomposition; larger ones run the panel \
+             sweep (0 forces the panel route).")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt int Serve.Engine.default_max_steps
+      & info [ "max-steps" ] ~docv:"T" ~doc:"Panel-route step budget.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the query daemon until SIGTERM")
+    Term.(
+      const serve_impl $ socket_arg $ jobs_arg $ stores_arg $ no_cache_arg
+      $ max_queue_arg $ max_clients_arg $ spectral_cutoff_arg $ max_steps_arg)
+
+let query_cmd =
+  let kind_arg =
+    Arg.(
+      value & pos 0 string "mixing"
+      & info [] ~docv:"KIND"
+          ~doc:"mixing | stationary | hitting | simulate | sample | stats")
+  in
+  let game_arg =
+    Arg.(
+      value & opt string "ring" & info [ "game" ] ~docv:"GAME" ~doc:"Game id.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 6 & info [ "n"; "players" ] ~docv:"N" ~doc:"Players.")
+  in
+  let beta_arg =
+    Arg.(value & opt float 1.0 & info [ "b"; "beta" ] ~docv:"BETA" ~doc:"Inverse noise.")
+  in
+  let eps_arg =
+    Arg.(value & opt float 0.25 & info [ "eps" ] ~docv:"EPS" ~doc:"TV threshold.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 200 & info [ "steps" ] ~docv:"T" ~doc:"Trajectory length.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"K" ~doc:"Samples to draw.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "empirical" ] ~docv:"REPLICAS"
+          ~doc:"Monte-Carlo TV cross-check replicas (0 = skip).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline in milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Send one query to a running daemon")
+    Term.(
+      const query_impl $ socket_arg $ kind_arg $ game_arg $ n_arg $ beta_arg
+      $ eps_arg $ steps_arg $ count_arg $ replicas_arg $ seed_arg
+      $ deadline_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the daemon's counters")
+    Term.(const stats_impl $ socket_arg)
+
+let () =
+  let doc = "concurrent query daemon for the logit-dynamics toolkit" in
+  let info = Cmd.info "logitdynd" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ serve_cmd; query_cmd; stats_cmd ]))

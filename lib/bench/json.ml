@@ -264,7 +264,10 @@ let bool_field name = field "bool" name (function Bool b -> Some b | _ -> None)
 let list_field name = field "array" name (function List l -> Some l | _ -> None)
 
 let int_field name =
+  (* Strictly below 2^53: the literal 2^53 + 1 parses to the float
+     2^53, so accepting |f| = 2^53 would silently alias two distinct
+     JSON integers onto one OCaml int. *)
   field "integer" name (function
-    | Num f when Float.is_integer f && Float.abs f <= 2. ** 53. ->
+    | Num f when Float.is_integer f && Float.abs f < 2. ** 53. ->
         Some (int_of_float f)
     | _ -> None)

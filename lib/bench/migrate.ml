@@ -121,12 +121,52 @@ let store j =
   in
   Ok [ cold; warm ]
 
+(* BENCH_serve.json: the daemon load bench. Coalescing pair: 8
+   same-chain mixing requests answered serially vs through one
+   coalesced panel sweep. Open-loop latencies are tracked as seconds
+   so the regression gate bounds p50/p99 drift like any other arm. *)
+let serve j =
+  let bench = "serve_ablation" in
+  let* quick = Json.bool_field "quick" j in
+  let* co =
+    Json.member "coalescing" j
+    |> Option.to_result ~none:"missing field \"coalescing\""
+  in
+  let* serial_s = Json.num_field "serial_s" co in
+  let* coalesced_s = Json.num_field "coalesced_s" co in
+  let* speedup = Json.num_field "speedup" co in
+  let* correct = Json.bool_field "bit_identical" co in
+  let* ol =
+    Json.member "open_loop" j
+    |> Option.to_result ~none:"missing field \"open_loop\""
+  in
+  let* p50_ms = Json.num_field "p50_ms" ol in
+  let* p99_ms = Json.num_field "p99_ms" ol in
+  let* serial =
+    record ~bench ~workload:"coalescing_x8" ~arm:"serial" ~seconds:serial_s
+      ~speedup:1.0 ~correct ~quick ~jobs:1
+  in
+  let* coalesced =
+    record ~bench ~workload:"coalescing_x8" ~arm:"coalesced"
+      ~seconds:coalesced_s ~speedup ~correct ~quick ~jobs:1
+  in
+  let* p50 =
+    record ~bench ~workload:"open_loop" ~arm:"p50_latency"
+      ~seconds:(p50_ms /. 1000.) ~speedup:1.0 ~correct ~quick ~jobs:1
+  in
+  let* p99 =
+    record ~bench ~workload:"open_loop" ~arm:"p99_latency"
+      ~seconds:(p99_ms /. 1000.) ~speedup:1.0 ~correct ~quick ~jobs:1
+  in
+  Ok [ serial; coalesced; p50; p99 ]
+
 let of_legacy j =
   let* bench = Json.str_field "bench" j in
   match bench with
   | "csr_ablation" -> csr j
   | "spmm_ablation" -> spmm j
   | "store_ablation" -> store j
+  | "serve_ablation" -> serve j
   | other -> Error (Printf.sprintf "unknown legacy bench kind %S" other)
 
 let of_legacy_string s =

@@ -1,6 +1,7 @@
 let csr_path = "BENCH_csr.json"
 let spmm_path = "BENCH_spmm.json"
 let store_path = "BENCH_store.json"
+let serve_path = "BENCH_serve.json"
 
 type provenance = { rev : string; host : string; timestamp : float }
 
@@ -17,7 +18,8 @@ let provenance () =
   {
     rev = git_rev ();
     host = (try Unix.gethostname () with _ -> "unknown");
-    timestamp = Unix.gettimeofday ();
+    (* A timestamp, not a duration: wall clock is correct here. *)
+    timestamp = Common.Clock.wall_s ();
   }
 
 let stamp p (r : Record.t) =

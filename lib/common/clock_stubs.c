@@ -1,0 +1,31 @@
+/* Monotonic and wall clocks for Common.Clock.
+
+   OCaml 5.1's Unix library exposes only gettimeofday (wall clock),
+   which NTP steps and leap smearing can move backwards — poison for
+   duration measurements (time_pair minima, daemon latency
+   histograms). POSIX clock_gettime(CLOCK_MONOTONIC) is the correct
+   source; binding it directly keeps lib/common free of any OCaml
+   library dependency.
+
+   The stubs never raise: on a (practically impossible on any POSIX
+   host) clock_gettime failure they return -1 and the OCaml side falls
+   back to the other clock. [noalloc] is deliberately NOT claimed:
+   caml_copy_int64 allocates a boxed int64. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <time.h>
+
+/* logitdyn_clock_ns(monotonic): nanoseconds on CLOCK_MONOTONIC when
+   [monotonic] is true, CLOCK_REALTIME (epoch) otherwise; -1 on
+   failure. */
+CAMLprim value logitdyn_clock_ns(value monotonic)
+{
+  CAMLparam1(monotonic);
+  struct timespec ts;
+  clockid_t id = Bool_val(monotonic) ? CLOCK_MONOTONIC : CLOCK_REALTIME;
+  if (clock_gettime(id, &ts) != 0)
+    CAMLreturn(caml_copy_int64(-1));
+  CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec));
+}

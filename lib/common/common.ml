@@ -11,3 +11,21 @@ let no_convergence fmt =
 let feq ~eps a b =
   if eps < 0. || Float.is_nan eps then invalid_arg "Common.feq: need eps >= 0";
   Float.abs (a -. b) <= eps
+
+module Clock = struct
+  external clock_ns : bool -> int64 = "logitdyn_clock_ns"
+
+  let monotonic_ns () =
+    let t = clock_ns true in
+    if Int64.compare t 0L >= 0 then t
+    else
+      (* Documented fallback: a host without CLOCK_MONOTONIC degrades
+         to the wall clock — durations are then subject to clock
+         steps, but the API keeps working. *)
+      clock_ns false
+
+  let span_s ~since =
+    Int64.to_float (Int64.sub (monotonic_ns ()) since) /. 1e9
+
+  let wall_s () = Int64.to_float (clock_ns false) /. 1e9
+end

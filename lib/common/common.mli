@@ -30,3 +30,31 @@ val no_convergence : ('a, unit, string, 'b) format4 -> 'a
     unlike [Float.equal] [feq ~eps:0. nan nan] is [false]). Raises
     [Invalid_argument] on negative or NaN [eps]. *)
 val feq : eps:float -> float -> float -> bool
+
+(** The project's clocks. Durations must be measured on the monotonic
+    clock: the wall clock ([Unix.gettimeofday]) can step backwards or
+    smear under NTP, which corrupts minimum-of-reps timings and
+    latency histograms. The [wall-clock] lint rule bans
+    [Unix.gettimeofday] outside this module; timestamp fields (bench
+    provenance, artifact ages) legitimately keep wall time via
+    {!Clock.wall_s}.
+
+    Both clocks are bound directly to POSIX [clock_gettime]
+    ([CLOCK_MONOTONIC] / [CLOCK_REALTIME]) through a local C stub —
+    OCaml 5.1's [Unix] has no [clock_gettime] — which keeps this
+    library dependency-free. *)
+module Clock : sig
+  (** [monotonic_ns ()] is a monotonically non-decreasing timestamp in
+      nanoseconds from an unspecified origin. Differences are valid
+      durations. Falls back (documented, never raises) to the realtime
+      clock on a host whose [clock_gettime] lacks [CLOCK_MONOTONIC]. *)
+  val monotonic_ns : unit -> int64
+
+  (** [span_s ~since] is the elapsed time in seconds from the
+      {!monotonic_ns} reading [since] to now. *)
+  val span_s : since:int64 -> float
+
+  (** [wall_s ()] is the wall-clock time in seconds since the Unix
+      epoch — for timestamps only, never durations. *)
+  val wall_s : unit -> float
+end

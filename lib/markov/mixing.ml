@@ -67,29 +67,12 @@ let refresh_tvs pool pi panel tvs =
 
 let worst tvs = Array.fold_left Float.max 0. tvs
 
-let tv_curve ?pool t pi ~starts ~steps =
-  check_starts t starts;
-  check_pi t pi;
-  if steps < 0 then invalid_arg "Mixing.tv_curve: negative steps";
-  let n = Chain.size t in
-  let k = List.length starts in
-  let src = ref (panel_of_starts n starts) in
-  let dst = ref (panel_create (k * n)) in
-  let tvs = Array.make k 0. in
-  refresh_tvs pool pi !src tvs;
-  let curve = Array.make (steps + 1) 0. in
-  curve.(0) <- worst tvs;
-  for step = 1 to steps do
-    Chain.evolve_many_into ?pool t ~k ~src:!src ~dst:!dst;
-    let previous = !src in
-    src := !dst;
-    dst := previous;
-    refresh_tvs pool pi !src tvs;
-    curve.(step) <- worst tvs
-  done;
-  curve
-
-let mixing_time ?pool ?(eps = 0.25) ?(max_steps = 1_000_000) t pi ~starts =
+(* The one panel-evolution loop every exact-TV consumer drives: the
+   serial CLI paths and the daemon's coalesced scheduler both settle
+   their answers through this exact function, which is what makes
+   "coalesced answers are bit-identical to serial answers" true by
+   construction rather than by test alone. *)
+let panel_sweep ?pool t pi ~starts ~decide =
   check_starts t starts;
   check_pi t pi;
   let n = Chain.size t in
@@ -99,18 +82,30 @@ let mixing_time ?pool ?(eps = 0.25) ?(max_steps = 1_000_000) t pi ~starts =
   let tvs = Array.make k 0. in
   refresh_tvs pool pi !src tvs;
   let rec go step =
-    if worst tvs <= eps then Some step
-    else if step >= max_steps then None
-    else begin
-      Chain.evolve_many_into ?pool t ~k ~src:!src ~dst:!dst;
-      let previous = !src in
-      src := !dst;
-      dst := previous;
-      refresh_tvs pool pi !src tvs;
-      go (step + 1)
-    end
+    match decide ~step ~worst:(worst tvs) with
+    | Some r -> r
+    | None ->
+        Chain.evolve_many_into ?pool t ~k ~src:!src ~dst:!dst;
+        let previous = !src in
+        src := !dst;
+        dst := previous;
+        refresh_tvs pool pi !src tvs;
+        go (step + 1)
   in
   go 0
+
+let tv_curve ?pool t pi ~starts ~steps =
+  if steps < 0 then invalid_arg "Mixing.tv_curve: negative steps";
+  let curve = Array.make (steps + 1) 0. in
+  panel_sweep ?pool t pi ~starts ~decide:(fun ~step ~worst ->
+      curve.(step) <- worst;
+      if step >= steps then Some curve else None)
+
+let mixing_time ?pool ?(eps = 0.25) ?(max_steps = 1_000_000) t pi ~starts =
+  panel_sweep ?pool t pi ~starts ~decide:(fun ~step ~worst ->
+      if worst <= eps then Some (Some step)
+      else if step >= max_steps then Some None
+      else None)
 
 let mixing_time_all ?pool ?eps ?max_steps t pi =
   mixing_time ?pool ?eps ?max_steps t pi ~starts:(List.init (Chain.size t) Fun.id)

@@ -11,6 +11,21 @@
     test suite. The paper's convention t_mix = t_mix(1/4) is the
     default. *)
 
+(** [panel_sweep ?pool t pi ~starts ~decide] is the single
+    panel-evolution loop behind {!tv_curve} and {!mixing_time}, exposed
+    so batching consumers (the daemon scheduler) settle their answers
+    through the {e same} float operations as the serial paths — the
+    bit-identity of coalesced and per-request answers holds by
+    construction. After every TV refresh (including step 0, before any
+    evolution) [decide ~step ~worst] either returns [Some r] to stop
+    with [r] or [None] to evolve one more step. [decide] must
+    eventually stop the sweep (e.g. on a step bound or deadline); the
+    loop itself imposes no budget. Raises [Invalid_argument] on an
+    empty or out-of-range start set or a [pi] of the wrong length. *)
+val panel_sweep :
+  ?pool:Exec.Pool.t -> Chain.t -> float array -> starts:int list ->
+  decide:(step:int -> worst:float -> 'a option) -> 'a
+
 (** [tv_curve ?pool t pi ~starts ~steps] is the array [d(0); d(1); ...;
     d(steps)] of worst-case (over [starts]) TV distances. The starts
     live in one double-buffered row-major panel advanced by the blocked

@@ -1,0 +1,64 @@
+(* The named-game catalogue, shared by the CLI and the daemon so both
+   resolve an id like "ring" to the exact same chain recipe. *)
+
+type spec = {
+  id : string;
+  doc : string;
+  build : n:int -> beta:float -> Games.Game.t * (int -> float) option;
+}
+
+let coordination_basic delta0 delta1 = Games.Coordination.of_deltas ~delta0 ~delta1
+
+let graphical graph_of_n ~n ~beta:_ =
+  let desc = Games.Graphical.create (graph_of_n n) (coordination_basic 1.0 1.0) in
+  (Games.Graphical.to_game desc, Some (Games.Graphical.potential desc))
+
+let with_potential game =
+  (game, (Games.Potential.recover game :> (int -> float) option))
+
+let all =
+  [
+    {
+      id = "ring";
+      doc = "graphical coordination on a ring (delta0 = delta1 = 1)";
+      build = graphical Graphs.Generators.ring;
+    };
+    {
+      id = "clique";
+      doc = "graphical coordination on a clique (delta0 = delta1 = 1)";
+      build = graphical Graphs.Generators.clique;
+    };
+    {
+      id = "path";
+      doc = "graphical coordination on a path (delta0 = delta1 = 1)";
+      build = graphical Graphs.Generators.path;
+    };
+    {
+      id = "curve";
+      doc = "the Theorem 3.5 lower-bound potential family (l=1, g=n/4)";
+      build =
+        (fun ~n ~beta:_ ->
+          let global = Float.max 1. (float_of_int (n / 4)) in
+          let game = Games.Curve_game.create ~players:n ~global ~local:1.0 in
+          (Games.Curve_game.to_game game, Some (Games.Curve_game.potential game)));
+    };
+    {
+      id = "dominant";
+      doc = "the Theorem 4.3 dominant-strategy game (m = 2)";
+      build =
+        (fun ~n ~beta:_ ->
+          with_potential (Games.Dominant.lower_bound_game ~players:n ~strategies:2));
+    };
+    {
+      id = "pd";
+      doc = "prisoner's dilemma (2 players; n ignored)";
+      build = (fun ~n:_ ~beta:_ -> with_potential (Games.Dominant.prisoners_dilemma ()));
+    };
+    {
+      id = "matching-pennies";
+      doc = "matching pennies (2 players; n ignored; not a potential game)";
+      build = (fun ~n:_ ~beta:_ -> (Games.Zoo.matching_pennies, None));
+    };
+  ]
+
+let find id = List.find_opt (fun g -> g.id = id) all

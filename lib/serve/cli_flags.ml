@@ -1,0 +1,18 @@
+(* Pure resolution of the store-related CLI flags, shared by logitdyn
+   and logitdynd. Kept free of cmdliner so the conflict matrix is unit
+   testable: the binaries collect every occurrence with
+   [Arg.opt_all]/[flag_all] and map [Error] to a usage failure with
+   exit code 2. *)
+
+type store_choice = { dir : string option; no_cache : bool }
+
+let resolve_store ~stores ~no_cache_count =
+  if List.length stores > 1 then
+    Error "--store given more than once; pass a single store directory"
+  else if no_cache_count > 1 then Error "--no-cache given more than once"
+  else
+    match stores with
+    | _ :: _ when no_cache_count > 0 ->
+        Error "--store conflicts with --no-cache: pick a store or disable it"
+    | [ dir ] -> Ok { dir = Some dir; no_cache = false }
+    | _ -> Ok { dir = None; no_cache = no_cache_count > 0 }

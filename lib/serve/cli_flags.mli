@@ -1,0 +1,20 @@
+(** Conflict checking for the store-related command-line flags.
+
+    Duplicated or contradictory flags used to resolve silently
+    (cmdliner's plain [opt] keeps the last [--store]; [--store] next to
+    [--no-cache] kept whichever branch the code read first). Both are
+    now hard usage errors: the binaries collect every occurrence and
+    feed them through {!resolve_store}, turning [Error] into a usage
+    message on stderr and exit code 2. *)
+
+type store_choice = {
+  dir : string option;  (** explicit store directory, if one was given *)
+  no_cache : bool;  (** [true] iff [--no-cache] was passed *)
+}
+
+(** [resolve_store ~stores ~no_cache_count] resolves every [--store]
+    occurrence (in order) and the number of [--no-cache] occurrences
+    into a single choice. [Error] with a usage message when [--store]
+    is repeated, [--no-cache] is repeated, or the two are combined. *)
+val resolve_store :
+  stores:string list -> no_cache_count:int -> (store_choice, string) result

@@ -1,0 +1,85 @@
+(* Blocking client for the logitdynd socket: used by the logitdyn
+   query subcommand, the serve test suite and the open-loop load
+   bench. Supports pipelining — send any number of requests, then
+   collect responses in order — which is how the bench and the
+   coalescing tests pile concurrent work onto one server iteration. *)
+
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  reader : P.Reader.t;
+  buf : Bytes.t;
+  mutable next_id : int;
+}
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () ->
+      Ok { fd; reader = P.Reader.create (); buf = Bytes.create 65536; next_id = 1 }
+  | exception Unix.Unix_error (err, _, _) ->
+      Unix.close fd;
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket_path
+           (Unix.error_message err))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let send t (req : P.request) =
+  let out = Buffer.create 256 in
+  P.write_framed out (P.encode_request req);
+  let s = Buffer.contents out in
+  let len = String.length s in
+  let rec go off =
+    if off < len then begin
+      match Unix.write_substring t.fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (err, _, _) ->
+          Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+    end
+    else Ok ()
+  in
+  go 0
+
+let recv t =
+  let rec go () =
+    match P.Reader.next t.reader with
+    | Error msg -> Error msg
+    | Ok (Some frame) -> P.decode_response frame
+    | Ok None -> (
+        match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+        | 0 -> Error "connection closed by server"
+        | n ->
+            P.Reader.feed t.reader t.buf ~len:n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (err, _, _) ->
+            Error (Printf.sprintf "recv failed: %s" (Unix.error_message err)))
+  in
+  go ()
+
+let call t ?deadline_ms query =
+  let id = fresh_id t in
+  match send t { P.id; deadline_ms; query } with
+  | Error _ as e -> e
+  | Ok () -> (
+      match recv t with
+      | Error _ as e -> e
+      | Ok resp when resp.P.req_id <> id ->
+          Error
+            (Printf.sprintf "response id %d does not match request id %d"
+               resp.P.req_id id)
+      | Ok resp -> Ok resp.P.result)
+
+let query ~socket_path ?deadline_ms q =
+  match connect ~socket_path with
+  | Error _ as e -> e
+  | Ok t ->
+      Fun.protect ~finally:(fun () -> close t) (fun () -> call t ?deadline_ms q)

@@ -1,0 +1,34 @@
+(** Blocking client for the logitdynd socket.
+
+    Supports pipelining: send any number of requests, then collect the
+    responses in order — the server answers a client's requests in the
+    order they were sent. The load bench and the coalescing tests use
+    this to pile concurrent work onto a single server iteration. *)
+
+type t
+
+val connect : socket_path:string -> (t, string) result
+
+val close : t -> unit
+
+(** A fresh client-unique request id (1, 2, ...). *)
+val fresh_id : t -> int
+
+(** [send t req] writes one framed request (blocking until fully
+    written); pair with {!recv}. *)
+val send : t -> Protocol.request -> (unit, string) result
+
+(** [recv t] blocks for the next complete response frame. *)
+val recv : t -> (Protocol.response, string) result
+
+(** [call t ?deadline_ms query] sends one request and waits for its
+    response, checking the echoed id. The outer [Error] is transport
+    failure; the inner result is the server's verdict. *)
+val call :
+  t -> ?deadline_ms:int -> Protocol.query ->
+  ((Protocol.reply, Protocol.error) result, string) result
+
+(** One-shot convenience: connect, {!call}, close. *)
+val query :
+  socket_path:string -> ?deadline_ms:int -> Protocol.query ->
+  ((Protocol.reply, Protocol.error) result, string) result

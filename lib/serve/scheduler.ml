@@ -1,0 +1,176 @@
+(* The panel-coalescing scheduler.
+
+   A batch is whatever the server read off its clients in one loop
+   iteration. Mixing queries that resolve to the same chain — same
+   game id, n and exact beta bits, regardless of which client sent
+   them — are settled together: panel-route groups drive ONE
+   Mixing.panel_sweep whose decide callback retires each request at
+   its own eps, so one SpMM matrix traversal per step serves the whole
+   group; spectral-route groups share the entry's cached
+   eigendecomposition. Answers are bit-identical to serial evaluation
+   because both run the same primitives over the same floats — the
+   coalescing only changes who pays for the matrix traffic.
+
+   Deadlines are absolute monotonic nanosecond instants fixed at
+   admission; they are enforced between panel steps (and before any
+   serial evaluation), never mid-traversal. *)
+
+module P = Protocol
+
+type 'a job = {
+  tag : 'a;
+  req_id : int;
+  deadline_ns : int64 option;
+  query : P.query;
+}
+
+type stats = {
+  mutable batches : int;
+  mutable max_batch : int;
+  mutable panel_steps : int;
+}
+
+let stats_zero () = { batches = 0; max_batch = 0; panel_steps = 0 }
+
+let expired job =
+  match job.deadline_ns with
+  | None -> false
+  | Some d -> Int64.compare (Common.Clock.monotonic_ns ()) d > 0
+
+let guard f =
+  match f () with
+  | r -> r
+  | exception Common.No_convergence msg -> Error (P.Server_error msg)
+  | exception Invalid_argument msg -> Error (P.Server_error msg)
+
+(* One coalesced panel sweep over [group], a list of (position, job,
+   eps, replicas, seed) all on [e]'s chain. Each request settles at
+   its own eps exactly as the serial Mixing.mixing_time would: the eps
+   check runs before the deadline and budget checks, so a request
+   whose answer lands on its deadline step still gets its answer. *)
+let run_panel_group engine stats out e group =
+  let jobs = Array.of_list group in
+  let settled = Array.make (Array.length jobs) None in
+  let remaining = ref (Array.length jobs) in
+  let budget = Engine.max_steps engine in
+  let steps_taken = ref 0 in
+  let sweep () =
+    Markov.Mixing.panel_sweep ?pool:(Engine.pool engine) e.Engine.chain
+      e.Engine.pi ~starts:(Engine.all_starts e)
+      ~decide:(fun ~step ~worst ->
+        steps_taken := step;
+        let now = Common.Clock.monotonic_ns () in
+        Array.iteri
+          (fun i (_, job, eps, _, _) ->
+            if Option.is_none settled.(i) then
+              if worst <= eps then begin
+                settled.(i) <- Some (Ok (Some step));
+                decr remaining
+              end
+              else
+                match job.deadline_ns with
+                | Some d when Int64.compare now d > 0 ->
+                    settled.(i) <- Some (Error P.Deadline_exceeded);
+                    decr remaining
+                | _ ->
+                    if step >= budget then begin
+                      settled.(i) <- Some (Ok None);
+                      decr remaining
+                    end)
+          jobs;
+        if !remaining = 0 then Some (Ok ()) else None)
+  in
+  (match guard sweep with
+  | Ok () -> ()
+  | Error e ->
+      (* The sweep itself failed: every still-pending request inherits
+         the failure. *)
+      Array.iteri
+        (fun i s -> if Option.is_none s then settled.(i) <- Some (Error e))
+        settled);
+  stats.panel_steps <- stats.panel_steps + !steps_taken;
+  Array.iteri
+    (fun i (pos, _, _, replicas, seed) ->
+      out.(pos) <-
+        (match settled.(i) with
+        | Some (Ok tmix) ->
+            guard (fun () ->
+                Ok (Engine.mixing_reply_of engine e ~tmix ~replicas ~seed))
+        | Some (Error err) -> Error err
+        | None -> Error (P.Server_error "panel sweep left a request unsettled")))
+    jobs
+
+(* Spectral-route group: the entry's eigendecomposition is computed
+   once (then cached on the entry across batches); each request is a
+   cheap doubling + binary search at its own eps. *)
+let run_spectral_group engine out e group =
+  List.iter
+    (fun (pos, job, eps, replicas, seed) ->
+      out.(pos) <-
+        (if expired job then Error P.Deadline_exceeded
+         else
+           guard (fun () ->
+               let tmix =
+                 Markov.Mixing.mixing_time_from_decomposition ~eps
+                   ~decomposition:(Engine.decomposition e) e.Engine.pi
+                   ~starts:(Engine.all_starts e)
+               in
+               Ok (Engine.mixing_reply_of engine e ~tmix ~replicas ~seed))))
+    group
+
+let run_batch engine stats jobs =
+  let jobs_a = Array.of_list jobs in
+  let n = Array.length jobs_a in
+  if n = 0 then []
+  else begin
+    stats.batches <- stats.batches + 1;
+    if n > stats.max_batch then stats.max_batch <- n;
+    let out = Array.make n (Error (P.Server_error "unprocessed")) in
+    (* Coalesce mixing queries chain by chain; everything else is
+       evaluated serially in arrival order. *)
+    let groups = Hashtbl.create 8 in
+    let order = ref [] in
+    Array.iteri
+      (fun pos job ->
+        match job.query with
+        | P.Mixing { game; n = players; beta; eps; replicas; seed } ->
+            let key = (game, players, Int64.bits_of_float beta) in
+            if not (Hashtbl.mem groups key) then order := key :: !order;
+            Hashtbl.replace groups key
+              ((pos, job, eps, replicas, seed)
+              :: (try Hashtbl.find groups key with Not_found -> []))
+        | q ->
+            out.(pos) <-
+              (if expired job then Error P.Deadline_exceeded
+               else guard (fun () -> Engine.eval engine q)))
+      jobs_a;
+    List.iter
+      (fun ((game, players, _) as key) ->
+        let group = List.rev (Hashtbl.find groups key) in
+        let _, sample_job, _, _, _ = List.hd group in
+        let beta =
+          match sample_job.query with
+          | P.Mixing { beta; _ } -> beta
+          | _ -> 0. (* unreachable: groups hold only Mixing queries *)
+        in
+        match Engine.entry engine ~game ~n:players ~beta with
+        | Error msg ->
+            List.iter
+              (fun (pos, _, _, _, _) -> out.(pos) <- Error (P.Bad_request msg))
+              group
+        | Ok e ->
+            if Engine.spectral_route engine e then
+              run_spectral_group engine out e group
+            else begin
+              (* Requests already past their deadline skip the sweep. *)
+              let live, dead =
+                List.partition (fun (_, job, _, _, _) -> not (expired job)) group
+              in
+              List.iter
+                (fun (pos, _, _, _, _) -> out.(pos) <- Error P.Deadline_exceeded)
+                dead;
+              if live <> [] then run_panel_group engine stats out e live
+            end)
+      (List.rev !order);
+    Array.to_list (Array.mapi (fun i job -> (job, out.(i))) jobs_a)
+  end

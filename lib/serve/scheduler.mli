@@ -1,0 +1,45 @@
+(** The panel-coalescing scheduler.
+
+    {!run_batch} takes everything the server read in one loop
+    iteration and answers it: mixing queries that resolve to the same
+    chain (same game id, n and exact beta bits — across clients) are
+    settled by {e one} {!Markov.Mixing.panel_sweep}, each request
+    retiring at its own eps, so one SpMM matrix traversal per step
+    serves the whole group; reversible small chains share the entry's
+    cached eigendecomposition instead. All other queries are evaluated
+    serially in arrival order.
+
+    Answers are bit-identical to per-request serial evaluation — both
+    paths run the same primitives over the same floats. Deadlines are
+    enforced between panel steps and before every serial evaluation;
+    an expired request gets the typed {!Protocol.Deadline_exceeded},
+    never a silent drop. *)
+
+(** A unit of admitted work. ['a] is the caller's routing tag (the
+    server keeps the owning client there); the scheduler never looks
+    at it. *)
+type 'a job = {
+  tag : 'a;
+  req_id : int;
+  deadline_ns : int64 option;
+      (** absolute {!Common.Clock.monotonic_ns} instant, fixed at
+          admission *)
+  query : Protocol.query;
+}
+
+(** Cumulative counters, reported through the [Stats] query. *)
+type stats = {
+  mutable batches : int;
+  mutable max_batch : int;  (** widest batch so far *)
+  mutable panel_steps : int;  (** total coalesced SpMM panel steps *)
+}
+
+val stats_zero : unit -> stats
+
+(** [run_batch engine stats jobs] answers every job, returning
+    [(job, outcome)] pairs in the input order (so per-client response
+    order follows request order). Never raises: engine failures
+    surface as {!Protocol.Server_error} outcomes. *)
+val run_batch :
+  Engine.t -> stats -> 'a job list ->
+  ('a job * (Protocol.reply, Protocol.error) result) list

@@ -1,0 +1,48 @@
+(** The logitdynd server: a single-threaded select loop over a
+    Unix-domain socket.
+
+    One loop iteration reads every readable client, admits requests
+    into a bounded queue (beyond the bound each request is rejected
+    with the typed {!Protocol.Overloaded} — never silently dropped),
+    hands the whole queue to {!Scheduler.run_batch} (which coalesces
+    same-chain mixing work — across clients — into one panel sweep),
+    then flushes responses. Requests arriving while a batch computes
+    accumulate in kernel buffers and form the next batch: concurrency
+    becomes batch width.
+
+    [Stats] requests are answered at read time from the live counters,
+    never queued behind heavy work.
+
+    Shutdown via {!stop} is graceful: the loop stops accepting,
+    unlinks the socket, performs one final read pass over connected
+    clients (capturing pipelined in-flight requests), processes that
+    queue, and flushes every response with blocking writes before
+    closing — in-flight requests never lose their responses. *)
+
+type t
+
+val default_max_queue : int
+val default_max_clients : int
+
+(** [create ?max_queue ?max_clients ~engine ~socket_path ()] binds and
+    listens immediately (clients may connect before {!serve_forever}
+    runs; the backlog holds them). An existing socket file at
+    [socket_path] is replaced. [max_queue = 0] rejects every
+    non-[Stats] request with [Overloaded] — degenerate, but what the
+    overload tests pin down. Raises [Invalid_argument] on a negative
+    [max_queue], [max_clients < 1] or an over-long socket path, and
+    [Unix.Unix_error] if the socket cannot be bound. *)
+val create :
+  ?max_queue:int -> ?max_clients:int -> engine:Engine.t ->
+  socket_path:string -> unit -> t
+
+val socket_path : t -> string
+
+(** [serve_forever t] runs the loop until {!stop}, then drains and
+    returns. Call it at most once. *)
+val serve_forever : t -> unit
+
+(** [stop t] requests shutdown: an atomic flag plus a self-pipe wake.
+    Safe from a signal handler or another domain; returns immediately
+    (the loop drains and exits on its own). *)
+val stop : t -> unit

@@ -135,7 +135,9 @@ let sweep_tmp t =
     (readdir_sorted (tmp_dir t))
 
 let gc t ~older_than =
-  let now = Unix.gettimeofday () in
+  (* Compared against file mtimes, which are wall-clock: wall time is
+     correct here despite the project-wide duration rule. *)
+  let now = Common.Clock.wall_s () in
   sweep_tmp t;
   List.fold_left
     (fun (count, bytes) entry ->

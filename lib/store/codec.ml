@@ -8,7 +8,7 @@ let version = 1
 let magic = "LDAF"
 let header_len = 12
 
-type kind = Chain | Dist | Curve | Table | Table_list
+type kind = Chain | Dist | Curve | Table | Table_list | Request | Response
 
 let kind_tag = function
   | Chain -> 1
@@ -16,6 +16,8 @@ let kind_tag = function
   | Curve -> 3
   | Table -> 4
   | Table_list -> 5
+  | Request -> 6
+  | Response -> 7
 
 let kind_of_tag = function
   | 1 -> Some Chain
@@ -23,6 +25,8 @@ let kind_of_tag = function
   | 3 -> Some Curve
   | 4 -> Some Table
   | 5 -> Some Table_list
+  | 6 -> Some Request
+  | 7 -> Some Response
   | _ -> None
 
 let kind_name = function
@@ -31,6 +35,8 @@ let kind_name = function
   | Curve -> "curve"
   | Table -> "table"
   | Table_list -> "tables"
+  | Request -> "request"
+  | Response -> "response"
 
 (* CRC-32, IEEE 802.3 polynomial (reflected 0xEDB88320). *)
 let crc_table =

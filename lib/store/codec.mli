@@ -36,6 +36,8 @@ type kind =
   | Curve  (** a TV curve (float array) *)
   | Table  (** one experiment table ({!Experiments.Table}) *)
   | Table_list  (** an experiment's full table list *)
+  | Request  (** a daemon wire request ({!Serve.Protocol}) *)
+  | Response  (** a daemon wire response ({!Serve.Protocol}) *)
 
 (** [kind_name k] is a short lowercase name for messages and [store ls]. *)
 val kind_name : kind -> string

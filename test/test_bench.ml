@@ -93,6 +93,47 @@ let json_print_round_trip () =
   check_raises_invalid "infinity unprintable" (fun () ->
       ignore (J.to_string (J.Num Float.infinity)))
 
+(* int_field must reject any number a double cannot hold exactly:
+   |f| >= 2^53 aliases distinct JSON integers (2^53 and 2^53 + 1 both
+   parse to the float 2^53), so the boundary itself is out. *)
+let int_field_of_literal lit =
+  match J.parse (Printf.sprintf "{\"n\": %s}" lit) with
+  | Error msg -> Alcotest.failf "parse {\"n\": %s}: %s" lit msg
+  | Ok j -> J.int_field "n" j
+
+let json_int_field_boundaries () =
+  let two53 = 9007199254740992 in
+  let accepts lit expect =
+    match int_field_of_literal lit with
+    | Ok v -> check_int (Printf.sprintf "int_field %s" lit) expect v
+    | Error msg -> Alcotest.failf "int_field %s rejected: %s" lit msg
+  in
+  let rejects lit =
+    ignore (get_error (Printf.sprintf "int_field %s" lit) (int_field_of_literal lit))
+  in
+  accepts "0" 0;
+  accepts (string_of_int (two53 - 1)) (two53 - 1);
+  accepts (string_of_int (-(two53 - 1))) (-(two53 - 1));
+  rejects (string_of_int two53);
+  rejects (string_of_int (two53 + 1));
+  rejects (string_of_int (-two53));
+  rejects "1.5";
+  rejects "-0.25";
+  rejects "1e300";
+  rejects "true";
+  rejects "\"7\""
+
+let json_int_field_safe_range =
+  (* Any integer m * 2^e strictly inside the safe range survives a
+     print/parse/int_field trip bit-for-bit. *)
+  QCheck.Test.make ~name:"int_field round-trips safe integers exactly" ~count:500
+    QCheck.(pair (int_bound ((1 lsl 26) - 1)) (int_bound 26))
+    (fun (m, e) ->
+      let i = m * (1 lsl e) in
+      List.for_all
+        (fun v -> int_field_of_literal (string_of_int v) = Ok v)
+        [ i; -i ])
+
 (* ---------------- Record ---------------- *)
 
 (* Diverse exactly-representable doubles: m * 2^e with |m| < 2^30. *)
@@ -551,6 +592,8 @@ let suites =
         test "parse basics" json_parse_basics;
         test "parse rejects malformed input" json_parse_rejects;
         test "print/parse round-trip" json_print_round_trip;
+        test "int_field 2^53 boundaries" json_int_field_boundaries;
+        qcheck json_int_field_safe_range;
       ] );
     ( "bench.record",
       [

@@ -261,6 +261,37 @@ let bench_json_suppressed () =
       | [ ("bench-json-outside-bench", 1, true) ] -> ()
       | _ -> Alcotest.fail "expected one suppressed bench-json finding")
 
+(* ---------------- wall-clock ---------------- *)
+
+let wall_clock_positive () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "bench/a.ml"
+          "let t0 = Unix.gettimeofday ()\n\
+           let t1 = Stdlib.Unix.gettimeofday ()\n"
+      in
+      check_int "qualified and Stdlib-qualified both flagged" 2
+        (List.length (List.filter (( = ) "wall-clock") (names fs))))
+
+let wall_clock_negative () =
+  with_root (fun root ->
+      check_clean "lib/common/ itself is exempt"
+        (lint_one root "lib/common/common.ml"
+           "let wall_s () = Unix.gettimeofday ()\n");
+      check_clean "other Unix calls are clean"
+        (lint_one root "bin/a.ml"
+           "let s = Unix.sleepf 0.1\nlet g = gettimeofday\n"))
+
+let wall_clock_suppressed () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "bin/a.ml"
+          "let t = Unix.gettimeofday () (* lint: allow wall-clock *)\n"
+      in
+      match fs with
+      | [ ("wall-clock", 1, true) ] -> ()
+      | _ -> Alcotest.fail "expected one suppressed wall-clock finding")
+
 (* ---------------- mli-coverage (tree rule, via run) ---------------- *)
 
 let mli_coverage_positive () =
@@ -382,6 +413,12 @@ let suites =
         test "positive" bench_json_positive;
         test "negative" bench_json_negative;
         test "suppressed" bench_json_suppressed;
+      ] );
+    ( "lint.wall-clock",
+      [
+        test "positive" wall_clock_positive;
+        test "negative" wall_clock_negative;
+        test "suppressed" wall_clock_suppressed;
       ] );
     ( "lint.mli-coverage",
       [

@@ -336,6 +336,37 @@ let bench_json_outside_bench =
               | _ -> ()));
   }
 
+(* ------------------------------------------------------------------ *)
+(* wall-clock: Unix.gettimeofday outside lib/common/. The wall clock
+   steps under NTP, which silently corrupted bench duration minima;
+   durations go through Common.Clock.monotonic_ns/span_s and
+   timestamps through Common.Clock.wall_s. *)
+
+let wall_clock =
+  {
+    Lint.name = "wall-clock";
+    doc =
+      "Unix.gettimeofday outside lib/common/: the wall clock can step \
+       backwards under NTP and corrupt duration measurements. Use \
+       Common.Clock.monotonic_ns/span_s for durations and \
+       Common.Clock.wall_s for timestamp fields.";
+    applies = (fun path -> not (has_prefix ~prefix:"lib/common/" path));
+    check =
+      Lint.Ast_rule
+        (fun ~report ast ->
+          ast_iter ast ~on_expr:(fun e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; loc }
+                when strip_stdlib txt
+                     = Longident.Ldot (Longident.Lident "Unix", "gettimeofday")
+                ->
+                  report loc
+                    "Unix.gettimeofday measures the steppable wall clock; \
+                     use Common.Clock (monotonic_ns/span_s for durations, \
+                     wall_s for timestamps)"
+              | _ -> ()));
+  }
+
 let all =
   [
     float_equality;
@@ -345,4 +376,5 @@ let all =
     mli_coverage;
     marshal_outside_store;
     bench_json_outside_bench;
+    wall_clock;
   ]
