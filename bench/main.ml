@@ -652,7 +652,9 @@ let pull_mixing_time_all ?(eps = 0.25) ?(max_steps = 1_000_000) pool chain pi =
         incr t;
         tv := Push_mixing.tv_against pi !mu
       done;
+      (* lint: allow domain-capture — times.(s) has exactly one writer, start s *)
       times.(s) <- !t;
+      (* lint: allow domain-capture — mixed.(s) has exactly one writer, start s *)
       mixed.(s) <- !tv <= eps);
   if Array.for_all Fun.id mixed then Some (Array.fold_left Int.max 0 times)
   else None

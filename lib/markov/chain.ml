@@ -292,6 +292,7 @@ let evolve_pull_into ?pool t ~src ~dst =
   match pool with
   | Some pool when Exec.Pool.parallelize pool ~cost:(evolve_cost t) ~n:t.size ->
       Exec.Pool.parallel_for pool ~n:t.size (fun j ->
+          (* lint: allow domain-capture — pull kernel: dst.(j) has exactly one writer, iteration j *)
           Array.unsafe_set dst j (pull_one c src j))
   | _ ->
       (* Direct loop: a closure dispatch per destination costs ~15% of
@@ -306,6 +307,7 @@ let evolve_into ?pool t ~src ~dst =
   | Some pool when Exec.Pool.parallelize pool ~cost:(evolve_cost t) ~n:t.size ->
       let c = csc t in
       Exec.Pool.parallel_for pool ~n:t.size (fun j ->
+          (* lint: allow domain-capture — pull kernel: dst.(j) has exactly one writer, iteration j *)
           Array.unsafe_set dst j (pull_one c src j))
   | _ ->
       (* Below the cutover the push scatter is the fastest serial
@@ -364,6 +366,7 @@ let evolve_many_into ?pool t ~k ~(src : panel) ~(dst : panel) =
           in
           if mass > 0. then acc := !acc +. (mass *. Array.unsafe_get probs kk)
         done;
+        (* lint: allow domain-capture — SpMM: dst cell (r, j) has exactly one writer, dispatch item (b, j) *)
         Bigarray.Array1.unsafe_set dst (base + j) !acc
       done)
 
@@ -384,6 +387,7 @@ let apply ?pool t f =
           +. (Array.unsafe_get probs k
               *. Array.unsafe_get f (Array.unsafe_get cols k))
       done;
+      (* lint: allow domain-capture — gather: out.(i) has exactly one writer, iteration i *)
       Array.unsafe_set out i !acc);
   out
 

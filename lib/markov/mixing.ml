@@ -63,6 +63,7 @@ let tv_row pi (panel : Chain.panel) r =
 let refresh_tvs pool pi panel tvs =
   (* Cutover cost of one TV row: one |S|-length abs-diff sum. *)
   Exec.Pool.iter_opt ~cost:(Array.length pi) pool ~n:(Array.length tvs) (fun r ->
+      (* lint: allow domain-capture — tvs.(r) has exactly one writer, iteration r *)
       tvs.(r) <- tv_row pi panel r)
 
 let worst tvs = Array.fold_left Float.max 0. tvs
@@ -141,6 +142,7 @@ let empirical_tv ?pool rng t pi ~start ~steps ~replicas =
       for _ = 1 to steps do
         state := Chain.sample_step rng t !state
       done;
+      (* lint: allow domain-capture — final.(r) has exactly one writer, replica r *)
       final.(r) <- !state);
   let emp = Prob.Empirical.create (Chain.size t) in
   Array.iter (Prob.Empirical.add emp) final;

@@ -19,7 +19,7 @@ let connect ~socket_path =
   | () ->
       Ok { fd; reader = P.Reader.create (); buf = Bytes.create 65536; next_id = 1 }
   | exception Unix.Unix_error (err, _, _) ->
-      Unix.close fd;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
         (Printf.sprintf "cannot connect to %s: %s" socket_path
            (Unix.error_message err))

@@ -94,6 +94,10 @@ let socket_path t = t.socket_path
    already in it will wake the loop). *)
 let stop t =
   Atomic.set t.stop_flag true;
+  (* the byte count is irrelevant: any successful write wakes the
+     select loop, and a full pipe (EAGAIN) means a wake-up is already
+     pending *)
+  (* lint: allow unchecked-unix-result *)
   try ignore (Unix.write_substring t.wake_w "x" 0 1)
   with Unix.Unix_error _ -> ()
 
@@ -124,7 +128,11 @@ let accept_pass t =
   let rec go () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
-        if List.length t.clients >= t.max_clients then Unix.close fd
+        if List.length t.clients >= t.max_clients then
+          (* shedding an over-capacity connection must never kill the
+             accept loop: close itself can raise (EINTR, or ECONNRESET
+             from a peer that already hung up) *)
+          try Unix.close fd with Unix.Unix_error _ -> ()
         else begin
           Unix.set_nonblock fd;
           t.clients <-

@@ -45,7 +45,10 @@ let panel_of_rows rows =
 
 let panel_create len = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout len
 
-let panel_row p ~n r = Array.init n (fun i -> Bigarray.Array1.get p ((r * n) + i))
+(* The explicit panel annotation keeps the Bigarray read on the
+   monomorphic fast path (and the bigarray-boxing lint quiet). *)
+let panel_row (p : Markov.Chain.panel) ~n r =
+  Array.init n (fun i -> Bigarray.Array1.get p ((r * n) + i))
 
 (* Source vectors for the push-vs-pull kernels: a fair share of exact
    zeros exercises the zero-mass skip both kernels must agree on. *)

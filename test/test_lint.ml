@@ -1,9 +1,18 @@
-(* Fixture tests for the logitlint engine (tools/lint): per rule a
-   positive snippet, a negative snippet, and a suppressed snippet, all
-   driven through the real file-parsing path via a temp tree. *)
+(* Fixture tests for the logitlint engine (tools/lint): per syntactic
+   rule a positive snippet, a negative snippet, and a suppressed
+   snippet, all driven through the real file-parsing path via a temp
+   tree; per typed rule the same trio driven through the real .cmt
+   path — fixtures are compiled with `ocamlc -bin-annot` at test time
+   (stub Pool/Unix modules stand in for the real dependencies) and
+   analysed from their actual cmt files. *)
 
 open Helpers
 module L = Lint_engine.Lint
+module S = Lint_engine.Syntactic
+module T = Lint_engine.Typed
+module TR = Lint_engine.Typed_rules
+module Loc = Lint_engine.Locator
+module D = Lint_engine.Driver
 module R = Lint_engine.Rules
 
 (* ---------------- temp-tree plumbing ---------------- *)
@@ -41,15 +50,72 @@ let add root rel contents =
   output_string oc contents;
   close_out oc
 
-(* Lint one fixture file with every rule; return (rule, line, suppressed). *)
+(* Lint one fixture file with every syntactic rule; return
+   (rule, line, suppressed). *)
 let lint_one ?config root rel contents =
   add root rel contents;
   List.map
     (fun (f : L.finding) -> (f.rule, f.line, f.suppressed))
-    (L.lint_file ?config ~rules:R.all ~root ~relpath:rel ())
+    (S.lint_file ?config ~rules:R.all ~root ~relpath:rel ())
 
 let names fs = List.map (fun (r, _, _) -> r) fs
 let check_clean msg fs = check_int msg 0 (List.length fs)
+
+(* ---------------- typed-fixture plumbing ----------------
+
+   Compile [rel] (after its support modules [deps], all sharing one
+   include dir) with the real ocamlc at -bin-annot, then run the typed
+   rules on the resulting cmt exactly as the driver would. *)
+
+let compile_fixture root rel =
+  let dir = Filename.concat root (Filename.dirname rel) in
+  let cmd =
+    Filename.quote_command "ocamlc" ~stdout:Filename.null ~stderr:Filename.null
+      [ "-bin-annot"; "-w"; "-a"; "-c"; "-I"; dir; Filename.concat root rel ]
+  in
+  if Sys.command cmd <> 0 then
+    Alcotest.failf "fixture %s failed to compile" rel
+
+let typed_one ?(deps = []) root rel contents =
+  List.iter
+    (fun (drel, dcontents) ->
+      add root drel dcontents;
+      compile_fixture root drel)
+    deps;
+  add root rel contents;
+  compile_fixture root rel;
+  let cmt = Filename.concat root (Filename.chop_extension rel ^ ".cmt") in
+  let cmt_for r = if r = rel then Some cmt else None in
+  let findings, analysed, skipped =
+    T.run_pass ~root ~files:[ rel ]
+      ~config_for:(fun _ -> L.Config.empty)
+      ~rules:TR.all ~cmt_for
+  in
+  check_int "fixture cmt analysed" 1 analysed;
+  check_clean "fixture cmt not skipped" skipped;
+  List.map (fun (f : L.finding) -> (f.rule, f.line, f.suppressed)) findings
+
+(* Stub stand-ins for the real dependencies, so fixtures compile with
+   a bare ocamlc: path matching in the rules sees the same component
+   names ([Pool.parallel_for], [Unix.read], [Unix_error]) as with the
+   real libraries. *)
+let pool_stub =
+  ( "lib/pool.ml",
+    "type t = unit\n\
+     let parallel_for (_ : t) ~n:(_ : int) (f : int -> unit) = f 0\n\
+     let iter_opt (_ : t option) ~cost:(_ : int) ~n:(_ : int) (f : int -> unit) =\n\
+    \  f 0\n\
+     let map (_ : t) ~n (f : int -> 'a) = Array.init n f\n" )
+
+let unix_stub =
+  ( "lib/serve/unix.ml",
+    "type error = EINTR | EAGAIN | EBADF\n\
+     exception Unix_error of error * string * string\n\
+     type file_descr = int\n\
+     let read (_ : file_descr) (_ : bytes) (_ : int) (n : int) = n\n\
+     let write_substring (_ : file_descr) (_ : string) (_ : int) (n : int) = n\n\
+     let close (_ : file_descr) = ()\n\
+     let accept (fd : file_descr) = (fd, ())\n" )
 
 (* ---------------- float-equality ---------------- *)
 
@@ -300,7 +366,7 @@ let mli_coverage_positive () =
       add root "lib/covered.ml" "let x = 1\n";
       add root "lib/covered.mli" "val x : int\n";
       add root "bin/main.ml" "let () = ()\n";
-      let result = L.run ~root ~dirs:[ "lib"; "bin" ] ~rules:R.all in
+      let result = D.run ~root ~dirs:[ "lib"; "bin" ] () in
       let v = L.violations result in
       check_int "exactly the uncovered lib module is flagged" 1
         (List.length v);
@@ -313,10 +379,222 @@ let mli_coverage_positive () =
 let mli_coverage_suppressed () =
   with_root (fun root ->
       add root "lib/bare.ml" "(* lint: allow mli-coverage *)\nlet x = 1\n";
-      let result = L.run ~root ~dirs:[ "lib" ] ~rules:R.all in
+      let result = D.run ~root ~dirs:[ "lib" ] () in
       check_int "suppressed on line 1" 0 (List.length (L.violations result));
       check_int "still reported as suppressed" 1
         (List.length (L.suppressed result)))
+
+(* ---------------- domain-capture (typed) ---------------- *)
+
+let domain_capture_positive () =
+  with_root (fun root ->
+      (* A genuinely racy closure — run on a real pool, domains race on
+         [total] (a lost update TSan flags as a data race on the ref's
+         contents) and on [counts] (concurrent unsynchronised
+         Array.set). *)
+      let fs =
+        typed_one ~deps:[ pool_stub ] root "lib/kernels.ml"
+          "let total = ref 0.\n\
+           let sum_racy pool (data : float array) =\n\
+          \  Pool.parallel_for pool ~n:(Array.length data) (fun i ->\n\
+          \      total := !total +. data.(i));\n\
+          \  !total\n\
+           let histogram_racy pool (counts : int array) (xs : int array) =\n\
+          \  Pool.parallel_for pool ~n:(Array.length xs) (fun i ->\n\
+          \      counts.(xs.(i)) <- counts.(xs.(i)) + 1)\n\
+           type acc = { mutable best : float }\n\
+           let best_racy pool (a : acc) (data : float array) =\n\
+          \  Pool.iter_opt (Some pool) ~cost:1 ~n:(Array.length data) (fun i ->\n\
+          \      if data.(i) > a.best then a.best <- data.(i))\n"
+      in
+      check_int "ref :=, Array.set and mutable-field writes all flagged" 3
+        (List.length (List.filter (( = ) "domain-capture") (names fs)));
+      List.iter (fun (_, _, s) -> check_false "not suppressed" s) fs)
+
+let domain_capture_negative () =
+  with_root (fun root ->
+      (* Atomic publication and chunk-local accumulation are the two
+         sanctioned shapes; both must stay silent. *)
+      check_clean "Atomic and chunk-local writes are clean"
+        (typed_one ~deps:[ pool_stub ] root "lib/kernels.ml"
+           "let sum_atomic pool (data : float array) =\n\
+           \  let hits = Atomic.make 0 in\n\
+           \  Pool.parallel_for pool ~n:(Array.length data) (fun i ->\n\
+           \      if data.(i) > 0. then Atomic.incr hits);\n\
+           \  Atomic.get hits\n\
+            let chunk_local pool n =\n\
+           \  Pool.parallel_for pool ~n (fun _ ->\n\
+           \      let acc = ref 0 in\n\
+           \      let scratch = Array.make 4 0 in\n\
+           \      for j = 0 to 3 do\n\
+           \        acc := !acc + j;\n\
+           \        scratch.(j) <- !acc\n\
+           \      done;\n\
+           \      ignore scratch.(0))\n"))
+
+let domain_capture_ordinary_calls_clean () =
+  with_root (fun root ->
+      (* The same writes outside a pool dispatch are not the pool's
+         business. *)
+      check_clean "captured writes outside Pool closures are clean"
+        (typed_one ~deps:[ pool_stub ] root "lib/kernels.ml"
+           "let total = ref 0.\n\
+            let serial_sum (data : float array) =\n\
+           \  Array.iter (fun x -> total := !total +. x) data;\n\
+           \  !total\n"))
+
+let domain_capture_suppressed () =
+  with_root (fun root ->
+      let fs =
+        typed_one ~deps:[ pool_stub ] root "lib/kernels.ml"
+          "let fill pool (dst : float array) =\n\
+          \  Pool.parallel_for pool ~n:(Array.length dst) (fun i ->\n\
+          \      (* lint: allow domain-capture — one writer per index *)\n\
+          \      dst.(i) <- float_of_int i)\n"
+      in
+      match fs with
+      | [ ("domain-capture", _, true) ] -> ()
+      | _ -> Alcotest.fail "expected one suppressed domain-capture finding")
+
+(* ---------------- bigarray-boxing (typed) ---------------- *)
+
+let bigarray_boxing_positive () =
+  with_root (fun root ->
+      let fs =
+        typed_one root "lib/panel.ml"
+          "let sum ba n =\n\
+          \  let acc = ref 0. in\n\
+          \  for i = 0 to n - 1 do\n\
+          \    acc := !acc +. Bigarray.Array1.get ba i\n\
+          \  done;\n\
+          \  !acc\n"
+      in
+      match fs with
+      | [ ("bigarray-boxing", 4, false) ] -> ()
+      | _ ->
+          Alcotest.failf "expected one bigarray-boxing finding at line 4, got %s"
+            (String.concat ", " (names fs)))
+
+let bigarray_boxing_negative () =
+  with_root (fun root ->
+      (* Concrete through an abbreviation: the rule must expand
+         [panel] before judging, exactly the Chain.panel shape. *)
+      check_clean "annotated (abbreviated) panels are clean"
+        (typed_one root "lib/panel.ml"
+           "type panel =\n\
+           \  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t\n\
+            let sum (ba : panel) n =\n\
+           \  let acc = ref 0. in\n\
+           \  for i = 0 to n - 1 do\n\
+           \    acc := !acc +. Bigarray.Array1.get ba i\n\
+           \  done;\n\
+           \  !acc\n\
+            let made () = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout 4\n\
+            let peek () = Bigarray.Array1.get (made ()) 0\n"))
+
+let bigarray_boxing_suppressed () =
+  with_root (fun root ->
+      let fs =
+        typed_one root "lib/panel.ml"
+          "let first ba =\n\
+          \  (* lint: allow bigarray-boxing — cold debug path *)\n\
+          \  Bigarray.Array1.get ba 0\n"
+      in
+      match fs with
+      | [ ("bigarray-boxing", 3, true) ] -> ()
+      | _ -> Alcotest.fail "expected one suppressed bigarray-boxing finding")
+
+(* ---------------- unchecked-unix-result (typed) ---------------- *)
+
+let unchecked_unix_positive () =
+  with_root (fun root ->
+      let fs =
+        typed_one ~deps:[ unix_stub ] root "lib/serve/conn.ml"
+          "let drop fd = Unix.close fd\n\
+           let send fd s = ignore (Unix.write_substring fd s 0 (String.length s))\n"
+      in
+      (* close: unguarded; write_substring: unguarded AND discarded. *)
+      check_int "three findings" 3
+        (List.length (List.filter (( = ) "unchecked-unix-result") (names fs)));
+      List.iter (fun (_, _, s) -> check_false "not suppressed" s) fs)
+
+let unchecked_unix_negative () =
+  with_root (fun root ->
+      check_clean "guarded and consumed Unix calls are clean"
+        (typed_one ~deps:[ unix_stub ] root "lib/serve/conn.ml"
+           "let rec read_retry fd buf len =\n\
+           \  match Unix.read fd buf 0 len with\n\
+           \  | n -> n\n\
+           \  | exception Unix.Unix_error (Unix.EINTR, _, _) ->\n\
+           \      read_retry fd buf len\n\
+            let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()\n\
+            let accept_one fd =\n\
+           \  try Some (fst (Unix.accept fd))\n\
+           \  with Unix.Unix_error (Unix.EAGAIN, _, _) -> None\n");
+      (* The rule only applies under lib/serve and lib/store. *)
+      check_clean "Unix elsewhere is out of scope"
+        (typed_one
+           ~deps:[ ("lib/unix.ml", snd unix_stub) ]
+           root "lib/other.ml" "let drop fd = Unix.close fd\n"))
+
+let unchecked_unix_suppressed () =
+  with_root (fun root ->
+      let fs =
+        typed_one ~deps:[ unix_stub ] root "lib/store/io.ml"
+          "let wake fd =\n\
+          \  (* lint: allow unchecked-unix-result — any write wakes the loop *)\n\
+          \  ignore (Unix.write_substring fd \"x\" 0 1)\n"
+      in
+      check_true "at least one finding" (fs <> []);
+      List.iter
+        (fun (r, _, s) ->
+          check_true "rule" (r = "unchecked-unix-result");
+          check_true "suppressed" s)
+        fs)
+
+(* ---------------- suppression edge cases ---------------- *)
+
+let suppression_inside_functor () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "module F (X : sig val v : float end) = struct\n\
+          \  (* lint: allow float-equality — functor body *)\n\
+          \  let is_zero = X.v = 0.\n\
+           end\n"
+      in
+      (match fs with
+      | [ ("float-equality", 3, true) ] -> ()
+      | _ -> Alcotest.fail "expected one suppressed finding in functor body");
+      let unsuppressed =
+        lint_one root "lib/b.ml"
+          "module F (X : sig val v : float end) = struct\n\
+          \  let is_zero = X.v = 0.\n\
+           end\n"
+      in
+      match unsuppressed with
+      | [ ("float-equality", 2, false) ] -> ()
+      | _ -> Alcotest.fail "expected one live finding in functor body")
+
+let suppression_names_multiple_rules () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "(* lint: allow exn-policy float-equality *)\n\
+           let f x = if x = 0. then failwith \"both suppressed\" else ()\n"
+      in
+      check_int "both findings present" 2 (List.length fs);
+      List.iter (fun (_, _, s) -> check_true "suppressed" s) fs)
+
+let suppression_wrong_rule_does_not_cover () =
+  with_root (fun root ->
+      let fs =
+        lint_one root "lib/a.ml"
+          "(* lint: allow exn-policy *)\nlet f x = x = 0.\n"
+      in
+      match fs with
+      | [ ("float-equality", 2, false) ] -> ()
+      | _ -> Alcotest.fail "a comment naming another rule must not suppress")
 
 (* ---------------- engine plumbing ---------------- *)
 
@@ -325,7 +603,7 @@ let parse_error_reported () =
       let fs = lint_one root "lib/bad.ml" "let let let = in in\n" in
       match fs with
       | [ (rule, _, suppressed) ] ->
-          check_true "parse-error rule" (rule = L.parse_error_rule);
+          check_true "parse-error rule" (rule = S.parse_error_rule);
           check_false "never suppressed" suppressed
       | _ -> Alcotest.fail "expected exactly one parse-error finding")
 
@@ -341,25 +619,105 @@ let subtree_config_inherited () =
       add root "lib/.logitlint" "disable exn-policy\n";
       add root "lib/deep/nested.ml" "let f () = failwith \"ok here\"\n";
       add root "lib/deep/nested.mli" "val f : unit -> 'a\n";
-      let result = L.run ~root ~dirs:[ "lib" ] ~rules:R.all in
+      let result = D.run ~root ~dirs:[ "lib" ] () in
       check_int "directive applies to the whole subtree" 0
         (List.length (L.violations result)))
 
-let suppression_names_multiple_rules () =
+let timing_reported () =
   with_root (fun root ->
-      let fs =
-        lint_one root "lib/a.ml"
-          "(* lint: allow exn-policy float-equality *)\n\
-           let f x = if x = 0. then failwith \"both suppressed\" else ()\n"
-      in
-      check_int "both findings present" 2 (List.length fs);
-      List.iter (fun (_, _, s) -> check_true "suppressed" s) fs)
+      add root "lib/a.ml" "let x = 1\n";
+      add root "lib/a.mli" "val x : int\n";
+      let result = D.run ~root ~dirs:[ "lib" ] () in
+      check_true "syntactic wall time is measured"
+        (result.L.syntactic_ms >= 0.);
+      let json = L.to_json ~root result in
+      check_true "json reports syntactic_ms"
+        (contains_substring json "\"syntactic_ms\"");
+      check_true "json reports typed_ms" (contains_substring json "\"typed_ms\"");
+      check_true "json reports typed_files"
+        (contains_substring json "\"typed_files\""))
+
+let typed_pass_skips_without_cmt () =
+  with_root (fun root ->
+      add root "lib/a.ml" "let x = 1\n";
+      add root "lib/a.mli" "val x : int\n";
+      (* No _build tree: the typed pass must degrade to a skip, never
+         an error. *)
+      let result = D.run ~root ~dirs:[ "lib" ] ~typed:true ~locator:Loc.Scan () in
+      check_int "nothing analysed" 0 result.L.typed_files;
+      check_true "the .ml is reported as skipped"
+        (List.mem "lib/a.ml" result.L.typed_skipped);
+      check_int "no violations invented" 0 (List.length (L.violations result)))
+
+(* ---------------- locator ---------------- *)
+
+let canned_describe =
+  "((root /workspace_root)\n\
+  \ (build_context _build/default)\n\
+  \ (executables\n\
+  \  ((names (main))\n\
+  \   (modules\n\
+  \    (((name Main)\n\
+  \      (impl (_build/default/bin/main.ml))\n\
+  \      (intf ())\n\
+  \      (cmt (_build/default/bin/.main.eobjs/byte/dune__exe__Main.cmt))\n\
+  \      (cmti ()))))))\n\
+  \ (library\n\
+  \  ((name markov)\n\
+  \   (modules\n\
+  \    (((name Chain)\n\
+  \      (impl (_build/default/lib/markov/chain.ml))\n\
+  \      (intf (_build/default/lib/markov/chain.mli))\n\
+  \      (cmt (_build/default/lib/markov/.markov.objs/byte/markov__Chain.cmt))\n\
+  \      (cmti (_build/default/lib/markov/.markov.objs/byte/markov__Chain.cmti)))\n\
+  \     ((name Intf_only)\n\
+  \      (impl ())\n\
+  \      (intf (_build/default/lib/markov/intf_only.mli))\n\
+  \      (cmt ())\n\
+  \      (cmti ())))))))\n"
+
+let locator_parses_describe_output () =
+  let pairs = Loc.parse_describe canned_describe in
+  check_int "two modules with both impl and cmt" 2 (List.length pairs);
+  check_true "library module mapped"
+    (List.mem_assoc "lib/markov/chain.ml" pairs);
+  check_true "executable module mapped" (List.mem_assoc "bin/main.ml" pairs);
+  check_true "library cmt path kept verbatim"
+    (List.assoc "lib/markov/chain.ml" pairs
+    = "_build/default/lib/markov/.markov.objs/byte/markov__Chain.cmt")
+
+let locator_scan_inverts_dune_layout () =
+  with_root (fun root ->
+      add root "lib/m/foo.ml" "let x = 1\n";
+      add root "bin/tool.ml" "let () = ()\n";
+      add root "_build/default/lib/m/.m.objs/byte/m__Foo.cmt" "";
+      (* wrapper/alias module: no source, must drop out *)
+      add root "_build/default/lib/m/.m.objs/byte/m.cmt" "";
+      add root "_build/default/bin/.tool.eobjs/byte/dune__exe__Tool.cmt" "";
+      let pairs = Loc.scan_build ~root in
+      check_int "exactly the two real modules" 2 (List.length pairs);
+      check_true "library module inverted" (List.mem_assoc "lib/m/foo.ml" pairs);
+      check_true "executable module inverted"
+        (List.mem_assoc "bin/tool.ml" pairs))
+
+let locator_sexp_parser_handles_quotes_and_comments () =
+  match Loc.parse_sexps "; comment\n(a \"b c\" (d))" with
+  | [ Loc.List [ Loc.Atom "a"; Loc.Atom "b c"; Loc.List [ Loc.Atom "d" ] ] ] ->
+      ()
+  | _ -> Alcotest.fail "sexp parse mismatch"
+
+(* ---------------- the acceptance gate ---------------- *)
 
 let whole_repo_is_clean () =
   (* The acceptance gate, as a test: the shipped tree carries zero
-     unsuppressed violations. Dune runs tests inside _build, where
-     dotfiles like .logitlint are not copied, so walk the real source
-     tree via DUNE_SOURCEROOT (set by dune for every test action). *)
+     unsuppressed violations, syntactic AND typed. Dune runs tests
+     inside _build, where dotfiles like .logitlint are not copied, so
+     walk the real source tree via DUNE_SOURCEROOT (set by dune for
+     every test action). The typed pass uses the scan locator (`dune
+     describe` would deadlock against the dune that is running this
+     test) over the cmts of the build that produced this binary;
+     sources without a cmt are skips, not failures, so a partial
+     build cannot fail the gate spuriously. *)
   match Sys.getenv_opt "DUNE_SOURCEROOT" with
   | None -> ()
   | Some root when
@@ -367,9 +725,7 @@ let whole_repo_is_clean () =
     ->
       Alcotest.fail "source root is missing lib/experiments/.logitlint"
   | Some root ->
-      let result =
-        L.run ~root ~dirs:[ "lib"; "bin"; "bench"; "test" ] ~rules:R.all
-      in
+      let result = D.run ~root ~typed:true ~locator:Loc.Scan () in
       List.iter
         (fun (f : L.finding) ->
           Alcotest.failf "unsuppressed violation: %s:%d [%s] %s" f.file f.line
@@ -425,12 +781,44 @@ let suites =
         test "positive" mli_coverage_positive;
         test "suppressed" mli_coverage_suppressed;
       ] );
+    ( "lint.domain-capture",
+      [
+        test "positive (racy closure)" domain_capture_positive;
+        test "negative (Atomic, chunk-local)" domain_capture_negative;
+        test "negative (no pool dispatch)" domain_capture_ordinary_calls_clean;
+        test "suppressed" domain_capture_suppressed;
+      ] );
+    ( "lint.bigarray-boxing",
+      [
+        test "positive (inferred polymorphic)" bigarray_boxing_positive;
+        test "negative (abbreviated concrete)" bigarray_boxing_negative;
+        test "suppressed" bigarray_boxing_suppressed;
+      ] );
+    ( "lint.unchecked-unix-result",
+      [
+        test "positive (unguarded, discarded)" unchecked_unix_positive;
+        test "negative (guarded, out of scope)" unchecked_unix_negative;
+        test "suppressed" unchecked_unix_suppressed;
+      ] );
+    ( "lint.suppression",
+      [
+        test "inside a functor body" suppression_inside_functor;
+        test "one comment can allow several rules" suppression_names_multiple_rules;
+        test "naming another rule does not cover" suppression_wrong_rule_does_not_cover;
+      ] );
+    ( "lint.locator",
+      [
+        test "parses dune describe output" locator_parses_describe_output;
+        test "scan inverts dune's _build layout" locator_scan_inverts_dune_layout;
+        test "sexp reader: quotes and comments" locator_sexp_parser_handles_quotes_and_comments;
+      ] );
     ( "lint.engine",
       [
         test "parse errors become findings" parse_error_reported;
         test "malformed config raises" config_error_raises;
         test "config inherited down the subtree" subtree_config_inherited;
-        test "one comment can allow several rules" suppression_names_multiple_rules;
-        test "whole repo is clean" whole_repo_is_clean;
+        test "wall time measured and reported" timing_reported;
+        test "typed pass skips without cmts" typed_pass_skips_without_cmt;
+        test "whole repo is clean (syntactic + typed)" whole_repo_is_clean;
       ] );
   ]

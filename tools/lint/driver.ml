@@ -1,0 +1,38 @@
+(* Composing the two passes into one run: discover sources, resolve
+   per-directory config once, run the syntactic pass (always) and the
+   typed pass (opt-in: it needs a bin-annot build), merge and time. *)
+
+let default_dirs = [ "lib"; "bin"; "bench"; "test"; "tools" ]
+
+let ms_since t0 = Common.Clock.span_s ~since:t0 *. 1000.
+
+let run ?(dirs = default_dirs) ?(typed = false) ?(locator = Locator.Auto)
+    ~root () : Lint.result =
+  let config_for = Lint.config_cache root in
+  let files = Syntactic.discover ~root ~dirs in
+  let t0 = Common.Clock.monotonic_ns () in
+  let syntactic =
+    Syntactic.run_pass ~root ~files ~config_for ~rules:Rules.all
+  in
+  let syntactic_ms = ms_since t0 in
+  let typed_findings, typed_files, typed_skipped, typed_ms =
+    if not typed then ([], 0, [], 0.)
+    else begin
+      let t1 = Common.Clock.monotonic_ns () in
+      let cmt_for = Locator.locate ~root ~mode:locator in
+      let findings, analysed, skipped =
+        Typed.run_pass ~root ~files ~config_for ~rules:Typed_rules.all
+          ~cmt_for
+      in
+      (findings, analysed, skipped, ms_since t1)
+    end
+  in
+  {
+    Lint.files;
+    findings =
+      List.sort_uniq Lint.compare_findings (syntactic @ typed_findings);
+    typed_files;
+    typed_skipped;
+    syntactic_ms;
+    typed_ms;
+  }

@@ -1,0 +1,20 @@
+(** Composition of the {!Syntactic} and {!Typed} passes into one lint
+    run over a source tree. *)
+
+(** The directories scanned by default: ["lib"; "bin"; "bench";
+    "test"; "tools"] — the linter lints itself. *)
+val default_dirs : string list
+
+(** [run ~root ()] lints [root]. [typed] (default false) additionally
+    runs the .cmt-based pass — sources whose cmt cannot be found are
+    listed in [typed_skipped], not errors, so the syntactic pass
+    degrades gracefully without a build. [locator] picks the cmt
+    resolution strategy (default {!Locator.Auto}). Findings from both
+    passes are merged, sorted and deduplicated. *)
+val run :
+  ?dirs:string list ->
+  ?typed:bool ->
+  ?locator:Locator.mode ->
+  root:string ->
+  unit ->
+  Lint.result

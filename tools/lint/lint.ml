@@ -1,8 +1,10 @@
-(* The logitlint engine: file discovery, parsing, rule dispatch,
-   suppression comments, per-directory config, and the two reporters.
-   The rule catalogue itself lives in rules.ml. *)
-
-type kind = Ml | Mli
+(* The logitlint shared core: finding and result types, per-directory
+   config, suppression comments, and the two reporters. The two
+   analysis passes live in Syntactic (Parsetree, one walk per file)
+   and Typed (.cmt Typedtree, type information in hand); both funnel
+   their findings through the machinery here so a rule behaves the
+   same — same suppression syntax, same config directives, same
+   report shape — whichever pass hosts it. *)
 
 type finding = {
   rule : string;
@@ -13,22 +15,7 @@ type finding = {
   suppressed : bool;
 }
 
-type source_ast =
-  | Structure of Parsetree.structure
-  | Signature of Parsetree.signature
-
 type reporter = Location.t -> string -> unit
-
-type check =
-  | Ast_rule of (report:reporter -> source_ast -> unit)
-  | Tree_rule of (files:string list -> (string * string) list)
-
-type rule = {
-  name : string;
-  doc : string;
-  applies : string -> bool;
-  check : check;
-}
 
 exception Config_error of string
 
@@ -92,6 +79,35 @@ module Config = struct
       t
 end
 
+(* Per-directory [.logitlint] files compose down the tree: the config
+   in force for [lib/markov/chain.ml] is the concatenation of the
+   root, [lib/] and [lib/markov/] files. [config_cache root] memoises
+   the per-directory loads so both passes share one loader. *)
+
+let ancestors_of relpath =
+  (* "lib/markov/chain.ml" -> [""; "lib"; "lib/markov"] *)
+  let rec up acc dir =
+    if dir = "." || dir = "" || dir = "/" then "" :: acc
+    else up (dir :: acc) (Filename.dirname dir)
+  in
+  up [] (Filename.dirname relpath)
+
+let config_cache root =
+  let cache : (string, Config.t) Hashtbl.t = Hashtbl.create 16 in
+  let dir_config dir =
+    match Hashtbl.find_opt cache dir with
+    | Some c -> c
+    | None ->
+        let path =
+          if dir = "" then Filename.concat root ".logitlint"
+          else Filename.concat (Filename.concat root dir) ".logitlint"
+        in
+        let c = Config.load path in
+        Hashtbl.add cache dir c;
+        c
+  in
+  fun relpath -> List.concat_map dir_config (ancestors_of relpath)
+
 (* ------------------------------------------------------------------ *)
 (* Suppression comments: a finding of rule R at line L is suppressed
    when line L or line L-1 carries "lint: allow <rules>" naming R. *)
@@ -145,177 +161,35 @@ let suppressed_at lines ~rule ~line =
   in
   covers line || covers (line - 1)
 
-(* ------------------------------------------------------------------ *)
-(* Parsing. Pparse reads the file itself, so locations carry the path
-   we hand it. Parse and lex errors become "parse-error" findings —
-   never suppressed: the linter cannot vouch for code it cannot read. *)
-
-let parse_error_rule = "parse-error"
-
-let parse_ast kind path =
-  match kind with
-  | Ml -> Structure (Pparse.parse_implementation ~tool_name:"logitlint" path)
-  | Mli -> Signature (Pparse.parse_interface ~tool_name:"logitlint" path)
-
-let parse_error_finding relpath exn =
-  let line, col =
-    match exn with
-    | Syntaxerr.Error e ->
-        let loc = Syntaxerr.location_of_error e in
-        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
-    | Lexer.Error (_, loc) ->
-        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
-    | _ -> (1, 0)
-  in
-  {
-    rule = parse_error_rule;
-    file = relpath;
-    line;
-    col;
-    message = Printexc.to_string exn;
-    suppressed = false;
-  }
+(* The one reporter constructor both passes use: anchor a message at a
+   source location, decide suppression from the real source lines, and
+   accumulate. *)
+let reporter ~rule ~relpath ~lines ~into : reporter =
+ fun (loc : Location.t) message ->
+  let line = loc.loc_start.pos_lnum in
+  let col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol in
+  let suppressed = suppressed_at lines ~rule ~line in
+  into := { rule; file = relpath; line; col; message; suppressed } :: !into
 
 (* ------------------------------------------------------------------ *)
-(* Single-file driver (the fixture tests call this directly). *)
+(* Results and reporting. *)
 
-let kind_of_path path = if Filename.check_suffix path ".mli" then Mli else Ml
-
-let lint_file ?(config = Config.empty) ~rules ~root ~relpath () =
-  let abs = Filename.concat root relpath in
-  let active =
-    List.filter
-      (fun r ->
-        (match r.check with Ast_rule _ -> true | Tree_rule _ -> false)
-        && r.applies relpath
-        && not (Config.disables config ~rule:r.name ~path:relpath))
-      rules
-  in
-  if active = [] then []
-  else
-    match parse_ast (kind_of_path relpath) abs with
-    | exception ((Sys_error _ | Config_error _) as e) -> raise e
-    | exception exn -> [ parse_error_finding relpath exn ]
-    | ast ->
-        let lines = read_lines abs in
-        let out = ref [] in
-        List.iter
-          (fun r ->
-            let report (loc : Location.t) message =
-              let line = loc.loc_start.pos_lnum in
-              let col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol in
-              let suppressed = suppressed_at lines ~rule:r.name ~line in
-              out :=
-                { rule = r.name; file = relpath; line; col; message; suppressed }
-                :: !out
-            in
-            match r.check with
-            | Ast_rule f -> f ~report ast
-            | Tree_rule _ -> ())
-          active;
-        List.rev !out
-
-(* ------------------------------------------------------------------ *)
-(* Tree walk and the full run. *)
-
-let rec walk_dir root rel acc =
-  let abs = if rel = "" then root else Filename.concat root rel in
-  let entries = Sys.readdir abs in
-  Array.sort compare entries;
-  Array.fold_left
-    (fun acc name ->
-      if name = "" || name.[0] = '.' || name.[0] = '_' then acc
-      else
-        let rel' = if rel = "" then name else rel ^ "/" ^ name in
-        let abs' = Filename.concat abs name in
-        if Sys.is_directory abs' then walk_dir root rel' acc
-        else if
-          Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
-        then rel' :: acc
-        else acc)
-    acc entries
-
-type result = { files : string list; findings : finding list }
-
-let ancestors_of relpath =
-  (* "lib/markov/chain.ml" -> [""; "lib"; "lib/markov"] *)
-  let rec up acc dir =
-    if dir = "." || dir = "" || dir = "/" then "" :: acc
-    else up (dir :: acc) (Filename.dirname dir)
-  in
-  up [] (Filename.dirname relpath)
+type result = {
+  files : string list;
+  findings : finding list;
+  typed_files : int;
+  typed_skipped : string list;
+  syntactic_ms : float;
+  typed_ms : float;
+}
 
 let compare_findings a b =
-  compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
-
-let run ~root ~dirs ~rules =
-  let dirs = List.map (fun d -> if d = "." then "" else d) dirs in
-  let files =
-    List.concat_map
-      (fun d ->
-        let abs = if d = "" then root else Filename.concat root d in
-        if Sys.file_exists abs && Sys.is_directory abs then walk_dir root d []
-        else [])
-      dirs
-    |> List.sort_uniq compare
-  in
-  let cfg_cache : (string, Config.t) Hashtbl.t = Hashtbl.create 16 in
-  let dir_config dir =
-    match Hashtbl.find_opt cfg_cache dir with
-    | Some c -> c
-    | None ->
-        let path =
-          if dir = "" then Filename.concat root ".logitlint"
-          else Filename.concat (Filename.concat root dir) ".logitlint"
-        in
-        let c = Config.load path in
-        Hashtbl.add cfg_cache dir c;
-        c
-  in
-  let config_for relpath =
-    List.concat_map dir_config (ancestors_of relpath)
-  in
-  let per_file =
-    List.concat_map
-      (fun f -> lint_file ~config:(config_for f) ~rules ~root ~relpath:f ())
-      files
-  in
-  let tree =
-    List.concat_map
-      (fun r ->
-        match r.check with
-        | Ast_rule _ -> []
-        | Tree_rule g ->
-            g ~files
-            |> List.filter_map (fun (f, message) ->
-                   if not (r.applies f) then None
-                   else if
-                     Config.disables (config_for f) ~rule:r.name ~path:f
-                   then None
-                   else
-                     let abs = Filename.concat root f in
-                     let suppressed =
-                       Sys.file_exists abs
-                       && suppressed_at (read_lines abs) ~rule:r.name ~line:1
-                     in
-                     Some
-                       {
-                         rule = r.name;
-                         file = f;
-                         line = 1;
-                         col = 0;
-                         message;
-                         suppressed;
-                       }))
-      rules
-  in
-  { files; findings = List.sort compare_findings (per_file @ tree) }
+  compare
+    (a.file, a.line, a.col, a.rule, a.message)
+    (b.file, b.line, b.col, b.rule, b.message)
 
 let violations r = List.filter (fun f -> not f.suppressed) r.findings
 let suppressed r = List.filter (fun f -> f.suppressed) r.findings
-
-(* ------------------------------------------------------------------ *)
-(* Reporters. *)
 
 let to_text ?(show_suppressed = false) r =
   let buf = Buffer.create 1024 in
@@ -327,12 +201,25 @@ let to_text ?(show_suppressed = false) r =
              (if f.suppressed then " (suppressed)" else "")
              f.message))
     r.findings;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s: typed pass skipped (no .cmt; build @lint first)\n"
+           f))
+    r.typed_skipped;
   Buffer.add_string buf
-    (Printf.sprintf "logitlint: %d violation%s, %d suppressed, %d files scanned\n"
+    (Printf.sprintf
+       "logitlint: %d violation%s, %d suppressed, %d files scanned \
+        (syntactic %.1f ms%s)\n"
        (List.length (violations r))
        (if List.length (violations r) = 1 then "" else "s")
        (List.length (suppressed r))
-       (List.length r.files));
+       (List.length r.files)
+       r.syntactic_ms
+       (if r.typed_files > 0 || r.typed_skipped <> [] then
+          Printf.sprintf ", typed %.1f ms over %d cmt(s)" r.typed_ms
+            r.typed_files
+        else ""));
   Buffer.contents buf
 
 let json_escape s =
@@ -356,10 +243,15 @@ let to_json ~root r =
   Buffer.add_string buf
     (Printf.sprintf
        "{\n  \"root\": \"%s\",\n  \"files_scanned\": %d,\n  \
-        \"violations\": %d,\n  \"suppressed\": %d,\n  \"findings\": ["
+        \"violations\": %d,\n  \"suppressed\": %d,\n  \
+        \"typed_files\": %d,\n  \"syntactic_ms\": %.1f,\n  \
+        \"typed_ms\": %.1f,\n  \"typed_skipped\": [%s],\n  \"findings\": ["
        (json_escape root) (List.length r.files)
        (List.length (violations r))
-       (List.length (suppressed r)));
+       (List.length (suppressed r))
+       r.typed_files r.syntactic_ms r.typed_ms
+       (String.concat ", "
+          (List.map (fun f -> "\"" ^ json_escape f ^ "\"") r.typed_skipped)));
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char buf ',';

@@ -1,8 +1,10 @@
-(** The logitlint engine: discovery, parsing, rule dispatch,
-    suppression, per-directory config and reporting. The rule
-    catalogue lives in {!Rules}. *)
-
-type kind = Ml | Mli
+(** The logitlint shared core: finding/result types, per-directory
+    config, suppression comments and the reporters. The two analysis
+    passes — {!Syntactic} (Parsetree, one walk per file) and {!Typed}
+    (.cmt Typedtree) — both funnel findings through this module, so
+    rules behave identically (suppression syntax, config directives,
+    report shape) whichever pass hosts them. {!Driver} composes the
+    passes into a full run. *)
 
 type finding = {
   rule : string;
@@ -13,25 +15,7 @@ type finding = {
   suppressed : bool;
 }
 
-type source_ast =
-  | Structure of Parsetree.structure
-  | Signature of Parsetree.signature
-
 type reporter = Location.t -> string -> unit
-
-type check =
-  | Ast_rule of (report:reporter -> source_ast -> unit)
-      (** Called once per parsed file the rule applies to. *)
-  | Tree_rule of (files:string list -> (string * string) list)
-      (** Called once per run with every scanned relative path; returns
-          [(file, message)] findings anchored to line 1. *)
-
-type rule = {
-  name : string;  (** the name used by suppressions and config *)
-  doc : string;
-  applies : string -> bool;  (** relative-path filter *)
-  check : check;
-}
 
 (** Raised on a malformed [.logitlint] line; the CLI maps it to exit
     code 2 rather than silently ignoring configuration. *)
@@ -50,33 +34,44 @@ module Config : sig
   val disables : t -> rule:string -> path:string -> bool
 end
 
-(** Rule name attached to findings for unparseable files. Parse errors
-    are never suppressed. *)
-val parse_error_rule : string
+(** [config_cache root] is a memoised [relpath -> Config.t] resolver:
+    the config in force for a file is the concatenation of every
+    [.logitlint] on the directory path from the root down to it. Both
+    passes share one resolver per run. *)
+val config_cache : string -> string -> Config.t
 
-(** [lint_file ?config ~rules ~root ~relpath ()] parses one file and
-    runs every applicable AST rule, marking suppressed findings
-    (a line or preceding-line comment [(* lint: allow <rule> *)]).
-    Tree rules are skipped — they need the whole file list. *)
-val lint_file :
-  ?config:Config.t ->
-  rules:rule list ->
-  root:string ->
+(** [suppressed_at lines ~rule ~line] — whether line [line] or the
+    line above carries a [(* lint: allow <rule> *)] annotation. *)
+val suppressed_at : string array -> rule:string -> line:int -> bool
+
+(** [allowed_rules_of_line line] — the rule names a
+    ["lint: allow ..."] marker on [line] names (for tests). *)
+val allowed_rules_of_line : string -> string list
+
+(** [read_lines path] — the file's lines, for suppression lookup. *)
+val read_lines : string -> string array
+
+(** [reporter ~rule ~relpath ~lines ~into] anchors messages at source
+    locations, resolves suppression against [lines], and conses the
+    finding onto [into]. *)
+val reporter :
+  rule:string ->
   relpath:string ->
-  unit ->
-  finding list
+  lines:string array ->
+  into:finding list ref ->
+  reporter
 
-type result = { files : string list; findings : finding list }
+type result = {
+  files : string list;  (** every source file scanned *)
+  findings : finding list;  (** both passes, sorted and deduplicated *)
+  typed_files : int;  (** files the typed pass analysed *)
+  typed_skipped : string list;  (** typed-applicable files with no .cmt *)
+  syntactic_ms : float;  (** wall time of the syntactic pass *)
+  typed_ms : float;  (** wall time of the typed pass *)
+}
 
-(** [run ~root ~dirs ~rules] scans every [.ml]/[.mli] under
-    [root]/[dirs] (skipping dot- and underscore-prefixed entries),
-    threading per-directory [.logitlint] config down each subtree,
-    then runs tree rules over the collected file list. Findings are
-    sorted by (file, line, col, rule). *)
-val run : root:string -> dirs:string list -> rules:rule list -> result
-
+val compare_findings : finding -> finding -> int
 val violations : result -> finding list
 val suppressed : result -> finding list
-
 val to_text : ?show_suppressed:bool -> result -> string
 val to_json : root:string -> result -> string

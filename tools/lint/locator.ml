@@ -1,0 +1,286 @@
+(* Resolving source files to their .cmt artifacts. Primary strategy:
+   parse `dune describe workspace`, whose module entries carry both the
+   impl path and the cmt path. Fallback: scan `_build/default` and
+   invert dune's object-directory naming. The fallback matters beyond
+   robustness — `dune exec logitlint` holds the build lock, so a child
+   `dune describe` would deadlock; in that situation (and in the test
+   suite) only the scan is usable. *)
+
+(* ------------------------------------------------------------------ *)
+(* A minimal s-expression reader for `dune describe` output.          *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Sexp_error of string
+
+let parse_sexps (s : string) : sexp list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some ';' ->
+        (* comment to end of line *)
+        while peek () <> None && peek () <> Some '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let read_quoted () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Sexp_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some c -> Buffer.add_char buf c
+          | None -> raise (Sexp_error "dangling escape"));
+          advance ();
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_bare () =
+    let start = !pos in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | None | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') ->
+          stop := true
+      | Some _ -> advance ()
+    done;
+    String.sub s start (!pos - start)
+  in
+  let rec read_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Sexp_error "unexpected end of input")
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec items_loop () =
+          skip_ws ();
+          match peek () with
+          | None -> raise (Sexp_error "unterminated list")
+          | Some ')' -> advance ()
+          | Some _ ->
+              items := read_one () :: !items;
+              items_loop ()
+        in
+        items_loop ();
+        List (List.rev !items)
+    | Some ')' -> raise (Sexp_error "unexpected ')'")
+    | Some '"' -> Atom (read_quoted ())
+    | Some _ -> Atom (read_bare ())
+  in
+  let out = ref [] in
+  let rec toplevel () =
+    skip_ws ();
+    if peek () <> None then begin
+      out := read_one () :: !out;
+      toplevel ()
+    end
+  in
+  toplevel ();
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Path normalisation: describe output and _build paths both reduce to
+   root-relative source paths with '/' separators. *)
+
+let strip_prefix ~prefix s =
+  let np = String.length prefix and ns = String.length s in
+  if ns >= np && String.sub s 0 np = prefix then
+    Some (String.sub s np (ns - np))
+  else None
+
+let normalize_impl path =
+  match strip_prefix ~prefix:"_build/default/" path with
+  | Some rest -> rest
+  | None -> (
+      match strip_prefix ~prefix:"_build/" path with
+      | Some rest -> (
+          (* "_build/<context>/lib/..." *)
+          match String.index_opt rest '/' with
+          | Some i -> String.sub rest (i + 1) (String.length rest - i - 1)
+          | None -> rest)
+      | None -> path)
+
+(* ------------------------------------------------------------------ *)
+(* Strategy 1: `dune describe workspace`. Module entries look like
+   ((name Chain) ... (impl (_build/default/lib/markov/chain.ml))
+    ... (cmt (_build/default/lib/markov/.markov.objs/byte/markov__Chain.cmt)))
+   We walk the whole tree and collect any record carrying both fields. *)
+
+let field_path record key =
+  List.find_map
+    (function
+      | List [ Atom k; List [ Atom v ] ] when k = key -> Some v
+      | _ -> None)
+    record
+
+let parse_describe output =
+  let pairs = ref [] in
+  let rec walk = function
+    | Atom _ -> ()
+    | List items ->
+        (match (field_path items "impl", field_path items "cmt") with
+        | Some impl, Some cmt ->
+            pairs := (normalize_impl impl, cmt) :: !pairs
+        | _ -> ());
+        List.iter walk items
+  in
+  List.iter walk (parse_sexps output);
+  List.rev !pairs
+
+let run_describe ~root =
+  let out = Filename.temp_file "logitlint" ".describe" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Filename.quote_command "dune"
+          ~stdout:out ~stderr:Filename.null
+          [ "describe"; "workspace"; "--root"; root ]
+      in
+      if Sys.command cmd <> 0 then None
+      else
+        let ic = open_in_bin out in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic))))
+
+(* ------------------------------------------------------------------ *)
+(* Strategy 2: scan `_build/default` for .cmt files and invert dune's
+   naming. A library module's cmt lives at
+     <dir>/.<lib>.objs/byte/<lib>__<Module>.cmt   (or <lib>.cmt)
+   and an executable module's at
+     <dir>/.<exe>.eobjs/byte/dune__exe__<Module>.cmt
+   The inverse: take the basename, drop everything through the last
+   "__", uncapitalize, and look for <dir>/<module>.ml in the source
+   tree. Wrapper/alias modules have no source file and drop out. *)
+
+let module_of_cmt_basename base =
+  let rec last_sep i acc =
+    if i + 1 >= String.length base then acc
+    else if base.[i] = '_' && base.[i + 1] = '_' then last_sep (i + 2) (Some (i + 2))
+    else last_sep (i + 1) acc
+  in
+  let name =
+    match last_sep 0 None with
+    | Some i -> String.sub base i (String.length base - i)
+    | None -> base
+  in
+  String.uncapitalize_ascii name
+
+(* Directory of the source the cmt was compiled from: the cmt sits in
+   "<dir>/.<x>.objs/byte" (possibly "native"), so strip those three. *)
+let source_dir_of_cmt rel_cmt_dir =
+  let parts = String.split_on_char '/' rel_cmt_dir in
+  let rec strip_obj acc = function
+    | [] -> None
+    | [ ("byte" | "native") ] -> (
+        match acc with
+        | objs :: rest
+          when String.length objs > 1 && objs.[0] = '.' ->
+            Some (String.concat "/" (List.rev rest))
+        | _ -> None)
+    | x :: tl -> strip_obj (x :: acc) tl
+  in
+  strip_obj [] parts
+
+let rec scan_dir acc abs rel =
+  match Sys.readdir abs with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc name ->
+          let abs' = Filename.concat abs name in
+          let rel' = if rel = "" then name else rel ^ "/" ^ name in
+          if Sys.is_directory abs' then scan_dir acc abs' rel'
+          else if Filename.check_suffix name ".cmt" then (rel', abs') :: acc
+          else acc)
+        acc entries
+
+let scan_build ~root =
+  let build = Filename.concat (Filename.concat root "_build") "default" in
+  if not (Sys.file_exists build && Sys.is_directory build) then []
+  else
+    scan_dir [] build ""
+    |> List.filter_map (fun (rel_cmt, abs_cmt) ->
+           let base = Filename.remove_extension (Filename.basename rel_cmt) in
+           match source_dir_of_cmt (Filename.dirname rel_cmt) with
+           | None -> None
+           | Some src_dir ->
+               let m = module_of_cmt_basename base in
+               let src_rel =
+                 if src_dir = "" then m ^ ".ml" else src_dir ^ "/" ^ m ^ ".ml"
+               in
+               if Sys.file_exists (Filename.concat root src_rel) then
+                 Some (src_rel, abs_cmt)
+               else None)
+    |> List.rev
+
+(* ------------------------------------------------------------------ *)
+
+type mode = Auto | Dune | Scan
+
+let table_of pairs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (src, cmt) ->
+      if not (Hashtbl.mem tbl src) then Hashtbl.add tbl src cmt)
+    pairs;
+  tbl
+
+let locate ~root ~mode =
+  let via_dune () =
+    match run_describe ~root with
+    | None -> None
+    | Some out -> (
+        match parse_describe out with
+        | [] -> None
+        | pairs ->
+            (* describe emits cmt paths relative to the workspace root *)
+            Some
+              (List.map
+                 (fun (src, cmt) ->
+                   let cmt =
+                     if Filename.is_relative cmt then Filename.concat root cmt
+                     else cmt
+                   in
+                   (src, cmt))
+                 pairs)
+        | exception Sexp_error _ -> None)
+  in
+  let pairs =
+    match mode with
+    | Dune -> ( match via_dune () with Some p -> p | None -> [])
+    | Scan -> scan_build ~root
+    | Auto -> (
+        (* describe's module list can lag the build (it omits modules
+           whose stanza it cannot fully resolve), so the scan backfills
+           whatever describe leaves unmapped — table_of keeps the first
+           binding per source, i.e. describe wins on conflicts. *)
+        match via_dune () with
+        | Some p -> p @ scan_build ~root
+        | None -> scan_build ~root)
+  in
+  let tbl = table_of pairs in
+  fun src -> Hashtbl.find_opt tbl src

@@ -1,0 +1,34 @@
+(** Resolving source files to their [.cmt] artifacts for the typed
+    pass. Primary strategy: parse [dune describe workspace]. Fallback:
+    scan [_build/default] and invert dune's object-directory naming —
+    required whenever the linter runs under [dune exec] (the parent
+    dune holds the build lock, so a child [dune describe] cannot run)
+    and in the test suite. *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Sexp_error of string
+
+(** [parse_sexps s] reads a sequence of s-expressions ([;] comments and
+    double-quoted atoms supported). Raises {!Sexp_error}. *)
+val parse_sexps : string -> sexp list
+
+(** [parse_describe output] extracts [(source_relpath, cmt_path)] pairs
+    from [dune describe workspace] output: any record carrying both an
+    [(impl (...))] and a [(cmt (...))] field. Source paths are
+    normalised to be root-relative (the [_build/<context>/] prefix is
+    stripped); cmt paths are returned as printed. *)
+val parse_describe : string -> (string * string) list
+
+(** [scan_build ~root] walks [_build/default] for [.cmt] files and maps
+    each back to the source file it was compiled from, keeping only
+    modules whose [.ml] exists in the source tree (generated wrapper
+    and alias modules drop out). Returns [(source_relpath, abs_cmt)]
+    pairs. *)
+val scan_build : root:string -> (string * string) list
+
+type mode = Auto | Dune | Scan
+
+(** [locate ~root ~mode] builds the resolver: source relpath to cmt
+    path. [Auto] tries [dune describe] and falls back to the scan. *)
+val locate : root:string -> mode:mode -> string -> string option

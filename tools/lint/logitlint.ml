@@ -4,7 +4,7 @@
    Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/config/IO
    error. *)
 
-let default_dirs = [ "lib"; "bin"; "bench"; "test" ]
+open Lint_engine
 
 let () =
   let root = ref "." in
@@ -12,6 +12,9 @@ let () =
   let show_suppressed = ref false in
   let list_rules = ref false in
   let out_file = ref "" in
+  let typed = ref false in
+  let require_cmt = ref false in
+  let locator = ref Locator.Auto in
   let dirs = ref [] in
   let spec =
     [
@@ -22,6 +25,25 @@ let () =
       ( "--show-suppressed",
         Arg.Set show_suppressed,
         " include suppressed findings in the text report" );
+      ( "--typed",
+        Arg.Set typed,
+        " also run the .cmt-based typed pass (build @lint first)" );
+      ( "--require-cmt",
+        Arg.Set require_cmt,
+        " with --typed: treat a missing .cmt as a failure (exit 2), \
+         not a skip — the CI gate uses this" );
+      ( "--locator",
+        Arg.Symbol
+          ( [ "auto"; "dune"; "scan" ],
+            fun s ->
+              locator :=
+                match s with
+                | "dune" -> Locator.Dune
+                | "scan" -> Locator.Scan
+                | _ -> Locator.Auto ),
+        " cmt resolution strategy (default auto: dune describe, then \
+         _build scan; use scan when running under dune exec — the \
+         parent dune holds the build lock)" );
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
       ( "-o",
         Arg.Set_string out_file,
@@ -30,22 +52,23 @@ let () =
   in
   let usage =
     "logitlint [options] [DIR ...]\n\
-     Scans DIRs (default: lib bin bench test) under --root for project \
-     rule violations."
+     Scans DIRs (default: lib bin bench test tools) under --root for \
+     project rule violations."
   in
   Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
   if !list_rules then begin
     List.iter
-      (fun (r : Lint_engine.Lint.rule) ->
-        Printf.printf "%-16s %s\n" r.name r.doc)
-      Lint_engine.Rules.all;
+      (fun (r : Syntactic.rule) -> Printf.printf "%-22s %s\n" r.name r.doc)
+      Rules.all;
+    List.iter
+      (fun (r : Typed.rule) ->
+        Printf.printf "%-22s [typed] %s\n" r.name r.doc)
+      Typed_rules.all;
     exit 0
   end;
-  let dirs = if !dirs = [] then default_dirs else List.rev !dirs in
-  match
-    Lint_engine.Lint.run ~root:!root ~dirs ~rules:Lint_engine.Rules.all
-  with
-  | exception Lint_engine.Lint.Config_error msg ->
+  let dirs = if !dirs = [] then Driver.default_dirs else List.rev !dirs in
+  match Driver.run ~root:!root ~dirs ~typed:!typed ~locator:!locator () with
+  | exception Lint.Config_error msg ->
       prerr_endline ("logitlint: config error: " ^ msg);
       exit 2
   | exception Sys_error msg ->
@@ -54,8 +77,8 @@ let () =
   | result ->
       let report =
         match !format with
-        | "json" -> Lint_engine.Lint.to_json ~root:!root result
-        | _ -> Lint_engine.Lint.to_text ~show_suppressed:!show_suppressed result
+        | "json" -> Lint.to_json ~root:!root result
+        | _ -> Lint.to_text ~show_suppressed:!show_suppressed result
       in
       print_string report;
       if !out_file <> "" then begin
@@ -63,4 +86,10 @@ let () =
         output_string oc report;
         close_out oc
       end;
-      exit (if Lint_engine.Lint.violations result = [] then 0 else 1)
+      if !typed && !require_cmt && result.Lint.typed_skipped <> [] then begin
+        prerr_endline
+          "logitlint: --require-cmt: typed pass skipped files (run \
+           `dune build @lint` first)";
+        exit 2
+      end;
+      exit (if Lint.violations result = [] then 0 else 1)

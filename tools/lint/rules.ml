@@ -1,7 +1,8 @@
 (* The logitlint rule catalogue. Every rule here is motivated by a bug
    class this repository has actually hit; see DESIGN.md for the
-   stories. Adding a rule = one value of type Lint.rule appended to
-   [all]. *)
+   stories. Adding a rule = one value of type Syntactic.rule appended
+   to [all]; each contributes hooks that the engine drives from a
+   single shared AST traversal per file. *)
 
 open Parsetree
 
@@ -22,31 +23,6 @@ let has_prefix ~prefix s =
   && String.sub s 0 (String.length prefix) = prefix
 
 let in_lib path = has_prefix ~prefix:"lib/" path
-
-(* Run [on_expr]/[on_module_expr]/[on_typ] over every node of the AST. *)
-let ast_iter ?(on_expr = fun _ -> ()) ?(on_module_expr = fun _ -> ())
-    ?(on_typ = fun _ -> ()) (ast : Lint.source_ast) =
-  let open Ast_iterator in
-  let it =
-    {
-      default_iterator with
-      expr =
-        (fun it e ->
-          on_expr e;
-          default_iterator.expr it e);
-      module_expr =
-        (fun it m ->
-          on_module_expr m;
-          default_iterator.module_expr it m);
-      typ =
-        (fun it t ->
-          on_typ t;
-          default_iterator.typ it t);
-    }
-  in
-  match ast with
-  | Lint.Structure s -> it.structure it s
-  | Lint.Signature s -> it.signature it s
 
 (* ------------------------------------------------------------------ *)
 (* float-equality: =, <> or compare where an operand is syntactically
@@ -75,7 +51,7 @@ let is_float_shaped (e : expression) =
 
 let float_equality =
   {
-    Lint.name = "float-equality";
+    Syntactic.name = "float-equality";
     doc =
       "=, <> or compare with a syntactically float-shaped operand (float \
        literal, Float.* call, or +./-./*././/** arithmetic). Use Common.feq \
@@ -83,24 +59,29 @@ let float_equality =
        comparisons.";
     applies = (fun _ -> true);
     check =
-      Lint.Ast_rule
-        (fun ~report ast ->
-          ast_iter ast ~on_expr:(fun e ->
-              match e.pexp_desc with
-              | Pexp_apply
-                  ( { pexp_desc = Pexp_ident { txt; loc }; _ },
-                    (_, a) :: (_, b) :: _ ) -> (
-                  match strip_stdlib txt with
-                  | Longident.Lident (("=" | "<>" | "compare") as op)
-                    when is_float_shaped a || is_float_shaped b ->
-                      report loc
-                        (Printf.sprintf
-                           "exact float comparison (%s); use Common.feq ~eps, \
-                            or annotate '(* lint: allow float-equality *)' if \
-                            exact comparison is intended"
-                           op)
-                  | _ -> ())
-              | _ -> ()));
+      Syntactic.Ast_rule
+        (fun ~report ->
+          {
+            Syntactic.no_hooks with
+            on_expr =
+              (fun e ->
+                match e.pexp_desc with
+                | Pexp_apply
+                    ( { pexp_desc = Pexp_ident { txt; loc }; _ },
+                      (_, a) :: (_, b) :: _ ) -> (
+                    match strip_stdlib txt with
+                    | Longident.Lident (("=" | "<>" | "compare") as op)
+                      when is_float_shaped a || is_float_shaped b ->
+                        report loc
+                          (Printf.sprintf
+                             "exact float comparison (%s); use Common.feq \
+                              ~eps, or annotate '(* lint: allow \
+                              float-equality *)' if exact comparison is \
+                              intended"
+                             op)
+                    | _ -> ())
+                | _ -> ());
+          });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -111,28 +92,32 @@ let float_equality =
 
 let exn_policy =
   {
-    Lint.name = "exn-policy";
+    Syntactic.name = "exn-policy";
     doc =
       "failwith/Failure are banned under lib/: raise Invalid_argument for \
        precondition violations, Common.No_convergence for exhausted \
        iteration budgets, or a dedicated exception.";
     applies = in_lib;
     check =
-      Lint.Ast_rule
-        (fun ~report ast ->
-          ast_iter ast ~on_expr:(fun e ->
-              match e.pexp_desc with
-              | Pexp_ident { txt; loc } when strip_stdlib txt = Longident.Lident "failwith"
-                ->
-                  report loc
-                    "failwith under lib/; use invalid_arg or \
-                     Common.no_convergence"
-              | Pexp_construct ({ txt; loc }, _)
-                when strip_stdlib txt = Longident.Lident "Failure" ->
-                  report loc
-                    "constructing Failure under lib/; use invalid_arg or \
-                     Common.no_convergence"
-              | _ -> ()));
+      Syntactic.Ast_rule
+        (fun ~report ->
+          {
+            Syntactic.no_hooks with
+            on_expr =
+              (fun e ->
+                match e.pexp_desc with
+                | Pexp_ident { txt; loc }
+                  when strip_stdlib txt = Longident.Lident "failwith" ->
+                    report loc
+                      "failwith under lib/; use invalid_arg or \
+                       Common.no_convergence"
+                | Pexp_construct ({ txt; loc }, _)
+                  when strip_stdlib txt = Longident.Lident "Failure" ->
+                    report loc
+                      "constructing Failure under lib/; use invalid_arg or \
+                       Common.no_convergence"
+                | _ -> ());
+          });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -142,14 +127,14 @@ let exn_policy =
 
 let bare_random =
   {
-    Lint.name = "bare-random";
+    Syntactic.name = "bare-random";
     doc =
       "Stdlib.Random outside lib/prob/rng.ml; draw through Prob.Rng so \
        every run is a function of the seed alone.";
     applies = (fun path -> path <> "lib/prob/rng.ml");
     check =
-      Lint.Ast_rule
-        (fun ~report ast ->
+      Syntactic.Ast_rule
+        (fun ~report ->
           let flag loc what =
             report loc
               (Printf.sprintf
@@ -157,22 +142,26 @@ let bare_random =
                   splittable) instead"
                  what)
           in
-          ast_iter ast
-            ~on_expr:(fun e ->
-              match e.pexp_desc with
-              | Pexp_ident { txt; loc } when lid_head txt = "Random" ->
-                  flag loc "expression"
-              | _ -> ())
-            ~on_module_expr:(fun m ->
-              match m.pmod_desc with
-              | Pmod_ident { txt; loc } when lid_head txt = "Random" ->
-                  flag loc "module expression"
-              | _ -> ())
-            ~on_typ:(fun t ->
-              match t.ptyp_desc with
-              | Ptyp_constr ({ txt; loc }, _) when lid_head txt = "Random" ->
-                  flag loc "type"
-              | _ -> ()));
+          {
+            on_expr =
+              (fun e ->
+                match e.pexp_desc with
+                | Pexp_ident { txt; loc } when lid_head txt = "Random" ->
+                    flag loc "expression"
+                | _ -> ());
+            on_module_expr =
+              (fun m ->
+                match m.pmod_desc with
+                | Pmod_ident { txt; loc } when lid_head txt = "Random" ->
+                    flag loc "module expression"
+                | _ -> ());
+            on_typ =
+              (fun t ->
+                match t.ptyp_desc with
+                | Ptyp_constr ({ txt; loc }, _) when lid_head txt = "Random" ->
+                    flag loc "type"
+                | _ -> ());
+          });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -193,7 +182,7 @@ let stdout_printers =
 
 let print_in_lib =
   {
-    Lint.name = "print-in-lib";
+    Syntactic.name = "print-in-lib";
     doc =
       "printing to stdout from lib/ (print_*, Printf.printf, \
        Format.printf/print_*/std_formatter); return strings or take a \
@@ -201,27 +190,31 @@ let print_in_lib =
        lib/experiments/.logitlint.";
     applies = in_lib;
     check =
-      Lint.Ast_rule
-        (fun ~report ast ->
-          ast_iter ast ~on_expr:(fun e ->
-              match e.pexp_desc with
-              | Pexp_ident { txt; loc } -> (
-                  match strip_stdlib txt with
-                  | Longident.Lident s when List.mem s stdout_printers ->
-                      report loc
-                        (Printf.sprintf "%s prints to stdout from lib/" s)
-                  | Longident.Ldot (Longident.Lident "Printf", "printf") ->
-                      report loc "Printf.printf prints to stdout from lib/"
-                  | Longident.Ldot (Longident.Lident "Format", s)
-                    when s = "printf" || s = "std_formatter"
-                         || has_prefix ~prefix:"print_" s ->
-                      report loc
-                        (Printf.sprintf
-                           "Format.%s targets stdout from lib/; take a \
-                            formatter argument instead"
-                           s)
-                  | _ -> ())
-              | _ -> ()));
+      Syntactic.Ast_rule
+        (fun ~report ->
+          {
+            Syntactic.no_hooks with
+            on_expr =
+              (fun e ->
+                match e.pexp_desc with
+                | Pexp_ident { txt; loc } -> (
+                    match strip_stdlib txt with
+                    | Longident.Lident s when List.mem s stdout_printers ->
+                        report loc
+                          (Printf.sprintf "%s prints to stdout from lib/" s)
+                    | Longident.Ldot (Longident.Lident "Printf", "printf") ->
+                        report loc "Printf.printf prints to stdout from lib/"
+                    | Longident.Ldot (Longident.Lident "Format", s)
+                      when s = "printf" || s = "std_formatter"
+                           || has_prefix ~prefix:"print_" s ->
+                        report loc
+                          (Printf.sprintf
+                             "Format.%s targets stdout from lib/; take a \
+                              formatter argument instead"
+                             s)
+                    | _ -> ())
+                | _ -> ());
+          });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -230,11 +223,11 @@ let print_in_lib =
 
 let mli_coverage =
   {
-    Lint.name = "mli-coverage";
+    Syntactic.name = "mli-coverage";
     doc = "every .ml under lib/ must have a matching .mli interface.";
     applies = in_lib;
     check =
-      Lint.Tree_rule
+      Syntactic.Tree_rule
         (fun ~files ->
           let have = Hashtbl.create 64 in
           List.iter (fun f -> Hashtbl.replace have f ()) files;
@@ -262,15 +255,15 @@ let mli_coverage =
 
 let marshal_outside_store =
   {
-    Lint.name = "marshal-outside-store";
+    Syntactic.name = "marshal-outside-store";
     doc =
       "Marshal / output_value / input_value outside lib/store/: \
        unversioned, unvalidated bytes. Persist artifacts through the \
        Store codecs (framed, checksummed, versioned) instead.";
     applies = (fun path -> not (has_prefix ~prefix:"lib/store/" path));
     check =
-      Lint.Ast_rule
-        (fun ~report ast ->
+      Syntactic.Ast_rule
+        (fun ~report ->
           let flag loc what =
             report loc
               (Printf.sprintf
@@ -278,28 +271,33 @@ let marshal_outside_store =
                   Store codecs instead"
                  what)
           in
-          ast_iter ast
-            ~on_expr:(fun e ->
-              match e.pexp_desc with
-              | Pexp_ident { txt; loc }
-                when lid_head (strip_stdlib txt) = "Marshal" ->
-                  flag loc "expression"
-              | Pexp_ident { txt; loc } -> (
-                  match strip_stdlib txt with
-                  | Longident.Lident (("output_value" | "input_value") as s) ->
-                      report loc
-                        (Printf.sprintf
-                           "%s is Marshal in disguise; persist through the \
-                            Store codecs instead"
-                           s)
-                  | _ -> ())
-              | _ -> ())
-            ~on_module_expr:(fun m ->
-              match m.pmod_desc with
-              | Pmod_ident { txt; loc }
-                when lid_head (strip_stdlib txt) = "Marshal" ->
-                  flag loc "module expression"
-              | _ -> ()));
+          {
+            Syntactic.no_hooks with
+            on_expr =
+              (fun e ->
+                match e.pexp_desc with
+                | Pexp_ident { txt; loc }
+                  when lid_head (strip_stdlib txt) = "Marshal" ->
+                    flag loc "expression"
+                | Pexp_ident { txt; loc } -> (
+                    match strip_stdlib txt with
+                    | Longident.Lident (("output_value" | "input_value") as s)
+                      ->
+                        report loc
+                          (Printf.sprintf
+                             "%s is Marshal in disguise; persist through the \
+                              Store codecs instead"
+                             s)
+                    | _ -> ())
+                | _ -> ());
+            on_module_expr =
+              (fun m ->
+                match m.pmod_desc with
+                | Pmod_ident { txt; loc }
+                  when lid_head (strip_stdlib txt) = "Marshal" ->
+                    flag loc "module expression"
+                | _ -> ());
+          });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -315,25 +313,30 @@ let is_bench_json_literal s =
 
 let bench_json_outside_bench =
   {
-    Lint.name = "bench-json-outside-bench";
+    Syntactic.name = "bench-json-outside-bench";
     doc =
       "a BENCH_<name>.json filename literal outside lib/bench/: bench \
        artifacts are written through Bench.Sink (which owns the paths) so \
        every snapshot also lands in the BENCH_HISTORY.json trajectory.";
     applies = (fun path -> not (has_prefix ~prefix:"lib/bench/" path));
     check =
-      Lint.Ast_rule
-        (fun ~report ast ->
-          ast_iter ast ~on_expr:(fun e ->
-              match e.pexp_desc with
-              | Pexp_constant (Pconst_string (s, loc, _))
-                when is_bench_json_literal s ->
-                  report loc
-                    (Printf.sprintf
-                       "literal %S names a bench artifact outside lib/bench/; \
-                        route it through Bench.Sink / Bench.History"
-                       s)
-              | _ -> ()));
+      Syntactic.Ast_rule
+        (fun ~report ->
+          {
+            Syntactic.no_hooks with
+            on_expr =
+              (fun e ->
+                match e.pexp_desc with
+                | Pexp_constant (Pconst_string (s, loc, _))
+                  when is_bench_json_literal s ->
+                    report loc
+                      (Printf.sprintf
+                         "literal %S names a bench artifact outside \
+                          lib/bench/; route it through Bench.Sink / \
+                          Bench.History"
+                         s)
+                | _ -> ());
+          });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -344,7 +347,7 @@ let bench_json_outside_bench =
 
 let wall_clock =
   {
-    Lint.name = "wall-clock";
+    Syntactic.name = "wall-clock";
     doc =
       "Unix.gettimeofday outside lib/common/: the wall clock can step \
        backwards under NTP and corrupt duration measurements. Use \
@@ -352,19 +355,23 @@ let wall_clock =
        Common.Clock.wall_s for timestamp fields.";
     applies = (fun path -> not (has_prefix ~prefix:"lib/common/" path));
     check =
-      Lint.Ast_rule
-        (fun ~report ast ->
-          ast_iter ast ~on_expr:(fun e ->
-              match e.pexp_desc with
-              | Pexp_ident { txt; loc }
-                when strip_stdlib txt
-                     = Longident.Ldot (Longident.Lident "Unix", "gettimeofday")
-                ->
-                  report loc
-                    "Unix.gettimeofday measures the steppable wall clock; \
-                     use Common.Clock (monotonic_ns/span_s for durations, \
-                     wall_s for timestamps)"
-              | _ -> ()));
+      Syntactic.Ast_rule
+        (fun ~report ->
+          {
+            Syntactic.no_hooks with
+            on_expr =
+              (fun e ->
+                match e.pexp_desc with
+                | Pexp_ident { txt; loc }
+                  when strip_stdlib txt
+                       = Longident.Ldot
+                           (Longident.Lident "Unix", "gettimeofday") ->
+                    report loc
+                      "Unix.gettimeofday measures the steppable wall clock; \
+                       use Common.Clock (monotonic_ns/span_s for durations, \
+                       wall_s for timestamps)"
+                | _ -> ());
+          });
   }
 
 let all =

@@ -1,16 +1,18 @@
-(** The logitlint rule catalogue. README.md ("Lint") documents each
-    rule's motivation; [logitlint --list-rules] prints the docs. *)
+(** The syntactic (Parsetree) rule catalogue. README.md ("Lint")
+    documents each rule's motivation; [logitlint --list-rules] prints
+    the docs. *)
 
-val float_equality : Lint.rule
-val exn_policy : Lint.rule
-val bare_random : Lint.rule
-val print_in_lib : Lint.rule
-val mli_coverage : Lint.rule
-val marshal_outside_store : Lint.rule
-val bench_json_outside_bench : Lint.rule
+val float_equality : Syntactic.rule
+val exn_policy : Syntactic.rule
+val bare_random : Syntactic.rule
+val print_in_lib : Syntactic.rule
+val mli_coverage : Syntactic.rule
+val marshal_outside_store : Syntactic.rule
+val bench_json_outside_bench : Syntactic.rule
+val wall_clock : Syntactic.rule
 
 (** Every rule, in reporting order. *)
-val all : Lint.rule list
+val all : Syntactic.rule list
 
 (** [is_float_shaped e] — exposed for the fixture tests: whether an
     operand is syntactically float-valued (float literal, [Float.*]

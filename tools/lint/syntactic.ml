@@ -1,0 +1,194 @@
+(* The syntactic pass: file discovery, Parsetree parsing and the
+   single-walk rule engine. Every AST rule contributes a set of hooks
+   (on_expr / on_module_expr / on_typ); the engine instantiates the
+   hooks of every active rule once per file and drives them all from
+   ONE [Ast_iterator] traversal — with a dozen rules, the old
+   walk-per-rule engine re-traversed each AST a dozen times, and the
+   walks themselves (not parsing) dominated lint wall time. *)
+
+type kind = Ml | Mli
+
+type source_ast =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+(* A rule's per-file visitor: invoked from the shared traversal. *)
+type hooks = {
+  on_expr : Parsetree.expression -> unit;
+  on_module_expr : Parsetree.module_expr -> unit;
+  on_typ : Parsetree.core_type -> unit;
+}
+
+let nothing _ = ()
+let no_hooks = { on_expr = nothing; on_module_expr = nothing; on_typ = nothing }
+
+type check =
+  | Ast_rule of (report:Lint.reporter -> hooks)
+  | Tree_rule of (files:string list -> (string * string) list)
+
+type rule = {
+  name : string;
+  doc : string;
+  applies : string -> bool;
+  check : check;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. Pparse reads the file itself, so locations carry the path
+   we hand it. Parse and lex errors become "parse-error" findings —
+   never suppressed: the linter cannot vouch for code it cannot read. *)
+
+let parse_error_rule = "parse-error"
+
+let parse_ast kind path =
+  match kind with
+  | Ml -> Structure (Pparse.parse_implementation ~tool_name:"logitlint" path)
+  | Mli -> Signature (Pparse.parse_interface ~tool_name:"logitlint" path)
+
+let parse_error_finding relpath exn =
+  let line, col =
+    match exn with
+    | Syntaxerr.Error e ->
+        let loc = Syntaxerr.location_of_error e in
+        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    | Lexer.Error (_, loc) ->
+        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    | _ -> (1, 0)
+  in
+  {
+    Lint.rule = parse_error_rule;
+    file = relpath;
+    line;
+    col;
+    message = Printexc.to_string exn;
+    suppressed = false;
+  }
+
+(* One traversal, every hook: the iterator calls each rule's callback
+   at each node before descending. *)
+let walk_once hooks ast =
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          List.iter (fun h -> h.on_expr e) hooks;
+          default_iterator.expr it e);
+      module_expr =
+        (fun it m ->
+          List.iter (fun h -> h.on_module_expr m) hooks;
+          default_iterator.module_expr it m);
+      typ =
+        (fun it t ->
+          List.iter (fun h -> h.on_typ t) hooks;
+          default_iterator.typ it t);
+    }
+  in
+  match ast with
+  | Structure s -> it.structure it s
+  | Signature s -> it.signature it s
+
+(* ------------------------------------------------------------------ *)
+(* Single-file driver (the fixture tests call this directly). *)
+
+let kind_of_path path = if Filename.check_suffix path ".mli" then Mli else Ml
+
+let lint_file ?(config = Lint.Config.empty) ~rules ~root ~relpath () =
+  let abs = Filename.concat root relpath in
+  let active =
+    List.filter
+      (fun r ->
+        (match r.check with Ast_rule _ -> true | Tree_rule _ -> false)
+        && r.applies relpath
+        && not (Lint.Config.disables config ~rule:r.name ~path:relpath))
+      rules
+  in
+  if active = [] then []
+  else
+    match parse_ast (kind_of_path relpath) abs with
+    | exception ((Sys_error _ | Lint.Config_error _) as e) -> raise e
+    | exception exn -> [ parse_error_finding relpath exn ]
+    | ast ->
+        let lines = Lint.read_lines abs in
+        let out = ref [] in
+        let hooks =
+          List.filter_map
+            (fun r ->
+              match r.check with
+              | Ast_rule f ->
+                  Some
+                    (f ~report:(Lint.reporter ~rule:r.name ~relpath ~lines ~into:out))
+              | Tree_rule _ -> None)
+            active
+        in
+        walk_once hooks ast;
+        List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Tree walk and the pass over a file list. *)
+
+let rec walk_dir root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  let entries = Sys.readdir abs in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun acc name ->
+      if name = "" || name.[0] = '.' || name.[0] = '_' then acc
+      else
+        let rel' = if rel = "" then name else rel ^ "/" ^ name in
+        let abs' = Filename.concat abs name in
+        if Sys.is_directory abs' then walk_dir root rel' acc
+        else if
+          Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+        then rel' :: acc
+        else acc)
+    acc entries
+
+let discover ~root ~dirs =
+  let dirs = List.map (fun d -> if d = "." then "" else d) dirs in
+  List.concat_map
+    (fun d ->
+      let abs = if d = "" then root else Filename.concat root d in
+      if Sys.file_exists abs && Sys.is_directory abs then walk_dir root d []
+      else [])
+    dirs
+  |> List.sort_uniq compare
+
+let run_pass ~root ~files ~config_for ~rules =
+  let per_file =
+    List.concat_map
+      (fun f -> lint_file ~config:(config_for f) ~rules ~root ~relpath:f ())
+      files
+  in
+  let tree =
+    List.concat_map
+      (fun r ->
+        match r.check with
+        | Ast_rule _ -> []
+        | Tree_rule g ->
+            g ~files
+            |> List.filter_map (fun (f, message) ->
+                   if not (r.applies f) then None
+                   else if
+                     Lint.Config.disables (config_for f) ~rule:r.name ~path:f
+                   then None
+                   else
+                     let abs = Filename.concat root f in
+                     let suppressed =
+                       Sys.file_exists abs
+                       && Lint.suppressed_at (Lint.read_lines abs) ~rule:r.name
+                            ~line:1
+                     in
+                     Some
+                       {
+                         Lint.rule = r.name;
+                         file = f;
+                         line = 1;
+                         col = 0;
+                         message;
+                         suppressed;
+                       }))
+      rules
+  in
+  per_file @ tree

@@ -1,0 +1,68 @@
+(** The syntactic pass: file discovery, Parsetree parsing, and a rule
+    engine that drives every active rule's hooks from a single
+    [Ast_iterator] traversal per file. *)
+
+type kind = Ml | Mli
+
+type source_ast =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+(** A rule's per-file visitor. The engine calls each hook at every
+    node of the shared traversal. *)
+type hooks = {
+  on_expr : Parsetree.expression -> unit;
+  on_module_expr : Parsetree.module_expr -> unit;
+  on_typ : Parsetree.core_type -> unit;
+}
+
+(** Hooks that do nothing — the base for [with]-style rule bodies. *)
+val no_hooks : hooks
+
+type check =
+  | Ast_rule of (report:Lint.reporter -> hooks)
+      (** instantiated once per file; runs in the shared walk *)
+  | Tree_rule of (files:string list -> (string * string) list)
+      (** whole-tree check; returns (file, message) pairs *)
+
+type rule = {
+  name : string;
+  doc : string;
+  applies : string -> bool;  (** relpath filter *)
+  check : check;
+}
+
+(** Synthetic rule name for unparseable sources. Parse-error findings
+    are never suppressable. *)
+val parse_error_rule : string
+
+val kind_of_path : string -> kind
+
+(** [parse_ast kind path] — raises on I/O errors; parse and lex errors
+    propagate as their own exceptions (callers map them to
+    {!parse_error_rule} findings). *)
+val parse_ast : kind -> string -> source_ast
+
+(** [lint_file ~rules ~root ~relpath ()] runs every applicable AST
+    rule over one file in a single traversal. Parse failures yield a
+    single {!parse_error_rule} finding. *)
+val lint_file :
+  ?config:Lint.Config.t ->
+  rules:rule list ->
+  root:string ->
+  relpath:string ->
+  unit ->
+  Lint.finding list
+
+(** [discover ~root ~dirs] — every .ml/.mli under [dirs] (relative to
+    [root]), skipping dot- and underscore-prefixed entries, sorted. *)
+val discover : root:string -> dirs:string list -> string list
+
+(** [run_pass ~root ~files ~config_for ~rules] — per-file rules over
+    every file plus tree rules over the whole list. *)
+val run_pass :
+  root:string ->
+  files:string list ->
+  config_for:(string -> Lint.Config.t) ->
+  rules:rule list ->
+  Lint.finding list

@@ -1,0 +1,120 @@
+(* The typed pass: load a .cmt (dune -bin-annot output), reconstruct
+   enough of the compile-time environment to expand type abbreviations,
+   and hand the Typedtree to each typed rule. Runs per source file,
+   downstream of the same config/suppression machinery as the
+   syntactic pass. *)
+
+type rule = {
+  name : string;
+  doc : string;
+  applies : string -> bool;
+  check : report:Lint.reporter -> Typedtree.structure -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Environment reconstruction. A cmt stores environments as summaries;
+   Envaux rebuilds real ones by reloading cmis from the load path. The
+   recorded load path is the one dune used inside its sandbox —
+   cmt_builddir says "/workspace_root" and the entries are relative —
+   so relative entries must be rebased onto the real build directory
+   before Load_path can serve them. *)
+
+let rebase_loadpath ~root (infos : Cmt_format.cmt_infos) =
+  let base =
+    if
+      Sys.file_exists infos.cmt_builddir
+      && Sys.is_directory infos.cmt_builddir
+    then infos.cmt_builddir
+    else Filename.concat (Filename.concat root "_build") "default"
+  in
+  List.filter_map
+    (fun d ->
+      if d = "" then None
+      else if Filename.is_relative d then Some (Filename.concat base d)
+      else Some d)
+    infos.cmt_loadpath
+
+let init_env ~root infos =
+  Load_path.init ~auto_include:Load_path.no_auto_include
+    (rebase_loadpath ~root infos);
+  Envaux.reset_cache ()
+
+(* [expand env ty] — the abbreviation-free head of [ty], or [ty] itself
+   when the environment cannot be rebuilt (missing cmi on the rebased
+   path). Rules treat that fallback conservatively. *)
+let expand env ty =
+  match Ctype.expand_head (Envaux.env_of_only_summary env) ty with
+  | ty' -> ty'
+  | exception _ -> ty
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers for path matching in rules. *)
+
+let rec path_components (p : Path.t) acc =
+  match p with
+  | Path.Pident id -> Ident.name id :: acc
+  | Path.Pdot (p', s) -> path_components p' (s :: acc)
+  | Path.Papply (p', _) -> path_components p' acc
+  | Path.Pextra_ty (p', _) -> path_components p' acc
+
+let components p = path_components p []
+
+(* ------------------------------------------------------------------ *)
+(* Loading. Returns the implementation structure, verifying the cmt
+   really came from [relpath] (the scan locator is heuristic). *)
+
+let load_structure ~root ~relpath cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception _ -> None
+  | infos -> (
+      let source_matches =
+        match infos.cmt_sourcefile with
+        | None -> true
+        | Some src -> Filename.basename src = Filename.basename relpath
+      in
+      if not source_matches then None
+      else
+        match infos.cmt_annots with
+        | Cmt_format.Implementation str ->
+            init_env ~root infos;
+            Some str
+        | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+
+let run_pass ~root ~files ~config_for ~rules ~cmt_for =
+  let findings = ref [] in
+  let analysed = ref 0 in
+  let skipped = ref [] in
+  List.iter
+    (fun relpath ->
+      if Filename.check_suffix relpath ".ml" then
+        let active =
+          List.filter
+            (fun r ->
+              r.applies relpath
+              && not
+                   (Lint.Config.disables (config_for relpath) ~rule:r.name
+                      ~path:relpath))
+            rules
+        in
+        if active <> [] then
+          match cmt_for relpath with
+          | None -> skipped := relpath :: !skipped
+          | Some cmt_path -> (
+              match load_structure ~root ~relpath cmt_path with
+              | None -> skipped := relpath :: !skipped
+              | Some str ->
+                  incr analysed;
+                  let lines = Lint.read_lines (Filename.concat root relpath) in
+                  let out = ref [] in
+                  List.iter
+                    (fun r ->
+                      r.check
+                        ~report:
+                          (Lint.reporter ~rule:r.name ~relpath ~lines ~into:out)
+                        str)
+                    active;
+                  findings := List.rev_append !out !findings))
+    files;
+  (List.rev !findings, !analysed, List.rev !skipped)

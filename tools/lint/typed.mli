@@ -1,0 +1,41 @@
+(** The typed pass: load a source file's [.cmt] (dune [-bin-annot]
+    output), rebuild enough typing environment to expand
+    abbreviations, and run typed rules over the Typedtree. *)
+
+type rule = {
+  name : string;
+  doc : string;
+  applies : string -> bool;  (** relpath filter *)
+  check : report:Lint.reporter -> Typedtree.structure -> unit;
+}
+
+(** [expand env ty] — the abbreviation-free head of [ty] via
+    [Envaux.env_of_only_summary], or [ty] unchanged when the
+    environment cannot be rebuilt (missing cmi on the rebased load
+    path). Rules must treat the fallback conservatively. *)
+val expand : Env.t -> Types.type_expr -> Types.type_expr
+
+(** Dotted components of a path, outermost first:
+    [Stdlib.Bigarray.Array1.get] gives
+    [["Stdlib"; "Bigarray"; "Array1"; "get"]]. *)
+val components : Path.t -> string list
+
+(** [load_structure ~root ~relpath cmt_path] reads the cmt, checks it
+    was compiled from [relpath] (the scan locator is heuristic),
+    rebases its recorded load path onto [root/_build/default] (dune
+    sandboxing records a build dir that no longer exists) and
+    initialises [Load_path]/[Envaux] for {!expand}. [None] when the
+    cmt is unreadable, mismatched, or not an implementation. *)
+val load_structure :
+  root:string -> relpath:string -> string -> Typedtree.structure option
+
+(** [run_pass ~root ~files ~config_for ~rules ~cmt_for] runs every
+    applicable rule over each .ml file whose cmt resolves. Returns
+    (findings, files analysed, files skipped for want of a cmt). *)
+val run_pass :
+  root:string ->
+  files:string list ->
+  config_for:(string -> Lint.Config.t) ->
+  rules:rule list ->
+  cmt_for:(string -> string option) ->
+  Lint.finding list * int * string list

@@ -1,0 +1,426 @@
+(* The typed rules. These need the Typedtree rather than the
+   Parsetree because every check hinges on information only the
+   typechecker has: resolved paths (is this [set] Array's, Hashtbl's
+   or Atomic's? is this closure really going to [Exec.Pool]?),
+   binder identity (is the mutated cell bound inside the closure or
+   captured from outside?), and inferred types (is this Bigarray's
+   kind concrete at the access site?).
+
+   Known false-negative shapes, by design (documented in DESIGN.md):
+   - interprocedural writes: a named function passed to the pool, or a
+     helper called from the closure, is not analysed;
+   - aliased captures: [let d = dst in d.(i) <- x] where the alias is
+     closure-local roots at the local binding;
+   - mutation through an unrecognised accessor chain (anything whose
+     root expression we cannot trace to an identifier) is skipped. *)
+
+open Typedtree
+
+let last_two comps =
+  match List.rev comps with
+  | fn :: m :: _ -> Some (m, fn)
+  | [ fn ] -> Some ("", fn)
+  | [] -> None
+
+let callee_components (f : expression) =
+  match f.exp_desc with
+  | Texp_ident (p, _, _) -> Typed.components p
+  | _ -> []
+
+(* n-th supplied argument of an application, in order. *)
+let nth_arg args n =
+  let rec go i = function
+    | [] -> None
+    | (_, Some e) :: tl -> if i = n then Some e else go (i + 1) tl
+    | (_, None) :: tl -> go i tl
+  in
+  go 0 args
+
+(* ------------------------------------------------------------------ *)
+(* domain-capture                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pool_fns =
+  [ "parallel_for"; "map"; "reduce"; "iter_opt"; "init_opt"; "parallelize" ]
+
+(* A call is a pool dispatch when its resolved path ends in one of the
+   entry points above and passes through a [Pool] module (either the
+   component itself or a dune-mangled [Lib__Pool] compilation unit). *)
+let pool_call comps =
+  match List.rev comps with
+  | fn :: rest when List.mem fn pool_fns ->
+      if
+        List.exists
+          (fun c -> c = "Pool" || String.ends_with ~suffix:"__Pool" c)
+          rest
+      then Some fn
+      else None
+  | _ -> None
+
+(* Mutating stdlib entry points, with the index of the argument that
+   names the mutated structure. [Atomic.*] is deliberately absent:
+   publishing through Atomic is the sanctioned cross-domain write. *)
+let mutator comps =
+  match last_two comps with
+  | Some (("" | "Stdlib"), (":=" | "incr" | "decr")) -> Some 0
+  | Some
+      ( ("Array" | "Floatarray" | "Bytes" | "Array1" | "Array2" | "Array3"
+        | "Genarray"),
+        ("set" | "unsafe_set" | "fill") ) ->
+      Some 0
+  | Some
+      ( "Hashtbl",
+        ("add" | "replace" | "remove" | "reset" | "clear"
+        | "filter_map_inplace") ) ->
+      Some 0
+  | Some (("Array" | "Bytes"), "blit") -> Some 2
+  | Some (("Array1" | "Array2" | "Array3" | "Genarray"), "blit") -> Some 1
+  | _ -> None
+
+(* Read accessors we trace through when rooting a mutation target:
+   [rows.(r).cells.(i) <- v] mutates whatever [rows] names. *)
+let getter comps =
+  match last_two comps with
+  | Some (_, "!") -> true
+  | Some
+      ( ("Array" | "Floatarray" | "Bytes" | "String" | "Hashtbl" | "Array1"
+        | "Array2" | "Array3" | "Genarray"),
+        ("get" | "unsafe_get" | "find" | "find_opt") ) ->
+      true
+  | _ -> false
+
+type root = Local of Ident.t | Global of Path.t | Unknown
+
+let rec root_of (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Local id
+  | Texp_ident (p, _, _) -> Global p
+  | Texp_field (e', _, _) -> root_of e'
+  | Texp_apply (f, args) when getter (callee_components f) -> (
+      match nth_arg args 0 with Some a -> root_of a | None -> Unknown)
+  | _ -> Unknown
+
+(* Every identifier bound anywhere inside [e]: parameters, lets,
+   match/try patterns, for-loop indices. Anything the closure mutates
+   whose root is in this set is chunk-local and race-free. *)
+let collect_bound (e : expression) =
+  let tbl = Hashtbl.create 32 in
+  let add id = Hashtbl.replace tbl (Ident.unique_name id) () in
+  let open Tast_iterator in
+  let it =
+    {
+      default_iterator with
+      pat =
+        (fun (type k) it (p : k general_pattern) ->
+          (match p.pat_desc with
+          | Tpat_var (id, _) -> add id
+          | Tpat_alias (_, id, _) -> add id
+          | _ -> ());
+          default_iterator.pat it p);
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_for (id, _, _, _, _, _) -> add id
+          | Texp_function { param; _ } -> add param
+          | Texp_letop { param; _ } -> add param
+          | _ -> ());
+          default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  tbl
+
+let check_domain_capture ~report str =
+  let open Tast_iterator in
+  let inspect_closure pool_fn (clo : expression) =
+    match clo.exp_desc with
+    | Texp_function _ ->
+        let bound = collect_bound clo in
+        let local id = Hashtbl.mem bound (Ident.unique_name id) in
+        let flag loc what =
+          report loc
+            (Printf.sprintf
+               "closure passed to Exec.Pool.%s writes to captured %s; \
+                make it chunk-local, publish through Atomic, or justify \
+                with (* lint: allow domain-capture *)"
+               pool_fn what)
+        in
+        let on_target loc describe = function
+          | Local id when not (local id) ->
+              flag loc (describe (Ident.name id))
+          | Global p ->
+              flag loc (describe (String.concat "." (Typed.components p)))
+          | Local _ | Unknown -> ()
+        in
+        let it =
+          {
+            default_iterator with
+            expr =
+              (fun it e ->
+                (match e.exp_desc with
+                | Texp_setfield (tgt, _, lbl, _) ->
+                    on_target e.exp_loc
+                      (fun n ->
+                        Printf.sprintf "mutable field %s.%s" n lbl.lbl_name)
+                      (root_of tgt)
+                | Texp_apply (f, args) -> (
+                    match mutator (callee_components f) with
+                    | Some n -> (
+                        match nth_arg args n with
+                        | Some tgt ->
+                            on_target e.exp_loc
+                              (fun name -> Printf.sprintf "%S" name)
+                              (root_of tgt)
+                        | None -> ())
+                    | None -> ())
+                | _ -> ());
+                default_iterator.expr it e);
+          }
+        in
+        it.expr it clo
+    | _ -> ()
+  in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_apply (f, args) -> (
+              match pool_call (callee_components f) with
+              | Some fn ->
+                  List.iter
+                    (function
+                      | _, Some a -> inspect_closure fn a | _, None -> ())
+                    args
+              | None -> ())
+          | _ -> ());
+          default_iterator.expr it e);
+    }
+  in
+  it.structure it str
+
+(* ------------------------------------------------------------------ *)
+(* bigarray-boxing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ba_dims = [ "Array1"; "Array2"; "Array3"; "Genarray" ]
+let ba_access = [ "get"; "set"; "unsafe_get"; "unsafe_set" ]
+
+let known_kinds =
+  [
+    "float32_elt"; "float64_elt"; "int8_signed_elt"; "int8_unsigned_elt";
+    "int16_signed_elt"; "int16_unsigned_elt"; "int32_elt"; "int64_elt";
+    "int_elt"; "nativeint_elt"; "complex32_elt"; "complex64_elt"; "char_elt";
+  ]
+
+let known_layouts = [ "c_layout"; "fortran_layout" ]
+
+let head_name env ty =
+  match Types.get_desc (Typed.expand env ty) with
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (Typed.components p) with n :: _ -> Some n | [] -> None)
+  | _ -> None
+
+let check_bigarray_boxing ~report str =
+  let open Tast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_apply (f, args) -> (
+              let comps = callee_components f in
+              match last_two comps with
+              | Some (dim, fn)
+                when List.mem dim ba_dims && List.mem fn ba_access
+                     && List.mem "Bigarray" comps -> (
+                  match nth_arg args 0 with
+                  | None -> ()
+                  | Some ba -> (
+                      match
+                        Types.get_desc (Typed.expand ba.exp_env ba.exp_type)
+                      with
+                      | Types.Tconstr (_, [ _elt; kind; layout ], _) ->
+                          let bad name names ty =
+                            match head_name ba.exp_env ty with
+                            | Some n when List.mem n names -> []
+                            | _ -> [ name ]
+                          in
+                          let vague =
+                            bad "kind" known_kinds kind
+                            @ bad "layout" known_layouts layout
+                          in
+                          if vague <> [] then
+                            report e.exp_loc
+                              (Printf.sprintf
+                                 "Bigarray.%s.%s through a value whose %s \
+                                  is not statically concrete compiles to \
+                                  the generic boxed access path (~7x \
+                                  slower); annotate the parameter's kind \
+                                  and layout"
+                                 dim fn
+                                 (String.concat " and " vague))
+                      | _ -> ()))
+              | _ -> ())
+          | _ -> ());
+          default_iterator.expr it e);
+    }
+  in
+  it.structure it str
+
+(* ------------------------------------------------------------------ *)
+(* unchecked-unix-result                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Calls that can fail transiently (EINTR/EAGAIN) or on teardown
+   (close on a reset peer) and so must sit under a Unix_error
+   handler. *)
+let eintr_fns =
+  [
+    "read"; "write"; "write_substring"; "single_write"; "select"; "accept";
+    "connect"; "close"; "waitpid"; "recv"; "send"; "recvfrom"; "sendto";
+  ]
+
+let unix_call (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+      match callee_components f with
+      | "Unix" :: rest -> ( match List.rev rest with fn :: _ -> Some fn | [] -> None)
+      | _ -> None)
+  | _ -> None
+
+let is_unit env ty =
+  match head_name env ty with Some "unit" -> true | _ -> false
+
+(* Does this (value or computation) pattern catch Unix_error? A
+   wildcard or variable handler catches everything, including it. *)
+let rec catches_unix_error : type k. k general_pattern -> bool =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_any -> true
+  | Tpat_var _ -> true
+  | Tpat_construct (_, cd, _, _) -> cd.cstr_name = "Unix_error"
+  | Tpat_alias (p', _, _) -> catches_unix_error p'
+  | Tpat_or (a, b, _) -> catches_unix_error a || catches_unix_error b
+  | Tpat_value v -> catches_unix_error (v :> value general_pattern)
+  | Tpat_exception p' -> catches_unix_error p'
+  | _ -> false
+
+(* Only exception cases guard a match scrutinee. *)
+let rec exception_case_catches : type k. k general_pattern -> bool =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_exception p' -> catches_unix_error p'
+  | Tpat_or (a, b, _) -> exception_case_catches a || exception_case_catches b
+  | Tpat_value v -> exception_case_catches (v :> value general_pattern)
+  | _ -> false
+
+let span (loc : Location.t) = (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+
+let inside (s, e) regions =
+  s >= 0 && List.exists (fun (rs, re) -> rs <= s && e <= re) regions
+
+let check_unix_result ~report str =
+  let open Tast_iterator in
+  (* pass 1: character ranges whose Unix_errors are handled — try
+     bodies with a matching handler, match scrutinees with a matching
+     exception case. *)
+  let guarded = ref [] in
+  let collect =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_try (body, cases) ->
+              if List.exists (fun c -> catches_unix_error c.c_lhs) cases then
+                guarded := span body.exp_loc :: !guarded
+          | Texp_match (scrut, cases, _) ->
+              if List.exists (fun c -> exception_case_catches c.c_lhs) cases
+              then guarded := span scrut.exp_loc :: !guarded
+          | _ -> ());
+          default_iterator.expr it e);
+    }
+  in
+  collect.structure collect str;
+  let guarded = !guarded in
+  (* pass 2: flag unguarded transient-failure calls and discarded
+     results. *)
+  let discarded (e : expression) context =
+    match unix_call e with
+    | Some fn when not (is_unit e.exp_env e.exp_type) ->
+        report e.exp_loc
+          (Printf.sprintf
+             "result of Unix.%s is discarded (%s); check it or justify \
+              with (* lint: allow unchecked-unix-result *)"
+             fn context)
+    | _ -> ()
+  in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_sequence (e1, _) -> discarded e1 "sequence"
+          | Texp_apply (f, [ (_, Some arg) ])
+            when callee_components f = [ "Stdlib"; "ignore" ] ->
+              discarded arg "ignore"
+          | Texp_let (_, vbs, _) ->
+              List.iter
+                (fun vb ->
+                  match vb.vb_pat.pat_desc with
+                  | Tpat_any -> discarded vb.vb_expr "let _"
+                  | _ -> ())
+                vbs
+          | _ -> ());
+          (match unix_call e with
+          | Some fn
+            when List.mem fn eintr_fns && not (inside (span e.exp_loc) guarded)
+            ->
+              report e.exp_loc
+                (Printf.sprintf
+                   "Unix.%s can fail transiently (EINTR/EAGAIN/reset \
+                    peer) but no enclosing Unix_error handler covers it"
+                   fn)
+          | _ -> ());
+          default_iterator.expr it e);
+    }
+  in
+  it.structure it str
+
+(* ------------------------------------------------------------------ *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let all : Typed.rule list =
+  [
+    {
+      Typed.name = "domain-capture";
+      doc =
+        "closures dispatched to Exec.Pool must not write captured \
+         mutable state except through Atomic";
+      applies = (fun _ -> true);
+      check = check_domain_capture;
+    };
+    {
+      Typed.name = "bigarray-boxing";
+      doc =
+        "Bigarray element access must see a statically concrete \
+         kind/layout (the generic path is ~7x slower)";
+      applies = (fun _ -> true);
+      check = check_bigarray_boxing;
+    };
+    {
+      Typed.name = "unchecked-unix-result";
+      doc =
+        "Unix results in lib/serve and lib/store must be consumed and \
+         transient failures (EINTR/EAGAIN) handled";
+      applies =
+        (fun p -> has_prefix "lib/serve/" p || has_prefix "lib/store/" p);
+      check = check_unix_result;
+    };
+  ]

@@ -1,0 +1,7 @@
+(** The typed rule catalogue: domain-capture (writes to captured
+    mutable state inside [Exec.Pool] closures), bigarray-boxing
+    (Bigarray access with a non-concrete kind/layout hits the generic
+    boxed path), unchecked-unix-result (Unix results and EINTR/EAGAIN
+    branches in lib/serve and lib/store must be handled). *)
+
+val all : Typed.rule list
