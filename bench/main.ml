@@ -49,9 +49,17 @@
    and the p50/p99 response latencies and achieved throughput land in
    BENCH_serve.json.
 
+   Phase 1.10 is the out-of-core segment ablation: a lazy cycle walk
+   is packed into an on-disk segment (10^7 states in the full profile
+   — past anything the in-RAM path is asked to hold) and the TV sweep
+   is run over the streaming kernels, mmap'd serial and pooled and in
+   bounded-buffer stream mode with the peak RSS sampled. All arms are
+   gated on bit-identity against the in-RAM SpMM kernels at overlap
+   sizes; timings land in BENCH_ooc.json.
+
    Pass --quick to shrink the experiment sweeps; pass --skip-micro to
-   print only the tables; pass --csr-only, --store-only, --spmm-only
-   or --serve-only to run just that ablation. *)
+   print only the tables; pass --csr-only, --store-only, --spmm-only,
+   --serve-only or --ooc-only to run just that ablation. *)
 
 open Bechamel
 open Toolkit
@@ -62,6 +70,7 @@ let csr_only = Array.exists (( = ) "--csr-only") Sys.argv
 let store_only = Array.exists (( = ) "--store-only") Sys.argv
 let spmm_only = Array.exists (( = ) "--spmm-only") Sys.argv
 let serve_only = Array.exists (( = ) "--serve-only") Sys.argv
+let ooc_only = Array.exists (( = ) "--ooc-only") Sys.argv
 
 (* Every ablation snapshot leaves through the bench sink, which owns
    the BENCH filenames: it writes the legacy snapshot atomically and
@@ -1180,6 +1189,213 @@ let run_serve_ablation () =
   in
   record_snapshot ~label:"daemon ablation" ~legacy_path:json_path json
 
+(* --- Phase 1.10: out-of-core segment ablation --------------------------- *)
+
+(* The lazy cycle walk: three entries per row, uniform stationary law
+   (doubly stochastic), and a state count limited by nothing but disk
+   — the full profile packs 10^7 states and streams them back block
+   by block. *)
+let cycle_row n i =
+  [ ((i + n - 1) mod n, 0.25); (i, 0.5); ((i + 1) mod n, 0.25) ]
+
+let run_ooc_ablation () =
+  let n = if quick then 1 lsl 14 else 10_000_000 in
+  let steps = if quick then 50 else 12 in
+  let block_nnz = if quick then 1 lsl 12 else Ooc.Segment.default_block_nnz in
+  let seg_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "logitdyn-bench-ooc-%d.seg" (Unix.getpid ()))
+  in
+  let with_pool_opt j f =
+    if j <= 1 then f None
+    else Exec.Pool.with_pool ~domains:j (fun p -> f (Some p))
+  in
+  let rm path = try Sys.remove path with Sys_error _ -> () in
+  (* Equivalence gate 1: on an overlap size where the in-RAM SpMM arm
+     is comfortable, the out-of-core TV sweep must be bit-identical
+     across access modes and pool sizes 1/2/4. Tiny blocks force
+     column ranges to straddle block boundaries. *)
+  let overlap_ok =
+    let n' = 1 lsl 12 in
+    let chain = Markov.Chain.of_function n' (cycle_row n') in
+    let pi = Array.make n' (1. /. float_of_int n') in
+    let starts = [ 0; 1; (n' / 2); n' - 1 ] in
+    let path = seg_path ^ ".overlap" in
+    let _ =
+      Ooc.Segment.pack ~block_nnz:(1 lsl 9) ~path ~size:n' ~row:(cycle_row n') ()
+    in
+    Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+    let reference = Markov.Mixing.tv_curve chain pi ~starts ~steps:30 in
+    List.for_all
+      (fun access ->
+        match Ooc.Segmented_chain.open_ ~access path with
+        | Error msg -> failwith msg
+        | Ok sc ->
+            Fun.protect ~finally:(fun () -> Ooc.Segmented_chain.close sc)
+            @@ fun () ->
+            let kernel = Ooc.Segmented_chain.kernel sc in
+            List.for_all
+              (fun j ->
+                with_pool_opt j @@ fun pool ->
+                Markov.Mixing.tv_curve_kernel ?pool kernel pi ~starts ~steps:30
+                = reference)
+              [ 1; 2; 4 ])
+      [ Ooc.Segment.Mmap; Ooc.Segment.Stream ]
+  in
+  (* Equivalence gate 2: the fixed-point workloads (π by power
+     iteration, t_mix to full convergence) on a size where running
+     them to the end is cheap — the kernel path must land on the very
+     same iterates. *)
+  let fixpoint_ok =
+    let n' = 128 in
+    let chain = Markov.Chain.of_function n' (cycle_row n') in
+    let pi = Array.make n' (1. /. float_of_int n') in
+    let path = seg_path ^ ".fix" in
+    let _ =
+      Ooc.Segment.pack ~block_nnz:24 ~path ~size:n' ~row:(cycle_row n') ()
+    in
+    Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+    match Ooc.Segmented_chain.open_ path with
+    | Error msg -> failwith msg
+    | Ok sc ->
+        Fun.protect ~finally:(fun () -> Ooc.Segmented_chain.close sc)
+        @@ fun () ->
+        let kernel = Ooc.Segmented_chain.kernel sc in
+        let power_ok =
+          Markov.Stationary.by_power_kernel kernel
+          = Markov.Stationary.by_power chain
+        in
+        let mix_ref = Markov.Mixing.mixing_time chain pi ~starts:[ 0 ] in
+        let mix_ok =
+          List.for_all
+            (fun j ->
+              with_pool_opt j @@ fun pool ->
+              Markov.Mixing.mixing_time_kernel ?pool kernel pi ~starts:[ 0 ]
+              = mix_ref)
+            [ 1; 4 ]
+        in
+        power_ok && mix_ok
+  in
+  (* Full-size arms: pack once, then the same TV sweep through each
+     access mode. The stream arm runs first so its RSS sample does not
+     share the address space with a still-mapped copy of the file. *)
+  let info, t_pack =
+    time (fun () ->
+        Ooc.Segment.pack ~block_nnz ~path:seg_path ~size:n ~row:(cycle_row n) ())
+  in
+  Fun.protect ~finally:(fun () -> rm seg_path) @@ fun () ->
+  let pi = Array.make n (1. /. float_of_int n) in
+  let starts = [ 0 ] in
+  let run_arm ~access ~pool_jobs =
+    match Ooc.Segmented_chain.open_ ~access seg_path with
+    | Error msg -> failwith msg
+    | Ok sc ->
+        Fun.protect ~finally:(fun () -> Ooc.Segmented_chain.close sc)
+        @@ fun () ->
+        let kernel = Ooc.Segmented_chain.kernel sc in
+        with_pool_opt pool_jobs @@ fun pool ->
+        (* Compact, then reset the VmHWM watermark, so the sample is
+           this arm's own peak, not a leftover from pack or an
+           earlier arm. *)
+        Gc.compact ();
+        ignore (Common.Rss.reset_peak () : bool);
+        let curve, t =
+          time (fun () ->
+              Markov.Mixing.tv_curve_kernel ?pool kernel pi ~starts ~steps)
+        in
+        (curve, t, Common.Rss.peak_kb ())
+  in
+  let curve_stream, t_stream, rss_stream =
+    run_arm ~access:Ooc.Segment.Stream ~pool_jobs:1
+  in
+  let curve_mmap, t_mmap, rss_mmap =
+    run_arm ~access:Ooc.Segment.Mmap ~pool_jobs:1
+  in
+  let curve_pool, t_pool, _ = run_arm ~access:Ooc.Segment.Mmap ~pool_jobs:jobs in
+  let arms_agree = curve_stream = curve_mmap && curve_pool = curve_mmap in
+  let equivalent = overlap_ok && fixpoint_ok && arms_agree in
+  let pp_rss = function
+    | Some kb -> Printf.sprintf "%d kB" kb
+    | None -> "n/a"
+  in
+  let table =
+    Experiments.Table.create
+      ~title:
+        (Printf.sprintf
+           "out-of-core ablation: segmented vs in-RAM kernels (cycle walk, \
+            |S|=%d, nnz=%d, %d blocks, %d domains)"
+           info.Ooc.Segment.b_n info.Ooc.Segment.b_nnz info.Ooc.Segment.b_blocks
+           jobs)
+      [
+        ("workload / arm", Experiments.Table.Left);
+        ("seconds", Experiments.Table.Right);
+        ("speedup", Experiments.Table.Right);
+        ("peak RSS", Experiments.Table.Right);
+        ("agree", Experiments.Table.Right);
+      ]
+  in
+  let add name seconds speedup rss agree =
+    Experiments.Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.3f" seconds;
+        Printf.sprintf "%.2fx" speedup;
+        rss;
+        Experiments.Table.cell_bool agree;
+      ]
+  in
+  add "pack / two-pass stream build" t_pack 1.0 "-" true;
+  add
+    (Printf.sprintf "tv_curve(%d) / mmap serial" steps)
+    t_mmap 1.0 (pp_rss rss_mmap) arms_agree;
+  add
+    (Printf.sprintf "tv_curve(%d) / mmap pooled" steps)
+    t_pool (t_mmap /. t_pool) "-" arms_agree;
+  add
+    (Printf.sprintf "tv_curve(%d) / stream serial" steps)
+    t_stream (t_mmap /. t_stream) (pp_rss rss_stream) arms_agree;
+  Experiments.Table.add_note table
+    (Printf.sprintf
+       "segment file: %d bytes on disk. agree = all arms bit-identical; \
+        overlap equivalence vs in-RAM SpMM (pools 1/2/4, mmap+stream): %s; \
+        fixed-point equivalence (by_power, mixing_time): %s."
+       info.Ooc.Segment.b_bytes
+       (if overlap_ok then "yes" else "NO")
+       (if fixpoint_ok then "yes" else "NO"));
+  Experiments.Table.print table;
+  let json_path = Filename.concat (Sys.getcwd ()) Bench.Sink.ooc_path in
+  let rss_json = function
+    | Some kb -> string_of_int kb
+    | None -> "null"
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "ooc_ablation",
+  "quick": %b,
+  "jobs": %d,
+  "chain": { "kind": "lazy_cycle_walk", "states": %d, "nnz": %d,
+    "blocks": %d, "file_bytes": %d },
+  "equivalent": %b,
+  "workloads": [
+    { "name": "pack", "arm": "stream_build", "seconds": %.6f,
+      "speedup": 1.0, "jobs": 1 },
+    { "name": "tv_curve", "arm": "mmap_serial", "seconds": %.6f,
+      "speedup": 1.0, "jobs": 1, "peak_rss_kb": %s },
+    { "name": "tv_curve", "arm": "mmap_pooled", "seconds": %.6f,
+      "speedup": %.3f, "jobs": %d },
+    { "name": "tv_curve", "arm": "stream_serial", "seconds": %.6f,
+      "speedup": %.3f, "jobs": 1, "peak_rss_kb": %s }
+  ]
+}
+|}
+      quick jobs info.Ooc.Segment.b_n info.Ooc.Segment.b_nnz
+      info.Ooc.Segment.b_blocks info.Ooc.Segment.b_bytes equivalent t_pack
+      t_mmap (rss_json rss_mmap) t_pool (t_mmap /. t_pool) jobs t_stream
+      (t_mmap /. t_stream) (rss_json rss_stream)
+  in
+  record_snapshot ~label:"out-of-core ablation" ~legacy_path:json_path json
+
 let run_micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -1237,6 +1453,10 @@ let () =
     Printf.printf "phase 1.9: daemon load bench (coalescing + open loop)\n%!";
     run_serve_ablation ()
   end
+  else if ooc_only then begin
+    Printf.printf "phase 1.10: out-of-core segment ablation (mmap + stream)\n%!";
+    run_ooc_ablation ()
+  end
   else begin
     Printf.printf
       "phase 1: regenerating every experiment table (E1..E9, X1..X10)\n";
@@ -1254,6 +1474,8 @@ let () =
     run_spmm_ablation ();
     Printf.printf "\nphase 1.9: daemon load bench (coalescing + open loop)\n%!";
     run_serve_ablation ();
+    Printf.printf "\nphase 1.10: out-of-core segment ablation (mmap + stream)\n%!";
+    run_ooc_ablation ();
     if not skip_micro then begin
       Printf.printf "\nphase 2: micro-benchmarks\n%!";
       run_micro ()

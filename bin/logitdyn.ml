@@ -11,6 +11,7 @@
      hitting     expected hitting time of the potential minimum
      anneal      compare annealing schedules
      sample      exact stationary samples via coupling from the past
+     chain       pack/inspect out-of-core chain segments
      store       inspect/maintain the on-disk artifact store
      bench       performance trajectory (history, regression gate, ingest)
 
@@ -117,10 +118,87 @@ let simulate game_id n beta steps seed =
 
 (* --- mixing ----------------------------------------------------------- *)
 
+(* Recipe key for a packed segment: every input that changes the bits
+   — game, size, β, on-disk layout version — is a field, so a layout
+   bump orphans old segments instead of misreading them. *)
+let segment_key ~game ~n ~beta =
+  Store.Key.v ~kind:"segment"
+    [
+      ("game", game);
+      ("n", string_of_int n);
+      ("beta", Store.Key.float_field beta);
+      ("layout", string_of_int Ooc.Segment.layout_version);
+    ]
+
+(* The out-of-core mixing path: stream the chain from (or to) a
+   segment file instead of materialising it, lifting the in-RAM
+   state-space ceiling. π comes from the power method and t_mix from
+   the same panel sweep as the in-RAM path, both running over the
+   segmented kernel — bit-identical results wherever both paths fit. *)
+let mixing_ooc game_id n beta eps jobs segment_file stores no_cache_flags =
+  let spec = find_game game_id in
+  let game, _potential = spec.Serve.Catalog.build ~n ~beta in
+  let size = Games.Game.size game in
+  let store = open_store ~stores ~no_cache_flags in
+  let tmp = ref None in
+  let path =
+    match segment_file with
+    | Some p -> p
+    | None -> (
+        match store with
+        | Some cas ->
+            Store.Cas.segment_path cas (segment_key ~game:game_id ~n ~beta)
+        | None ->
+            let p =
+              Filename.concat (Filename.get_temp_dir_name ())
+                (Printf.sprintf "logitdyn-%d.seg" (Unix.getpid ()))
+            in
+            tmp := Some p;
+            p)
+  in
+  if not (Sys.file_exists path) then begin
+    let row i = Logit.Logit_dynamics.transition_row game ~beta i in
+    let info = Ooc.Segment.pack ~path ~size ~row () in
+    Printf.printf "packed %d state(s), %d transition(s) into %d block(s) (%d bytes)\n"
+      info.Ooc.Segment.b_n info.b_nnz info.b_blocks info.b_bytes
+  end;
+  let finally () =
+    match !tmp with
+    | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+    | None -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  match Ooc.Segmented_chain.open_ path with
+  | Error msg ->
+      Printf.eprintf "cannot open segment %s: %s\n" path msg;
+      exit 2
+  | Ok sc ->
+      Fun.protect ~finally:(fun () -> Ooc.Segmented_chain.close sc) @@ fun () ->
+      if Ooc.Segmented_chain.size sc <> size then begin
+        Printf.eprintf "segment %s holds %d state(s) but %s with n=%d has %d\n"
+          path (Ooc.Segmented_chain.size sc) game_id n size;
+        exit 2
+      end;
+      with_jobs jobs @@ fun pool ->
+      let kernel = Ooc.Segmented_chain.kernel sc in
+      let pi = Markov.Stationary.by_power_kernel ?pool kernel in
+      let tmix =
+        Markov.Mixing.mixing_time_kernel ?pool ~eps kernel pi ~starts:[ 0 ]
+      in
+      Printf.printf "game=%s n=%d |S|=%d beta=%g (out-of-core: %d block(s) in %s)\n"
+        (Games.Game.name game) n size beta
+        (Ooc.Segment.num_blocks (Ooc.Segmented_chain.segment sc))
+        path;
+      (match tmix with
+      | Some t -> Printf.printf "t_mix(%g) = %d\n" eps t
+      | None -> Printf.printf "t_mix(%g) > max_steps\n" eps);
+      report_store store;
+      0
+
 (* A thin client of the shared request layer: the same Mixing query
    the daemon serves, evaluated in-process by the same engine, so the
    CLI's answers are bit-identical to logitdynd's by construction. *)
-let mixing game_id n beta eps jobs replicas seed stores no_cache_flags =
+let mixing_in_ram game_id n beta eps jobs replicas seed stores no_cache_flags =
   let store = open_store ~stores ~no_cache_flags in
   with_jobs jobs @@ fun pool ->
   let engine = Serve.Engine.create ?pool ?store () in
@@ -152,6 +230,15 @@ let mixing game_id n beta eps jobs replicas seed stores no_cache_flags =
   | Ok _ ->
       Printf.eprintf "unexpected reply to a mixing query\n";
       exit 2
+
+(* [--segment FILE] implies the out-of-core path; [--ooc] alone
+   derives the file from the store (or a temp file under
+   [--no-cache]). *)
+let mixing game_id n beta eps jobs replicas seed ooc segment_file stores
+    no_cache_flags =
+  if ooc || segment_file <> None then
+    mixing_ooc game_id n beta eps jobs segment_file stores no_cache_flags
+  else mixing_in_ram game_id n beta eps jobs replicas seed stores no_cache_flags
 
 (* --- spectrum --------------------------------------------------------- *)
 
@@ -357,6 +444,66 @@ let sample_cmd_impl game_id n beta count seed =
   | _ -> ());
   0
 
+(* --- chain (out-of-core segments) ---------------------------------------- *)
+
+let chain_pack game_id n beta out block_nnz stores no_cache_flags =
+  let spec = find_game game_id in
+  let game, _potential = spec.Serve.Catalog.build ~n ~beta in
+  let size = Games.Game.size game in
+  let path =
+    match out with
+    | Some p -> p
+    | None -> (
+        match open_store ~stores ~no_cache_flags with
+        | Some cas ->
+            Store.Cas.segment_path cas (segment_key ~game:game_id ~n ~beta)
+        | None ->
+            Printf.eprintf
+              "chain pack: no --out given and the artifact store is disabled\n";
+            exit 2)
+  in
+  let row i = Logit.Logit_dynamics.transition_row game ~beta i in
+  let info = Ooc.Segment.pack ?block_nnz ~path ~size ~row () in
+  Printf.printf "packed %s\n" path;
+  Printf.printf "states=%d transitions=%d blocks=%d bytes=%d layout=v%d\n"
+    info.Ooc.Segment.b_n info.b_nnz info.b_blocks info.b_bytes
+    Ooc.Segment.layout_version;
+  0
+
+(* Info and verify open in stream mode: header-only validation, no
+   mapping — cheap even on multi-gigabyte segments. *)
+let chain_info file =
+  match Ooc.Segment.open_ ~access:Ooc.Segment.Stream file with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 2
+  | Ok seg ->
+      Fun.protect ~finally:(fun () -> Ooc.Segment.close seg) @@ fun () ->
+      Printf.printf "%s\n" file;
+      Printf.printf "states=%d transitions=%d blocks=%d bytes=%d layout=v%d\n"
+        (Ooc.Segment.size seg) (Ooc.Segment.nnz seg)
+        (Ooc.Segment.num_blocks seg)
+        (Ooc.Segment.file_bytes seg)
+        Ooc.Segment.layout_version;
+      0
+
+let chain_verify file =
+  match Ooc.Segment.open_ ~access:Ooc.Segment.Stream file with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 2
+  | Ok seg -> (
+      Fun.protect ~finally:(fun () -> Ooc.Segment.close seg) @@ fun () ->
+      match Ooc.Segment.verify seg with
+      | Ok () ->
+          Printf.printf "%s: %d block(s) OK\n" file (Ooc.Segment.num_blocks seg);
+          0
+      | Error msgs ->
+          List.iter (fun m -> Printf.printf "CORRUPT %s\n" m) msgs;
+          Printf.printf "%s: %d corrupt block(s) of %d\n" file (List.length msgs)
+            (Ooc.Segment.num_blocks seg);
+          1)
+
 (* --- store -------------------------------------------------------------- *)
 
 let human_age seconds =
@@ -365,7 +512,7 @@ let human_age seconds =
   else if seconds < 129600. then Printf.sprintf "%.1fh" (seconds /. 3600.)
   else Printf.sprintf "%.1fd" (seconds /. 86400.)
 
-let store_cmd_impl action stores max_age_days =
+let store_cmd_impl action stores max_age_days max_bytes =
   let choice = resolve_store_or_exit ~stores ~no_cache_flags:[] in
   match Store.Cas.open_ ?dir:choice.Serve.Cli_flags.dir () with
   | exception Sys_error msg ->
@@ -412,10 +559,15 @@ let store_cmd_impl action stores max_age_days =
           if List.length bad = 0 then 0 else 1
       | "gc" ->
           let removed, bytes =
-            Store.Cas.gc cas ~older_than:(max_age_days *. 86400.)
+            Store.Cas.gc ?max_bytes cas ~older_than:(max_age_days *. 86400.)
           in
-          Printf.printf "gc: removed %d object(s), %d byte(s) older than %g day(s)\n"
-            removed bytes max_age_days;
+          let cap_note =
+            match max_bytes with
+            | None -> ""
+            | Some cap -> Printf.sprintf ", capped the rest at %d byte(s)" cap
+          in
+          Printf.printf "gc: removed %d object(s), %d byte(s) older than %g day(s)%s\n"
+            removed bytes max_age_days cap_note;
           0
       | "clear" ->
           let removed = Store.Cas.clear cas in
@@ -577,10 +729,30 @@ let mixing_cmd =
             "Also estimate the TV distance at the computed mixing time by \
              Monte Carlo with $(docv) simulated chains (0 = skip).")
   in
+  let ooc_arg =
+    Arg.(
+      value & flag
+      & info [ "ooc" ]
+          ~doc:
+            "Stream the chain from an on-disk segment instead of holding it \
+             in RAM — lifts the in-RAM state-space ceiling. Results are \
+             bit-identical to the in-RAM path wherever both fit.")
+  in
+  let segment_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "segment" ] ~docv:"FILE"
+          ~doc:
+            "Segment file to stream from (implies --ooc); packed on demand \
+             when absent. Default: derived from the game recipe in the \
+             artifact store.")
+  in
   Cmd.v (Cmd.info "mixing" ~doc:"Compute the exact mixing time")
     Term.(
       const mixing $ game_arg $ n_arg $ beta_arg $ eps_arg $ jobs_arg
-      $ replicas_arg $ seed_arg $ store_dir_arg $ no_cache_arg)
+      $ replicas_arg $ seed_arg $ ooc_arg $ segment_arg $ store_dir_arg
+      $ no_cache_arg)
 
 let spectrum_cmd =
   Cmd.v (Cmd.info "spectrum" ~doc:"Print the spectrum of the logit chain")
@@ -632,9 +804,64 @@ let store_cmd =
       & info [ "max-age" ] ~docv:"DAYS"
           ~doc:"gc: delete objects last written more than $(docv) days ago.")
   in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "gc: after the age sweep, keep evicting least-recently-written \
+             objects until at most $(docv) bytes remain.")
+  in
   Cmd.v
     (Cmd.info "store" ~doc:"Inspect and maintain the on-disk artifact store")
-    Term.(const store_cmd_impl $ action_arg $ store_dir_arg $ max_age_arg)
+    Term.(
+      const store_cmd_impl $ action_arg $ store_dir_arg $ max_age_arg
+      $ max_bytes_arg)
+
+let chain_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Segment file.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the segment here. Default: the recipe-derived path inside \
+             the artifact store.")
+  in
+  let block_nnz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block-nnz" ] ~docv:"K"
+          ~doc:"Stored transitions per block (build memory and stream unit).")
+  in
+  let pack_cmd =
+    Cmd.v
+      (Cmd.info "pack"
+         ~doc:"Stream a game's chain into an on-disk segment file")
+      Term.(
+        const chain_pack $ game_arg $ n_arg $ beta_arg $ out_arg
+        $ block_nnz_arg $ store_dir_arg $ no_cache_arg)
+  in
+  let info_cmd =
+    Cmd.v (Cmd.info "info" ~doc:"Print a segment file's header")
+      Term.(const chain_info $ file_arg)
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify" ~doc:"Recompute every block CRC of a segment file")
+      Term.(const chain_verify $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "chain" ~doc:"Pack and inspect out-of-core chain segments")
+    [ pack_cmd; info_cmd; verify_cmd ]
 
 let sample_cmd =
   let count_arg =
@@ -657,4 +884,4 @@ let () =
   exit (Cmd.eval' (Cmd.group info
        [ simulate_cmd; mixing_cmd; spectrum_cmd; experiment_cmd; list_cmd;
          zeta_cmd; cutwidth_cmd; hitting_cmd; anneal_cmd; sample_cmd;
-         store_cmd; bench_cmd ]))
+         chain_cmd; store_cmd; bench_cmd ]))

@@ -1,6 +1,7 @@
 type verdict =
   | Within of { base_s : float; cand_s : float; ratio : float }
   | Regression of { base_s : float; cand_s : float; ratio : float }
+  | Rss_regression of { base_kb : int; cand_kb : int; ratio : float }
   | Incorrect
   | New_workload of { cand_s : float }
   | Disappeared of { base_s : float }
@@ -37,7 +38,23 @@ let compare ?(strict = false) ~threshold ~baseline ~candidate () =
                boundary tests pin this strictness. *)
             if cand_s > base_s *. (1. +. (threshold /. 100.)) then
               Regression { base_s; cand_s; ratio }
-            else Within { base_s; cand_s; ratio }
+            else (
+              (* Same threshold and boundary semantics for peak RSS,
+                 judged only when both sides measured it — a time
+                 regression outranks an RSS one, and an arm that
+                 stops (or starts) reporting RSS is not a failure. *)
+              match (base.Record.peak_rss_kb, cand.Record.peak_rss_kb) with
+              | Some base_kb, Some cand_kb
+                when base_kb > 0
+                     && float_of_int cand_kb
+                        > float_of_int base_kb *. (1. +. (threshold /. 100.)) ->
+                  Rss_regression
+                    {
+                      base_kb;
+                      cand_kb;
+                      ratio = float_of_int cand_kb /. float_of_int base_kb;
+                    }
+              | _ -> Within { base_s; cand_s; ratio })
     in
     (* An Incorrect candidate still consumes its baseline key so it is
        not double-reported as disappeared. *)
@@ -59,7 +76,7 @@ let compare ?(strict = false) ~threshold ~baseline ~candidate () =
     List.exists
       (fun f ->
         match f.verdict with
-        | Regression _ | Incorrect -> true
+        | Regression _ | Rss_regression _ | Incorrect -> true
         | Disappeared _ -> strict
         | Within _ | New_workload _ -> false)
       findings
@@ -71,6 +88,9 @@ let pp_verdict fmt = function
       Format.fprintf fmt "ok %.6fs -> %.6fs (x%.3f)" base_s cand_s ratio
   | Regression { base_s; cand_s; ratio } ->
       Format.fprintf fmt "REGRESSION %.6fs -> %.6fs (x%.3f)" base_s cand_s
+        ratio
+  | Rss_regression { base_kb; cand_kb; ratio } ->
+      Format.fprintf fmt "RSS REGRESSION %dkB -> %dkB (x%.3f)" base_kb cand_kb
         ratio
   | Incorrect -> Format.fprintf fmt "INCORRECT"
   | New_workload { cand_s } -> Format.fprintf fmt "new %.6fs" cand_s

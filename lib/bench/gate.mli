@@ -14,6 +14,12 @@ type verdict =
   | Within of { base_s : float; cand_s : float; ratio : float }
       (** at or under the threshold; [ratio] is [cand_s /. base_s] *)
   | Regression of { base_s : float; cand_s : float; ratio : float }
+  | Rss_regression of { base_kb : int; cand_kb : int; ratio : float }
+      (** the arm held its timing but its peak RSS grew more than
+          [threshold] percent; judged only when both baseline and
+          candidate carry {!Record.t.peak_rss_kb}, with the same
+          exactly-at-threshold-passes boundary as timing. A time
+          regression outranks this verdict. *)
   | Incorrect  (** the candidate arm failed its own correctness gate *)
   | New_workload of { cand_s : float }
   | Disappeared of { base_s : float }

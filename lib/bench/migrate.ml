@@ -3,6 +3,13 @@ let ( let* ) = Result.bind
 let record ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick ~jobs =
   Record.v ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick ~jobs ()
 
+(* As [record], but carrying an (optional) peak-RSS sample — the
+   out-of-core snapshot's stream arm reports one. *)
+let record_rss ~peak_rss_kb ~bench ~workload ~arm ~seconds ~speedup ~correct
+    ~quick ~jobs =
+  Record.v ?peak_rss_kb ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick
+    ~jobs ()
+
 let rec collect f = function
   | [] -> Ok []
   | x :: rest ->
@@ -160,6 +167,36 @@ let serve j =
   in
   Ok [ serial; coalesced; p50; p99 ]
 
+(* BENCH_ooc.json: out-of-core segment arms. One [workloads] entry per
+   timed arm (pack, tv_curve over mmap/stream, serial/pooled), each
+   with its own jobs count and an optional [peak_rss_kb] — the stream
+   arm's memory-bound claim rides the trajectory via that field. The
+   shared correctness bit is the snapshot's [equivalent]: bitwise
+   equality of the out-of-core results against the in-RAM kernels. *)
+let ooc j =
+  let bench = "ooc_ablation" in
+  let* quick = Json.bool_field "quick" j in
+  let* correct = Json.bool_field "equivalent" j in
+  let* workloads = Json.list_field "workloads" j in
+  collect
+    (fun w ->
+      let* workload = Json.str_field "name" w in
+      let* arm = Json.str_field "arm" w in
+      let* seconds = Json.num_field "seconds" w in
+      let* speedup = Json.num_field "speedup" w in
+      let* jobs = Json.int_field "jobs" w in
+      let* peak_rss_kb =
+        match Json.member "peak_rss_kb" w with
+        | None | Some Json.Null -> Ok None
+        | Some _ -> Result.map Option.some (Json.int_field "peak_rss_kb" w)
+      in
+      let* r =
+        record_rss ~peak_rss_kb ~bench ~workload ~arm ~seconds ~speedup
+          ~correct ~quick ~jobs
+      in
+      Ok [ r ])
+    workloads
+
 let of_legacy j =
   let* bench = Json.str_field "bench" j in
   match bench with
@@ -167,6 +204,7 @@ let of_legacy j =
   | "spmm_ablation" -> spmm j
   | "store_ablation" -> store j
   | "serve_ablation" -> serve j
+  | "ooc_ablation" -> ooc j
   | other -> Error (Printf.sprintf "unknown legacy bench kind %S" other)
 
 let of_legacy_string s =

@@ -10,8 +10,12 @@ type t = {
   rev : string;
   host : string;
   timestamp : float;
+  peak_rss_kb : int option;
 }
 
+(* Adding the optional [peak_rss_kb] field is schema-compatible both
+   ways: old decoders never see the key (it is omitted when [None]),
+   new decoders default it — so the version stays at 1. *)
 let schema_version = 1
 
 let ( let* ) = Result.bind
@@ -39,10 +43,15 @@ let validate t =
     if t.jobs >= 1 then Ok () else Error "Bench.Record: jobs must be >= 1"
   in
   let* _ = finite_non_negative "timestamp" t.timestamp in
+  let* _ =
+    match t.peak_rss_kb with
+    | Some k when k < 0 -> Error "Bench.Record: negative peak_rss_kb"
+    | Some _ | None -> Ok ()
+  in
   Ok t
 
-let v ?(rev = "unknown") ?(host = "unknown") ?(timestamp = 0.) ~bench ~workload
-    ~arm ~seconds ~speedup ~correct ~quick ~jobs () =
+let v ?(rev = "unknown") ?(host = "unknown") ?(timestamp = 0.) ?peak_rss_kb
+    ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick ~jobs () =
   validate
     {
       bench;
@@ -56,6 +65,7 @@ let v ?(rev = "unknown") ?(host = "unknown") ?(timestamp = 0.) ~bench ~workload
       rev;
       host;
       timestamp;
+      peak_rss_kb;
     }
 
 let key t =
@@ -64,7 +74,7 @@ let key t =
 
 let to_json t =
   Json.Obj
-    [
+    ([
       ("bench", Json.Str t.bench);
       ("workload", Json.Str t.workload);
       ("arm", Json.Str t.arm);
@@ -77,6 +87,10 @@ let to_json t =
       ("host", Json.Str t.host);
       ("timestamp", Json.Num t.timestamp);
     ]
+    @
+    match t.peak_rss_kb with
+    | None -> []
+    | Some k -> [ ("peak_rss_kb", Json.Num (float_of_int k)) ])
 
 let of_json j =
   let* bench = Json.str_field "bench" j in
@@ -90,6 +104,12 @@ let of_json j =
   let* rev = Json.str_field "rev" j in
   let* host = Json.str_field "host" j in
   let* timestamp = Json.num_field "timestamp" j in
+  (* Absent in every pre-ooc trajectory line: default to [None]. *)
+  let* peak_rss_kb =
+    match Json.member "peak_rss_kb" j with
+    | None | Some Json.Null -> Ok None
+    | Some _ -> Result.map Option.some (Json.int_field "peak_rss_kb" j)
+  in
   validate
     {
       bench;
@@ -103,11 +123,15 @@ let of_json j =
       rev;
       host;
       timestamp;
+      peak_rss_kb;
     }
 
 let pp fmt t =
-  Format.fprintf fmt "%s/%s/%s: %.6fs (%.2fx)%s%s jobs=%d rev=%s" t.bench
+  Format.fprintf fmt "%s/%s/%s: %.6fs (%.2fx)%s%s jobs=%d rev=%s%s" t.bench
     t.workload t.arm t.seconds t.speedup
     (if t.correct then "" else " INCORRECT")
     (if t.quick then " quick" else "")
     t.jobs t.rev
+    (match t.peak_rss_kb with
+    | None -> ""
+    | Some k -> Printf.sprintf " rss=%dkB" k)

@@ -21,6 +21,11 @@ type t = {
   rev : string;  (** git revision, ["unknown"] when unavailable *)
   host : string;  (** hostname, ["unknown"] when unavailable *)
   timestamp : float;  (** unix seconds at record time; 0 when unknown *)
+  peak_rss_kb : int option;
+      (** peak resident set over the arm's run (kB), for memory-bound
+          arms like the out-of-core stream; [None] for arms that do
+          not measure it. Omitted from the JSON when [None], so
+          pre-existing trajectories decode unchanged. *)
 }
 
 (** The trajectory codec version. Bump when the record shape changes
@@ -30,16 +35,19 @@ val schema_version : int
 (** [validate t] checks the invariants the rest of the subsystem
     relies on: non-empty [bench]/[workload]/[arm], finite non-negative
     [seconds] (NaN and infinities rejected), finite positive
-    [speedup], [jobs >= 1], finite non-negative [timestamp]. *)
+    [speedup], [jobs >= 1], finite non-negative [timestamp], and a
+    non-negative [peak_rss_kb] when present. *)
 val validate : t -> (t, string) result
 
 (** [v ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick ~jobs
     ()] builds a validated record; [rev]/[host] default to
-    ["unknown"], [timestamp] to [0.]. *)
+    ["unknown"], [timestamp] to [0.], [peak_rss_kb] to [None].
+    A provided [peak_rss_kb] must be non-negative. *)
 val v :
   ?rev:string ->
   ?host:string ->
   ?timestamp:float ->
+  ?peak_rss_kb:int ->
   bench:string ->
   workload:string ->
   arm:string ->

@@ -2,6 +2,7 @@ let csr_path = "BENCH_csr.json"
 let spmm_path = "BENCH_spmm.json"
 let store_path = "BENCH_store.json"
 let serve_path = "BENCH_serve.json"
+let ooc_path = "BENCH_ooc.json"
 
 type provenance = { rev : string; host : string; timestamp : float }
 

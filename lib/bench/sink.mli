@@ -15,6 +15,7 @@ val csr_path : string
 val spmm_path : string
 val store_path : string
 val serve_path : string
+val ooc_path : string
 
 type provenance = { rev : string; host : string; timestamp : float }
 

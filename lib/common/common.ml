@@ -29,3 +29,60 @@ module Clock = struct
 
   let wall_s () = Int64.to_float (clock_ns false) /. 1e9
 end
+
+module Rss = struct
+  (* /proc/self/status is tiny; Stdlib I/O keeps [common]
+     dependency-free (no Unix). *)
+  let read_lines path =
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file ->
+              close_in_noerr ic;
+              Some (List.rev acc)
+        in
+        (match go [] with
+        | lines -> lines
+        | exception e ->
+            close_in_noerr ic;
+            raise e)
+
+  (* "VmHWM:   123456 kB" -> Some 123456. *)
+  let parse_vmhwm line =
+    let prefix = "VmHWM:" in
+    let plen = String.length prefix in
+    if String.length line < plen || String.sub line 0 plen <> prefix then None
+    else
+      let rest = String.trim (String.sub line plen (String.length line - plen)) in
+      let digits =
+        match String.index_opt rest ' ' with
+        | Some i -> String.sub rest 0 i
+        | None -> rest
+      in
+      int_of_string_opt digits
+
+  let peak_kb () =
+    match read_lines "/proc/self/status" with
+    | None -> None
+    | Some lines -> List.find_map parse_vmhwm lines
+
+  let reset_peak () =
+    (* Writing "5" to clear_refs resets the VmHWM watermark (Linux >=
+       4.0). Best-effort: unsupported hosts simply keep the old peak. *)
+    match open_out "/proc/self/clear_refs" with
+    | exception Sys_error _ -> false
+    | oc -> (
+        match
+          output_string oc "5";
+          flush oc
+        with
+        | () ->
+            close_out_noerr oc;
+            true
+        | exception Sys_error _ ->
+            close_out_noerr oc;
+            false)
+end

@@ -58,3 +58,21 @@ module Clock : sig
       epoch — for timestamps only, never durations. *)
   val wall_s : unit -> float
 end
+
+(** Process peak-RSS introspection, read from [/proc/self/status]
+    (Linux). Every accessor degrades to [None]/[false] on hosts
+    without procfs, so callers can record memory bounds
+    opportunistically (bench phase 1.10's out-of-core claim) without
+    a platform gate. Uses only [Stdlib] I/O: [common] stays
+    dependency-free. *)
+module Rss : sig
+  (** [peak_kb ()] is the process's peak resident set size ([VmHWM])
+      in kilobytes, or [None] when procfs is unavailable. *)
+  val peak_kb : unit -> int option
+
+  (** [reset_peak ()] resets the kernel's peak-RSS watermark by
+      writing ["5"] to [/proc/self/clear_refs] (Linux >= 4.0), so a
+      following {!peak_kb} measures only the phase in between.
+      Returns [false] (and changes nothing) where unsupported. *)
+  val reset_peak : unit -> bool
+end

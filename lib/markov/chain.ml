@@ -52,6 +52,19 @@ let normalize_row i entries =
   Array.sort (fun (a, _) (b, _) -> compare a b) out;
   out
 
+(* The public single-row entry point: exactly the validation +
+   normalisation pipeline [of_rows] applies, so external row
+   consumers (the out-of-core segment builder) produce probabilities
+   bit-identical to an in-RAM chain built from the same generator. *)
+let normalized_row ~size i entries =
+  if size <= 0 then invalid_arg "Chain.normalized_row: size must be positive";
+  Array.iter
+    (fun (j, _) ->
+      if j < 0 || j >= size then
+        invalid_arg (Printf.sprintf "Chain: column %d out of range in row %d" j i))
+    entries;
+  normalize_row i entries
+
 (* Pack validated per-row tuple arrays into the flat CSR arrays. *)
 let pack size checked =
   let nnz = Array.fold_left (fun acc r -> acc + Array.length r) 0 checked in
@@ -78,14 +91,7 @@ let pack size checked =
 let of_rows ?pool rows =
   let size = Array.length rows in
   if size = 0 then invalid_arg "Chain.of_rows: empty chain";
-  let check_row i entries =
-    Array.iter
-      (fun (j, _) ->
-        if j < 0 || j >= size then
-          invalid_arg (Printf.sprintf "Chain: column %d out of range in row %d" j i))
-      entries;
-    normalize_row i entries
-  in
+  let check_row i entries = normalized_row ~size i entries in
   (* Cutover cost: normalising a row is a hash insert + fold + sort per
      entry — call it 64 work units each — so tiny chains build serially
      while logit-sized ones still fan out. *)

@@ -40,6 +40,16 @@ val of_rows : ?pool:Exec.Pool.t -> (int * float) array array -> t
     to call concurrently for distinct states). *)
 val of_function : ?pool:Exec.Pool.t -> int -> (int -> (int * float) list) -> t
 
+(** [normalized_row ~size i entries] is the exact validation +
+    normalisation pipeline {!of_rows} applies to one row: column
+    indices checked against [size], duplicates summed, zeros dropped,
+    probabilities renormalised to exact mass one and sorted by
+    column. Exposed so out-of-RAM row consumers ({!Ooc.Segment}'s
+    streaming builder) store probabilities bit-identical to the
+    in-RAM chain built from the same generator. Raises
+    [Invalid_argument] exactly when {!of_rows} would. *)
+val normalized_row : size:int -> int -> (int * float) array -> (int * float) array
+
 (** [of_dense m] converts a dense stochastic matrix.
     Raises [Invalid_argument] if [m] is not square/stochastic. *)
 val of_dense : Linalg.Mat.t -> t

@@ -1,0 +1,31 @@
+(* A first-class evolution interface: the contract Mixing and
+   Stationary actually consume from a chain. In-RAM chains
+   ([of_chain]) and out-of-core segmented chains
+   ([Ooc.Segmented_chain.kernel]) both satisfy it, so the sweep loops
+   are written once and stay bit-identical across storage layouts.
+
+   The pool travels as an explicit [option] (not [?pool]) because an
+   optional argument followed only by labelled ones could never be
+   erased at a call site anyway (warning 16). *)
+
+type t = {
+  size : int;
+  evolve_into :
+    pool:Exec.Pool.t option -> src:float array -> dst:float array -> unit;
+  evolve_many_into :
+    pool:Exec.Pool.t option -> k:int -> src:Chain.panel -> dst:Chain.panel -> unit;
+}
+
+let size t = t.size
+
+let v ~size ~evolve_into ~evolve_many_into =
+  if size <= 0 then invalid_arg "Kernel.v: size must be positive";
+  { size; evolve_into; evolve_many_into }
+
+let of_chain chain =
+  {
+    size = Chain.size chain;
+    evolve_into = (fun ~pool ~src ~dst -> Chain.evolve_into ?pool chain ~src ~dst);
+    evolve_many_into =
+      (fun ~pool ~k ~src ~dst -> Chain.evolve_many_into ?pool chain ~k ~src ~dst);
+  }

@@ -1,0 +1,51 @@
+(** The evolution contract shared by in-RAM and out-of-core chains.
+
+    {!Mixing} and {!Stationary} only ever consume two operations from
+    a chain: single-distribution evolution ([evolve_into]) and panel
+    evolution ([evolve_many_into]). This record reifies exactly that
+    surface so their sweep loops are generalised once over the
+    storage layout — {!of_chain} adapts an in-RAM {!Chain.t},
+    [Ooc.Segmented_chain.kernel] adapts an on-disk segment — and the
+    bit-identity guarantees of the underlying kernels carry through
+    unchanged (the loops cannot observe anything but the evolved
+    vectors).
+
+    The pool is an explicit [option] rather than a [?pool] optional:
+    an optional argument followed only by labelled arguments could
+    never be erased at a call site (OCaml warning 16), and the sweep
+    loops always hold the pool as an option already. *)
+
+type t = {
+  size : int;  (** number of states *)
+  evolve_into :
+    pool:Exec.Pool.t option -> src:float array -> dst:float array -> unit;
+      (** same contract as {!Chain.evolve_into}: writes [src]·P into
+          [dst]; [src] and [dst] distinct arrays of length [size]. *)
+  evolve_many_into :
+    pool:Exec.Pool.t option -> k:int -> src:Chain.panel -> dst:Chain.panel -> unit;
+      (** same contract as {!Chain.evolve_many_into}: advances [k]
+          panel rows in one matrix traversal. *)
+}
+
+(** [size t] is the number of states. *)
+val size : t -> int
+
+(** [v ~size ~evolve_into ~evolve_many_into] builds a kernel from its
+    parts. Raises [Invalid_argument] on a non-positive size; the
+    evolution functions must honour the {!Chain} contracts
+    (dimension checks, distinct src/dst, bit-identical panel rows). *)
+val v :
+  size:int ->
+  evolve_into:
+    (pool:Exec.Pool.t option -> src:float array -> dst:float array -> unit) ->
+  evolve_many_into:
+    (pool:Exec.Pool.t option ->
+    k:int ->
+    src:Chain.panel ->
+    dst:Chain.panel ->
+    unit) ->
+  t
+
+(** [of_chain c] is the in-RAM chain [c] seen through the interface —
+    every call delegates to the corresponding {!Chain} kernel. *)
+val of_chain : Chain.t -> t

@@ -32,8 +32,17 @@ let check_starts t starts =
    order-independent, so curves and mixing times agree bit-for-bit with
    the per-start path, pooled or serial. *)
 
-let check_pi t pi =
-  if Array.length pi <> Chain.size t then invalid_arg "Mixing: dimension mismatch"
+let check_starts_kernel kernel starts =
+  if starts = [] then invalid_arg "Mixing: empty start set";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= Kernel.size kernel then
+        invalid_arg "Mixing: start out of range")
+    starts
+
+let check_pi_kernel kernel pi =
+  if Array.length pi <> Kernel.size kernel then
+    invalid_arg "Mixing: dimension mismatch"
 
 let panel_create len =
   Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout len
@@ -69,14 +78,16 @@ let refresh_tvs pool pi panel tvs =
 let worst tvs = Array.fold_left Float.max 0. tvs
 
 (* The one panel-evolution loop every exact-TV consumer drives: the
-   serial CLI paths and the daemon's coalesced scheduler both settle
-   their answers through this exact function, which is what makes
-   "coalesced answers are bit-identical to serial answers" true by
+   serial CLI paths, the daemon's coalesced scheduler and the
+   out-of-core segmented path all settle their answers through this
+   exact function, generalised over the storage layout via
+   [Kernel.t] — which is what makes "coalesced (or segmented)
+   answers are bit-identical to serial in-RAM answers" true by
    construction rather than by test alone. *)
-let panel_sweep ?pool t pi ~starts ~decide =
-  check_starts t starts;
-  check_pi t pi;
-  let n = Chain.size t in
+let panel_sweep_kernel ?pool kernel pi ~starts ~decide =
+  check_starts_kernel kernel starts;
+  check_pi_kernel kernel pi;
+  let n = Kernel.size kernel in
   let k = List.length starts in
   let src = ref (panel_of_starts n starts) in
   let dst = ref (panel_create (k * n)) in
@@ -86,7 +97,7 @@ let panel_sweep ?pool t pi ~starts ~decide =
     match decide ~step ~worst:(worst tvs) with
     | Some r -> r
     | None ->
-        Chain.evolve_many_into ?pool t ~k ~src:!src ~dst:!dst;
+        kernel.Kernel.evolve_many_into ~pool ~k ~src:!src ~dst:!dst;
         let previous = !src in
         src := !dst;
         dst := previous;
@@ -95,18 +106,28 @@ let panel_sweep ?pool t pi ~starts ~decide =
   in
   go 0
 
-let tv_curve ?pool t pi ~starts ~steps =
+let panel_sweep ?pool t pi ~starts ~decide =
+  panel_sweep_kernel ?pool (Kernel.of_chain t) pi ~starts ~decide
+
+let tv_curve_kernel ?pool kernel pi ~starts ~steps =
   if steps < 0 then invalid_arg "Mixing.tv_curve: negative steps";
   let curve = Array.make (steps + 1) 0. in
-  panel_sweep ?pool t pi ~starts ~decide:(fun ~step ~worst ->
+  panel_sweep_kernel ?pool kernel pi ~starts ~decide:(fun ~step ~worst ->
       curve.(step) <- worst;
       if step >= steps then Some curve else None)
 
-let mixing_time ?pool ?(eps = 0.25) ?(max_steps = 1_000_000) t pi ~starts =
-  panel_sweep ?pool t pi ~starts ~decide:(fun ~step ~worst ->
+let tv_curve ?pool t pi ~starts ~steps =
+  tv_curve_kernel ?pool (Kernel.of_chain t) pi ~starts ~steps
+
+let mixing_time_kernel ?pool ?(eps = 0.25) ?(max_steps = 1_000_000) kernel pi
+    ~starts =
+  panel_sweep_kernel ?pool kernel pi ~starts ~decide:(fun ~step ~worst ->
       if worst <= eps then Some (Some step)
       else if step >= max_steps then Some None
       else None)
+
+let mixing_time ?pool ?eps ?max_steps t pi ~starts =
+  mixing_time_kernel ?pool ?eps ?max_steps (Kernel.of_chain t) pi ~starts
 
 let mixing_time_all ?pool ?eps ?max_steps t pi =
   mixing_time ?pool ?eps ?max_steps t pi ~starts:(List.init (Chain.size t) Fun.id)

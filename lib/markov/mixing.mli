@@ -26,6 +26,18 @@ val panel_sweep :
   ?pool:Exec.Pool.t -> Chain.t -> float array -> starts:int list ->
   decide:(step:int -> worst:float -> 'a option) -> 'a
 
+(** [panel_sweep_kernel] is {!panel_sweep} generalised over the
+    storage layout: the chain is consumed only through a {!Kernel.t},
+    so in-RAM chains ({!Kernel.of_chain}) and out-of-core segmented
+    chains ([Ooc.Segmented_chain.kernel]) drive the identical sweep
+    loop — the segmented path's bit-identity to the in-RAM path
+    reduces to the bit-identity of the two [evolve_many_into]
+    kernels. [panel_sweep ?pool t] is literally
+    [panel_sweep_kernel ?pool (Kernel.of_chain t)]. *)
+val panel_sweep_kernel :
+  ?pool:Exec.Pool.t -> Kernel.t -> float array -> starts:int list ->
+  decide:(step:int -> worst:float -> 'a option) -> 'a
+
 (** [tv_curve ?pool t pi ~starts ~steps] is the array [d(0); d(1); ...;
     d(steps)] of worst-case (over [starts]) TV distances. The starts
     live in one double-buffered row-major panel advanced by the blocked
@@ -38,6 +50,13 @@ val tv_curve :
   ?pool:Exec.Pool.t -> Chain.t -> float array -> starts:int list -> steps:int ->
   float array
 
+(** [tv_curve_kernel] is {!tv_curve} over a {!Kernel.t} — the
+    out-of-core entry point; [tv_curve ?pool t] delegates here via
+    {!Kernel.of_chain}. *)
+val tv_curve_kernel :
+  ?pool:Exec.Pool.t -> Kernel.t -> float array -> starts:int list -> steps:int ->
+  float array
+
 (** [mixing_time ?pool ?eps ?max_steps t pi ~starts] is the least t
     with d(t) ≤ eps (default 1/4), or [None] if it exceeds [max_steps]
     (default [1_000_000]). By monotonicity of d(·) the scan stops at
@@ -46,6 +65,13 @@ val tv_curve :
     sweep. *)
 val mixing_time :
   ?pool:Exec.Pool.t -> ?eps:float -> ?max_steps:int -> Chain.t -> float array ->
+  starts:int list -> int option
+
+(** [mixing_time_kernel] is {!mixing_time} over a {!Kernel.t} — the
+    out-of-core entry point; [mixing_time ?pool t] delegates here via
+    {!Kernel.of_chain}. *)
+val mixing_time_kernel :
+  ?pool:Exec.Pool.t -> ?eps:float -> ?max_steps:int -> Kernel.t -> float array ->
   starts:int list -> int option
 
 (** [mixing_time_all ?pool ?eps ?max_steps t pi] uses every state as a

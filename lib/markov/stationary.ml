@@ -1,5 +1,5 @@
-let by_power ?pool ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
-  let n = Chain.size t in
+let by_power_kernel ?pool ?(tol = 1e-12) ?(max_iter = 10_000_000) kernel =
+  let n = Kernel.size kernel in
   let mu = ref (Array.make n (1. /. float_of_int n)) in
   let scratch = ref (Array.make n 0.) in
   let rec go iter =
@@ -12,7 +12,7 @@ let by_power ?pool ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
        falls back to the serial push outright — one distribution over a
        small chain is exactly the dispatch-overhead regime that made
        pooled by_power 0.38x serial at |S| = 1024. *)
-    Chain.evolve_into ?pool t ~src:!mu ~dst:!scratch;
+    kernel.Kernel.evolve_into ~pool ~src:!mu ~dst:!scratch;
     let next = !scratch and current = !mu in
     (* L¹ movement per step; both buffers have length n, so unchecked
        access is safe, and the left-to-right sum matches the boxed
@@ -28,6 +28,9 @@ let by_power ?pool ?(tol = 1e-12) ?(max_iter = 10_000_000) t =
   in
   go 1;
   !mu
+
+let by_power ?pool ?tol ?max_iter t =
+  by_power_kernel ?pool ?tol ?max_iter (Kernel.of_chain t)
 
 let by_solve t =
   let n = Chain.size t in

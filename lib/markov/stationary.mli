@@ -10,6 +10,16 @@
 val by_power :
   ?pool:Exec.Pool.t -> ?tol:float -> ?max_iter:int -> Chain.t -> float array
 
+(** [by_power_kernel] is {!by_power} generalised over the storage
+    layout via {!Kernel.t} — the entry point for out-of-core
+    segmented chains, whose π must come from power iteration because
+    the transition matrix never fully resides in RAM. [by_power
+    ?pool t] is literally [by_power_kernel ?pool (Kernel.of_chain
+    t)], so both paths share one movement loop and one convergence
+    point. *)
+val by_power_kernel :
+  ?pool:Exec.Pool.t -> ?tol:float -> ?max_iter:int -> Kernel.t -> float array
+
 (** [by_solve t] computes π exactly (up to LU round-off) by solving
     the linear system [πᵀ(P - I) = 0, Σπ = 1]. Dense O(n³); intended
     for state spaces up to a few thousand states. *)

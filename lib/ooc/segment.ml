@@ -1,0 +1,714 @@
+(* On-disk segmented CSC chains.
+
+   File layout (all integers little-endian, floats as IEEE-754 bits):
+
+     [Store.Codec frame, kind Segment]   header: sizes, region offsets,
+                                         per-block ranges and CRCs
+     [zero padding to an 8-byte boundary]
+     col_start region                    (n+1) x int64
+     rows region                         nnz   x int64
+     probs region                        nnz   x float64
+
+   The three regions are the transposed (CSC) layout of
+   [Markov.Chain]: column j owns slice [col_start.(j), col_start.(j+1))
+   of rows/probs, sources in strictly increasing order — exactly the
+   arrays [Chain.to_csc] exposes, so the streaming gather kernel in
+   [Segmented_chain] replays [Chain.pull_one] bit for bit.
+
+   Indices are stored as int64, not int32: mapped with the Bigarray
+   [Int] kind they read back as unboxed native ints — an int32 kind
+   would box an [Int32.t] per element inside the gather loop.
+
+   Blocks partition the column range; each block's bytes (its
+   col_start slice + rows slice + probs slice) carry a CRC-32 in the
+   header, and every block's byte extent is kept under the u32 frame
+   bound, the same ceiling [Store.Codec.frame] enforces for the
+   header itself. *)
+
+let layout_version = 1
+
+(* ~4 MiB of rows+probs per block: bounded build memory, bounded
+   stream-mode fetch size, and enough work per block that the pool's
+   serial cutover sees real costs. *)
+let default_block_nnz = 262_144
+
+(* Spill buffers flush to disk at this size during pass 2 of the
+   builder, so build memory stays O(blocks), not O(nnz). *)
+let spill_flush_bytes = 1 lsl 20
+
+type block = { col_lo : int; col_hi : int; k_lo : int; k_hi : int; crc : int }
+
+type header = {
+  n : int;
+  nnz : int;
+  col_start_off : int;
+  rows_off : int;
+  probs_off : int;
+  blocks : block array;
+}
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type view = {
+  v_col_lo : int;
+  v_col_hi : int;
+  cs : int_ba;
+  cs_shift : int;
+  rows : int_ba;
+  probs : float_ba;
+  k_shift : int;
+}
+
+type access = Mmap | Stream
+
+type mapped = { m_cs : int_ba; m_rows : int_ba; m_probs : float_ba }
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  header : header;
+  access : access;
+  mapped : mapped option;
+  (* Stream mode has no pread in OCaml 5.1's Unix, so positioned reads
+     are lseek+read under this lock — safe across pool domains. *)
+  io_lock : Mutex.t;
+  mutable closed : bool;
+}
+
+(* --- EINTR-guarded Unix helpers ---------------------------------------- *)
+
+let rec eintr f x =
+  match f x with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> eintr f x
+
+let close_noerr fd =
+  (* A close interrupted by a signal must not be retried (the
+     descriptor state is unspecified, POSIX); other errors are
+     ignorable on a read path. *)
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let write_all fd bytes off len =
+  let rec go written =
+    if written < len then
+      match Unix.write fd bytes (off + written) (len - written) with
+      | w -> go (written + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go written
+  in
+  go 0
+
+let read_exactly fd bytes off len =
+  let rec go got =
+    if got < len then
+      match Unix.read fd bytes (off + got) (len - got) with
+      | 0 -> raise (Sys_error "Ooc.Segment: unexpected end of file")
+      | r -> go (got + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go got
+  in
+  go 0
+
+let lseek_to fd pos =
+  let (_ : int) = eintr (Unix.lseek fd pos) Unix.SEEK_SET in
+  ()
+
+(* --- header codec ------------------------------------------------------ *)
+
+let block_entry_bytes = (4 * 8) + 4
+
+(* The frame length is a function of the block count alone, which is
+   what lets the builder reserve the header's byte extent before the
+   per-block CRCs exist. *)
+let header_frame_bytes ~num_blocks =
+  (* Codec header + [u32 layout; 5 x int64; u32 count; entries] + CRC. *)
+  12 + (4 + (5 * 8) + 4 + (num_blocks * block_entry_bytes)) + 4
+
+let align8 x = (x + 7) land lnot 7
+
+let encode_header h =
+  Store.Codec.frame ~kind:Store.Codec.Segment (fun b ->
+      let module E = Store.Codec.Enc in
+      E.u32 b layout_version;
+      E.int_ b h.n;
+      E.int_ b h.nnz;
+      E.int_ b h.col_start_off;
+      E.int_ b h.rows_off;
+      E.int_ b h.probs_off;
+      E.list b
+        (fun b blk ->
+          E.int_ b blk.col_lo;
+          E.int_ b blk.col_hi;
+          E.int_ b blk.k_lo;
+          E.int_ b blk.k_hi;
+          E.u32 b blk.crc)
+        (Array.to_list h.blocks))
+
+let decode_header s =
+  Store.Codec.unframe ~kind:Store.Codec.Segment s (fun d ->
+      let module D = Store.Codec.Dec in
+      let v = D.u32 d in
+      if v <> layout_version then
+        D.fail
+          (Printf.sprintf "unsupported segment layout version %d (this build reads %d)"
+             v layout_version);
+      let n = D.int_ d in
+      let nnz = D.int_ d in
+      let col_start_off = D.int_ d in
+      let rows_off = D.int_ d in
+      let probs_off = D.int_ d in
+      let blocks =
+        D.list d (fun d ->
+            let col_lo = D.int_ d in
+            let col_hi = D.int_ d in
+            let k_lo = D.int_ d in
+            let k_hi = D.int_ d in
+            let crc = D.u32 d in
+            { col_lo; col_hi; k_lo; k_hi; crc })
+      in
+      { n; nnz; col_start_off; rows_off; probs_off; blocks = Array.of_list blocks })
+
+(* Structural validation of a decoded header against the file size:
+   offsets must match the layout formula and the blocks must tile
+   [0, n) x [0, nnz) contiguously. *)
+let validate_header h ~file_bytes =
+  let num_blocks = Array.length h.blocks in
+  let expect_cs = align8 (header_frame_bytes ~num_blocks) in
+  if h.n < 1 then Error "segment header: empty chain"
+  else if h.nnz < h.n then Error "segment header: fewer transitions than states"
+  else if num_blocks = 0 then Error "segment header: no blocks"
+  else if h.col_start_off <> expect_cs then Error "segment header: bad col_start offset"
+  else if h.rows_off <> h.col_start_off + (8 * (h.n + 1)) then
+    Error "segment header: bad rows offset"
+  else if h.probs_off <> h.rows_off + (8 * h.nnz) then
+    Error "segment header: bad probs offset"
+  else if file_bytes <> h.probs_off + (8 * h.nnz) then
+    Error
+      (Printf.sprintf "segment file is %d byte(s), header implies %d" file_bytes
+         (h.probs_off + (8 * h.nnz)))
+  else begin
+    let ok = ref (Ok ()) in
+    Array.iteri
+      (fun b blk ->
+        if !ok = Ok () then begin
+          let prev_col = if b = 0 then 0 else h.blocks.(b - 1).col_hi in
+          let prev_k = if b = 0 then 0 else h.blocks.(b - 1).k_hi in
+          if blk.col_lo <> prev_col || blk.k_lo <> prev_k
+             || blk.col_hi <= blk.col_lo || blk.k_hi < blk.k_lo
+          then ok := Error (Printf.sprintf "segment header: block %d ranges are not contiguous" b)
+        end)
+      h.blocks;
+    match !ok with
+    | Error _ as e -> e
+    | Ok () ->
+        let last = h.blocks.(num_blocks - 1) in
+        if last.col_hi <> h.n || last.k_hi <> h.nnz then
+          Error "segment header: blocks do not cover the chain"
+        else Ok ()
+  end
+
+(* --- byte (de)coding of region slices ---------------------------------- *)
+
+let bytes_of_ints values lo hi =
+  (* values.(lo..hi-1) as int64 LE bytes. *)
+  let out = Bytes.create (8 * (hi - lo)) in
+  for i = lo to hi - 1 do
+    Bytes.set_int64_le out (8 * (i - lo)) (Int64.of_int values.(i))
+  done;
+  out
+
+(* --- accessors --------------------------------------------------------- *)
+
+let size t = t.header.n
+let nnz t = t.header.nnz
+let blocks t = t.header.blocks
+let num_blocks t = Array.length t.header.blocks
+let access t = t.access
+let path t = t.path
+let file_bytes t = t.header.probs_off + (8 * t.header.nnz)
+
+let check_open t =
+  if t.closed then invalid_arg "Ooc.Segment: segment is closed"
+
+(* --- positioned raw reads (stream mode and verify) --------------------- *)
+
+let read_at t ~pos ~len =
+  let buf = Bytes.create len in
+  Mutex.lock t.io_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.io_lock)
+    (fun () ->
+      lseek_to t.fd pos;
+      read_exactly t.fd buf 0 len);
+  buf
+
+(* --- open -------------------------------------------------------------- *)
+
+let host_supported () =
+  if Sys.big_endian then Error "segments require a little-endian host"
+  else if Sys.word_size <> 64 then Error "segments require a 64-bit host"
+  else Ok ()
+
+(* A corrupted length field must be a clean rejection, not a
+   multi-GB allocation: headers are tiny (36 bytes per block), so a
+   generous fixed ceiling suffices. *)
+let max_header_bytes = 16 * 1024 * 1024
+
+let read_header fd =
+  let head = Bytes.create 12 in
+  lseek_to fd 0;
+  read_exactly fd head 0 12;
+  let declared = Int32.to_int (Bytes.get_int32_le head 8) land 0xFFFFFFFF in
+  let total = 12 + declared + 4 in
+  if total > max_header_bytes then
+    Error (Printf.sprintf "segment header declares %d byte(s) — not a segment" declared)
+  else begin
+    let frame = Bytes.create total in
+    Bytes.blit head 0 frame 0 12;
+    read_exactly fd frame 12 (total - 12);
+    decode_header (Bytes.to_string frame)
+  end
+
+let map_ints fd ~pos ~dim : int_ba =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.Int Bigarray.c_layout false
+       [| dim |])
+
+let map_floats fd ~pos ~dim : float_ba =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.Float64 Bigarray.c_layout
+       false [| dim |])
+
+(* One pass over the structural arrays — col_start monotone and
+   consistent with the header's block ranges, every row index in
+   [0, n) — so the gather kernels can use unchecked accesses exactly
+   like [Chain] does after its construction-time validation. Probs
+   need no check for memory safety (every bit pattern is a float);
+   [verify] covers them via the block CRCs. *)
+let validate_mapped h (m : mapped) =
+  let ok = ref (Ok ()) in
+  let n = h.n in
+  (let prev = ref 0 in
+   if Bigarray.Array1.get m.m_cs 0 <> 0 then ok := Error "col_start does not begin at 0"
+   else begin
+     (try
+        for j = 1 to n do
+          let v = Bigarray.Array1.get m.m_cs j in
+          if v < !prev then begin
+            ok := Error (Printf.sprintf "col_start not monotone at column %d" j);
+            raise Exit
+          end;
+          prev := v
+        done
+      with Exit -> ());
+     if !ok = Ok () && !prev <> h.nnz then
+       ok := Error "col_start does not end at nnz"
+   end);
+  if !ok = Ok () then begin
+    try
+      for k = 0 to h.nnz - 1 do
+        let i = Bigarray.Array1.get m.m_rows k in
+        if i < 0 || i >= n then begin
+          ok := Error (Printf.sprintf "row index %d out of range at position %d" i k);
+          raise Exit
+        end
+      done
+    with Exit -> ()
+  end;
+  !ok
+
+let open_ ?(access = Mmap) path =
+  match host_supported () with
+  | Error _ as e -> e
+  | Ok () -> (
+      match eintr (Unix.openfile path [ Unix.O_RDONLY ]) 0 with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error (Printf.sprintf "%s: %s" path (Unix.error_message err))
+      | fd -> (
+          let finish_err msg =
+            close_noerr fd;
+            Error msg
+          in
+          match read_header fd with
+          | exception Sys_error msg -> finish_err msg
+          | exception Unix.Unix_error (err, _, _) ->
+              finish_err (Unix.error_message err)
+          | Error msg -> finish_err msg
+          | Ok header -> (
+              let file_bytes = (eintr Unix.fstat fd).Unix.st_size in
+              match validate_header header ~file_bytes with
+              | Error msg -> finish_err msg
+              | Ok () -> (
+                  let t =
+                    {
+                      path;
+                      fd;
+                      header;
+                      access;
+                      mapped = None;
+                      io_lock = Mutex.create ();
+                      closed = false;
+                    }
+                  in
+                  match access with
+                  | Stream -> Ok t
+                  | Mmap -> (
+                      match
+                        let m_cs =
+                          map_ints fd ~pos:header.col_start_off ~dim:(header.n + 1)
+                        in
+                        let m_rows = map_ints fd ~pos:header.rows_off ~dim:header.nnz in
+                        let m_probs =
+                          map_floats fd ~pos:header.probs_off ~dim:header.nnz
+                        in
+                        { m_cs; m_rows; m_probs }
+                      with
+                      | exception Unix.Unix_error (err, _, _) ->
+                          finish_err (Unix.error_message err)
+                      | m -> (
+                          match validate_mapped header m with
+                          | Error msg -> finish_err msg
+                          | Ok () -> Ok { t with mapped = Some m }))))))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* The maps (if any) stay valid until the GC collects them —
+       munmap is tied to the bigarray proxies, not the fd. *)
+    close_noerr t.fd
+  end
+
+(* --- block views -------------------------------------------------------- *)
+
+let ints_of_bytes bytes count : int_ba =
+  let a = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout count in
+  for i = 0 to count - 1 do
+    let v = Bytes.get_int64_le bytes (8 * i) in
+    let iv = Int64.to_int v in
+    if Int64.of_int iv <> v then
+      raise (Sys_error "Ooc.Segment: index out of native range");
+    Bigarray.Array1.set a i iv
+  done;
+  a
+
+let floats_of_bytes bytes count : float_ba =
+  let a = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout count in
+  for i = 0 to count - 1 do
+    Bigarray.Array1.set a i (Int64.float_of_bits (Bytes.get_int64_le bytes (8 * i)))
+  done;
+  a
+
+(* Stream-mode fetches re-validate what the open-time pass validated
+   for mmap mode: the cs slice must match the header's k range and
+   stay monotone, and every row index must be in [0, n), so the
+   unchecked gather downstream is safe even against a file corrupted
+   after open. *)
+let fetch_block t blk =
+  let cols = blk.col_hi - blk.col_lo in
+  let cnt = blk.k_hi - blk.k_lo in
+  let cs_bytes =
+    read_at t ~pos:(t.header.col_start_off + (8 * blk.col_lo)) ~len:(8 * (cols + 1))
+  in
+  let rows_bytes = read_at t ~pos:(t.header.rows_off + (8 * blk.k_lo)) ~len:(8 * cnt) in
+  let probs_bytes =
+    read_at t ~pos:(t.header.probs_off + (8 * blk.k_lo)) ~len:(8 * cnt)
+  in
+  let cs = ints_of_bytes cs_bytes (cols + 1) in
+  let rows = ints_of_bytes rows_bytes cnt in
+  let probs = floats_of_bytes probs_bytes cnt in
+  let bad msg = raise (Sys_error ("Ooc.Segment: corrupt block: " ^ msg)) in
+  if Bigarray.Array1.get cs 0 <> blk.k_lo then bad "col_start mismatch at block start";
+  for c = 1 to cols do
+    if Bigarray.Array1.get cs c < Bigarray.Array1.get cs (c - 1) then
+      bad "col_start not monotone"
+  done;
+  if Bigarray.Array1.get cs cols <> blk.k_hi then bad "col_start mismatch at block end";
+  let n = t.header.n in
+  for k = 0 to cnt - 1 do
+    let i = Bigarray.Array1.get rows k in
+    if i < 0 || i >= n then bad "row index out of range"
+  done;
+  {
+    v_col_lo = blk.col_lo;
+    v_col_hi = blk.col_hi;
+    cs;
+    cs_shift = blk.col_lo;
+    rows;
+    probs;
+    k_shift = blk.k_lo;
+  }
+
+let view t b =
+  check_open t;
+  if b < 0 || b >= num_blocks t then invalid_arg "Ooc.Segment.view: bad block index";
+  let blk = t.header.blocks.(b) in
+  match t.mapped with
+  | Some m ->
+      {
+        v_col_lo = blk.col_lo;
+        v_col_hi = blk.col_hi;
+        cs = m.m_cs;
+        cs_shift = 0;
+        rows = m.m_rows;
+        probs = m.m_probs;
+        k_shift = 0;
+      }
+  | None -> fetch_block t blk
+
+(* --- verify ------------------------------------------------------------- *)
+
+let block_crc t blk =
+  let cols = blk.col_hi - blk.col_lo in
+  let cnt = blk.k_hi - blk.k_lo in
+  let cs = read_at t ~pos:(t.header.col_start_off + (8 * blk.col_lo)) ~len:(8 * (cols + 1)) in
+  let rows = read_at t ~pos:(t.header.rows_off + (8 * blk.k_lo)) ~len:(8 * cnt) in
+  let probs = read_at t ~pos:(t.header.probs_off + (8 * blk.k_lo)) ~len:(8 * cnt) in
+  Store.Codec.crc32 (Bytes.to_string cs ^ Bytes.to_string rows ^ Bytes.to_string probs)
+
+let verify t =
+  check_open t;
+  let errors = ref [] in
+  Array.iteri
+    (fun b blk ->
+      match block_crc t blk with
+      | crc ->
+          if crc <> blk.crc then
+            errors :=
+              Printf.sprintf "block %d: checksum mismatch (stored %08x, computed %08x)"
+                b blk.crc crc
+              :: !errors
+      | exception Sys_error msg -> errors := Printf.sprintf "block %d: %s" b msg :: !errors)
+    t.header.blocks;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+(* --- the streaming builder --------------------------------------------- *)
+
+type build_info = { b_n : int; b_nnz : int; b_blocks : int; b_bytes : int }
+
+(* Greedy column partition: close a block once it holds [block_nnz]
+   entries (never splitting a column, so a hub column can overshoot
+   — its byte extent is checked against the u32 bound below). *)
+let partition_columns ~n ~block_nnz col_start =
+  let blocks = ref [] in
+  let col_lo = ref 0 in
+  let acc = ref 0 in
+  for j = 0 to n - 1 do
+    let d = col_start.(j + 1) - col_start.(j) in
+    if !acc > 0 && !acc + d > block_nnz then begin
+      blocks :=
+        {
+          col_lo = !col_lo;
+          col_hi = j;
+          k_lo = col_start.(!col_lo);
+          k_hi = col_start.(j);
+          crc = 0;
+        }
+        :: !blocks;
+      col_lo := j;
+      acc := d
+    end
+    else acc := !acc + d
+  done;
+  blocks :=
+    {
+      col_lo = !col_lo;
+      col_hi = n;
+      k_lo = col_start.(!col_lo);
+      k_hi = col_start.(n);
+      crc = 0;
+    }
+    :: !blocks;
+  Array.of_list (List.rev !blocks)
+
+let block_bytes blk =
+  (8 * (blk.col_hi - blk.col_lo + 1)) + (16 * (blk.k_hi - blk.k_lo))
+
+let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
+
+let rmdir_noerr path =
+  match Sys.readdir path with
+  | names ->
+      Array.iter (fun name -> remove_noerr (Filename.concat path name)) names;
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let with_fd path flags perm f =
+  let fd = eintr (Unix.openfile path flags) perm in
+  Fun.protect ~finally:(fun () -> close_noerr fd) (fun () -> f fd)
+
+let append_to_spill path buf =
+  with_fd path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o600 (fun fd ->
+      write_all fd (Buffer.to_bytes buf) 0 (Buffer.length buf));
+  Buffer.clear buf
+
+(* [block_of_col blocks j]: binary search for the block owning column
+   [j]; blocks tile the column range so the search always lands. *)
+let block_of_col (blocks : block array) j =
+  let lo = ref 0 and hi = ref (Array.length blocks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if j >= blocks.(mid).col_hi then lo := mid + 1
+    else if j < blocks.(mid).col_lo then hi := mid - 1
+    else begin
+      lo := mid;
+      hi := mid
+    end
+  done;
+  !lo
+
+let pack_prepared ?(block_nnz = default_block_nnz) ~path ~size:n ~prepared_row () =
+  (match host_supported () with Ok () -> () | Error msg -> invalid_arg ("Ooc.Segment.pack: " ^ msg));
+  if n < 1 then invalid_arg "Ooc.Segment.pack: size must be positive";
+  if n > 0x3FFF_FFFF then invalid_arg "Ooc.Segment.pack: size exceeds the int32 spill bound";
+  if block_nnz < 1 then invalid_arg "Ooc.Segment.pack: block_nnz must be positive";
+  (* Pass 1: column in-degrees -> col_start prefix sums. O(n) memory;
+     the rows themselves are not retained. *)
+  let col_start = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let entries : (int * float) array = prepared_row i in
+    Array.iter (fun ((j : int), (_ : float)) -> col_start.(j + 1) <- col_start.(j + 1) + 1) entries
+  done;
+  for j = 1 to n do
+    col_start.(j) <- col_start.(j) + col_start.(j - 1)
+  done;
+  let nnz = col_start.(n) in
+  let blocks = partition_columns ~n ~block_nnz col_start in
+  Array.iteri
+    (fun b blk ->
+      if block_bytes blk > Store.Codec.max_payload_bytes then
+        invalid_arg
+          (Printf.sprintf
+             "Ooc.Segment.pack: block %d spans %d byte(s), past the u32 bound — \
+              a single column is too dense for this block size"
+             b (block_bytes blk)))
+    blocks;
+  let num_blocks = Array.length blocks in
+  let hdr_bytes = header_frame_bytes ~num_blocks in
+  let col_start_off = align8 hdr_bytes in
+  let rows_off = col_start_off + (8 * (n + 1)) in
+  let probs_off = rows_off + (8 * nnz) in
+  Store.Io.mkdir_p (Filename.dirname path);
+  let pid = Unix.getpid () in
+  let tmp = Printf.sprintf "%s.tmp.%d" path pid in
+  let spill_dir = Printf.sprintf "%s.spill.%d" path pid in
+  Store.Io.mkdir_p spill_dir;
+  let spill_path b = Filename.concat spill_dir (Printf.sprintf "block_%d" b) in
+  let cleanup () =
+    remove_noerr tmp;
+    rmdir_noerr spill_dir
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      (* Pass 2: spill (j, i, p) records to per-block files. The row
+         generator must be deterministic across the two passes; the
+         per-column cursors below detect any drift and fail loudly. *)
+      let bufs = Array.init num_blocks (fun _ -> Buffer.create 4096) in
+      for i = 0 to n - 1 do
+        let entries : (int * float) array = prepared_row i in
+        Array.iter
+          (fun ((j : int), (p : float)) ->
+            let b = block_of_col blocks j in
+            let buf = bufs.(b) in
+            Buffer.add_int32_le buf (Int32.of_int j);
+            Buffer.add_int32_le buf (Int32.of_int i);
+            Buffer.add_int64_le buf (Int64.bits_of_float p);
+            if Buffer.length buf >= spill_flush_bytes then
+              append_to_spill (spill_path b) buf)
+          entries
+      done;
+      Array.iteri
+        (fun b buf -> if Buffer.length buf > 0 then append_to_spill (spill_path b) buf)
+        bufs;
+      with_fd tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 (fun fd ->
+          (* col_start region, streamed in bounded chunks. *)
+          lseek_to fd col_start_off;
+          let chunk = 65_536 in
+          let j = ref 0 in
+          while !j <= n do
+            let hi = Int.min (n + 1) (!j + chunk) in
+            let bytes = bytes_of_ints col_start !j hi in
+            write_all fd bytes 0 (Bytes.length bytes);
+            j := hi
+          done;
+          (* Per block: cursor-place the spilled records (a counting
+             transpose — the generator emits rows in ascending i, so
+             file order per column is already ascending i, exactly as
+             [Chain.build_csc] places them), then write the region
+             slices and record the CRC. *)
+          let blocks =
+            Array.mapi
+              (fun b blk ->
+                let cols = blk.col_hi - blk.col_lo in
+                let cnt = blk.k_hi - blk.k_lo in
+                let raw = Bytes.create (16 * cnt) in
+                if cnt > 0 then
+                  with_fd (spill_path b) [ Unix.O_RDONLY ] 0 (fun sfd ->
+                      let st = eintr Unix.fstat sfd in
+                      if st.Unix.st_size <> 16 * cnt then
+                        invalid_arg
+                          "Ooc.Segment.pack: row generator changed between passes";
+                      read_exactly sfd raw 0 (16 * cnt));
+                remove_noerr (spill_path b);
+                let rows_bytes = Bytes.create (8 * cnt) in
+                let probs_bytes = Bytes.create (8 * cnt) in
+                let cursor =
+                  Array.init cols (fun c -> col_start.(blk.col_lo + c) - blk.k_lo)
+                in
+                for r = 0 to cnt - 1 do
+                  let j = Int32.to_int (Bytes.get_int32_le raw (16 * r)) in
+                  let i = Int32.to_int (Bytes.get_int32_le raw ((16 * r) + 4)) in
+                  let pbits = Bytes.get_int64_le raw ((16 * r) + 8) in
+                  let c = j - blk.col_lo in
+                  let slot = cursor.(c) in
+                  if slot >= col_start.(j + 1) - blk.k_lo then
+                    invalid_arg
+                      "Ooc.Segment.pack: row generator changed between passes";
+                  Bytes.set_int64_le rows_bytes (8 * slot) (Int64.of_int i);
+                  Bytes.set_int64_le probs_bytes (8 * slot) pbits;
+                  cursor.(c) <- slot + 1
+                done;
+                Array.iteri
+                  (fun c pos ->
+                    if pos <> col_start.(blk.col_lo + c + 1) - blk.k_lo then
+                      invalid_arg
+                        "Ooc.Segment.pack: row generator changed between passes")
+                  cursor;
+                lseek_to fd (rows_off + (8 * blk.k_lo));
+                write_all fd rows_bytes 0 (8 * cnt);
+                lseek_to fd (probs_off + (8 * blk.k_lo));
+                write_all fd probs_bytes 0 (8 * cnt);
+                let cs_bytes = bytes_of_ints col_start blk.col_lo (blk.col_hi + 1) in
+                let crc =
+                  Store.Codec.crc32
+                    (Bytes.to_string cs_bytes ^ Bytes.to_string rows_bytes
+                   ^ Bytes.to_string probs_bytes)
+                in
+                { blk with crc })
+              blocks
+          in
+          (* Header last: its byte extent was reserved up front, so a
+             crash mid-build leaves a file no header ever validates. *)
+          let header = { n; nnz; col_start_off; rows_off; probs_off; blocks } in
+          let frame = encode_header header in
+          if String.length frame <> hdr_bytes then
+            invalid_arg "Ooc.Segment.pack: header size drifted from its reservation";
+          lseek_to fd 0;
+          write_all fd (Bytes.of_string frame) 0 hdr_bytes;
+          if col_start_off > hdr_bytes then
+            write_all fd (Bytes.make (col_start_off - hdr_bytes) '\000') 0
+              (col_start_off - hdr_bytes);
+          eintr Unix.fsync fd);
+      (* Atomic publish: same directory, same filesystem. *)
+      Unix.rename tmp path;
+      { b_n = n; b_nnz = nnz; b_blocks = num_blocks; b_bytes = probs_off + (8 * nnz) })
+
+let pack ?block_nnz ~path ~size ~row () =
+  let prepared_row i =
+    Markov.Chain.normalized_row ~size i (Array.of_list (row i))
+  in
+  pack_prepared ?block_nnz ~path ~size ~prepared_row ()
+
+let pack_chain ?block_nnz ~path chain =
+  (* Rows of an existing chain are already validated and normalised —
+     renormalising would divide by a sum that is only approximately
+     one and perturb the stored bits, so they are written as-is and
+     the segment is bit-identical to the chain it came from. *)
+  pack_prepared ?block_nnz ~path ~size:(Markov.Chain.size chain)
+    ~prepared_row:(Markov.Chain.row chain) ()

@@ -1,0 +1,144 @@
+(** The on-disk segmented chain format.
+
+    A segment file holds the transposed (CSC) layout of a Markov
+    chain — the same three arrays {!Markov.Chain.to_csc} exposes —
+    split into column-range blocks so compute streams the matrix
+    block by block without ever materialising it:
+
+    {v
+      [Store.Codec frame, kind Segment]   header: sizes, region
+                                          offsets, block table
+      [zero padding to an 8-byte boundary]
+      col_start   (n+1) x int64 LE        column offsets
+      rows        nnz   x int64 LE        source states, ascending
+                                          per column
+      probs       nnz   x float64 LE      IEEE-754 bit patterns
+    v}
+
+    Indices are int64 on disk so an [mmap] with the Bigarray [Int]
+    kind reads them back as unboxed native ints — an int32 kind would
+    box every element inside the gather loop. The format is declared
+    little-endian; {!open_} and {!pack} refuse big-endian or 32-bit
+    hosts with a clean error rather than misreading.
+
+    Each block's byte extent (its col_start slice + rows slice +
+    probs slice) is CRC-32-checked via the header's block table and
+    kept under {!Store.Codec.max_payload_bytes}, the same u32 ceiling
+    the framing layer enforces. The header frame is written {e last}
+    into a byte extent reserved up front, and the whole file is
+    staged under a temp name and [rename]d into place — a crashed
+    build never publishes a file that {!open_} accepts. *)
+
+(** The on-disk layout version, stamped into every header; files with
+    any other version are rejected at {!open_}. *)
+val layout_version : int
+
+(** Default entries per block (~4 MiB of rows+probs): the unit of
+    build memory, stream-mode fetch size and pool dispatch. *)
+val default_block_nnz : int
+
+(** One block of the column partition: columns [col_lo, col_hi) own
+    entries [k_lo, k_hi) of the rows/probs regions, with [crc] over
+    the block's concatenated region bytes. *)
+type block = { col_lo : int; col_hi : int; k_lo : int; k_hi : int; crc : int }
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** A readable window onto one block, uniform across access modes:
+    column [j ∈ [v_col_lo, v_col_hi)] owns entries
+    [cs.(j - cs_shift), cs.(j - cs_shift + 1)) — global entry index
+    [k] lives at [rows.(k - k_shift)]/[probs.(k - k_shift)]. In mmap
+    mode the arrays are zero-copy windows over the whole file
+    (shifts 0); in stream mode they are freshly read buffers holding
+    just the block (shifts [v_col_lo]/[k_lo]). Structural indices
+    are validated (at open for mmap, per fetch for stream), so
+    consumers may use unchecked accesses like {!Markov.Chain}'s
+    kernels do. *)
+type view = {
+  v_col_lo : int;
+  v_col_hi : int;
+  cs : int_ba;
+  cs_shift : int;
+  rows : int_ba;
+  probs : float_ba;
+  k_shift : int;
+}
+
+(** How an open segment reads its blocks.
+
+    [Mmap] maps the three regions read-only via [Unix.map_file]:
+    zero-copy, the page cache decides residency. [Stream] keeps only
+    the file descriptor and reads each requested block into fresh
+    bounded buffers — peak RSS stays O(blocks in flight) regardless
+    of nnz, the mode behind the bench's memory-bound claim. Both
+    modes feed identical bits to the kernels. *)
+type access = Mmap | Stream
+
+type t
+
+(** [open_ ?access path] validates the header (framing, layout
+    version, offsets, block table vs file size) and, in mmap mode,
+    the structural arrays (col_start monotonicity, row indices in
+    range), so downstream kernels can gather unchecked. [Error] on
+    any validation failure and on big-endian or 32-bit hosts; never
+    an exception for a malformed file. *)
+val open_ : ?access:access -> string -> (t, string) result
+
+(** [close t] releases the descriptor (idempotent). Mapped views stay
+    valid until collected; stream fetches on a closed segment fail. *)
+val close : t -> unit
+
+val size : t -> int
+val nnz : t -> int
+val blocks : t -> block array
+val num_blocks : t -> int
+val access : t -> access
+val path : t -> string
+
+(** [file_bytes t] is the total on-disk size implied by the header
+    (validated against the real file at open). *)
+val file_bytes : t -> int
+
+(** [view t b] is a readable window onto block [b]. Mmap mode is
+    zero-copy and allocation-free; stream mode reads and validates
+    the block's bytes (raising [Sys_error] on corruption introduced
+    after open). Safe to call concurrently from pool domains in
+    either mode. *)
+val view : t -> int -> view
+
+(** [verify t] recomputes every block's CRC against the header —
+    the deep integrity check behind [logitdyn chain verify].
+    [Error messages], one per corrupt block. *)
+val verify : t -> (unit, string list) result
+
+(** What {!pack} built: states, stored transitions, block count and
+    total file bytes. *)
+type build_info = { b_n : int; b_nnz : int; b_blocks : int; b_bytes : int }
+
+(** [pack ?block_nnz ~path ~size ~row ()] streams the chain defined
+    by [row] (same contract as {!Markov.Chain.of_function}) into a
+    segment file at [path] without materialising it: pass 1 counts
+    column degrees (O(size) memory), pass 2 spills entries to
+    per-block temp files and counting-transposes each block into
+    place (O(block) memory). Rows pass through
+    {!Markov.Chain.normalized_row}, so the stored probabilities are
+    bit-identical to [Chain.of_function size row]. [row] must be
+    deterministic — the two passes must see the same entries, and
+    any drift fails loudly. Raises [Invalid_argument] on invalid
+    rows or an over-dense column, [Unix.Unix_error]/[Sys_error] on
+    I/O failure; the target path is only ever replaced atomically. *)
+val pack :
+  ?block_nnz:int ->
+  path:string ->
+  size:int ->
+  row:(int -> (int * float) list) ->
+  unit ->
+  build_info
+
+(** [pack_chain ?block_nnz ~path chain] writes an existing in-RAM
+    chain as a segment. Its rows are already normalised and are
+    written as-is (renormalising would perturb the bits), so the
+    segment gathers bit-identically to [chain] itself. *)
+val pack_chain : ?block_nnz:int -> path:string -> Markov.Chain.t -> build_info

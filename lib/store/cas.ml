@@ -16,12 +16,14 @@ let default_dir () =
 
 let objects_dir t = Filename.concat t.root "objects"
 let tmp_dir t = Filename.concat t.root "tmp"
+let segments_dir t = Filename.concat t.root "segments"
 
 let open_ ?dir () =
   let root = match dir with Some d -> d | None -> default_dir () in
   let t = { root; hits = 0; misses = 0; writes = 0 } in
   Io.mkdir_p (objects_dir t);
   Io.mkdir_p (tmp_dir t);
+  Io.mkdir_p (segments_dir t);
   t
 
 let dir t = t.root
@@ -113,6 +115,29 @@ let ls t =
     (readdir_sorted (objects_dir t));
   List.sort (fun a b -> compare a.digest b.digest) !acc
 
+let segment_path t key = Filename.concat (segments_dir t) (Key.digest key ^ ".seg")
+
+let ls_segments t =
+  let acc = ref [] in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".seg" then begin
+        let path = Filename.concat (segments_dir t) name in
+        match Unix.stat path with
+        | { Unix.st_size; st_mtime; _ } ->
+            acc :=
+              {
+                digest = Filename.chop_suffix name ".seg";
+                size = st_size;
+                mtime = st_mtime;
+                path;
+              }
+              :: !acc
+        | exception Unix.Unix_error _ -> ()
+      end)
+    (readdir_sorted (segments_dir t));
+  List.sort (fun a b -> compare a.digest b.digest) !acc
+
 let verify t =
   List.map
     (fun entry ->
@@ -134,20 +159,51 @@ let sweep_tmp t =
     (fun name -> ignore (remove_path (Filename.concat (tmp_dir t) name)))
     (readdir_sorted (tmp_dir t))
 
-let gc t ~older_than =
+let gc ?max_bytes t ~older_than =
   (* Compared against file mtimes, which are wall-clock: wall time is
      correct here despite the project-wide duration rule. *)
   let now = Common.Clock.wall_s () in
   sweep_tmp t;
-  List.fold_left
-    (fun (count, bytes) entry ->
-      if now -. entry.mtime > older_than && remove_path entry.path then
-        (count + 1, bytes + entry.size)
-      else (count, bytes))
-    (0, 0) (ls t)
+  (* Objects and segments share one budget: segments are the multi-GB
+     artifacts the size cap exists for. *)
+  let entries = ls t @ ls_segments t in
+  let count, bytes, survivors =
+    List.fold_left
+      (fun (count, bytes, survivors) entry ->
+        if now -. entry.mtime > older_than && remove_path entry.path then
+          (count + 1, bytes + entry.size, survivors)
+        else (count, bytes, entry :: survivors))
+      (0, 0, []) entries
+  in
+  match max_bytes with
+  | None -> (count, bytes)
+  | Some cap ->
+      if cap < 0 then invalid_arg "Cas.gc: max_bytes must be >= 0";
+      (* LRU by mtime: evict the stalest survivors until the store
+         fits in [cap] bytes. Ties break on digest so the sweep is
+         deterministic under equal timestamps. *)
+      let by_age =
+        List.sort
+          (fun a b ->
+            match compare a.mtime b.mtime with
+            | 0 -> compare a.digest b.digest
+            | c -> c)
+          survivors
+      in
+      let total = List.fold_left (fun acc e -> acc + e.size) 0 by_age in
+      let _, count, bytes =
+        List.fold_left
+          (fun (total, count, bytes) entry ->
+            if total > cap && remove_path entry.path then
+              (total - entry.size, count + 1, bytes + entry.size)
+            else (total, count, bytes))
+          (total, count, bytes) by_age
+      in
+      (count, bytes)
 
 let clear t =
   sweep_tmp t;
   List.fold_left
     (fun count entry -> if remove_path entry.path then count + 1 else count)
-    0 (ls t)
+    0
+    (ls t @ ls_segments t)

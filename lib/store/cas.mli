@@ -73,6 +73,23 @@ type entry = {
 (** [ls t] lists every object, sorted by digest. *)
 val ls : t -> entry list
 
+(** {1 Out-of-core segments}
+
+    Multi-GB segment files ({!Ooc.Segment}) are too large to pass
+    through {!put}/{!get} as in-memory strings; they live beside the
+    objects under [<root>/segments/<digest>.seg], written by the
+    segment builder itself (atomically, via temp + rename) and read
+    back with [mmap]. They share the store's gc budget. *)
+
+(** [segment_path t key] is the canonical path for the segment built
+    from recipe [key]. The file may or may not exist; the parent
+    directory does. *)
+val segment_path : t -> Key.t -> string
+
+(** [ls_segments t] lists every segment file (digest = basename,
+    sorted), stat-based — nothing is read or mapped. *)
+val ls_segments : t -> entry list
+
 (** [verify t] checks every object's framing and checksum via
     {!Codec.inspect}: [Ok kind] per sound artifact, [Error reason] per
     corrupt one. Nothing is deleted. *)
@@ -81,10 +98,16 @@ val verify : t -> (entry * (Codec.kind, string) result) list
 (** [remove t ~digest] deletes one object; [false] if absent. *)
 val remove : t -> digest:string -> bool
 
-(** [gc t ~older_than] deletes every object whose mtime is more than
-    [older_than] seconds old; returns (objects deleted, bytes freed).
-    Stale temp files from interrupted writers are swept on every gc. *)
-val gc : t -> older_than:float -> int * int
+(** [gc ?max_bytes t ~older_than] deletes every object and segment
+    whose mtime is more than [older_than] seconds old, then — when
+    [max_bytes] is given — evicts the least-recently-written
+    survivors (LRU by mtime, objects and segments pooled) until the
+    store's total size is at most [max_bytes]. Returns (files
+    deleted, bytes freed). Stale temp files from interrupted writers
+    are swept on every gc. Raises [Invalid_argument] on a negative
+    [max_bytes]. *)
+val gc : ?max_bytes:int -> t -> older_than:float -> int * int
 
-(** [clear t] deletes every object; returns the number deleted. *)
+(** [clear t] deletes every object and segment; returns the number
+    deleted. *)
 val clear : t -> int

@@ -8,7 +8,7 @@ let version = 1
 let magic = "LDAF"
 let header_len = 12
 
-type kind = Chain | Dist | Curve | Table | Table_list | Request | Response
+type kind = Chain | Dist | Curve | Table | Table_list | Request | Response | Segment
 
 let kind_tag = function
   | Chain -> 1
@@ -18,6 +18,7 @@ let kind_tag = function
   | Table_list -> 5
   | Request -> 6
   | Response -> 7
+  | Segment -> 8
 
 let kind_of_tag = function
   | 1 -> Some Chain
@@ -27,6 +28,7 @@ let kind_of_tag = function
   | 5 -> Some Table_list
   | 6 -> Some Request
   | 7 -> Some Response
+  | 8 -> Some Segment
   | _ -> None
 
 let kind_name = function
@@ -37,6 +39,7 @@ let kind_name = function
   | Table_list -> "tables"
   | Request -> "request"
   | Response -> "response"
+  | Segment -> "segment"
 
 (* CRC-32, IEEE 802.3 polynomial (reflected 0xEDB88320). *)
 let crc_table =
@@ -176,10 +179,17 @@ let add_u16_le b v =
 
 let get_u16_le s pos = Char.code s.[pos] lor (Char.code s.[pos + 1] lsl 8)
 
+let max_payload_bytes = 0xFFFFFFFF
+
 let frame ~kind write =
   let payload = Enc.create () in
   write payload;
   let len = Buffer.length payload in
+  if len > max_payload_bytes then
+    invalid_arg
+      (Printf.sprintf
+         "Codec.frame: %d-byte payload exceeds the u32 frame bound (%d)" len
+         max_payload_bytes);
   let out = Buffer.create (header_len + len + 4) in
   Buffer.add_string out magic;
   add_u16_le out version;

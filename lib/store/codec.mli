@@ -38,6 +38,7 @@ type kind =
   | Table_list  (** an experiment's full table list *)
   | Request  (** a daemon wire request ({!Serve.Protocol}) *)
   | Response  (** a daemon wire response ({!Serve.Protocol}) *)
+  | Segment  (** an out-of-core segment header ({!Ooc.Segment}) *)
 
 (** [kind_name k] is a short lowercase name for messages and [store ls]. *)
 val kind_name : kind -> string
@@ -93,8 +94,15 @@ module Dec : sig
   val list : t -> (t -> 'a) -> 'a list
 end
 
+(** The largest payload a frame can carry: the length field is a u32,
+    so [0xFFFFFFFF] bytes. Writers that might exceed it (out-of-core
+    segment regions) must split their data into bounded blocks. *)
+val max_payload_bytes : int
+
 (** [frame ~kind write] runs [write] on a fresh encoder and wraps the
-    payload in the header + checksum described above. *)
+    payload in the header + checksum described above. Raises
+    [Invalid_argument] if the payload exceeds {!max_payload_bytes} —
+    a typed failure, never a silently wrapped length field. *)
 val frame : kind:kind -> (Enc.t -> unit) -> string
 
 (** [unframe ~kind s read] validates the frame (magic, version, kind,

@@ -198,6 +198,43 @@ let record_validation () =
   in
   ignore (get_error "of_json rejects NaN seconds" (Record.of_json poisoned))
 
+let sample_rss ?(seconds = 1.0) ?rss () =
+  get_ok "rss fixture"
+    (Record.v ?peak_rss_kb:rss ~bench:"ooc_ablation" ~workload:"tv_curve"
+       ~arm:"stream" ~seconds ~speedup:1.0 ~correct:true ~quick:false ~jobs:1 ())
+
+let record_rss_round_trip () =
+  (* With the field present, the JSON trip is exact. *)
+  let r = sample_rss ~rss:12_345 () in
+  check_true "rss record round-trips"
+    (match J.parse (J.to_string (Record.to_json r)) with
+    | Ok j -> Record.of_json j = Ok r
+    | Error _ -> false);
+  (* Without it, the key is omitted entirely — pre-existing
+     trajectories and the records this build writes for rss-less arms
+     stay byte-compatible — and decoding maps absence back to None. *)
+  let bare = sample_rss () in
+  (match Record.to_json bare with
+  | J.Obj fields ->
+      check_false "peak_rss_kb omitted when None"
+        (List.mem_assoc "peak_rss_kb" fields);
+      (* An explicit null (a hand-edited baseline) also reads as None. *)
+      let with_null = J.Obj (fields @ [ ("peak_rss_kb", J.Null) ]) in
+      check_true "explicit null reads as None"
+        (Record.of_json with_null = Ok bare)
+  | _ -> Alcotest.fail "record json is an object");
+  check_true "absent key decodes to None"
+    (match J.parse (J.to_string (Record.to_json bare)) with
+    | Ok j -> Record.of_json j = Ok bare
+    | Error _ -> false);
+  (* Validation covers the new field. *)
+  ignore
+    (get_error "negative rss rejected"
+       (Record.v ~peak_rss_kb:(-1) ~bench:"b" ~workload:"w" ~arm:"a" ~seconds:1.
+          ~speedup:1. ~correct:true ~quick:false ~jobs:1 ()));
+  check_true "schema version unchanged by the additive field"
+    (Record.schema_version = 1)
+
 let record_key_discriminates () =
   let base = sample () in
   check_true "same fields, same key" (Record.key base = Record.key (sample ()));
@@ -491,6 +528,43 @@ let gate_uses_latest_per_key () =
   check_false "candidate re-run supersedes its slow first attempt"
     (gate ~baseline:[ sample ~seconds:1.0 () ] ~candidate ()).Gate.failed
 
+let gate_rss_regression () =
+  let base = [ sample_rss ~rss:1_000 () ] in
+  (* Exactly 10% more RSS: passes, same boundary as timing. *)
+  let at = gate ~baseline:base ~candidate:[ sample_rss ~rss:1_100 () ] () in
+  check_false "exactly at threshold passes" at.Gate.failed;
+  (match verdicts at with
+  | [ Gate.Within _ ] -> ()
+  | _ -> Alcotest.fail "expected Within at the boundary");
+  (* Just over: fails with the dedicated verdict. *)
+  let over = gate ~baseline:base ~candidate:[ sample_rss ~rss:1_101 () ] () in
+  check_true "just over threshold fails" over.Gate.failed;
+  (match verdicts over with
+  | [ Gate.Rss_regression { base_kb; cand_kb; _ } ] ->
+      check_int "baseline kB" 1_000 base_kb;
+      check_int "candidate kB" 1_101 cand_kb
+  | _ -> Alcotest.fail "expected a single Rss_regression verdict");
+  (* A faster arm that ballooned its memory still fails — speed does
+     not buy back the memory-bound claim. *)
+  check_true "faster but fatter fails"
+    (gate ~baseline:base
+       ~candidate:[ sample_rss ~seconds:0.5 ~rss:2_000 () ]
+       ())
+      .Gate.failed;
+  (* A time regression outranks the RSS verdict. *)
+  (match
+     verdicts
+       (gate ~baseline:base ~candidate:[ sample_rss ~seconds:5.0 ~rss:9_000 () ] ())
+   with
+  | [ Gate.Regression _ ] -> ()
+  | _ -> Alcotest.fail "expected the time Regression to outrank RSS");
+  (* RSS is judged only when both sides measured it. *)
+  check_false "missing candidate rss passes"
+    (gate ~baseline:base ~candidate:[ sample_rss () ] ()).Gate.failed;
+  check_false "missing baseline rss passes"
+    (gate ~baseline:[ sample_rss () ] ~candidate:[ sample_rss ~rss:999_999 () ] ())
+      .Gate.failed
+
 (* ---------------- Cli: the exit codes CI keys off ---------------- *)
 
 let write_history path records =
@@ -599,6 +673,7 @@ let suites =
       [
         qcheck record_json_round_trip;
         test "validation rejects NaN/inf/empty/bad-jobs" record_validation;
+        test "peak_rss_kb is additive and round-trips" record_rss_round_trip;
         test "key discriminates quick/jobs/arm, not timings"
           record_key_discriminates;
       ] );
@@ -625,6 +700,8 @@ let suites =
           gate_missing_and_new_workloads;
         test "lost correctness fails even when faster" gate_incorrect_fails;
         test "latest record per key wins" gate_uses_latest_per_key;
+        test "rss regression: boundary, precedence, absence"
+          gate_rss_regression;
       ] );
     ( "bench.cli",
       [

@@ -518,6 +518,32 @@ let unchecked_unix_positive () =
         (List.length (List.filter (( = ) "unchecked-unix-result") (names fs)));
       List.iter (fun (_, _, s) -> check_false "not suppressed" s) fs)
 
+(* The rule covers lib/ooc too: the segment reader does raw
+   lseek+read/write, and an unguarded call there is exactly the kind
+   of transient-EINTR bug the rule exists for. *)
+let unchecked_unix_ooc_positive () =
+  with_root (fun root ->
+      let fs =
+        typed_one
+          ~deps:[ ("lib/ooc/unix.ml", snd unix_stub) ]
+          root "lib/ooc/segio.ml"
+          "let fetch fd buf len = ignore (Unix.read fd buf 0 len)\n"
+      in
+      check_int "two findings" 2
+        (List.length (List.filter (( = ) "unchecked-unix-result") (names fs)));
+      List.iter (fun (_, _, s) -> check_false "not suppressed" s) fs)
+
+let unchecked_unix_ooc_negative () =
+  with_root (fun root ->
+      check_clean "guarded reads under lib/ooc are clean"
+        (typed_one
+           ~deps:[ ("lib/ooc/unix.ml", snd unix_stub) ]
+           root "lib/ooc/segio.ml"
+           "let rec fetch fd buf len =\n\
+           \  match Unix.read fd buf 0 len with\n\
+           \  | n -> n\n\
+           \  | exception Unix.Unix_error (Unix.EINTR, _, _) -> fetch fd buf len\n"))
+
 let unchecked_unix_negative () =
   with_root (fun root ->
       check_clean "guarded and consumed Unix calls are clean"
@@ -531,7 +557,7 @@ let unchecked_unix_negative () =
             let accept_one fd =\n\
            \  try Some (fst (Unix.accept fd))\n\
            \  with Unix.Unix_error (Unix.EAGAIN, _, _) -> None\n");
-      (* The rule only applies under lib/serve and lib/store. *)
+      (* The rule only applies under lib/serve, lib/store and lib/ooc. *)
       check_clean "Unix elsewhere is out of scope"
         (typed_one
            ~deps:[ ("lib/unix.ml", snd unix_stub) ]
@@ -798,6 +824,8 @@ let suites =
       [
         test "positive (unguarded, discarded)" unchecked_unix_positive;
         test "negative (guarded, out of scope)" unchecked_unix_negative;
+        test "positive under lib/ooc" unchecked_unix_ooc_positive;
+        test "negative under lib/ooc" unchecked_unix_ooc_negative;
         test "suppressed" unchecked_unix_suppressed;
       ] );
     ( "lint.suppression",

@@ -5,4 +5,5 @@ let () =
    @ Test_hitting_paths.suites @ Test_extensions.suites
    @ Test_numerics_ext.suites @ Test_polymatrix.suites
    @ Test_experiments.suites @ Test_exec.suites @ Test_lint.suites
-   @ Test_store.suites @ Test_bench.suites @ Test_serve.suites)
+   @ Test_store.suites @ Test_bench.suites @ Test_serve.suites
+   @ Test_ooc.suites)

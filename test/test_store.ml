@@ -127,6 +127,37 @@ let crc32_check_value () =
   (* The standard CRC-32 (IEEE 802.3) check value. *)
   check_int "crc32(\"123456789\")" 0xCBF43926 (Store.Codec.crc32 "123456789")
 
+(* ---------------- Codec: the u32 frame bound ---------------- *)
+
+let u32_bound_is_typed () =
+  check_int "max_payload_bytes is the u32 bound" 0xFFFF_FFFF
+    Store.Codec.max_payload_bytes;
+  (* In-range u32s encode; out-of-range values fail at encode time
+     with a typed error instead of wrapping silently into the frame. *)
+  let enc v =
+    Store.Codec.frame ~kind:Store.Codec.Dist (fun b -> Store.Codec.Enc.u32 b v)
+  in
+  ignore (enc 0 : string);
+  ignore (enc 0xFFFF_FFFF : string);
+  check_raises_invalid "u32 overflow" (fun () -> ignore (enc 0x1_0000_0000));
+  check_raises_invalid "negative u32" (fun () -> ignore (enc (-1)))
+
+let oversized_prefix_rejected () =
+  (* A frame whose payload declares 2^32-1 array elements but carries
+     none: the frame itself is sound (inspect passes), but the
+     bounds-checked payload reader must return a clean Error — no
+     out-of-bounds read, no 32 GB allocation, no escaping exception. *)
+  let s =
+    Store.Codec.frame ~kind:Store.Codec.Dist (fun b ->
+        Store.Codec.Enc.u32 b 0xFFFF_FFFF)
+  in
+  (match Store.Codec.inspect s with
+  | Ok (Store.Codec.Dist, _) -> ()
+  | Ok _ -> Alcotest.fail "inspect returned the wrong kind"
+  | Error e -> Alcotest.failf "inspect rejected a sound frame: %s" e);
+  check_true "oversized length prefix rejected cleanly"
+    (is_error (Store.Codec.decode_dist s))
+
 (* ---------------- Codec: chain artifacts ---------------- *)
 
 let test_chain seed =
@@ -385,6 +416,57 @@ let cas_gc_clear () =
       check_int "clear removes the rest" 1 (Store.Cas.clear cas);
       check_int "store is empty" 0 (List.length (Store.Cas.ls cas)))
 
+let cas_gc_max_bytes_lru () =
+  with_store (fun cas ->
+      let put i data =
+        Store.Cas.put cas (Store.Key.v ~kind:"t" [ ("i", string_of_int i) ]) data
+      in
+      put 1 "aaaa";
+      put 2 "bb";
+      put 3 "cccccc";
+      (* A segment file beside the objects shares the byte budget. *)
+      let seg =
+        Store.Cas.segment_path cas (Store.Key.v ~kind:"segment" [ ("i", "1") ])
+      in
+      let oc = open_out_bin seg in
+      output_string oc "sssss";
+      close_out oc;
+      (match Store.Cas.ls_segments cas with
+      | [ e ] -> check_int "segment listed with its size" 5 e.Store.Cas.size
+      | _ -> Alcotest.fail "expected exactly one segment");
+      (* Stage write times so the LRU order is deterministic: the 4-byte
+         object is the least recently written, then the segment, then
+         the 2-byte, then the 6-byte object. *)
+      let now = Common.Clock.wall_s () in
+      let set_age path age = Unix.utimes path (now -. age) (now -. age) in
+      let by_size sz =
+        (List.find (fun (e : Store.Cas.entry) -> e.size = sz) (Store.Cas.ls cas))
+          .Store.Cas.path
+      in
+      set_age (by_size 4) 400.;
+      set_age seg 300.;
+      set_age (by_size 2) 200.;
+      set_age (by_size 6) 100.;
+      check_raises_invalid "negative budget" (fun () ->
+          ignore (Store.Cas.gc ~max_bytes:(-1) cas ~older_than:86_400.));
+      (* 17 bytes on disk, budget 9: evict the 4-byte object then the
+         5-byte segment (oldest first); the survivors fit. *)
+      let n, bytes = Store.Cas.gc ~max_bytes:9 cas ~older_than:86_400. in
+      check_int "evicts the two least-recently written" 2 n;
+      check_int "frees their bytes" 9 bytes;
+      check_int "the segment was evicted" 0
+        (List.length (Store.Cas.ls_segments cas));
+      let sizes =
+        List.sort compare
+          (List.map (fun (e : Store.Cas.entry) -> e.Store.Cas.size)
+             (Store.Cas.ls cas))
+      in
+      check_true "the newest objects survive" (sizes = [ 2; 6 ]);
+      (* A budget the store already fits under is a no-op. *)
+      let n, bytes = Store.Cas.gc ~max_bytes:1_000_000 cas ~older_than:86_400. in
+      check_int "no-op under budget" 0 n;
+      check_int "no bytes freed" 0 bytes)
+
 let cas_atomic_leaves_no_temps () =
   with_store (fun cas ->
       for i = 1 to 20 do
@@ -555,6 +637,8 @@ let suites =
         test "trailing bytes are rejected" trailing_bytes_rejected;
         test "inspect reports kind and length" inspect_reports_kind;
         test "crc32 matches the IEEE check value" crc32_check_value;
+        test "u32 encoding is bounds-typed" u32_bound_is_typed;
+        test "oversized length prefixes are rejected" oversized_prefix_rejected;
       ] );
     ( "store.chain-codec",
       [
@@ -581,6 +665,8 @@ let suites =
         test "corrupt objects are dropped and rebuilt" cas_corrupt_objects_dropped;
         test "ls and verify report tampering" cas_ls_verify_tamper;
         test "gc by age and clear" cas_gc_clear;
+        test "gc max-bytes evicts LRU across objects and segments"
+          cas_gc_max_bytes_lru;
         test "atomic writes leave no temp files" cas_atomic_leaves_no_temps;
         test "chain builds memoise through the store" chain_codec_cached_builds_once;
       ] );

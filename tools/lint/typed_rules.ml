@@ -417,10 +417,12 @@ let all : Typed.rule list =
     {
       Typed.name = "unchecked-unix-result";
       doc =
-        "Unix results in lib/serve and lib/store must be consumed and \
-         transient failures (EINTR/EAGAIN) handled";
+        "Unix results in lib/serve, lib/store and lib/ooc must be \
+         consumed and transient failures (EINTR/EAGAIN) handled";
       applies =
-        (fun p -> has_prefix "lib/serve/" p || has_prefix "lib/store/" p);
+        (fun p ->
+          has_prefix "lib/serve/" p || has_prefix "lib/store/" p
+          || has_prefix "lib/ooc/" p);
       check = check_unix_result;
     };
   ]
