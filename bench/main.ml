@@ -59,7 +59,8 @@
 
    Pass --quick to shrink the experiment sweeps; pass --skip-micro to
    print only the tables; pass --csr-only, --store-only, --spmm-only,
-   --serve-only or --ooc-only to run just that ablation. *)
+   --serve-only, --ooc-only or --family-only to run just that
+   ablation (phase 1.11 is the β-family one). *)
 
 open Bechamel
 open Toolkit
@@ -71,6 +72,7 @@ let store_only = Array.exists (( = ) "--store-only") Sys.argv
 let spmm_only = Array.exists (( = ) "--spmm-only") Sys.argv
 let serve_only = Array.exists (( = ) "--serve-only") Sys.argv
 let ooc_only = Array.exists (( = ) "--ooc-only") Sys.argv
+let family_only = Array.exists (( = ) "--family-only") Sys.argv
 
 (* Every ablation snapshot leaves through the bench sink, which owns
    the BENCH filenames: it writes the legacy snapshot atomically and
@@ -1396,6 +1398,272 @@ let run_ooc_ablation () =
   in
   record_snapshot ~label:"out-of-core ablation" ~legacy_path:json_path json
 
+(* --- Phase 1.11: β-family ablation ------------------------------------- *)
+
+(* β-grids are the repo's dominant workload shape, so this phase races
+   the family layer against the per-point paths it replaces: (a) cold
+   grid build — one chain_family (utilities tabulated once, shared
+   structure) vs an independent chain per β; (b) multi-β panel
+   advancement — the fused shared-structure SpMM vs per-plane
+   evolve_many_into; (c) the structure-once family store layout, cold
+   vs warm. Every arm is gated on bit-identity against its per-β
+   counterpart; timings land in BENCH_family.json. *)
+let run_family_ablation () =
+  (* The paper's Section 5 clique coordination game: every player's
+     utility sums over n-1 neighbours, so the per-state utility
+     tabulation the family shares across the grid is a real fraction
+     of the build — the regime β-families exist for. *)
+  let n_players = if quick then 8 else 10 in
+  let grid_points = if quick then 8 else 12 in
+  let betas =
+    List.init grid_points (fun i -> 0.05 +. (0.05 *. float_of_int i))
+  in
+  let sweep_steps = if quick then 200 else 400 in
+  let desc =
+    Games.Graphical.create (Graphs.Generators.clique n_players)
+      (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)
+  in
+  let space = Games.Graphical.space desc in
+  let phi = Games.Graphical.potential desc in
+  (* Deliberately NOT [Graphical.to_game]: that tabulates every utility
+     into a per-player table for spaces ≤ 2^22, which already amortises
+     utility evaluation across the grid at game level. β-families exist
+     for the regime where that table is unaffordable (large spaces,
+     out-of-core sweeps) — modelled here by keeping the utility a real
+     neighbour-sum computation, so per-point rebuilds pay it at every β
+     while [chain_family] tabulates it once. The floats are the same
+     either way, so the bit-identity gates are unaffected. *)
+  let graph = Games.Graphical.graph desc in
+  let basic = Games.Graphical.basic desc in
+  let game =
+    Games.Game.create
+      ~name:(Printf.sprintf "clique-coordination-untabulated(n=%d)" n_players)
+      space
+      (fun player idx ->
+        let mine = Games.Strategy_space.player_strategy space idx player in
+        List.fold_left
+          (fun acc v ->
+            acc
+            +. Games.Coordination.payoff basic mine
+                 (Games.Strategy_space.player_strategy space idx v))
+          0.
+          (Graphs.Graph.neighbors graph player))
+  in
+  let size = Games.Game.size game in
+  Exec.Pool.with_pool ~domains:jobs @@ fun pool ->
+  (* (a) Cold β-grid build: P independent chain builds vs one family. *)
+  let (per_point, t_per_point), (family, t_family) =
+    time_pair
+      ~reps:(if quick then 25 else 9)
+      (fun () -> List.map (fun beta -> Logit.Logit_dynamics.chain ~pool game ~beta) betas)
+      (fun () -> Logit.Logit_dynamics.chain_family ~pool game ~betas)
+  in
+  let build_identical =
+    List.for_all Fun.id
+      (List.mapi
+         (fun i c -> chain_equal c (Markov.Family.plane family i))
+         per_point)
+  in
+  (* (headline) Cold β-grid sweep — the workload [mixing --betas] and
+     E2 actually run: build every grid point's chain and settle its
+     mixing time from the extremal (consensus) starts. The per-point
+     arm rebuilds from the game at each β; the family arm tabulates
+     utilities once and settles the whole grid in one fused panel
+     sweep. *)
+  let mix_starts = [ 0; size - 1 ] in
+  let mix_eps = 0.25 in
+  let mix_max_steps = 50_000 in
+  let sweep_per_point () =
+    List.map
+      (fun beta ->
+        let chain = Logit.Logit_dynamics.chain ~pool game ~beta in
+        let pi = Logit.Gibbs.stationary space phi ~beta in
+        Markov.Mixing.mixing_time ~pool ~eps:mix_eps ~max_steps:mix_max_steps
+          chain pi ~starts:mix_starts)
+      betas
+  in
+  let sweep_family () =
+    let fam = Logit.Logit_dynamics.chain_family ~pool game ~betas in
+    let pis =
+      Array.of_list
+        (List.map (fun beta -> Logit.Gibbs.stationary space phi ~beta) betas)
+    in
+    Array.to_list
+      (Markov.Mixing.family_mixing_times ~pool ~eps:mix_eps
+         ~max_steps:mix_max_steps fam ~pis ~starts:mix_starts)
+  in
+  let (pp_times, t_pp_sweep), (fam_times, t_fam_sweep) =
+    time_pair ~reps:(if quick then 9 else 5) sweep_per_point sweep_family
+  in
+  let sweep_identical = pp_times = fam_times in
+  (* (b) Multi-β panel advancement: narrow panels (the daemon's
+     regime, where the shared index structure rather than the panel
+     dominates the traffic), [sweep_steps] steps — one
+     evolve_many_into per plane per step vs the fused multi-plane
+     traversal that reads each column's metadata once for the whole
+     grid. *)
+  let np = grid_points in
+  let k = Int.min size 32 in
+  let mk_panels () =
+    Array.init np (fun _ ->
+        let p = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout (k * size) in
+        Bigarray.Array1.fill p 0.;
+        for r = 0 to k - 1 do
+          Bigarray.Array1.set p ((r * size) + r) 1.
+        done;
+        p)
+  in
+  let scratch_panels () =
+    Array.init np (fun _ ->
+        Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout (k * size))
+  in
+  let advance_loop body =
+    let src = ref (mk_panels ()) and dst = ref (scratch_panels ()) in
+    for _ = 1 to sweep_steps do
+      body !src !dst;
+      let previous = !src in
+      src := !dst;
+      dst := previous
+    done;
+    !src
+  in
+  let run_sequential () =
+    advance_loop (fun src dst ->
+        List.iteri
+          (fun p c -> Markov.Chain.evolve_many_into ~pool c ~k ~src:src.(p) ~dst:dst.(p))
+          per_point)
+  in
+  let run_fused () =
+    advance_loop (fun src dst ->
+        Markov.Family.evolve_many_into ~pool family ~k ~src ~dst)
+  in
+  let (seq_panels, t_seq), (fused_panels, t_fused) =
+    time_pair ~reps:(if quick then 9 else 5) run_sequential run_fused
+  in
+  let panels_identical =
+    let ok = ref true in
+    Array.iteri
+      (fun p a ->
+        let b = fused_panels.(p) in
+        for i = 0 to (k * size) - 1 do
+          (* Bit-equality, not tolerance: the fused kernel's contract. *)
+          if Int64.bits_of_float (Bigarray.Array1.get a i)
+             <> Int64.bits_of_float (Bigarray.Array1.get b i)
+          then ok := false
+        done)
+      seq_panels;
+    !ok
+  in
+  (* (c) The structure-once store layout: cold build-and-file vs warm
+     decode of structure + per-β planes. *)
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "logitdyn-bench-family-%d" (Unix.getpid ()))
+  in
+  let cas = Store.Cas.open_ ~dir:root () in
+  ignore (Store.Cas.clear cas);
+  let through_store () =
+    Markov.Family_codec.cached ~store:cas ~game:"bench-ring-family" ~size ~betas
+      ~variant:"sequential-logit" (fun () ->
+        Logit.Logit_dynamics.chain_family ~pool game ~betas)
+  in
+  let f_cold, t_cold = time through_store in
+  let f_warm, t_warm = time through_store in
+  let store_identical =
+    List.for_all Fun.id
+      (List.mapi
+         (fun i _ ->
+           chain_equal (Markov.Family.plane f_cold i) (Markov.Family.plane f_warm i)
+           && chain_equal (Markov.Family.plane f_warm i) (Markov.Family.plane family i))
+         betas)
+  in
+  ignore (Store.Cas.clear cas);
+  let table =
+    Experiments.Table.create
+      ~title:
+        (Printf.sprintf
+           "beta-family ablation: per-point vs shared structure (clique n=%d, \
+            |S|=%d, %d grid points, %d domains)"
+           n_players size grid_points jobs)
+      [
+        ("workload / arm", Experiments.Table.Left);
+        ("seconds", Experiments.Table.Right);
+        ("speedup", Experiments.Table.Right);
+        ("bit-identical", Experiments.Table.Right);
+      ]
+  in
+  let add name seconds speedup bit =
+    Experiments.Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.4f" seconds;
+        Printf.sprintf "%.2fx" speedup;
+        Experiments.Table.cell_bool bit;
+      ]
+  in
+  add "beta_grid_sweep / per_point" t_pp_sweep 1.0 true;
+  add "beta_grid_sweep / family" t_fam_sweep (t_pp_sweep /. t_fam_sweep)
+    sweep_identical;
+  add "beta_grid_build / per_point" t_per_point 1.0 true;
+  add "beta_grid_build / family" t_family (t_per_point /. t_family) build_identical;
+  add
+    (Printf.sprintf "panel_sweep(%d) / sequential" sweep_steps)
+    t_seq 1.0 true;
+  add
+    (Printf.sprintf "panel_sweep(%d) / fused" sweep_steps)
+    t_fused (t_seq /. t_fused) panels_identical;
+  add "family_store / cold" t_cold 1.0 true;
+  add "family_store / warm" t_warm (t_cold /. t_warm) store_identical;
+  Experiments.Table.add_note table
+    (Printf.sprintf "shared structure: %b; bit-identical = family path vs the \
+                     independent per-beta path, gated."
+       (Markov.Family.shared_structure family));
+  Experiments.Table.print table;
+  if not (sweep_identical && build_identical && panels_identical && store_identical)
+  then Printf.printf "WARNING: a family arm diverged from its per-beta build!\n";
+  let json_path = Filename.concat (Sys.getcwd ()) Bench.Sink.family_path in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "family_ablation",
+  "quick": %b,
+  "jobs": %d,
+  "grid_points": %d,
+  "game": { "kind": "clique_coordination", "n": %d, "states": %d },
+  "shared_structure": %b,
+  "workloads": [
+    { "name": "beta_grid_sweep", "arm": "per_point", "seconds": %.6f,
+      "speedup": 1.0, "jobs": %d, "bit_identical": true },
+    { "name": "beta_grid_sweep", "arm": "family", "seconds": %.6f,
+      "speedup": %.3f, "jobs": %d, "bit_identical": %b },
+    { "name": "beta_grid_build", "arm": "per_point", "seconds": %.6f,
+      "speedup": 1.0, "jobs": %d, "bit_identical": true },
+    { "name": "beta_grid_build", "arm": "family", "seconds": %.6f,
+      "speedup": %.3f, "jobs": %d, "bit_identical": %b },
+    { "name": "panel_sweep", "arm": "sequential", "seconds": %.6f,
+      "speedup": 1.0, "jobs": %d, "bit_identical": true },
+    { "name": "panel_sweep", "arm": "fused", "seconds": %.6f,
+      "speedup": %.3f, "jobs": %d, "bit_identical": %b },
+    { "name": "family_store", "arm": "cold", "seconds": %.6f,
+      "speedup": 1.0, "jobs": %d, "bit_identical": true },
+    { "name": "family_store", "arm": "warm", "seconds": %.6f,
+      "speedup": %.3f, "jobs": %d, "bit_identical": %b }
+  ]
+}
+|}
+      quick jobs grid_points n_players size
+      (Markov.Family.shared_structure family)
+      t_pp_sweep jobs t_fam_sweep
+      (t_pp_sweep /. t_fam_sweep)
+      jobs sweep_identical t_per_point jobs t_family
+      (t_per_point /. t_family)
+      jobs build_identical t_seq jobs t_fused (t_seq /. t_fused) jobs
+      panels_identical t_cold jobs t_warm (t_cold /. t_warm) jobs
+      store_identical
+  in
+  record_snapshot ~label:"beta-family ablation" ~legacy_path:json_path json
+
 let run_micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -1457,6 +1725,11 @@ let () =
     Printf.printf "phase 1.10: out-of-core segment ablation (mmap + stream)\n%!";
     run_ooc_ablation ()
   end
+  else if family_only then begin
+    Printf.printf
+      "phase 1.11: beta-family ablation (per-point vs shared structure)\n%!";
+    run_family_ablation ()
+  end
   else begin
     Printf.printf
       "phase 1: regenerating every experiment table (E1..E9, X1..X10)\n";
@@ -1476,6 +1749,9 @@ let () =
     run_serve_ablation ();
     Printf.printf "\nphase 1.10: out-of-core segment ablation (mmap + stream)\n%!";
     run_ooc_ablation ();
+    Printf.printf
+      "\nphase 1.11: beta-family ablation (per-point vs shared structure)\n%!";
+    run_family_ablation ();
     if not skip_micro then begin
       Printf.printf "\nphase 2: micro-benchmarks\n%!";
       run_micro ()

@@ -195,6 +195,29 @@ let mixing_ooc game_id n beta eps jobs segment_file stores no_cache_flags =
       report_store store;
       0
 
+(* The one per-point print block, shared by the single-β path and the
+   --betas grid so a grid point's output is byte-identical to a
+   separate --beta invocation at that value. *)
+let print_mixing_reply engine ~game_id ~n ~beta ~eps ~replicas
+    (m : P.mixing_reply) =
+  let e = entry_or_exit engine ~game:game_id ~n ~beta in
+  Printf.printf "game=%s n=%d |S|=%d beta=%g reversible=%b\n"
+    (Games.Game.name e.Serve.Engine.game)
+    n m.P.size beta m.P.reversible;
+  (match m.P.tmix with
+  | Some t -> Printf.printf "t_mix(%g) = %d\n" eps t
+  | None -> Printf.printf "t_mix(%g) > max_steps\n" eps);
+  (match m.P.empirical with
+  | Some (steps, tv) ->
+      Printf.printf "empirical TV at t=%d from start 0 (%d replicas): %.4f\n"
+        steps replicas tv
+  | None -> ());
+  match m.P.barrier with
+  | Some b ->
+      Printf.printf "dPhi = %g, dphi(local) = %g, zeta = %g\n" b.P.d_global
+        b.P.d_local b.P.zeta
+  | None -> ()
+
 (* A thin client of the shared request layer: the same Mixing query
    the daemon serves, evaluated in-process by the same engine, so the
    CLI's answers are bit-identical to logitdynd's by construction. *)
@@ -208,37 +231,80 @@ let mixing_in_ram game_id n beta eps jobs replicas seed stores no_cache_flags =
   with
   | Error err -> print_query_error err
   | Ok (P.Mixing_r m) ->
-      let e = entry_or_exit engine ~game:game_id ~n ~beta in
-      Printf.printf "game=%s n=%d |S|=%d beta=%g reversible=%b\n"
-        (Games.Game.name e.Serve.Engine.game)
-        n m.P.size beta m.P.reversible;
-      (match m.P.tmix with
-      | Some t -> Printf.printf "t_mix(%g) = %d\n" eps t
-      | None -> Printf.printf "t_mix(%g) > max_steps\n" eps);
-      (match m.P.empirical with
-      | Some (steps, tv) ->
-          Printf.printf "empirical TV at t=%d from start 0 (%d replicas): %.4f\n"
-            steps replicas tv
-      | None -> ());
-      (match m.P.barrier with
-      | Some b ->
-          Printf.printf "dPhi = %g, dphi(local) = %g, zeta = %g\n" b.P.d_global
-            b.P.d_local b.P.zeta
-      | None -> ());
+      print_mixing_reply engine ~game_id ~n ~beta ~eps ~replicas m;
       report_store store;
       0
   | Ok _ ->
       Printf.eprintf "unexpected reply to a mixing query\n";
       exit 2
 
+(* The --betas grid: one process, one engine, one scheduler batch. The
+   whole grid goes through Serve.Scheduler.run_batch, whose (game, n)
+   coalescing turns it into ONE Markov.Family driven by the fused
+   multi-β panel sweep — each point's answer bit-identical to a
+   separate --beta invocation (same primitives, same floats), printed
+   in grid order with the same per-point block. Only the store report
+   differs: one aggregated line at the end instead of one per
+   invocation. *)
+let mixing_grid game_id n betas eps jobs replicas seed stores no_cache_flags =
+  let store = open_store ~stores ~no_cache_flags in
+  with_jobs jobs @@ fun pool ->
+  let engine = Serve.Engine.create ?pool ?store () in
+  let batch =
+    List.mapi
+      (fun i beta ->
+        {
+          Serve.Scheduler.tag = ();
+          req_id = i;
+          deadline_ns = None;
+          query = P.Mixing { game = game_id; n; beta; eps; replicas; seed };
+        })
+      betas
+  in
+  let replies =
+    Serve.Scheduler.run_batch engine (Serve.Scheduler.stats_zero ()) batch
+  in
+  List.iter
+    (fun (job, outcome) ->
+      let beta =
+        match job.Serve.Scheduler.query with
+        | P.Mixing { beta; _ } -> beta
+        | _ -> assert false (* the batch holds only Mixing queries *)
+      in
+      match outcome with
+      | Error err -> print_query_error err
+      | Ok (P.Mixing_r m) ->
+          print_mixing_reply engine ~game_id ~n ~beta ~eps ~replicas m
+      | Ok _ ->
+          Printf.eprintf "unexpected reply to a mixing query\n";
+          exit 2)
+    replies;
+  report_store store;
+  0
+
 (* [--segment FILE] implies the out-of-core path; [--ooc] alone
    derives the file from the store (or a temp file under
-   [--no-cache]). *)
-let mixing game_id n beta eps jobs replicas seed ooc segment_file stores
+   [--no-cache]). [--betas LO:HI:STEP] runs the whole grid in one
+   process through the β-family scheduler path; combining it with
+   [--beta] or the out-of-core flags is a usage error (exit 2). *)
+let mixing game_id n beta betas eps jobs replicas seed ooc segment_file stores
     no_cache_flags =
-  if ooc || segment_file <> None then
-    mixing_ooc game_id n beta eps jobs segment_file stores no_cache_flags
-  else mixing_in_ram game_id n beta eps jobs replicas seed stores no_cache_flags
+  match Serve.Cli_flags.resolve_betas ~beta ~betas with
+  | Error msg ->
+      Printf.eprintf "logitdyn: %s\n" msg;
+      exit 2
+  | Ok (Serve.Cli_flags.Beta_single beta) ->
+      if ooc || segment_file <> None then
+        mixing_ooc game_id n beta eps jobs segment_file stores no_cache_flags
+      else mixing_in_ram game_id n beta eps jobs replicas seed stores no_cache_flags
+  | Ok (Serve.Cli_flags.Beta_grid points) ->
+      if ooc || segment_file <> None then begin
+        Printf.eprintf
+          "logitdyn: --betas is incompatible with --ooc/--segment (the grid \
+           path is in-RAM)\n";
+        exit 2
+      end
+      else mixing_grid game_id n points eps jobs replicas seed stores no_cache_flags
 
 (* --- spectrum --------------------------------------------------------- *)
 
@@ -748,11 +814,30 @@ let mixing_cmd =
              when absent. Default: derived from the game recipe in the \
              artifact store.")
   in
+  let beta_opt_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "b"; "beta" ] ~docv:"BETA"
+          ~doc:"Inverse noise (default 1.0). Conflicts with --betas.")
+  in
+  let betas_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "betas" ] ~docv:"LO:HI:STEP"
+          ~doc:
+            "Run a whole inclusive β grid in one process: the chains are \
+             built as one β-family (utilities tabulated once, shared index \
+             structure) and settled by one fused panel sweep. Each point's \
+             output is byte-identical to a separate --beta run at that \
+             value. Conflicts with --beta, --ooc and --segment.")
+  in
   Cmd.v (Cmd.info "mixing" ~doc:"Compute the exact mixing time")
     Term.(
-      const mixing $ game_arg $ n_arg $ beta_arg $ eps_arg $ jobs_arg
-      $ replicas_arg $ seed_arg $ ooc_arg $ segment_arg $ store_dir_arg
-      $ no_cache_arg)
+      const mixing $ game_arg $ n_arg $ beta_opt_arg $ betas_arg $ eps_arg
+      $ jobs_arg $ replicas_arg $ seed_arg $ ooc_arg $ segment_arg
+      $ store_dir_arg $ no_cache_arg)
 
 let spectrum_cmd =
   Cmd.v (Cmd.info "spectrum" ~doc:"Print the spectrum of the logit chain")

@@ -197,6 +197,29 @@ let ooc j =
       Ok [ r ])
     workloads
 
+(* BENCH_family.json: β-family arms. One [workloads] entry per timed
+   arm (grid build per-point vs family, panel sweep sequential vs
+   fused, family store cold vs warm), each with its own jobs count and
+   correctness bit — per-arm bitwise equality of the family path
+   against the independent per-β path. *)
+let family j =
+  let bench = "family_ablation" in
+  let* quick = Json.bool_field "quick" j in
+  let* workloads = Json.list_field "workloads" j in
+  collect
+    (fun w ->
+      let* workload = Json.str_field "name" w in
+      let* arm = Json.str_field "arm" w in
+      let* seconds = Json.num_field "seconds" w in
+      let* speedup = Json.num_field "speedup" w in
+      let* jobs = Json.int_field "jobs" w in
+      let* correct = Json.bool_field "bit_identical" w in
+      let* r =
+        record ~bench ~workload ~arm ~seconds ~speedup ~correct ~quick ~jobs
+      in
+      Ok [ r ])
+    workloads
+
 let of_legacy j =
   let* bench = Json.str_field "bench" j in
   match bench with
@@ -205,6 +228,7 @@ let of_legacy j =
   | "store_ablation" -> store j
   | "serve_ablation" -> serve j
   | "ooc_ablation" -> ooc j
+  | "family_ablation" -> family j
   | other -> Error (Printf.sprintf "unknown legacy bench kind %S" other)
 
 let of_legacy_string s =

@@ -3,6 +3,7 @@ let spmm_path = "BENCH_spmm.json"
 let store_path = "BENCH_store.json"
 let serve_path = "BENCH_serve.json"
 let ooc_path = "BENCH_ooc.json"
+let family_path = "BENCH_family.json"
 
 type provenance = { rev : string; host : string; timestamp : float }
 

@@ -16,6 +16,7 @@ val spmm_path : string
 val store_path : string
 val serve_path : string
 val ooc_path : string
+val family_path : string
 
 type provenance = { rev : string; host : string; timestamp : float }
 

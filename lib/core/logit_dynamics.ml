@@ -32,6 +32,74 @@ let chain ?pool game ~beta =
   Markov.Chain.of_function ?pool (Game.size game) (fun idx ->
       transition_row game ~beta idx)
 
+(* β-family build: tabulate the β-independent part of every row once —
+   per (state, player, strategy) the utility, the deviation target and
+   the current strategy — then re-softmax the tabulated utilities per β
+   and assemble each row in [transition_row]'s exact order. The log
+   weights are [beta *. u] with the very same [u] a fresh
+   [update_distribution] would compute, the softmax is the same
+   [normalize_logs] call, and the self-loop accumulates over players
+   0..n-1 exactly as above, so every plane is bit-identical to an
+   independent [chain ~beta] build (same [of_function] / [of_rows]
+   pipeline downstream). *)
+let chain_family ?pool game ~betas =
+  if betas = [] then invalid_arg "Logit_dynamics.chain_family: empty beta grid";
+  List.iter
+    (fun beta ->
+      if beta < 0. then invalid_arg "Logit_dynamics: beta must be non-negative")
+    betas;
+  let space = Game.space game in
+  let n = Strategy_space.num_players space in
+  let size = Game.size game in
+  let offs = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offs.(i + 1) <- offs.(i) + Strategy_space.num_strategies space i
+  done;
+  let stride = offs.(n) in
+  let utils = Array.make (size * stride) 0. in
+  let targets = Array.make (size * stride) 0 in
+  let currents = Array.make (size * n) 0 in
+  (* Tabulation: state idx owns slices [idx*stride, (idx+1)*stride) of
+     utils/targets and [idx*n, (idx+1)*n) of currents — one writer per
+     cell, so the captured writes below are race-free. *)
+  Exec.Pool.iter_opt ~cost:1024 pool ~n:size (fun idx ->
+      for i = 0 to n - 1 do
+        (* lint: allow domain-capture — currents.(idx*n+i) has exactly one writer, state idx *)
+        currents.((idx * n) + i) <- Strategy_space.player_strategy space idx i;
+        let o = (idx * stride) + offs.(i) in
+        for a = 0 to offs.(i + 1) - offs.(i) - 1 do
+          let target = Strategy_space.replace space idx i a in
+          (* lint: allow domain-capture — targets.(o+a) has exactly one writer, state idx *)
+          targets.(o + a) <- target;
+          (* lint: allow domain-capture — utils.(o+a) has exactly one writer, state idx *)
+          utils.(o + a) <- Game.utility game i target
+        done
+      done);
+  let inv_n = 1. /. float_of_int n in
+  let row_of_beta beta idx =
+    let self = ref 0. in
+    let entries = ref [] in
+    for i = 0 to n - 1 do
+      let o = (idx * stride) + offs.(i) in
+      let m = offs.(i + 1) - offs.(i) in
+      let log_weights = Array.init m (fun a -> beta *. utils.(o + a)) in
+      let sigma = Prob.Logspace.normalize_logs log_weights in
+      let current = currents.((idx * n) + i) in
+      Array.iteri
+        (fun a p ->
+          if a = current then self := !self +. (inv_n *. p)
+          else if p > 0. then entries := (targets.(o + a), inv_n *. p) :: !entries)
+        sigma
+    done;
+    if !self > 0. then (idx, !self) :: !entries else !entries
+  in
+  let planes =
+    List.map
+      (fun beta -> Markov.Chain.of_function ?pool size (row_of_beta beta))
+      betas
+  in
+  Markov.Family.v ~betas:(Array.of_list betas) ~planes:(Array.of_list planes)
+
 let step rng game ~beta idx =
   let space = Game.space game in
   let player = Prob.Rng.int rng (Strategy_space.num_players space) in

@@ -25,6 +25,20 @@ val transition_row : Games.Game.t -> beta:float -> int -> (int * float) list
     splits it across domains with identical results. *)
 val chain : ?pool:Exec.Pool.t -> Games.Game.t -> beta:float -> Markov.Chain.t
 
+(** [chain_family ?pool game ~betas] materialises the logit chains of a
+    whole β-grid as a {!Markov.Family}: each state's utility deltas are
+    tabulated exactly once (they do not depend on β) and re-softmaxed
+    per grid point, and the planes share one CSR/CSC index structure
+    whenever their sparsity agrees (checked, not assumed). Every plane
+    is {b bit-identical} to an independent [chain ~beta] build at the
+    same β — the log weights are [β·u] with the very same tabulated
+    [u], through the same [normalize_logs] softmax, rows assembled in
+    {!transition_row}'s exact order and packed by the same
+    [of_function] pipeline — for any pool size. Raises
+    [Invalid_argument] on an empty grid or a negative β. *)
+val chain_family :
+  ?pool:Exec.Pool.t -> Games.Game.t -> betas:float list -> Markov.Family.t
+
 (** [step rng game ~beta idx] performs one logit-dynamics step by
     direct simulation (no chain materialisation). *)
 val step : Prob.Rng.t -> Games.Game.t -> beta:float -> int -> int

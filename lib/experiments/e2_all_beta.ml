@@ -15,11 +15,12 @@ let sweep_game table game phi betas =
   let m = Strategy_space.max_strategies space in
   let delta_phi = Potential.delta_global space phi in
   (* Each β grid point is independent: evaluate them on the sweep pool
-     and append the rows in β order afterwards. *)
+     and append the rows in β order afterwards. The chains come from
+     one β-family (utilities tabulated once, shared index structure) —
+     bit-identical to the per-point rebuilds this replaced. *)
   let rows =
-    Sweep.map
-      (fun beta ->
-        let chain = Logit.Logit_dynamics.chain game ~beta in
+    Sweep.map_family game ~betas
+      (fun beta chain ->
         let pi = Logit.Gibbs.stationary space phi ~beta in
         let trel = Markov.Spectral.relaxation_time chain pi in
         let tmix =
@@ -40,7 +41,6 @@ let sweep_game table game phi betas =
           | Some _ -> "inf"
           | None -> "-");
         ])
-      betas
   in
   List.iter (Table.add_row table) rows
 

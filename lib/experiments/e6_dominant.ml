@@ -104,9 +104,13 @@ let part_c ~quick =
   let betas = if quick then [ 2.0 ] else [ 1.0; 2.0; 4.0; 8.0 ] in
   let size = Games.Game.size game in
   let all_one = size - 1 in
-  List.iter
-    (fun beta ->
-      let chain = Logit.Logit_dynamics.chain game ~beta in
+  (* The loop stays serial — the coupling estimate threads one rng
+     across β points — but the chains come from one β-family
+     (utilities tabulated once), bit-identical to per-point builds. *)
+  let family = Logit.Logit_dynamics.chain_family game ~betas in
+  List.iteri
+    (fun bi beta ->
+      let chain = Markov.Family.plane family bi in
       let phi idx =
         Games.Dominant.lower_bound_potential ~players ~strategies idx
       in

@@ -48,10 +48,11 @@ let run ~quick =
       let game = Graphical.to_game desc in
       let space = Game.space game in
       let phi = Graphical.potential desc in
+      let family = Logit.Logit_dynamics.chain_family game ~betas in
       let points =
-        List.map
-          (fun beta ->
-            let chain = Logit.Logit_dynamics.chain game ~beta in
+        List.mapi
+          (fun bi beta ->
+            let chain = Markov.Family.plane family bi in
             let pi = Logit.Gibbs.stationary space phi ~beta in
             (* Thm 3.1: the spectrum is non-negative, so the deflated
                power iteration's λ★ is λ₂ and t_rel = 1/(1-λ₂). *)

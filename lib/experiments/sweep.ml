@@ -18,6 +18,17 @@ let map f xs =
          no-op here and the map dispatches unconditionally. *)
       Array.to_list (Exec.Pool.map ~chunk:1 p ~n:(Array.length arr) (fun i -> f arr.(i)))
 
+let map_family game ~betas f =
+  (* Build the whole β-grid's chains as one family — utilities
+     tabulated once, index structure shared — then run the grid points
+     through [map] as usual. Each plane is bit-identical to the
+     independent [chain ~beta] the point used to build itself, so the
+     printed tables cannot change. *)
+  let family = Logit.Logit_dynamics.chain_family ?pool:!pool game ~betas in
+  map
+    (fun i -> f (Markov.Family.beta family i) (Markov.Family.plane family i))
+    (List.init (Markov.Family.num_planes family) Fun.id)
+
 let map_cached ?store ~key ~encode ~decode f xs =
   match store with
   | None -> map f xs

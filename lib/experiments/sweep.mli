@@ -21,6 +21,17 @@ val current_pool : unit -> Exec.Pool.t option
     there is one. Results are returned in input order. *)
 val map : ('a -> 'b) -> 'a list -> 'b list
 
+(** [map_family game ~betas f] maps [f beta chain] over a β-grid whose
+    logit chains are built as one {!Markov.Family}
+    ({!Logit.Logit_dynamics.chain_family} on the installed pool):
+    utilities are tabulated once and the planes share one index
+    structure, instead of each grid point rebuilding the chain from
+    scratch. Every plane is bit-identical to the independent
+    [chain ~beta] build it replaces, and results come back in grid
+    order, so printed tables are unchanged byte-for-byte. *)
+val map_family :
+  Games.Game.t -> betas:float list -> (float -> Markov.Chain.t -> 'b) -> 'b list
+
 (** [map_cached ?store ~key ~encode ~decode f xs] is {!map} with
     per-grid-point checkpointing through the artifact store: points
     whose key already decodes from [store] are skipped (their cached

@@ -83,14 +83,15 @@ let part_b ~quick =
   List.iter
     (fun game ->
       let phi = Option.get (Potential.recover game) in
-      List.iter
-        (fun beta ->
+      let family = Logit.Logit_dynamics.chain_family game ~betas in
+      List.iteri
+        (fun bi beta ->
           let alpha, gamma, implied, closed =
             Logit.Comparison.lemma33_comparison game phi ~beta
           in
           ignore alpha;
           ignore gamma;
-          let chain = Logit.Logit_dynamics.chain game ~beta in
+          let chain = Markov.Family.plane family bi in
           let pi = Logit.Gibbs.stationary (Game.space game) phi ~beta in
           let trel = Markov.Spectral.relaxation_time chain pi in
           Table.add_row table

@@ -30,9 +30,10 @@ let analyse name graph ~betas table =
     :: (Strategy_space.size space - 1)
     :: Potential.global_minima space phi
   in
-  List.iter
-    (fun beta ->
-      let chain = Logit.Logit_dynamics.chain game ~beta in
+  let family = Logit.Logit_dynamics.chain_family game ~betas in
+  List.iteri
+    (fun bi beta ->
+      let chain = Markov.Family.plane family bi in
       let pi = Logit.Gibbs.stationary space phi ~beta in
       let tmix = Markov.Mixing.mixing_time ~max_steps:2_000_000 chain pi ~starts in
       Table.add_row table

@@ -239,6 +239,60 @@ let to_csc t =
   let c = csc t in
   (Array.copy c.t_col_start, Array.copy c.t_cols, Array.copy c.t_probs)
 
+(* --- shared structure (β-families) ----------------------------------- *)
+
+let int_arrays_equal a b =
+  a == b
+  || begin
+       let n = Array.length a in
+       n = Array.length b
+       && begin
+            let i = ref 0 in
+            while !i < n && Array.unsafe_get a !i = Array.unsafe_get b !i do
+              incr i
+            done;
+            !i = n
+          end
+     end
+
+let same_structure a b =
+  a.size = b.size
+  && int_arrays_equal a.row_start b.row_start
+  && int_arrays_equal a.cols b.cols
+
+(* Physically share [base]'s index arrays when the structures agree.
+   The probabilities and prefix sums stay the plane's own; the CSC view
+   is pre-seeded with [base]'s index arrays plus a fresh [t_probs]
+   filled by the same counting-transpose order [build_csc] uses — the
+   values are copied straight from [t.probs], no arithmetic, so the
+   seeded view is bit-identical to the one the plane would derive
+   lazily on its own. A chain whose structure differs from [base]'s
+   (sparsity can differ across β when softmax tails underflow) is
+   returned unchanged. *)
+let with_structure_of ~base t =
+  if t == base then t
+  else if not (same_structure base t) then t
+  else begin
+    let bc = csc base in
+    let nnz = Array.length bc.t_probs in
+    let t_probs = Array.make nnz 0. in
+    let cursor = Array.sub bc.t_col_start 0 t.size in
+    for i = 0 to t.size - 1 do
+      for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+        let j = t.cols.(k) in
+        let slot = cursor.(j) in
+        t_probs.(slot) <- t.probs.(k);
+        cursor.(j) <- slot + 1
+      done
+    done;
+    {
+      t with
+      row_start = base.row_start;
+      cols = base.cols;
+      csc = Atomic.make (Some { bc with t_probs });
+    }
+  end
+
 let check_evolve_args name t ~src ~dst =
   if Array.length src <> t.size || Array.length dst <> t.size then
     invalid_arg (name ^ ": dimension mismatch");
@@ -374,6 +428,92 @@ let evolve_many_into ?pool t ~k ~(src : panel) ~(dst : panel) =
         done;
         (* lint: allow domain-capture — SpMM: dst cell (r, j) has exactly one writer, dispatch item (b, j) *)
         Bigarray.Array1.unsafe_set dst (base + j) !acc
+      done)
+
+(* Fused multi-plane SpMM: one call advances a panel for every plane of
+   a β-family over ONE shared index structure. The dispatch space is
+   flat (plane, block, destination); per (plane, r, j) cell the inner
+   loop is exactly [evolve_many_into]'s gather (ascending sources,
+   [mass > 0.] skip), so every plane's panel is bit-identical to a
+   per-plane [evolve_many_into] — the fusion only changes how the
+   shared [t_col_start]/[t_cols] traffic is amortised. *)
+let evolve_many_shared_into ?pool planes ~k ~(src : panel array)
+    ~(dst : panel array) =
+  let np = Array.length planes in
+  if np = 0 then invalid_arg "Chain.evolve_many_shared_into: no planes";
+  if k < 0 then invalid_arg "Chain.evolve_many_shared_into: negative k";
+  let base = planes.(0) in
+  let n = base.size in
+  Array.iter
+    (fun t ->
+      if not (same_structure base t) then
+        invalid_arg "Chain.evolve_many_shared_into: planes do not share structure")
+    planes;
+  if Array.length src <> np || Array.length dst <> np then
+    invalid_arg "Chain.evolve_many_shared_into: need one src/dst panel per plane";
+  Array.iteri
+    (fun p s ->
+      if Bigarray.Array1.dim s <> k * n || Bigarray.Array1.dim dst.(p) <> k * n
+      then invalid_arg "Chain.evolve_many_shared_into: panel dimension mismatch")
+    src;
+  for p = 0 to np - 1 do
+    for q = 0 to np - 1 do
+      if dst.(p) == src.(q) then
+        invalid_arg "Chain.evolve_many_shared_into: src and dst panels must be distinct";
+      if q > p && dst.(p) == dst.(q) then
+        invalid_arg "Chain.evolve_many_shared_into: dst panels must be distinct"
+    done
+  done;
+  let c = csc base in
+  (* Per-plane probability planes over the shared index arrays: the
+     counting-transpose slot order is a pure function of the structure,
+     so [c]'s indices address every plane's [t_probs] correctly. *)
+  let plane_probs = Array.map (fun t -> (csc t).t_probs) planes in
+  (* The [panel_block_bytes] budget is per dispatch item, and a fused
+     item walks its row block in EVERY plane's src/dst panels — so the
+     block shrinks by the plane count to keep the same cache footprint
+     as a solo [evolve_many_into] block. Block size never changes any
+     cell's value (each (plane, row, column) gather is independent), so
+     bit-identity is unaffected. *)
+  let block = Int.max 1 (Int.min k (panel_block_bytes / (16 * n * np))) in
+  let blocks = (k + block - 1) / block in
+  let col_start = c.t_col_start and rows = c.t_cols in
+  (* One dispatch item per (block, destination) pair — the SAME index
+     space as [evolve_many_into], with the plane loop fused inside:
+     column [j]'s slice of the shared [col_start]/[rows] arrays is
+     resolved once and then drives the gather for every plane, which is
+     the whole point of structure sharing. Per plane the (r, kk)
+     iteration order and the [mass > 0.] skip are exactly
+     [evolve_many_into]'s, so each plane's panel comes out
+     bit-identical to a solo advance. Cutover cost of one item is
+     [np] planes × [block] gathered rows of [evolve_cost]
+     multiply-adds — the same total calibration as [np] separate
+     [evolve_many_into] calls, so a β-grid on a below-cutover chain
+     never dispatches however many planes it fuses. *)
+  Exec.Pool.iter_opt ~cost:(np * block * evolve_cost base) pool
+    ~n:(blocks * n)
+    (fun idx ->
+      let b = idx / n in
+      let j = idx - (b * n) in
+      let r_hi = Int.min k ((b * block) + block) - 1 in
+      let klo = Array.unsafe_get col_start j in
+      let kstop = Array.unsafe_get col_start (j + 1) - 1 in
+      for p = 0 to np - 1 do
+        let probs = Array.unsafe_get plane_probs p in
+        let src : panel = Array.unsafe_get src p in
+        let dst : panel = Array.unsafe_get dst p in
+        for r = b * block to r_hi do
+          let base = r * n in
+          let acc = ref 0. in
+          for kk = klo to kstop do
+            let mass =
+              Bigarray.Array1.unsafe_get src (base + Array.unsafe_get rows kk)
+            in
+            if mass > 0. then acc := !acc +. (mass *. Array.unsafe_get probs kk)
+          done;
+          (* lint: allow domain-capture — fused SpMM: dst cell (p, r, j) has exactly one writer, dispatch item (b, j) *)
+          Bigarray.Array1.unsafe_set dst (base + j) !acc
+        done
       done)
 
 let apply ?pool t f =

@@ -160,6 +160,45 @@ type panel = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
     ([Invalid_argument] otherwise). *)
 val evolve_many_into : ?pool:Exec.Pool.t -> t -> k:int -> src:panel -> dst:panel -> unit
 
+(** [same_structure a b] is true iff [a] and [b] have identical sparsity
+    structure: equal size and element-wise equal [row_start]/[cols]
+    arrays (physical sharing short-circuits). Two chains over the same
+    game at different β usually agree — the β-independent payoff
+    comparisons determine which transitions exist — but softmax tail
+    underflow can drop entries at extreme β, so structure sharing is a
+    checked property, never an assumption. *)
+val same_structure : t -> t -> bool
+
+(** [with_structure_of ~base t] is [t] with its CSR index arrays (and
+    CSC view) physically shared with [base] when
+    [same_structure base t]; otherwise [t] unchanged. The probabilities
+    and prefix sums remain [t]'s own, and the pre-seeded CSC view
+    carries [t]'s probabilities permuted in exactly the
+    counting-transpose slot order the lazy derivation would use — pure
+    copies, no arithmetic — so every observable of the result is
+    bit-identical to [t]'s. This is the memory/locality backbone of
+    {!Family}: one β-grid's planes share one set of index arrays. *)
+val with_structure_of : base:t -> t -> t
+
+(** [evolve_many_shared_into ?pool planes ~k ~src ~dst] advances one
+    [k]-distribution panel per plane in a single fused traversal of the
+    planes' shared index structure: the transposed column slices are
+    read once per (plane, block) pair while the probability planes vary,
+    amortising index traffic across the β-grid. Requires a non-empty
+    [planes] array whose members all satisfy
+    [same_structure planes.(0)], and [src]/[dst] arrays with one panel
+    of dimension [k * size] per plane, destinations pairwise distinct
+    and distinct from every source ([Invalid_argument] otherwise). The
+    per-cell gather is exactly {!evolve_many_into}'s (sources in
+    increasing order, one writer per destination cell), so each plane's
+    [dst] is bit-identical to a per-plane [evolve_many_into] call, for
+    any pool size. The pool dispatch is over the flat
+    (plane × block × destination) space with the same per-item cost
+    calibration as {!evolve_many_into}, so below-cutover grids never
+    dispatch regardless of the number of planes. *)
+val evolve_many_shared_into :
+  ?pool:Exec.Pool.t -> t array -> k:int -> src:panel array -> dst:panel array -> unit
+
 (** [apply ?pool t f] is the function application Pf,
     [(Pf)(i) = Σ_j P(i,j) f(j)] — already gather-mode over the CSR
     rows, so [?pool] chunks the rows across domains race-free with

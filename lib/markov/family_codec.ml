@@ -1,0 +1,105 @@
+(* β-family artifacts: the shared CSR index structure is filed ONCE
+   (row offsets + columns, no probabilities) and each β plane files
+   only its probability array. A warm family load therefore reads the
+   index arrays once however many grid points there are, and the
+   reassembled planes go through [Chain.of_csr] — full invariant
+   revalidation, prefix sums rebuilt in pack order — so they evolve and
+   sample bit-identically to the planes that were encoded.
+
+   Per-β [Chain_codec] keys and frames are untouched: a family is an
+   ADDITIONAL filing layout, not a replacement, so existing caches
+   remain valid. Only families whose planes actually share one
+   structure are filed ([Family.shared_structure]); filing a
+   mixed-structure family under plane 0's structure would corrupt the
+   other planes, so those families are simply rebuilt cold. *)
+
+let layout_version = Chain_codec.layout_version
+
+let encode_structure family =
+  let row_start, cols, _ = Chain.to_csr (Family.plane family 0) in
+  Store.Codec.frame ~kind:Store.Codec.Chain_structure (fun b ->
+      Store.Codec.Enc.u32 b layout_version;
+      Store.Codec.Enc.int_array b row_start;
+      Store.Codec.Enc.int_array b cols)
+
+let decode_structure s =
+  Store.Codec.unframe ~kind:Store.Codec.Chain_structure s (fun d ->
+      let v = Store.Codec.Dec.u32 d in
+      if v <> layout_version then
+        Store.Codec.Dec.fail
+          (Printf.sprintf "chain-structure layout version %d (this build reads %d)"
+             v layout_version);
+      let row_start = Store.Codec.Dec.int_array d in
+      let cols = Store.Codec.Dec.int_array d in
+      (row_start, cols))
+
+let encode_plane chain =
+  let _, _, probs = Chain.to_csr chain in
+  Store.Codec.frame ~kind:Store.Codec.Chain_plane (fun b ->
+      Store.Codec.Enc.u32 b layout_version;
+      Store.Codec.Enc.float_array b probs)
+
+let decode_plane s =
+  Store.Codec.unframe ~kind:Store.Codec.Chain_plane s (fun d ->
+      let v = Store.Codec.Dec.u32 d in
+      if v <> layout_version then
+        Store.Codec.Dec.fail
+          (Printf.sprintf "chain-plane layout version %d (this build reads %d)" v
+             layout_version);
+      Store.Codec.Dec.float_array d)
+
+let common_fields ~game ~size ~variant extra =
+  [
+    ("game", game);
+    ("size", string_of_int size);
+    ("variant", variant);
+    ("csr-layout", string_of_int layout_version);
+    ("codec", string_of_int Store.Codec.version);
+  ]
+  @ extra
+
+let structure_key ?(extra = []) ~game ~size ~variant () =
+  Store.Key.v ~kind:"chain-structure" (common_fields ~game ~size ~variant extra)
+
+let plane_key ?(extra = []) ~game ~size ~beta ~variant () =
+  Store.Key.v ~kind:"chain-plane"
+    (("beta", Store.Key.float_field beta) :: common_fields ~game ~size ~variant extra)
+
+let load cas ~skey ~pkeys =
+  match Store.Cas.get_decoded cas skey ~decode:decode_structure with
+  | None -> None
+  | Some (row_start, cols) ->
+      let rec planes acc = function
+        | [] -> Some (List.rev acc)
+        | pkey :: rest -> (
+            match Store.Cas.get_decoded cas pkey ~decode:decode_plane with
+            | None -> None
+            | Some probs -> (
+                match Chain.of_csr ~row_start ~cols ~probs with
+                | chain -> planes (chain :: acc) rest
+                | exception Invalid_argument _ -> None))
+      in
+      planes [] pkeys
+
+let cached ?store ~game ~size ~betas ~variant ?(extra = []) build =
+  if betas = [] then invalid_arg "Family_codec.cached: empty beta grid";
+  match store with
+  | None -> build ()
+  | Some cas -> (
+      let skey = structure_key ~extra ~game ~size ~variant () in
+      let pkeys =
+        List.map (fun beta -> plane_key ~extra ~game ~size ~beta ~variant ()) betas
+      in
+      match load cas ~skey ~pkeys with
+      | Some planes ->
+          Family.v ~betas:(Array.of_list betas) ~planes:(Array.of_list planes)
+      | None ->
+          let family = build () in
+          if Family.shared_structure family then begin
+            Store.Cas.put cas skey (encode_structure family);
+            List.iteri
+              (fun i pkey ->
+                Store.Cas.put cas pkey (encode_plane (Family.plane family i)))
+              pkeys
+          end;
+          family)

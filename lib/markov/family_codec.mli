@@ -1,0 +1,77 @@
+(** Binary β-family artifacts: structure filed once, one plane per β.
+
+    A family over a β-grid shares one CSR index structure across all
+    planes, so filing each plane as a full {!Chain_codec} artifact
+    would write the index arrays once per grid point. This codec files
+    the structure ONCE (kind [chain-structure]: layout version, row
+    offsets, columns) and each β plane as probabilities only (kind
+    [chain-plane]). Reassembly goes through {!Chain.of_csr} — full
+    invariant revalidation, per-row prefix sums rebuilt in construction
+    order — so a decoded family's planes evolve and sample
+    bit-identically to the planes that were encoded.
+
+    Per-β {!Chain_codec} keys and frames are untouched by this module:
+    existing single-chain caches remain valid, and the two layouts can
+    coexist in one store (distinct kinds, distinct keys). Families
+    whose planes do {e not} share one structure
+    ([not (Family.shared_structure f)]) are never filed — a plane-0
+    structure would misrepresent the others — and are rebuilt cold. *)
+
+(** The CSR layout generation, equal to {!Chain_codec.layout_version}
+    (the planes are the same storage layout); embedded in payloads and
+    keys so old-layout artifacts are orphaned, never misread. *)
+val layout_version : int
+
+(** [encode_structure f] frames plane 0's index arrays. *)
+val encode_structure : Family.t -> string
+
+(** [decode_structure s] parses a structure artifact into
+    [(row_start, cols)]. *)
+val decode_structure : string -> (int array * int array, string) result
+
+(** [encode_plane c] frames [c]'s probability array alone. *)
+val encode_plane : Chain.t -> string
+
+(** [decode_plane s] parses a plane artifact into its probabilities. *)
+val decode_plane : string -> (float array, string) result
+
+(** [structure_key ~game ~size ~variant ()] is the canonical cache key
+    of a family's shared structure: every β-independent input of the
+    build (the β itself does not shape the structure by construction of
+    the filing rule — only shared-structure families are filed). *)
+val structure_key :
+  ?extra:(string * string) list ->
+  game:string ->
+  size:int ->
+  variant:string ->
+  unit ->
+  Store.Key.t
+
+(** [plane_key ~game ~size ~beta ~variant ()] is the canonical cache
+    key of one β plane — the structure key's fields plus the exact β
+    as a hex-float. *)
+val plane_key :
+  ?extra:(string * string) list ->
+  game:string ->
+  size:int ->
+  beta:float ->
+  variant:string ->
+  unit ->
+  Store.Key.t
+
+(** [cached ?store ~game ~size ~betas ~variant ?extra build] memoises a
+    family build through the store: a hit requires the structure AND
+    every plane of the grid to decode (anything less is a miss —
+    partial grids rebuild, then file the missing artifacts). On a miss
+    the freshly built family is filed only when its planes share one
+    structure. Raises [Invalid_argument] on an empty [betas].
+    Without a store it just builds. *)
+val cached :
+  ?store:Store.Cas.t ->
+  game:string ->
+  size:int ->
+  betas:float list ->
+  variant:string ->
+  ?extra:(string * string) list ->
+  (unit -> Family.t) ->
+  Family.t

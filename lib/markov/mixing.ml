@@ -132,6 +132,99 @@ let mixing_time ?pool ?eps ?max_steps t pi ~starts =
 let mixing_time_all ?pool ?eps ?max_steps t pi =
   mixing_time ?pool ?eps ?max_steps t pi ~starts:(List.init (Chain.size t) Fun.id)
 
+(* β-family sweep: one panel per plane, all planes advancing in
+   lockstep through the fused multi-plane SpMM when the family shares
+   its structure (per-plane [evolve_many_into] otherwise — the cell
+   arithmetic is the same either way). Each plane settles independently
+   through [decide] and drops out of the fused advance; the surviving
+   subset still shares the structure (physical sharing is preserved by
+   taking subsets), so the traversal stays fused to the end. Per plane
+   the (step, worst) sequence [decide] observes is exactly the one a
+   solo [panel_sweep_kernel] over that plane would produce — same
+   initial refresh, same per-step evolve/swap/refresh — which is the
+   bit-identity contract the scheduler and the β-grid CLI rely on. *)
+let family_panel_sweep ?pool family ~pis ~starts ~decide =
+  let np = Family.num_planes family in
+  if Array.length pis <> np then
+    invalid_arg "Mixing.family_panel_sweep: need one pi per plane";
+  let n = Family.size family in
+  Array.iter
+    (fun pi -> if Array.length pi <> n then invalid_arg "Mixing: dimension mismatch")
+    pis;
+  if starts = [] then invalid_arg "Mixing: empty start set";
+  List.iter
+    (fun s -> if s < 0 || s >= n then invalid_arg "Mixing: start out of range")
+    starts;
+  let k = List.length starts in
+  let src = Array.init np (fun _ -> panel_of_starts n starts) in
+  let dst = Array.init np (fun _ -> panel_create (k * n)) in
+  let tvs = Array.init np (fun _ -> Array.make k 0.) in
+  for p = 0 to np - 1 do
+    refresh_tvs pool pis.(p) src.(p) tvs.(p)
+  done;
+  let settled = Array.make np false in
+  (* The live-plane subset arrays are rebuilt only when a plane
+     settles — membership changes at most [np] times over the whole
+     sweep, so the steady-state step allocates nothing. The panel
+     references in [src_a]/[dst_a] are kept in lockstep with the
+     per-plane double-buffer swap below. *)
+  let live_arr = ref (Array.init np Fun.id) in
+  let planes_a = ref (Array.init np (Family.plane family)) in
+  let src_a = ref (Array.copy src) in
+  let dst_a = ref (Array.copy dst) in
+  let rebuild () =
+    let live =
+      Array.of_list (List.filter (fun p -> not settled.(p)) (List.init np Fun.id))
+    in
+    live_arr := live;
+    planes_a := Array.map (Family.plane family) live;
+    src_a := Array.map (fun p -> src.(p)) live;
+    dst_a := Array.map (fun p -> dst.(p)) live
+  in
+  let rec go step =
+    let changed = ref false in
+    Array.iter
+      (fun p ->
+        if decide ~plane:p ~step ~worst:(worst tvs.(p)) then begin
+          settled.(p) <- true;
+          changed := true
+        end)
+      !live_arr;
+    if !changed then rebuild ();
+    if Array.length !live_arr > 0 then begin
+      if Family.shared_structure family then
+        Chain.evolve_many_shared_into ?pool !planes_a ~k ~src:!src_a ~dst:!dst_a
+      else
+        Array.iteri
+          (fun i c ->
+            Chain.evolve_many_into ?pool c ~k ~src:(!src_a).(i) ~dst:(!dst_a).(i))
+          !planes_a;
+      Array.iteri
+        (fun i p ->
+          let previous = src.(p) in
+          src.(p) <- dst.(p);
+          dst.(p) <- previous;
+          (!src_a).(i) <- src.(p);
+          (!dst_a).(i) <- dst.(p);
+          refresh_tvs pool pis.(p) src.(p) tvs.(p))
+        !live_arr;
+      go (step + 1)
+    end
+  in
+  go 0
+
+let family_mixing_times ?pool ?(eps = 0.25) ?(max_steps = 1_000_000) family ~pis
+    ~starts =
+  let out = Array.make (Family.num_planes family) None in
+  family_panel_sweep ?pool family ~pis ~starts ~decide:(fun ~plane ~step ~worst ->
+      if worst <= eps then begin
+        (* lint: allow domain-capture — decide runs on the driving thread only *)
+        out.(plane) <- Some step;
+        true
+      end
+      else step >= max_steps);
+  out
+
 let tv_at t pi ~start ~steps =
   check_starts t [ start ];
   if steps < 0 then invalid_arg "Mixing.tv_at: negative steps";

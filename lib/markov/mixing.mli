@@ -80,6 +80,36 @@ val mixing_time_all :
   ?pool:Exec.Pool.t -> ?eps:float -> ?max_steps:int -> Chain.t -> float array ->
   int option
 
+(** [family_panel_sweep ?pool family ~pis ~starts ~decide] runs one
+    panel sweep per plane of a β-family in lockstep, advancing all
+    still-live planes through the fused multi-plane SpMM
+    ({!Chain.evolve_many_shared_into}) when the family shares its index
+    structure — one traversal of the shared structure per step for the
+    whole β-grid — and through per-plane {!Chain.evolve_many_into}
+    otherwise. After every TV refresh (including step 0)
+    [decide ~plane ~step ~worst] is called for each unsettled plane
+    with that plane's worst-over-starts TV; returning [true] settles
+    the plane (it stops evolving), and the sweep ends when every plane
+    has settled. Per plane, the (step, worst) sequence [decide]
+    observes is bit-identical to a solo {!panel_sweep_kernel} over that
+    plane — the fusion only amortises index traffic. [pis] holds one
+    stationary distribution per plane. [decide] must eventually settle
+    every plane; the loop imposes no budget. Raises [Invalid_argument]
+    on mismatched [pis], an empty or out-of-range start set, or a [pi]
+    of the wrong length. *)
+val family_panel_sweep :
+  ?pool:Exec.Pool.t -> Family.t -> pis:float array array -> starts:int list ->
+  decide:(plane:int -> step:int -> worst:float -> bool) -> unit
+
+(** [family_mixing_times ?pool ?eps ?max_steps family ~pis ~starts] is
+    the whole β-grid's mixing times in one fused sweep: element [i] is
+    the least t with d(t) ≤ [eps] (default 1/4) for plane [i], or
+    [None] past [max_steps] (default [1_000_000]) — each element
+    bit-identical to {!mixing_time_kernel} on that plane alone. *)
+val family_mixing_times :
+  ?pool:Exec.Pool.t -> ?eps:float -> ?max_steps:int -> Family.t ->
+  pis:float array array -> starts:int list -> int option array
+
 (** [tv_at t pi ~start ~steps] is ‖Pᵗ(start,·) - π‖_TV at [t = steps]
     only. Raises [Invalid_argument] on a negative [steps]. *)
 val tv_at : Chain.t -> float array -> start:int -> steps:int -> float

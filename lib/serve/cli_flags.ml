@@ -16,3 +16,48 @@ let resolve_store ~stores ~no_cache_count =
         Error "--store conflicts with --no-cache: pick a store or disable it"
     | [ dir ] -> Ok { dir = Some dir; no_cache = false }
     | _ -> Ok { dir = None; no_cache = no_cache_count > 0 }
+
+type beta_choice = Beta_single of float | Beta_grid of float list
+
+(* LO:HI:STEP → [lo; lo+step; ...] up to hi inclusive, with a small
+   absolute slack so that grids like 0.5:2.0:0.5 whose endpoint is not
+   exactly representable still include it. The points are generated as
+   [lo +. float i *. step] — the same expression a caller scripting
+   separate --beta invocations would write — so per-point β bits match
+   per-point runs. *)
+let parse_grid spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "--betas %S: expected LO:HI:STEP with LO >= 0, STEP > 0, HI >= LO" spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ lo_s; hi_s; step_s ] -> (
+      match
+        (float_of_string_opt lo_s, float_of_string_opt hi_s,
+         float_of_string_opt step_s)
+      with
+      | Some lo, Some hi, Some step ->
+          if
+            (not (Float.is_finite lo && Float.is_finite hi && Float.is_finite step))
+            || lo < 0. || step <= 0. || hi < lo
+          then fail ()
+          else begin
+            let count =
+              1 + int_of_float (Float.floor (((hi -. lo) /. step) +. 1e-9))
+            in
+            Ok (List.init count (fun i -> lo +. (float_of_int i *. step)))
+          end
+      | _ -> fail ())
+  | _ -> fail ()
+
+let resolve_betas ~beta ~betas =
+  match (beta, betas) with
+  | Some _, Some _ ->
+      Error "--beta conflicts with --betas: pick one point or a grid"
+  | Some b, None -> Ok (Beta_single b)
+  | None, None -> Ok (Beta_single 1.0)
+  | None, Some spec -> (
+      match parse_grid spec with
+      | Error _ as e -> e
+      | Ok points -> Ok (Beta_grid points))

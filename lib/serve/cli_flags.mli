@@ -18,3 +18,19 @@ type store_choice = {
     is repeated, [--no-cache] is repeated, or the two are combined. *)
 val resolve_store :
   stores:string list -> no_cache_count:int -> (store_choice, string) result
+
+(** Resolution of [--beta] vs [--betas LO:HI:STEP]. *)
+type beta_choice =
+  | Beta_single of float  (** one grid point (historical behaviour) *)
+  | Beta_grid of float list  (** an inclusive LO:HI:STEP grid, in order *)
+
+(** [resolve_betas ~beta ~betas] resolves the two flags: both given is
+    a conflict ([Error], exit 2 in the binaries), neither defaults to
+    the historical [Beta_single 1.0], and a [--betas LO:HI:STEP] spec
+    parses to the inclusive grid [lo, lo+step, …, hi] (endpoint
+    included up to a tiny representation slack). Grid points are
+    computed as [lo +. i *. step], so each one carries exactly the β
+    bits a separate [--beta] invocation at that value would. [Error]
+    on a malformed spec, [lo < 0], [step <= 0] or [hi < lo]. *)
+val resolve_betas :
+  beta:float option -> betas:string option -> (beta_choice, string) result

@@ -1,15 +1,18 @@
 (* The panel-coalescing scheduler.
 
    A batch is whatever the server read off its clients in one loop
-   iteration. Mixing queries that resolve to the same chain — same
-   game id, n and exact beta bits, regardless of which client sent
-   them — are settled together: panel-route groups drive ONE
-   Mixing.panel_sweep whose decide callback retires each request at
-   its own eps, so one SpMM matrix traversal per step serves the whole
-   group; spectral-route groups share the entry's cached
-   eigendecomposition. Answers are bit-identical to serial evaluation
-   because both run the same primitives over the same floats — the
-   coalescing only changes who pays for the matrix traffic.
+   iteration. Mixing queries on the same game id and n — across β,
+   regardless of which client sent them — are settled together:
+   same-β panel-route groups drive ONE Mixing.panel_sweep, and groups
+   spanning several β become ONE Markov.Family driven by the fused
+   multi-plane sweep (Mixing.family_panel_sweep) over their shared
+   index structure; either way each request retires at its own eps, so
+   one matrix (or structure) traversal per step serves the whole
+   group. Spectral-route requests share their entry's cached
+   eigendecomposition per β. Answers are bit-identical to serial
+   evaluation because both run the same primitives over the same
+   floats — the coalescing only changes who pays for the matrix
+   traffic.
 
    Deadlines are absolute monotonic nanosecond instants fixed at
    admission; they are enforced between panel steps (and before any
@@ -118,6 +121,88 @@ let run_spectral_group engine out e group =
                Ok (Engine.mixing_reply_of engine e ~tmix ~replicas ~seed))))
     group
 
+(* One fused multi-β sweep over [groups], a list of (beta, entry,
+   jobs) triples that share a game and n (hence a state space, and
+   almost always a sparsity structure): the entries' chains become one
+   Markov.Family and every β plane advances through the fused
+   multi-plane SpMM — one traversal of the shared index structure per
+   step serves the whole cross-β batch. Per plane the decide logic is
+   exactly [run_panel_group]'s (eps before deadline before budget), and
+   per plane the (step, worst) sequence is bit-identical to a solo
+   panel sweep, so each request's answer is unchanged — the widening
+   only changes who pays for the index traffic. *)
+let run_family_group engine stats out groups =
+  let groups = Array.of_list groups in
+  let np = Array.length groups in
+  let jobs = Array.map (fun (_, _, g) -> Array.of_list g) groups in
+  let settled = Array.map (fun ja -> Array.map (fun _ -> None) ja) jobs in
+  let remaining = Array.map Array.length jobs in
+  let remaining = Array.map ref remaining in
+  let budget = Engine.max_steps engine in
+  let max_step = ref 0 in
+  let sweep () =
+    let family =
+      Markov.Family.v
+        ~betas:(Array.map (fun (beta, _, _) -> beta) groups)
+        ~planes:(Array.map (fun (_, e, _) -> e.Engine.chain) groups)
+    in
+    let pis = Array.map (fun (_, e, _) -> e.Engine.pi) groups in
+    let _, e0, _ = groups.(0) in
+    Markov.Mixing.family_panel_sweep ?pool:(Engine.pool engine) family ~pis
+      ~starts:(Engine.all_starts e0)
+      ~decide:(fun ~plane ~step ~worst ->
+        if step > !max_step then max_step := step;
+        let now = Common.Clock.monotonic_ns () in
+        let sa = settled.(plane) and rem = remaining.(plane) in
+        Array.iteri
+          (fun i (_, job, eps, _, _) ->
+            if Option.is_none sa.(i) then
+              if worst <= eps then begin
+                sa.(i) <- Some (Ok (Some step));
+                decr rem
+              end
+              else
+                match job.deadline_ns with
+                | Some d when Int64.compare now d > 0 ->
+                    sa.(i) <- Some (Error P.Deadline_exceeded);
+                    decr rem
+                | _ ->
+                    if step >= budget then begin
+                      sa.(i) <- Some (Ok None);
+                      decr rem
+                    end)
+          jobs.(plane);
+        !rem = 0);
+    Ok ()
+  in
+  (match guard sweep with
+  | Ok () -> ()
+  | Error e ->
+      (* The fused sweep itself failed: every still-pending request of
+         every plane inherits the failure. *)
+      Array.iter
+        (fun sa ->
+          Array.iteri
+            (fun i s -> if Option.is_none s then sa.(i) <- Some (Error e))
+            sa)
+        settled);
+  (* One fused traversal advances every live plane, so the work this
+     group paid for is the deepest plane's step count, not the sum. *)
+  stats.panel_steps <- stats.panel_steps + !max_step;
+  for p = 0 to np - 1 do
+    let _, e, _ = groups.(p) in
+    Array.iteri
+      (fun i (pos, _, _, replicas, seed) ->
+        out.(pos) <-
+          (match settled.(p).(i) with
+          | Some (Ok tmix) ->
+              guard (fun () ->
+                  Ok (Engine.mixing_reply_of engine e ~tmix ~replicas ~seed))
+          | Some (Error err) -> Error err
+          | None -> Error (P.Server_error "panel sweep left a request unsettled")))
+      jobs.(p)
+  done
+
 let run_batch engine stats jobs =
   let jobs_a = Array.of_list jobs in
   let n = Array.length jobs_a in
@@ -126,18 +211,19 @@ let run_batch engine stats jobs =
     stats.batches <- stats.batches + 1;
     if n > stats.max_batch then stats.max_batch <- n;
     let out = Array.make n (Error (P.Server_error "unprocessed")) in
-    (* Coalesce mixing queries chain by chain; everything else is
-       evaluated serially in arrival order. *)
+    (* Coalesce mixing queries by (game, n) — cross-β — so a β-grid's
+       worth of requests shares one index-structure traversal;
+       everything else is evaluated serially in arrival order. *)
     let groups = Hashtbl.create 8 in
     let order = ref [] in
     Array.iteri
       (fun pos job ->
         match job.query with
         | P.Mixing { game; n = players; beta; eps; replicas; seed } ->
-            let key = (game, players, Int64.bits_of_float beta) in
+            let key = (game, players) in
             if not (Hashtbl.mem groups key) then order := key :: !order;
             Hashtbl.replace groups key
-              ((pos, job, eps, replicas, seed)
+              ((pos, job, eps, replicas, seed, beta)
               :: (try Hashtbl.find groups key with Not_found -> []))
         | q ->
             out.(pos) <-
@@ -145,32 +231,56 @@ let run_batch engine stats jobs =
                else guard (fun () -> Engine.eval engine q)))
       jobs_a;
     List.iter
-      (fun ((game, players, _) as key) ->
+      (fun ((game, players) as key) ->
         let group = List.rev (Hashtbl.find groups key) in
-        let _, sample_job, _, _, _ = List.hd group in
-        let beta =
-          match sample_job.query with
-          | P.Mixing { beta; _ } -> beta
-          | _ -> 0. (* unreachable: groups hold only Mixing queries *)
-        in
-        match Engine.entry engine ~game ~n:players ~beta with
-        | Error msg ->
-            List.iter
-              (fun (pos, _, _, _, _) -> out.(pos) <- Error (P.Bad_request msg))
-              group
-        | Ok e ->
-            if Engine.spectral_route engine e then
-              run_spectral_group engine out e group
-            else begin
-              (* Requests already past their deadline skip the sweep. *)
-              let live, dead =
-                List.partition (fun (_, job, _, _, _) -> not (expired job)) group
-              in
-              List.iter
-                (fun (pos, _, _, _, _) -> out.(pos) <- Error P.Deadline_exceeded)
-                dead;
-              if live <> [] then run_panel_group engine stats out e live
-            end)
+        (* Sub-group by exact β bits, preserving first-seen order; each
+           β resolves its own engine entry (build failures stay
+           per-β). *)
+        let by_beta = Hashtbl.create 4 in
+        let beta_order = ref [] in
+        List.iter
+          (fun ((_, _, _, _, _, beta) as item) ->
+            let bkey = Int64.bits_of_float beta in
+            if not (Hashtbl.mem by_beta bkey) then
+              beta_order := (bkey, beta) :: !beta_order;
+            Hashtbl.replace by_beta bkey
+              (item :: (try Hashtbl.find by_beta bkey with Not_found -> [])))
+          group;
+        let panel_groups = ref [] in
+        List.iter
+          (fun (bkey, beta) ->
+            let sub =
+              List.rev_map
+                (fun (pos, job, eps, replicas, seed, _) ->
+                  (pos, job, eps, replicas, seed))
+                (Hashtbl.find by_beta bkey)
+            in
+            match Engine.entry engine ~game ~n:players ~beta with
+            | Error msg ->
+                List.iter
+                  (fun (pos, _, _, _, _) -> out.(pos) <- Error (P.Bad_request msg))
+                  sub
+            | Ok e ->
+                if Engine.spectral_route engine e then
+                  run_spectral_group engine out e sub
+                else begin
+                  (* Requests already past their deadline skip the
+                     sweep. *)
+                  let live, dead =
+                    List.partition (fun (_, job, _, _, _) -> not (expired job)) sub
+                  in
+                  List.iter
+                    (fun (pos, _, _, _, _) ->
+                      out.(pos) <- Error P.Deadline_exceeded)
+                    dead;
+                  if live <> [] then
+                    panel_groups := (beta, e, live) :: !panel_groups
+                end)
+          (List.rev !beta_order);
+        match List.rev !panel_groups with
+        | [] -> ()
+        | [ (_, e, live) ] -> run_panel_group engine stats out e live
+        | panel_groups -> run_family_group engine stats out panel_groups)
       (List.rev !order);
     Array.to_list (Array.mapi (fun i job -> (job, out.(i))) jobs_a)
   end

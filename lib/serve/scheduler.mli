@@ -1,13 +1,17 @@
 (** The panel-coalescing scheduler.
 
     {!run_batch} takes everything the server read in one loop
-    iteration and answers it: mixing queries that resolve to the same
-    chain (same game id, n and exact beta bits — across clients) are
-    settled by {e one} {!Markov.Mixing.panel_sweep}, each request
-    retiring at its own eps, so one SpMM matrix traversal per step
-    serves the whole group; reversible small chains share the entry's
-    cached eigendecomposition instead. All other queries are evaluated
-    serially in arrival order.
+    iteration and answers it: mixing queries on the same game id and n
+    — across β and across clients — are coalesced. A single-β panel
+    group is settled by {e one} {!Markov.Mixing.panel_sweep}; a group
+    spanning several β builds {e one} {!Markov.Family} from the
+    entries' chains and settles every plane through the fused
+    multi-plane sweep ({!Markov.Mixing.family_panel_sweep}), one
+    traversal of the shared index structure per step for the whole
+    β-grid. Each request retires at its own eps either way; reversible
+    small chains share their entry's cached eigendecomposition per β
+    instead. All other queries are evaluated serially in arrival
+    order.
 
     Answers are bit-identical to per-request serial evaluation — both
     paths run the same primitives over the same floats. Deadlines are

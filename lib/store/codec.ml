@@ -8,7 +8,17 @@ let version = 1
 let magic = "LDAF"
 let header_len = 12
 
-type kind = Chain | Dist | Curve | Table | Table_list | Request | Response | Segment
+type kind =
+  | Chain
+  | Dist
+  | Curve
+  | Table
+  | Table_list
+  | Request
+  | Response
+  | Segment
+  | Chain_structure
+  | Chain_plane
 
 let kind_tag = function
   | Chain -> 1
@@ -19,6 +29,8 @@ let kind_tag = function
   | Request -> 6
   | Response -> 7
   | Segment -> 8
+  | Chain_structure -> 9
+  | Chain_plane -> 10
 
 let kind_of_tag = function
   | 1 -> Some Chain
@@ -29,6 +41,8 @@ let kind_of_tag = function
   | 6 -> Some Request
   | 7 -> Some Response
   | 8 -> Some Segment
+  | 9 -> Some Chain_structure
+  | 10 -> Some Chain_plane
   | _ -> None
 
 let kind_name = function
@@ -40,6 +54,8 @@ let kind_name = function
   | Request -> "request"
   | Response -> "response"
   | Segment -> "segment"
+  | Chain_structure -> "chain-structure"
+  | Chain_plane -> "chain-plane"
 
 (* CRC-32, IEEE 802.3 polynomial (reflected 0xEDB88320). *)
 let crc_table =

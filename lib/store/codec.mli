@@ -39,6 +39,13 @@ type kind =
   | Request  (** a daemon wire request ({!Serve.Protocol}) *)
   | Response  (** a daemon wire response ({!Serve.Protocol}) *)
   | Segment  (** an out-of-core segment header ({!Ooc.Segment}) *)
+  | Chain_structure
+      (** a β-family's shared CSR index structure
+          ({!Markov.Family_codec}): row offsets + columns, no
+          probabilities *)
+  | Chain_plane
+      (** one β plane of a family ({!Markov.Family_codec}):
+          probabilities over a separately-filed structure *)
 
 (** [kind_name k] is a short lowercase name for messages and [store ls]. *)
 val kind_name : kind -> string

@@ -393,10 +393,30 @@ let below_cutover_kernels_serial_and_silent () =
     Logit.Perfect_sampling.samples (Prob.Rng.create 5) game ~beta:1.0 ~count:6
   in
   let chain_serial = Logit.Logit_dynamics.chain game ~beta:1.0 in
-  let panel_eq a b =
+  (* The β-family entry points ride the same contract: build, fused
+     SpMM and the fused mixing sweep must all stay serial (and silent)
+     below the cutover, whatever the plane count. *)
+  let fam_betas = [ 0.5; 1.0 ] in
+  let fam_serial = Logit.Logit_dynamics.chain_family game ~betas:fam_betas in
+  let gn = Games.Game.size game in
+  let fam_rows = Array.init k (fun _ -> random_sparse_vector rng gn) in
+  let fam_src = Array.init 2 (fun _ -> panel_of_rows fam_rows) in
+  let fam_spmm_serial = Array.init 2 (fun _ -> panel_create (k * gn)) in
+  Markov.Family.evolve_many_into fam_serial ~k ~src:fam_src
+    ~dst:fam_spmm_serial;
+  let fam_pis =
+    Array.init 2 (fun i ->
+        Markov.Stationary.by_solve (Markov.Family.plane fam_serial i))
+  in
+  let fam_starts = List.init gn Fun.id in
+  let fam_tmix_serial =
+    Markov.Mixing.family_mixing_times fam_serial ~pis:fam_pis
+      ~starts:fam_starts
+  in
+  let panel_eq ?(cols = n) a b =
     let ok = ref true in
     for i = 0 to k - 1 do
-      if panel_row a ~n i <> panel_row b ~n i then ok := false
+      if panel_row a ~n:cols i <> panel_row b ~n:cols i then ok := false
     done;
     !ok
   in
@@ -438,7 +458,94 @@ let below_cutover_kernels_serial_and_silent () =
                !ok
                && chain_rows_equal chain_serial
                     (Logit.Logit_dynamics.chain ~pool game ~beta:1.0);
+             let fam_pool =
+               Logit.Logit_dynamics.chain_family ~pool game ~betas:fam_betas
+             in
+             ok :=
+               !ok
+               && List.for_all
+                    (fun i ->
+                      chain_rows_equal
+                        (Markov.Family.plane fam_serial i)
+                        (Markov.Family.plane fam_pool i))
+                    [ 0; 1 ];
+             let fam_spmm = Array.init 2 (fun _ -> panel_create (k * gn)) in
+             Markov.Family.evolve_many_into ~pool fam_serial ~k ~src:fam_src
+               ~dst:fam_spmm;
+             ok :=
+               !ok
+               && panel_eq ~cols:gn fam_spmm.(0) fam_spmm_serial.(0)
+               && panel_eq ~cols:gn fam_spmm.(1) fam_spmm_serial.(1);
+             ok :=
+               !ok
+               && Markov.Mixing.family_mixing_times ~pool fam_serial
+                    ~pis:fam_pis ~starts:fam_starts
+                  = fam_tmix_serial;
              !ok && Exec.Pool.dispatches pool = before)))
+
+(* ----- β-family pool equivalence ----- *)
+
+(* The family entry points across pool sizes 1/2/4 with the cutover
+   forced to 0: every plane of a pooled [chain_family], every panel of
+   the fused SpMM, and every fused mixing time must be bit-identical to
+   the serial build. *)
+
+let equiv_family_build =
+  QCheck.Test.make ~name:"chain_family: pooled = serial (pools 1/2/4)"
+    ~count:10
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let game, _, beta = mk_game seed in
+      let betas = [ 0.25 *. beta; beta; 2. *. beta ] in
+      let serial = Logit.Logit_dynamics.chain_family game ~betas in
+      for_all_pool_sizes (fun pool ->
+          let pooled = Logit.Logit_dynamics.chain_family ~pool game ~betas in
+          Markov.Family.shared_structure pooled
+          = Markov.Family.shared_structure serial
+          && List.for_all
+               (fun i ->
+                 chain_rows_equal
+                   (Markov.Family.plane serial i)
+                   (Markov.Family.plane pooled i))
+               [ 0; 1; 2 ]))
+
+let equiv_family_spmm =
+  QCheck.Test.make
+    ~name:"family fused SpMM: pooled = serial (pools 1/2/4)" ~count:10
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (seed, k) ->
+      let game, _, beta = mk_game seed in
+      let betas = [ beta; 2. *. beta ] in
+      let fam = Logit.Logit_dynamics.chain_family game ~betas in
+      let n = Markov.Family.size fam in
+      let rng = Prob.Rng.create seed in
+      let rows = Array.init k (fun _ -> random_sparse_vector rng n) in
+      let src = Array.init 2 (fun _ -> panel_of_rows rows) in
+      let run pool =
+        let dst = Array.init 2 (fun _ -> panel_create (k * n)) in
+        Markov.Family.evolve_many_into ?pool fam ~k ~src ~dst;
+        Array.map (fun p -> Array.init k (panel_row p ~n)) dst
+      in
+      let serial = run None in
+      for_all_pool_sizes (fun pool -> run (Some pool) = serial))
+
+let equiv_family_mixing =
+  QCheck.Test.make
+    ~name:"family_mixing_times: pooled = serial (pools 1/2/4)" ~count:8
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let game, phi, beta = mk_game seed in
+      let betas = [ beta; 2. *. beta ] in
+      let fam = Logit.Logit_dynamics.chain_family game ~betas in
+      let space = Games.Game.space game in
+      let pis =
+        Array.of_list
+          (List.map (fun beta -> Logit.Gibbs.stationary space phi ~beta) betas)
+      in
+      let starts = List.init (Markov.Family.size fam) Fun.id in
+      let serial = Markov.Mixing.family_mixing_times fam ~pis ~starts in
+      for_all_pool_sizes (fun pool ->
+          Markov.Mixing.family_mixing_times ~pool fam ~pis ~starts = serial))
 
 (* ----- Parallel_logit.transition_row properties ----- *)
 
@@ -552,6 +659,12 @@ let suites =
         test "dispatch counter counts pooled runs" dispatch_counter_counts;
         test "below cutover: bit-identical and zero dispatches"
           below_cutover_kernels_serial_and_silent;
+      ] );
+    ( "exec.family",
+      [
+        qcheck equiv_family_build;
+        qcheck equiv_family_spmm;
+        qcheck equiv_family_mixing;
       ] );
     ("exec.parallel_logit", [ qcheck parallel_row_factorises ]);
     ( "exec.rng",

@@ -745,6 +745,273 @@ let mixing_squaring_size_guard () =
            (Array.make 800 (1. /. 800.))
            ~starts:[ 0 ]))
 
+(* ----- β-families: one shared structure, per-β probability planes ----- *)
+
+(* The bit-identity contract: every family plane must reproduce an
+   independent [chain ~beta] build exactly — same sparsity, same float
+   bits — across the β grid, game zoo, and both panel kernels. *)
+
+let family_grid = [ 0.0; 0.25; 1.0; 2.5 ]
+
+let family_rows_equal a b =
+  Chain.size a = Chain.size b
+  && begin
+       let ok = ref true in
+       for i = 0 to Chain.size a - 1 do
+         if Chain.row a i <> Chain.row b i then ok := false
+       done;
+       !ok
+     end
+
+let family_matches_solo game betas =
+  let fam = Logit.Logit_dynamics.chain_family game ~betas in
+  List.for_all
+    (fun (i, beta) ->
+      family_rows_equal (Family.plane fam i)
+        (Logit.Logit_dynamics.chain game ~beta))
+    (List.mapi (fun i b -> (i, b)) betas)
+
+let family_planes_bit_identical =
+  QCheck.Test.make ~name:"family planes = independent chain builds" ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let game, _ = random_potential_game ~players:3 ~strategies:2 seed in
+      family_matches_solo game family_grid)
+
+let family_game_zoo () =
+  let zoo =
+    [
+      ("pure coordination", Games.Zoo.pure_coordination ~players:3 ~strategies:2);
+      ( "2x2 coordination",
+        Games.Coordination.to_game
+          (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:0.5) );
+      ( "ring graphical",
+        Games.Graphical.to_game
+          (Games.Graphical.create
+             (Graphs.Generators.ring 4)
+             (Games.Coordination.of_deltas ~delta0:1.0 ~delta1:1.0)) );
+    ]
+  in
+  List.iter
+    (fun (name, game) ->
+      check_true (name ^ ": planes match solo builds")
+        (family_matches_solo game family_grid);
+      let fam = Logit.Logit_dynamics.chain_family game ~betas:family_grid in
+      (* Logit rows keep every neighbour's softmax mass strictly
+         positive at these β, so the sparsity — hence the index
+         structure — is β-independent. *)
+      check_true (name ^ ": shared structure") (Family.shared_structure fam))
+    zoo
+
+let family_accessors () =
+  let game, _ = random_potential_game 11 in
+  let fam = Logit.Logit_dynamics.chain_family game ~betas:family_grid in
+  check_int "num_planes" (List.length family_grid) (Family.num_planes fam);
+  check_int "size" (Games.Strategy_space.size (Games.Game.space game))
+    (Family.size fam);
+  List.iteri
+    (fun i b -> check_float (Printf.sprintf "beta %d" i) b (Family.beta fam i))
+    family_grid;
+  check_array "betas copy" (Array.of_list family_grid) (Family.betas fam);
+  (Family.betas fam).(0) <- 99.;
+  check_float "betas returns a copy" 0.0 (Family.beta fam 0);
+  check_true "find hit" (Family.find fam ~beta:0.25 = Some 1);
+  check_true "find miss" (Family.find fam ~beta:0.26 = None);
+  check_raises_invalid "plane out of range" (fun () ->
+      ignore (Family.plane fam (List.length family_grid)));
+  check_raises_invalid "beta out of range" (fun () ->
+      ignore (Family.beta fam (-1)))
+
+let family_validation () =
+  let game, _ = random_potential_game 11 in
+  check_raises_invalid "empty grid" (fun () ->
+      ignore (Logit.Logit_dynamics.chain_family game ~betas:[]));
+  check_raises_invalid "negative beta" (fun () ->
+      ignore (Logit.Logit_dynamics.chain_family game ~betas:[ 1.0; -0.5 ]));
+  let c = two_state 0.3 0.2 in
+  check_raises_invalid "Family.v empty" (fun () ->
+      ignore (Family.v ~betas:[||] ~planes:[||]));
+  check_raises_invalid "Family.v length mismatch" (fun () ->
+      ignore (Family.v ~betas:[| 1.0 |] ~planes:[| c; c |]));
+  check_raises_invalid "Family.v size mismatch" (fun () ->
+      ignore
+        (Family.v ~betas:[| 1.0; 2.0 |]
+           ~planes:[| c; Chain.of_rows [| [| (0, 1.) |] |] |]))
+
+(* The fused multi-plane SpMM must agree bit-for-bit with running
+   [evolve_many_into] on each plane alone — shared src panels, distinct
+   dst panels, compared by float bits. *)
+let family_fused_spmm_matches_per_plane =
+  QCheck.Test.make ~name:"fused family SpMM = per-plane evolve_many_into"
+    ~count:20
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 5))
+    (fun (seed, k) ->
+      let game, _ = random_potential_game ~players:3 ~strategies:2 seed in
+      let fam = Logit.Logit_dynamics.chain_family game ~betas:family_grid in
+      let np = Family.num_planes fam in
+      let n = Family.size fam in
+      let r = rng ~seed () in
+      let src =
+        Array.init np (fun _ ->
+            panel_of_rows (Array.init k (fun _ -> random_sparse_vector r n)))
+      in
+      let dst_fused = Array.init np (fun _ -> panel_create (k * n)) in
+      let dst_solo = Array.init np (fun _ -> panel_create (k * n)) in
+      Family.evolve_many_into fam ~k ~src ~dst:dst_fused;
+      Array.iteri
+        (fun p c -> Chain.evolve_many_into c ~k ~src:src.(p) ~dst:dst_solo.(p))
+        (Array.init np (Family.plane fam));
+      let ok = ref true in
+      for p = 0 to np - 1 do
+        for row = 0 to k - 1 do
+          let a = panel_row dst_fused.(p) ~n row
+          and b = panel_row dst_solo.(p) ~n row in
+          Array.iteri
+            (fun i x ->
+              if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+                ok := false)
+            a
+        done
+      done;
+      !ok)
+
+let family_spmm_validation () =
+  let game, _ = random_potential_game 11 in
+  let fam = Logit.Logit_dynamics.chain_family game ~betas:family_grid in
+  let np = Family.num_planes fam in
+  let n = Family.size fam in
+  let k = 2 in
+  let mk () = Array.init np (fun _ -> panel_create (k * n)) in
+  let src = mk () in
+  check_raises_invalid "panel count mismatch" (fun () ->
+      Family.evolve_many_into fam ~k ~src:[| src.(0) |] ~dst:(mk ()));
+  check_raises_invalid "dst aliases src" (fun () ->
+      Family.evolve_many_into fam ~k ~src ~dst:src);
+  check_raises_invalid "bad panel dims" (fun () ->
+      Family.evolve_many_into fam ~k:(k + 1) ~src ~dst:(mk ()))
+
+let family_mixing_matches_solo =
+  QCheck.Test.make ~name:"family_mixing_times = per-plane mixing_time"
+    ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let game, phi = random_potential_game ~players:3 ~strategies:2 seed in
+      let fam = Logit.Logit_dynamics.chain_family game ~betas:family_grid in
+      let space = Games.Game.space game in
+      let pis =
+        Array.of_list
+          (List.map
+             (fun beta -> Logit.Gibbs.stationary space phi ~beta)
+             family_grid)
+      in
+      let starts = List.init (Family.size fam) Fun.id in
+      let fused = Mixing.family_mixing_times fam ~pis ~starts in
+      let solo =
+        Array.of_list
+          (List.mapi
+             (fun i _ -> Mixing.mixing_time (Family.plane fam i) pis.(i) ~starts)
+             family_grid)
+      in
+      fused = solo)
+
+(* A family whose planes disagree on sparsity still works: structure
+   sharing is detected, not assumed, and every panel entry point falls
+   back to the per-plane kernels. *)
+let family_non_shared_fallback () =
+  let a = two_state 0.3 0.2 in
+  let b = Chain.of_rows [| [| (1, 1.) |]; [| (0, 1.) |] |] in
+  let fam = Family.v ~betas:[| 1.0; 2.0 |] ~planes:[| a; b |] in
+  check_false "structure not shared" (Family.shared_structure fam);
+  check_true "planes intact"
+    (family_rows_equal (Family.plane fam 0) a
+    && family_rows_equal (Family.plane fam 1) b);
+  let k = 3 in
+  let n = 2 in
+  let src =
+    Array.init 2 (fun _ ->
+        panel_of_rows [| [| 1.; 0. |]; [| 0.25; 0.75 |]; [| 0.; 1. |] |])
+  in
+  let dst = Array.init 2 (fun _ -> panel_create (k * n)) in
+  Family.evolve_many_into fam ~k ~src ~dst;
+  Array.iteri
+    (fun p c ->
+      let solo = panel_create (k * n) in
+      Chain.evolve_many_into c ~k ~src:src.(p) ~dst:solo;
+      for row = 0 to k - 1 do
+        check_array
+          (Printf.sprintf "plane %d row %d" p row)
+          (panel_row solo ~n row)
+          (panel_row dst.(p) ~n row)
+      done)
+    [| a; b |]
+
+let rec family_rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun e -> family_rm_rf (Filename.concat path e))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let family_codec_roundtrip () =
+  let root = Filename.temp_file "logitdyn" ".family" in
+  Sys.remove root;
+  let cas = Store.Cas.open_ ~dir:root () in
+  Fun.protect
+    ~finally:(fun () -> try family_rm_rf root with Sys_error _ -> ())
+    (fun () ->
+      let game, _ = random_potential_game 7 in
+      let size = Games.Strategy_space.size (Games.Game.space game) in
+      let builds = ref 0 in
+      let build () =
+        incr builds;
+        Logit.Logit_dynamics.chain_family game ~betas:family_grid
+      in
+      let cached () =
+        Family_codec.cached ~store:cas ~game:"test-family" ~size
+          ~betas:family_grid ~variant:"sequential-logit" build
+      in
+      let cold = cached () in
+      check_int "cold build runs" 1 !builds;
+      let warm = cached () in
+      check_int "warm hit skips the build" 1 !builds;
+      let fresh = build () in
+      List.iteri
+        (fun i _ ->
+          check_true
+            (Printf.sprintf "cold plane %d matches fresh" i)
+            (family_rows_equal (Family.plane cold i) (Family.plane fresh i));
+          check_true
+            (Printf.sprintf "warm plane %d matches fresh" i)
+            (family_rows_equal (Family.plane warm i) (Family.plane fresh i)))
+        family_grid;
+      check_true "warm family keeps shared structure"
+        (Family.shared_structure warm);
+      check_true "warm betas preserved"
+        (Family.betas warm = Array.of_list family_grid);
+      check_raises_invalid "empty grid rejected" (fun () ->
+          ignore
+            (Family_codec.cached ~store:cas ~game:"test-family" ~size ~betas:[]
+               ~variant:"sequential-logit" build)))
+
+let family_codec_corrupt_rejected () =
+  let game, _ = random_potential_game 7 in
+  let fam = Logit.Logit_dynamics.chain_family game ~betas:family_grid in
+  let s = Family_codec.encode_structure fam in
+  (match Family_codec.decode_structure s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "structure roundtrip: %s" e);
+  let p = Family_codec.encode_plane (Family.plane fam 1) in
+  (match Family_codec.decode_plane p with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "plane roundtrip: %s" e);
+  let truncate s = String.sub s 0 (String.length s - 1) in
+  check_true "truncated structure rejected"
+    (Result.is_error (Family_codec.decode_structure (truncate s)));
+  check_true "truncated plane rejected"
+    (Result.is_error (Family_codec.decode_plane (truncate p)))
+
 let suites =
   [
     ( "markov.chain",
@@ -793,6 +1060,19 @@ let suites =
         qcheck mixing_monotone;
         qcheck mixing_spectral_matches_evolution;
         qcheck mixing_squaring_matches_evolution;
+      ] );
+    ( "markov.family",
+      [
+        qcheck family_planes_bit_identical;
+        test "game zoo planes & shared structure" family_game_zoo;
+        test "accessors" family_accessors;
+        test "validation" family_validation;
+        qcheck family_fused_spmm_matches_per_plane;
+        test "fused SpMM validation" family_spmm_validation;
+        qcheck family_mixing_matches_solo;
+        test "non-shared structure fallback" family_non_shared_fallback;
+        test "codec cached cold/warm" family_codec_roundtrip;
+        test "codec roundtrip & corrupt rejection" family_codec_corrupt_rejected;
       ] );
     ( "markov.spectral",
       [

@@ -26,6 +26,42 @@ let cli_flags_matrix () =
     (Result.is_error (resolve [ "/tmp/s" ] 1));
   check "duplicate no-cache rejected" true (Result.is_error (resolve [] 2))
 
+(* --beta vs --betas: single point, grid, or neither — never both. The
+   grid points must be the exact floats the per-point path would see
+   ([lo +. float i *. step], no accumulation), so per-β output stays
+   byte-identical. *)
+let cli_flags_betas () =
+  let resolve beta betas = Serve.Cli_flags.resolve_betas ~beta ~betas in
+  check "neither defaults to beta 1.0" true
+    (resolve None None = Ok (Serve.Cli_flags.Beta_single 1.0));
+  check "single point" true
+    (resolve (Some 0.5) None = Ok (Serve.Cli_flags.Beta_single 0.5));
+  check "conflict rejected" true
+    (Result.is_error (resolve (Some 0.5) (Some "0.1:1.0:0.1")));
+  (match resolve None (Some "0.1:0.4:0.1") with
+  | Ok (Serve.Cli_flags.Beta_grid pts) ->
+      check "inclusive endpoint" true (List.length pts = 4);
+      List.iteri
+        (fun i p ->
+          check
+            (Printf.sprintf "grid point %d bit-exact" i)
+            true
+            (Int64.bits_of_float p
+            = Int64.bits_of_float (0.1 +. (float_of_int i *. 0.1))))
+        pts
+  | _ -> Alcotest.fail "grid should parse");
+  (match resolve None (Some "2.0:2.0:0.5") with
+  | Ok (Serve.Cli_flags.Beta_grid [ p ]) ->
+      (* lint: allow float-equality — the one-point grid must be exactly lo *)
+      check "degenerate grid" true (p = 2.0)
+  | _ -> Alcotest.fail "lo = hi is a one-point grid");
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "%S rejected" s) true
+        (Result.is_error (resolve None (Some s))))
+    [ "0.1:1.0"; "0.1:1.0:0"; "0.1:1.0:-0.1"; "1.0:0.1:0.1"; "-0.5:1.0:0.5";
+      "a:b:c"; "" ]
+
 (* --- Protocol ------------------------------------------------------------ *)
 
 let all_queries =
@@ -413,7 +449,10 @@ let corrupt_bytes_get_bad_request () =
 let suites =
   [
     ( "serve.cli-flags",
-      [ Alcotest.test_case "conflict matrix" `Quick cli_flags_matrix ] );
+      [
+        Alcotest.test_case "conflict matrix" `Quick cli_flags_matrix;
+        Alcotest.test_case "beta grid resolution" `Quick cli_flags_betas;
+      ] );
     ( "serve.protocol",
       [
         Alcotest.test_case "request round-trips" `Quick request_roundtrip;
